@@ -1,0 +1,72 @@
+// Ablation: sensitivity of the scaled heuristics (normalized Euclidean,
+// cosine, Levenshtein) to the scaling constant k, recovering the shape of
+// the paper's constants table (§5, Experimental Setup): small k for IDA*,
+// larger k for RBFS.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "workloads/bamm.h"
+#include "workloads/synthetic.h"
+
+int main(int argc, char** argv) {
+  using namespace tupelo;
+  using namespace tupelo::bench;
+
+  BenchArgs args = ParseBenchArgs(argc, argv, 50000);
+  std::printf("# Ablation: scaling constant k sweep\n");
+  std::printf("# total states examined over the task bundle; budget=%llu "
+              "per run\n\n",
+              static_cast<unsigned long long>(args.budget));
+
+  // Task bundle: synthetic n=4,6 plus a few BAMM books targets.
+  struct Task {
+    Database source;
+    Database target;
+  };
+  std::vector<Task> tasks;
+  for (size_t n : {4u, 6u}) {
+    SyntheticMatchingPair pair = MakeSyntheticMatchingPair(n);
+    tasks.push_back({pair.source, pair.target});
+  }
+  BammWorkload books = MakeBammWorkload(BammDomain::kBooks, args.seed);
+  for (size_t i = 0; i < 4 && i < books.targets.size(); ++i) {
+    tasks.push_back({books.source, books.targets[i]});
+  }
+
+  std::vector<double> ks = {1, 2, 3, 5, 7, 9, 11, 15, 20, 24, 28};
+  if (args.quick) ks = {1, 5, 11, 24};
+
+  for (HeuristicKind kind :
+       {HeuristicKind::kEuclideanNorm, HeuristicKind::kCosine,
+        HeuristicKind::kLevenshtein}) {
+    std::printf("## %s\n", std::string(HeuristicKindName(kind)).c_str());
+    PrintRow({"k", "ida_total", "rbfs_total"}, 14);
+    for (double k : ks) {
+      std::vector<std::string> row = {std::to_string(int(k))};
+      for (SearchAlgorithm algo :
+           {SearchAlgorithm::kIda, SearchAlgorithm::kRbfs}) {
+        uint64_t total = 0;
+        bool all_found = true;
+        for (const Task& task : tasks) {
+          TupeloOptions options;
+          options.algorithm = algo;
+          options.heuristic = kind;
+          options.scale_k = k;
+          options.limits.max_states = args.budget;
+          options.limits.max_depth = 14;
+          RunResult r = Measure(task.source, task.target, options);
+          total += r.found ? r.states : args.budget;
+          if (!r.found) all_found = false;
+        }
+        row.push_back(std::to_string(total) + (all_found ? "" : "*"));
+      }
+      PrintRow(row, 14);
+    }
+    std::printf("\n");
+  }
+  std::printf("# '*' marks sweeps where at least one task hit the budget\n");
+  return 0;
+}

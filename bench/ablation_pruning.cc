@@ -1,0 +1,72 @@
+// Ablation: §2.3's "obviously inapplicable transformations" successor
+// pruning, on vs off, across the three workload families. Shows how much
+// of TUPELO's tractability comes from the candidate-generation rules
+// rather than the heuristics.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "workloads/bamm.h"
+#include "workloads/flights.h"
+#include "workloads/synthetic.h"
+
+int main(int argc, char** argv) {
+  using namespace tupelo;
+  using namespace tupelo::bench;
+
+  BenchArgs args = ParseBenchArgs(argc, argv, 50000);
+  std::printf("# Ablation: successor pruning (\"obviously inapplicable\" "
+              "rules, §2.3)\n");
+  std::printf("# budget=%llu; RBFS with h1 and cosine\n\n",
+              static_cast<unsigned long long>(args.budget));
+
+  struct Task {
+    std::string name;
+    Database source;
+    Database target;
+  };
+  std::vector<Task> tasks;
+  for (size_t n : {2u, 4u, 6u}) {
+    SyntheticMatchingPair pair = MakeSyntheticMatchingPair(n);
+    tasks.push_back(
+        {"synthetic_n" + std::to_string(n), pair.source, pair.target});
+  }
+  tasks.push_back({"flights_B_to_A", MakeFlightsB(), MakeFlightsA()});
+  BammWorkload books = MakeBammWorkload(BammDomain::kBooks, args.seed);
+  for (size_t i = 0; i < 3 && i < books.targets.size(); ++i) {
+    tasks.push_back(
+        {"bamm_books_" + std::to_string(i), books.source, books.targets[i]});
+  }
+
+  PrintRow({"task", "heuristic", "pruned", "unpruned", "ratio"}, 16);
+  for (const Task& task : tasks) {
+    for (HeuristicKind kind : {HeuristicKind::kH1, HeuristicKind::kCosine}) {
+      TupeloOptions options;
+      options.algorithm = SearchAlgorithm::kRbfs;
+      options.heuristic = kind;
+      options.limits.max_states = args.budget;
+      options.limits.max_depth = 16;
+
+      options.successors.prune = true;
+      RunResult pruned = Measure(task.source, task.target, options);
+      options.successors.prune = false;
+      RunResult unpruned = Measure(task.source, task.target, options);
+
+      std::string ratio = "-";
+      if (pruned.found && unpruned.found && pruned.states > 0) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.1fx",
+                      static_cast<double>(unpruned.states) /
+                          static_cast<double>(pruned.states));
+        ratio = buf;
+      }
+      PrintRow({task.name, std::string(HeuristicKindName(kind)),
+                FormatStates(pruned, args.budget),
+                FormatStates(unpruned, args.budget), ratio},
+               16);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,77 @@
+#ifndef TUPELO_BENCH_BAMM_PANELS_H_
+#define TUPELO_BENCH_BAMM_PANELS_H_
+
+// Shared implementation of Figures 7 and 8 (Experiment 2, §5.2): mapping
+// a fixed deep-web query schema to every other schema of its domain, for
+// all heuristics and both linear-memory algorithms. The measure is the
+// average number of states examined per domain (Fig. 7) and across all
+// domains (Fig. 8). Runs that exhaust the state budget contribute the
+// budget value to the average (and are counted in the "cutoffs" line).
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "workloads/bamm.h"
+
+namespace tupelo::bench {
+
+struct BammCell {
+  double average_states = 0.0;
+  size_t cutoffs = 0;
+  size_t runs = 0;
+};
+
+// avg states per (domain, algo, heuristic).
+using BammTable =
+    std::map<BammDomain, std::map<SearchAlgorithm,
+                                  std::map<HeuristicKind, BammCell>>>;
+
+inline BammTable RunBammExperiment(const BenchArgs& args) {
+  BammTable table;
+  for (BammDomain domain : AllBammDomains()) {
+    BammWorkload workload = MakeBammWorkload(domain, args.seed);
+    size_t limit = args.quick ? 8 : workload.targets.size();
+    for (SearchAlgorithm algo :
+         {SearchAlgorithm::kIda, SearchAlgorithm::kRbfs}) {
+      for (HeuristicKind kind : AllHeuristicKinds()) {
+        BammCell& cell = table[domain][algo][kind];
+        uint64_t total = 0;
+        for (size_t i = 0; i < limit && i < workload.targets.size(); ++i) {
+          TupeloOptions options;
+          options.algorithm = algo;
+          options.heuristic = kind;
+          options.limits.max_states = args.budget;
+          options.limits.max_depth = 12;
+          RunResult r =
+              Measure(workload.source, workload.targets[i], options);
+          total += r.found ? r.states : args.budget;
+          if (!r.found) ++cell.cutoffs;
+          ++cell.runs;
+        }
+        cell.average_states =
+            cell.runs == 0 ? 0.0
+                           : static_cast<double>(total) /
+                                 static_cast<double>(cell.runs);
+      }
+    }
+  }
+  return table;
+}
+
+inline std::string FormatAvg(const BammCell& cell) {
+  char buf[64];
+  if (cell.cutoffs > 0) {
+    std::snprintf(buf, sizeof(buf), "%.1f(%zux)", cell.average_states,
+                  cell.cutoffs);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1f", cell.average_states);
+  }
+  return buf;
+}
+
+}  // namespace tupelo::bench
+
+#endif  // TUPELO_BENCH_BAMM_PANELS_H_

@@ -1,0 +1,75 @@
+#include "bench_util.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string_view>
+
+namespace tupelo::bench {
+
+RunResult Measure(const Database& source, const Database& target,
+                  const TupeloOptions& options,
+                  const FunctionRegistry* registry,
+                  const std::vector<SemanticCorrespondence>& corrs) {
+  Tupelo system(source, target);
+  system.set_registry(registry);
+  for (const SemanticCorrespondence& c : corrs) system.AddCorrespondence(c);
+
+  auto start = std::chrono::steady_clock::now();
+  Result<TupeloResult> result = system.Discover(options);
+  auto end = std::chrono::steady_clock::now();
+
+  RunResult out;
+  out.millis =
+      std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(
+          end - start)
+          .count();
+  if (!result.ok()) {
+    std::fprintf(stderr, "discovery configuration error: %s\n",
+                 result.status().ToString().c_str());
+    std::exit(1);
+  }
+  out.found = result->found;
+  out.cutoff = result->budget_exhausted;
+  out.states = result->stats.states_examined;
+  out.depth = result->stats.solution_cost;
+  return out;
+}
+
+std::string FormatStates(const RunResult& r, uint64_t budget) {
+  if (r.cutoff || (!r.found && r.states >= budget)) {
+    return ">" + std::to_string(budget) + "*";
+  }
+  if (!r.found) return "fail";
+  return std::to_string(r.states);
+}
+
+void PrintRow(const std::vector<std::string>& cells, int width) {
+  for (const std::string& cell : cells) {
+    std::printf("%-*s", width, cell.c_str());
+  }
+  std::printf("\n");
+  std::fflush(stdout);
+}
+
+BenchArgs ParseBenchArgs(int argc, char** argv,
+                         uint64_t default_budget) {
+  BenchArgs args;
+  args.budget = default_budget;
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (arg.rfind("--budget=", 0) == 0) {
+      args.budget = std::strtoull(argv[i] + std::strlen("--budget="),
+                                  nullptr, 10);
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      args.seed =
+          std::strtoull(argv[i] + std::strlen("--seed="), nullptr, 10);
+    } else if (arg == "--quick") {
+      args.quick = true;
+    }
+  }
+  return args;
+}
+
+}  // namespace tupelo::bench

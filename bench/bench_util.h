@@ -1,0 +1,47 @@
+#ifndef TUPELO_BENCH_BENCH_UTIL_H_
+#define TUPELO_BENCH_BENCH_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/tupelo.h"
+#include "relational/database.h"
+
+namespace tupelo::bench {
+
+// One measured discovery run.
+struct RunResult {
+  bool found = false;
+  bool cutoff = false;  // budget exhausted before success
+  uint64_t states = 0;  // states examined (the paper's measure)
+  int depth = -1;
+  double millis = 0.0;
+};
+
+// Runs TUPELO once and measures it.
+RunResult Measure(const Database& source, const Database& target,
+                  const TupeloOptions& options,
+                  const FunctionRegistry* registry = nullptr,
+                  const std::vector<SemanticCorrespondence>& corrs = {});
+
+// "123", or ">250000*" when the run hit the state budget.
+std::string FormatStates(const RunResult& r, uint64_t budget);
+
+// Prints a row of cells padded to `width`.
+void PrintRow(const std::vector<std::string>& cells, int width = 12);
+
+// Parses "--budget=N" / "--quick" style flags shared by the harnesses.
+struct BenchArgs {
+  uint64_t budget = 250000;
+  bool quick = false;  // smaller sweeps for smoke runs
+  uint64_t seed = 2006;
+};
+// `default_budget` applies when no --budget flag is given; figure
+// harnesses pick defaults matched to their paper axis ranges.
+BenchArgs ParseBenchArgs(int argc, char** argv,
+                         uint64_t default_budget = 250000);
+
+}  // namespace tupelo::bench
+
+#endif  // TUPELO_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,77 @@
+// Data-metadata restructuring at scale (the paper's Fig. 1 scenario; its
+// §5.4 cites the WIRI'05 companion paper [11] for this validation): states
+// examined when mapping between the wide/flat/split representations of the
+// flight-price database, as the instance grows. §5.4 reports that no one
+// heuristic dominated on restructuring — this harness makes that visible.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "fira/builtin_functions.h"
+#include "workloads/restructuring.h"
+
+int main(int argc, char** argv) {
+  using namespace tupelo;
+  using namespace tupelo::bench;
+
+  BenchArgs args = ParseBenchArgs(argc, argv, 50000);
+  std::printf("# Fig. 1 data-metadata restructuring, scaled\n");
+  std::printf("# states examined, RBFS; budget=%llu\n\n",
+              static_cast<unsigned long long>(args.budget));
+
+  std::vector<HeuristicKind> kinds = {
+      HeuristicKind::kH1, HeuristicKind::kH3, HeuristicKind::kEuclideanNorm,
+      HeuristicKind::kCosine, HeuristicKind::kLevenshtein};
+
+  struct Shape {
+    size_t carriers;
+    size_t routes;
+  };
+  std::vector<Shape> shapes = {{2, 2}, {2, 3}, {3, 3}, {3, 4}};
+  if (args.quick) shapes = {{2, 2}, {2, 3}};
+
+  for (const char* direction : {"flat->wide", "wide->flat", "flat->split"}) {
+    std::printf("## %s\n", direction);
+    std::vector<std::string> header = {"carriers", "routes"};
+    for (HeuristicKind kind : kinds) {
+      header.emplace_back(HeuristicKindName(kind));
+    }
+    PrintRow(header);
+    for (const Shape& shape : shapes) {
+      RestructuringWorkload w =
+          MakeRestructuringWorkload(shape.carriers, shape.routes);
+      const Database* source = &w.flat;
+      const Database* target = &w.wide;
+      std::vector<SemanticCorrespondence> corrs;
+      const FunctionRegistry* registry = nullptr;
+      FunctionRegistry local;
+      if (std::string(direction) == "wide->flat") {
+        source = &w.wide;
+        target = &w.flat;
+      } else if (std::string(direction) == "flat->split") {
+        target = &w.split;
+        corrs = w.flat_to_split;
+        Status st = RegisterBuiltinFunctions(&local);
+        if (!st.ok()) return 1;
+        registry = &local;
+      }
+      std::vector<std::string> row = {std::to_string(shape.carriers),
+                                      std::to_string(shape.routes)};
+      for (size_t i = 0; i < kinds.size(); ++i) {
+        TupeloOptions options;
+        options.algorithm = SearchAlgorithm::kRbfs;
+        options.heuristic = kinds[i];
+        options.limits.max_states = args.budget;
+        options.limits.max_depth =
+            static_cast<int>(shape.routes + shape.carriers) + 8;
+        RunResult r = Measure(*source, *target, options, registry, corrs);
+        row.push_back(FormatStates(r, args.budget));
+      }
+      PrintRow(row);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,9 @@
+// Regenerates Figure 6 (§5.1): RBFS on synthetic schema matching.
+
+#include "synthetic_panels.h"
+
+int main(int argc, char** argv) {
+  tupelo::bench::BenchArgs args = tupelo::bench::ParseBenchArgs(argc, argv);
+  tupelo::bench::RunSyntheticPanels(tupelo::SearchAlgorithm::kRbfs, args);
+  return 0;
+}

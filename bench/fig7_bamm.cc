@@ -1,0 +1,43 @@
+// Regenerates Figure 7 (§5.2): average states examined for mapping
+// discovery per BAMM domain, (a) IDA* and (b) RBFS, all eight heuristics.
+
+#include <cstdio>
+
+#include "bamm_panels.h"
+
+int main(int argc, char** argv) {
+  using namespace tupelo;
+  using namespace tupelo::bench;
+
+  BenchArgs args = ParseBenchArgs(argc, argv, 20000);
+  std::printf("# Experiment 2 (BAMM deep-web schema matching)\n");
+  std::printf(
+      "# measure: average states examined per domain; budget=%llu; "
+      "seed=%llu\n# '(kx)' marks k budget cutoffs counted at the budget "
+      "value\n\n",
+      static_cast<unsigned long long>(args.budget),
+      static_cast<unsigned long long>(args.seed));
+
+  BammTable table = RunBammExperiment(args);
+
+  for (SearchAlgorithm algo :
+       {SearchAlgorithm::kIda, SearchAlgorithm::kRbfs}) {
+    std::printf("## Fig. 7(%s): %s\n",
+                algo == SearchAlgorithm::kIda ? "a" : "b",
+                std::string(SearchAlgorithmName(algo)).c_str());
+    std::vector<std::string> header = {"domain"};
+    for (HeuristicKind kind : AllHeuristicKinds()) {
+      header.emplace_back(HeuristicKindName(kind));
+    }
+    PrintRow(header);
+    for (BammDomain domain : AllBammDomains()) {
+      std::vector<std::string> row = {std::string(BammDomainName(domain))};
+      for (HeuristicKind kind : AllHeuristicKinds()) {
+        row.push_back(FormatAvg(table[domain][algo][kind]));
+      }
+      PrintRow(row);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

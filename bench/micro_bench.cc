@@ -1,0 +1,148 @@
+// google-benchmark microbenchmarks for TUPELO's substrates: operator
+// application, TNF encoding, state fingerprinting, heuristic evaluation,
+// and successor expansion. These are per-state costs — the multipliers
+// behind every "states examined" number in the figure harnesses.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "core/mapping_problem.h"
+#include "core/tupelo.h"
+#include "fira/executor.h"
+#include "heuristics/heuristic_factory.h"
+#include "heuristics/levenshtein.h"
+#include "heuristics/term_vector.h"
+#include "relational/tnf.h"
+#include "workloads/flights.h"
+#include "workloads/synthetic.h"
+
+namespace tupelo {
+namespace {
+
+Database WideDatabase(size_t n) {
+  return MakeSyntheticMatchingPair(n).source;
+}
+
+void BM_ApplyPromote(benchmark::State& state) {
+  Database db = MakeFlightsB();
+  PromoteOp op{"Prices", "Route", "Cost"};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ApplyOp(op, db));
+  }
+}
+BENCHMARK(BM_ApplyPromote);
+
+void BM_ApplyDemote(benchmark::State& state) {
+  Database db = MakeFlightsB();
+  DemoteOp op{"Prices"};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ApplyOp(op, db));
+  }
+}
+BENCHMARK(BM_ApplyDemote);
+
+void BM_ApplyMerge(benchmark::State& state) {
+  Database db = MakeFlightsB();
+  db = ApplyOp(PromoteOp{"Prices", "Route", "Cost"}, db).value();
+  db = ApplyOp(DropOp{"Prices", "Route"}, db).value();
+  db = ApplyOp(DropOp{"Prices", "Cost"}, db).value();
+  MergeOp op{"Prices", "Carrier"};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ApplyOp(op, db));
+  }
+}
+BENCHMARK(BM_ApplyMerge);
+
+void BM_ApplyRename(benchmark::State& state) {
+  Database db = WideDatabase(static_cast<size_t>(state.range(0)));
+  RenameAttrOp op{"R", "A1", "ZZ"};
+  if (static_cast<size_t>(state.range(0)) > 9) op.from = "A01";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ApplyOp(op, db));
+  }
+}
+BENCHMARK(BM_ApplyRename)->Arg(4)->Arg(16)->Arg(32);
+
+void BM_TnfEncode(benchmark::State& state) {
+  Database db = WideDatabase(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EncodeTnf(db));
+  }
+}
+BENCHMARK(BM_TnfEncode)->Arg(4)->Arg(16)->Arg(32);
+
+void BM_Fingerprint(benchmark::State& state) {
+  Database db = WideDatabase(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(db.Fingerprint());
+  }
+}
+BENCHMARK(BM_Fingerprint)->Arg(4)->Arg(16)->Arg(32);
+
+void BM_Containment(benchmark::State& state) {
+  SyntheticMatchingPair pair =
+      MakeSyntheticMatchingPair(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pair.source.Contains(pair.source));
+  }
+}
+BENCHMARK(BM_Containment)->Arg(4)->Arg(16)->Arg(32);
+
+void BM_HeuristicEval(benchmark::State& state) {
+  HeuristicKind kind = static_cast<HeuristicKind>(state.range(0));
+  SyntheticMatchingPair pair = MakeSyntheticMatchingPair(8);
+  std::unique_ptr<Heuristic> h =
+      MakeHeuristic(kind, pair.target, SearchAlgorithm::kRbfs);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(h->Estimate(pair.source));
+  }
+  state.SetLabel(std::string(HeuristicKindName(kind)));
+}
+BENCHMARK(BM_HeuristicEval)
+    ->Arg(static_cast<int>(HeuristicKind::kH1))
+    ->Arg(static_cast<int>(HeuristicKind::kH2))
+    ->Arg(static_cast<int>(HeuristicKind::kLevenshtein))
+    ->Arg(static_cast<int>(HeuristicKind::kEuclidean))
+    ->Arg(static_cast<int>(HeuristicKind::kCosine));
+
+void BM_Levenshtein(benchmark::State& state) {
+  std::string a(static_cast<size_t>(state.range(0)), 'a');
+  std::string b = a;
+  for (size_t i = 0; i < b.size(); i += 3) b[i] = 'b';
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(LevenshteinDistance(a, b));
+  }
+}
+BENCHMARK(BM_Levenshtein)->Arg(32)->Arg(256)->Arg(1024);
+
+void BM_Expand(benchmark::State& state) {
+  SyntheticMatchingPair pair =
+      MakeSyntheticMatchingPair(static_cast<size_t>(state.range(0)));
+  MappingProblem problem(
+      pair.source, pair.target,
+      MakeHeuristic(HeuristicKind::kH1, pair.target, SearchAlgorithm::kRbfs));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(problem.Expand(pair.source));
+  }
+}
+BENCHMARK(BM_Expand)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_DiscoverSyntheticRbfsH1(benchmark::State& state) {
+  SyntheticMatchingPair pair =
+      MakeSyntheticMatchingPair(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    TupeloOptions options;
+    options.algorithm = SearchAlgorithm::kRbfs;
+    options.heuristic = HeuristicKind::kH1;
+    Result<TupeloResult> r =
+        DiscoverMapping(pair.source, pair.target, options);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_DiscoverSyntheticRbfsH1)->Arg(2)->Arg(4)->Arg(8);
+
+}  // namespace
+}  // namespace tupelo
+
+BENCHMARK_MAIN();

@@ -1,0 +1,249 @@
+// tupelo_cli: discover a mapping between two database instances stored in
+// .tdb files and print (or save) the executable mapping expression.
+//
+// Usage:
+//   tupelo_cli <source.tdb> <target.tdb>
+//       [--algo=ida|rbfs|astar|greedy|beam] [--heuristic=h0|h1|h2|h3|
+//        levenshtein|euclid|euclid_norm|cosine|jaccard|pairs]
+//       [--k=<scale>] [--max-states=N]
+//       [--apply] [--simplify] [--check] [--conform]
+//       [--save=mapping.tmap] [--name=<id>]
+//       [--corr=function:in1+in2:out ...]
+//   tupelo_cli --validate <mapping.tmap>
+//
+// Example .tdb input:
+//   relation Staff (Name, Office) {
+//     (Ada, B12)
+//   }
+
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/string_util.h"
+#include "core/mapping_repository.h"
+#include "core/postprocess.h"
+#include "core/tupelo.h"
+#include "fira/type_check.h"
+#include "fira/builtin_functions.h"
+#include "relational/io.h"
+
+namespace {
+
+int Usage() {
+  std::cerr
+      << "usage: tupelo_cli <source.tdb> <target.tdb>\n"
+         "  [--algo=ida|rbfs|astar|greedy|beam]\n"
+         "  [--heuristic=h0|h1|h2|h3|levenshtein|euclid|euclid_norm|cosine|"
+         "jaccard|pairs]\n"
+         "  [--k=<scale>] [--max-states=N] [--max-depth=N] [--no-prune]\n"
+         "  [--beam-width=N]          frontier width for --algo=beam\n"
+         "  [--apply]                 execute the mapping and print the "
+         "result\n"
+         "  [--simplify]              run the peephole optimizer on the "
+         "result\n"
+         "  [--check]                 statically type-check the result "
+         "against the source schema\n"
+         "  [--conform]               with --apply: project/filter the "
+         "result to the target schema\n"
+         "  [--corr=fn:in1+in2:out]   articulate a complex correspondence "
+         "(repeatable)\n"
+         "  [--save=file.tmap]        store the mapping with schemas and "
+         "provenance\n"
+         "  [--name=<id>]             name used when saving\n"
+         "or: tupelo_cli --validate <mapping.tmap>   re-validate a stored "
+         "mapping\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> positional;
+  tupelo::TupeloOptions options;
+  options.algorithm = tupelo::SearchAlgorithm::kRbfs;
+  options.heuristic = tupelo::HeuristicKind::kH1;
+  bool apply = false;
+  bool check = false;
+  bool conform = false;
+  bool validate = false;
+  std::string save_path;
+  std::string mapping_name = "mapping";
+  std::vector<tupelo::SemanticCorrespondence> correspondences;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (!arg.starts_with("--")) {
+      positional.emplace_back(arg);
+      continue;
+    }
+    auto value_of = [&](std::string_view prefix) -> std::string {
+      return std::string(arg.substr(prefix.size()));
+    };
+    if (arg.starts_with("--algo=")) {
+      auto algo = tupelo::ParseSearchAlgorithm(value_of("--algo="));
+      if (!algo.has_value()) return Usage();
+      options.algorithm = *algo;
+    } else if (arg.starts_with("--heuristic=")) {
+      auto h = tupelo::ParseHeuristicKind(value_of("--heuristic="));
+      if (!h.has_value()) return Usage();
+      options.heuristic = *h;
+    } else if (arg.starts_with("--k=")) {
+      options.scale_k = std::stod(value_of("--k="));
+    } else if (arg.starts_with("--max-states=")) {
+      options.limits.max_states = std::stoull(value_of("--max-states="));
+    } else if (arg.starts_with("--max-depth=")) {
+      options.limits.max_depth = std::stoi(value_of("--max-depth="));
+    } else if (arg.starts_with("--beam-width=")) {
+      options.beam_width = std::stoull(value_of("--beam-width="));
+    } else if (arg == "--no-prune") {
+      options.successors.prune = false;
+    } else if (arg == "--apply") {
+      apply = true;
+    } else if (arg == "--simplify") {
+      options.simplify = true;
+    } else if (arg == "--check") {
+      check = true;
+    } else if (arg == "--conform") {
+      conform = true;
+    } else if (arg == "--validate") {
+      validate = true;
+    } else if (arg.starts_with("--save=")) {
+      save_path = value_of("--save=");
+    } else if (arg.starts_with("--name=")) {
+      mapping_name = value_of("--name=");
+    } else if (arg.starts_with("--corr=")) {
+      std::vector<std::string> parts = tupelo::Split(value_of("--corr="), ':');
+      if (parts.size() != 3) return Usage();
+      tupelo::SemanticCorrespondence c;
+      c.function = parts[0];
+      c.inputs = tupelo::Split(parts[1], '+');
+      c.output = parts[2];
+      correspondences.push_back(std::move(c));
+    } else {
+      return Usage();
+    }
+  }
+  if (validate) {
+    if (positional.size() != 1) return Usage();
+    tupelo::Result<tupelo::StoredMapping> stored =
+        tupelo::LoadMappingFile(positional[0]);
+    if (!stored.ok()) {
+      std::cerr << "error loading mapping: " << stored.status() << "\n";
+      return 1;
+    }
+    tupelo::FunctionRegistry vreg;
+    tupelo::Status vst = tupelo::RegisterBuiltinFunctions(&vreg);
+    if (!vst.ok()) {
+      std::cerr << vst << "\n";
+      return 1;
+    }
+    tupelo::Result<bool> ok = tupelo::ValidateStoredMapping(*stored, &vreg);
+    if (!ok.ok()) {
+      std::cerr << "validation error: " << ok.status() << "\n";
+      return 1;
+    }
+    std::cout << "mapping '" << stored->name << "': "
+              << (*ok ? "valid" : "INVALID (target not reached)") << "\n";
+    return *ok ? 0 : 1;
+  }
+
+  if (positional.size() != 2) return Usage();
+
+  tupelo::Result<tupelo::Database> source =
+      tupelo::LoadTdbFile(positional[0]);
+  if (!source.ok()) {
+    std::cerr << "error loading source: " << source.status() << "\n";
+    return 1;
+  }
+  tupelo::Result<tupelo::Database> target =
+      tupelo::LoadTdbFile(positional[1]);
+  if (!target.ok()) {
+    std::cerr << "error loading target: " << target.status() << "\n";
+    return 1;
+  }
+
+  tupelo::FunctionRegistry registry;
+  tupelo::Status st = tupelo::RegisterBuiltinFunctions(&registry);
+  if (!st.ok()) {
+    std::cerr << st << "\n";
+    return 1;
+  }
+
+  tupelo::Tupelo system(*source, *target);
+  system.set_registry(&registry);
+  for (tupelo::SemanticCorrespondence& c : correspondences) {
+    system.AddCorrespondence(std::move(c));
+  }
+
+  tupelo::Result<tupelo::TupeloResult> result = system.Discover(options);
+  if (!result.ok()) {
+    std::cerr << "error: " << result.status() << "\n";
+    return 1;
+  }
+  if (!result->found) {
+    std::cerr << "no mapping found ("
+              << (result->budget_exhausted ? "budget exhausted"
+                                           : "space exhausted")
+              << ", " << result->stats.states_examined
+              << " states examined)\n";
+    return 1;
+  }
+
+  std::cout << "# discovered with " << result->stats.states_examined
+            << " states examined, depth " << result->stats.solution_cost
+            << ", verified=" << (result->verified ? "yes" : "no") << "\n"
+            << result->mapping.ToScript();
+
+  if (!save_path.empty()) {
+    tupelo::StoredMapping stored;
+    stored.name = mapping_name;
+    stored.expression = result->mapping;
+    stored.source_instance = *source;
+    stored.target_instance = *target;
+    stored.correspondences = system.correspondences();
+    stored.algorithm = std::string(
+        tupelo::SearchAlgorithmName(options.algorithm));
+    stored.heuristic = std::string(
+        tupelo::HeuristicKindName(options.heuristic));
+    stored.states_examined = result->stats.states_examined;
+    tupelo::Status sst = tupelo::SaveMappingFile(stored, save_path);
+    if (!sst.ok()) {
+      std::cerr << "save failed: " << sst << "\n";
+      return 1;
+    }
+    std::cout << "# saved to " << save_path << "\n";
+  }
+
+  if (check) {
+    tupelo::Result<tupelo::DatabaseSchema> schema = tupelo::CheckExpression(
+        result->mapping, tupelo::DatabaseSchema::Of(*source), &registry);
+    if (!schema.ok()) {
+      std::cerr << "type check failed: " << schema.status() << "\n";
+      return 1;
+    }
+    std::cout << "# type check: ok\n";
+  }
+
+  if (apply) {
+    tupelo::Result<tupelo::Database> mapped =
+        result->mapping.Apply(*source, &registry);
+    if (!mapped.ok()) {
+      std::cerr << "execution error: " << mapped.status() << "\n";
+      return 1;
+    }
+    if (conform) {
+      tupelo::Result<tupelo::Database> trimmed =
+          tupelo::ConformToSchema(*mapped, *target);
+      if (!trimmed.ok()) {
+        std::cerr << "conformance error: " << trimmed.status() << "\n";
+        return 1;
+      }
+      mapped = std::move(trimmed);
+    }
+    std::cout << "\n# mapped source instance:\n" << tupelo::WriteTdb(*mapped);
+  }
+  return 0;
+}

@@ -1,0 +1,31 @@
+#ifndef TUPELO_COMMON_HASH_H_
+#define TUPELO_COMMON_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string_view>
+
+namespace tupelo {
+
+// Mixes `value`'s hash into `seed` (boost::hash_combine recipe, 64-bit).
+template <typename T>
+void HashCombine(size_t* seed, const T& value) {
+  *seed ^= std::hash<T>{}(value) + 0x9e3779b97f4a7c15ULL + (*seed << 6) +
+           (*seed >> 2);
+}
+
+// FNV-1a over a byte string; stable across runs (unlike std::hash, which is
+// allowed to be per-process salted). Used for canonical state fingerprints.
+inline uint64_t Fnv1a(std::string_view bytes) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace tupelo
+
+#endif  // TUPELO_COMMON_HASH_H_

@@ -1,0 +1,68 @@
+#ifndef TUPELO_COMMON_RESULT_H_
+#define TUPELO_COMMON_RESULT_H_
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace tupelo {
+
+// Result<T> holds either a value of type T or a non-OK Status, following
+// the Arrow Result / absl::StatusOr idiom. Accessing value() on an error
+// Result is a programming bug and asserts in debug builds.
+template <typename T>
+class Result {
+ public:
+  // Implicit construction from a value (success).
+  Result(T value) : state_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  // Implicit construction from an error Status. Constructing a Result from
+  // an OK status is a bug; it is converted to an Internal error.
+  Result(Status status) : state_(std::move(status)) {  // NOLINT
+    if (std::get<Status>(state_).ok()) {
+      state_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return std::holds_alternative<T>(state_); }
+
+  // Returns the status: OK if a value is held.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(state_);
+  }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(state_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(state_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(state_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  // Returns the value, or `fallback` if this Result holds an error.
+  T value_or(T fallback) const {
+    if (ok()) return value();
+    return fallback;
+  }
+
+ private:
+  std::variant<Status, T> state_;
+};
+
+}  // namespace tupelo
+
+#endif  // TUPELO_COMMON_RESULT_H_

@@ -1,0 +1,108 @@
+#ifndef TUPELO_COMMON_STATUS_H_
+#define TUPELO_COMMON_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace tupelo {
+
+// Error categories used across the library. Modeled after the
+// Arrow/RocksDB status idiom: the library does not throw exceptions;
+// fallible operations return Status (or Result<T>, see result.h).
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kFailedPrecondition,
+  kResourceExhausted,
+  kParseError,
+  kInternal,
+};
+
+// Returns a stable, human-readable name for a status code ("InvalidArgument").
+std::string_view StatusCodeToString(StatusCode code);
+
+// A cheap, copyable success-or-error value. The OK status carries no
+// allocation; error statuses carry a code and a message.
+class Status {
+ public:
+  // Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+}  // namespace tupelo
+
+// Propagates a non-OK Status from an expression; usable in functions that
+// return Status or Result<T> (Result converts from Status).
+#define TUPELO_RETURN_IF_ERROR(expr)                \
+  do {                                              \
+    ::tupelo::Status _st = (expr);                  \
+    if (!_st.ok()) return _st;                      \
+  } while (0)
+
+// Evaluates a Result<T> expression, propagating errors, otherwise binding
+// the unwrapped value to `lhs`. `lhs` may include a declaration.
+#define TUPELO_ASSIGN_OR_RETURN_IMPL(var, lhs, rexpr) \
+  auto var = (rexpr);                                 \
+  if (!var.ok()) return var.status();                 \
+  lhs = std::move(var).value();
+
+#define TUPELO_ASSIGN_OR_RETURN_CONCAT_(x, y) x##y
+#define TUPELO_ASSIGN_OR_RETURN_CONCAT(x, y) \
+  TUPELO_ASSIGN_OR_RETURN_CONCAT_(x, y)
+
+#define TUPELO_ASSIGN_OR_RETURN(lhs, rexpr)                                  \
+  TUPELO_ASSIGN_OR_RETURN_IMPL(                                              \
+      TUPELO_ASSIGN_OR_RETURN_CONCAT(_tupelo_result_, __LINE__), lhs, rexpr)
+
+#endif  // TUPELO_COMMON_STATUS_H_

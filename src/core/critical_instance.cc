@@ -1,0 +1,144 @@
+#include "core/critical_instance.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <utility>
+
+namespace tupelo {
+namespace {
+
+std::set<std::string> TupleAtoms(const Tuple& t) {
+  std::set<std::string> atoms;
+  for (const Value& v : t.values()) {
+    if (!v.is_null()) atoms.insert(v.atom());
+  }
+  return atoms;
+}
+
+size_t SharedAtoms(const std::set<std::string>& a,
+                   const std::set<std::string>& b) {
+  size_t n = 0;
+  for (const std::string& atom : a) {
+    if (b.contains(atom)) ++n;
+  }
+  return n;
+}
+
+}  // namespace
+
+Result<CriticalInstancePair> ExtractCriticalInstances(
+    const Database& source_full, const Database& target_full,
+    const CriticalInstanceOptions& options) {
+  if (source_full.empty() || target_full.empty()) {
+    return Status::InvalidArgument(
+        "critical-instance extraction needs non-empty source and target");
+  }
+
+  // Pre-compute atom sets for every source tuple.
+  struct SourceTuple {
+    const Relation* relation;
+    size_t index;
+    std::set<std::string> atoms;
+  };
+  std::vector<SourceTuple> source_tuples;
+  for (const auto& [name, rel] : source_full.relations()) {
+    for (size_t i = 0; i < rel.size(); ++i) {
+      source_tuples.push_back(
+          SourceTuple{&rel, i, TupleAtoms(rel.tuples()[i])});
+    }
+  }
+
+  // Phase 1 — select target tuples: per target relation, keep the tuples
+  // whose best source link is strongest (they most evidently describe a
+  // shared entity).
+  struct Link {
+    const Relation* target_relation;
+    size_t target_index;
+    std::set<std::string> atoms;
+    size_t score;
+  };
+  std::vector<Link> selected;
+  size_t total_score = 0;
+
+  for (const auto& [tname, trel] : target_full.relations()) {
+    std::vector<Link> candidates;
+    for (size_t ti = 0; ti < trel.size(); ++ti) {
+      std::set<std::string> tatoms = TupleAtoms(trel.tuples()[ti]);
+      size_t best_score = 0;
+      for (const SourceTuple& st : source_tuples) {
+        best_score = std::max(best_score, SharedAtoms(tatoms, st.atoms));
+      }
+      if (best_score >= options.min_shared_atoms) {
+        candidates.push_back(
+            Link{&trel, ti, std::move(tatoms), best_score});
+      }
+    }
+    std::stable_sort(candidates.begin(), candidates.end(),
+                     [](const Link& a, const Link& b) {
+                       return a.score > b.score;
+                     });
+    if (candidates.size() > options.max_tuples_per_relation) {
+      candidates.resize(options.max_tuples_per_relation);
+    }
+    for (Link& link : candidates) {
+      total_score += link.score;
+      selected.push_back(std::move(link));
+    }
+  }
+  if (selected.empty()) {
+    return Status::NotFound(
+        "no linked tuples: the instances share no atom values");
+  }
+
+  // Phase 2 — select source tuples: keep every source tuple that overlaps
+  // any selected target tuple. One target tuple may aggregate several
+  // source rows (restructuring mappings fold many rows into one), so
+  // source selection must not be capped at one row per link.
+  std::map<std::string, std::set<size_t>> keep_target;
+  std::map<std::string, std::set<size_t>> keep_source;
+  for (const Link& link : selected) {
+    keep_target[link.target_relation->name()].insert(link.target_index);
+  }
+  for (const SourceTuple& st : source_tuples) {
+    for (const Link& link : selected) {
+      if (SharedAtoms(link.atoms, st.atoms) >= options.min_shared_atoms) {
+        keep_source[st.relation->name()].insert(st.index);
+        break;
+      }
+    }
+  }
+
+  CriticalInstancePair out;
+  out.overlap_score = total_score;
+
+  for (const auto& [name, rel] : target_full.relations()) {
+    TUPELO_ASSIGN_OR_RETURN(Relation trimmed,
+                            Relation::Create(name, rel.attributes()));
+    auto it = keep_target.find(name);
+    if (it != keep_target.end()) {
+      for (size_t idx : it->second) {
+        TUPELO_RETURN_IF_ERROR(trimmed.AddTuple(rel.tuples()[idx]));
+      }
+    }
+    TUPELO_RETURN_IF_ERROR(out.target.AddRelation(std::move(trimmed)));
+  }
+  for (const auto& [name, rel] : source_full.relations()) {
+    TUPELO_ASSIGN_OR_RETURN(Relation trimmed,
+                            Relation::Create(name, rel.attributes()));
+    auto it = keep_source.find(name);
+    if (it != keep_source.end()) {
+      for (size_t idx : it->second) {
+        TUPELO_RETURN_IF_ERROR(trimmed.AddTuple(rel.tuples()[idx]));
+      }
+    } else if (!rel.empty()) {
+      // Unlinked source relation: keep one tuple so its schema (and a data
+      // sample) stays visible to the search.
+      TUPELO_RETURN_IF_ERROR(trimmed.AddTuple(rel.tuples()[0]));
+    }
+    TUPELO_RETURN_IF_ERROR(out.source.AddRelation(std::move(trimmed)));
+  }
+  return out;
+}
+
+}  // namespace tupelo

@@ -1,0 +1,46 @@
+#ifndef TUPELO_CORE_CRITICAL_INSTANCE_H_
+#define TUPELO_CORE_CRITICAL_INSTANCE_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "relational/database.h"
+
+namespace tupelo {
+
+// §2.2 envisions semi-automating critical-instance construction "using
+// techniques developed for entity/duplicate identification and record
+// linkage" (Bilke & Naumann's duplicate-based matching). This module is
+// that step, in its simplest defensible form: given *full* instances of
+// the source and target schemas that describe overlapping entities, pick
+// the tuples that most evidently describe the same entities — scored by
+// shared atom values — and keep only those, yielding small instances
+// suitable as TUPELO's search input.
+
+struct CriticalInstanceOptions {
+  // Keep at most this many tuples per target relation.
+  size_t max_tuples_per_relation = 2;
+  // Tuple pairs sharing fewer atoms than this are never linked.
+  size_t min_shared_atoms = 1;
+};
+
+struct CriticalInstancePair {
+  Database source;
+  Database target;
+  // Total shared-atom score across all selected links (higher = the
+  // instances illustrate the Rosetta Stone principle more strongly).
+  size_t overlap_score = 0;
+};
+
+// Selects linked tuples and trims both databases to them. Source relations
+// that link to no target tuple keep their first tuple (the search may
+// still need their schema). Fails if either database is empty.
+Result<CriticalInstancePair> ExtractCriticalInstances(
+    const Database& source_full, const Database& target_full,
+    const CriticalInstanceOptions& options = {});
+
+}  // namespace tupelo
+
+#endif  // TUPELO_CORE_CRITICAL_INSTANCE_H_

@@ -1,0 +1,240 @@
+#include "core/mapping_problem.h"
+
+#include <unordered_set>
+#include <utility>
+
+namespace tupelo {
+namespace {
+
+// True if any distinct non-null value of column `idx` satisfies `pred`.
+template <typename Pred>
+bool AnyColumnValue(const Relation& rel, size_t idx, Pred pred) {
+  for (const Tuple& t : rel.tuples()) {
+    if (!t[idx].is_null() && pred(t[idx].atom())) return true;
+  }
+  return false;
+}
+
+bool RelationHasNull(const Relation& rel) {
+  for (const Tuple& t : rel.tuples()) {
+    for (const Value& v : t.values()) {
+      if (v.is_null()) return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+MappingProblem::MappingProblem(
+    Database source, Database target, std::unique_ptr<Heuristic> heuristic,
+    const FunctionRegistry* registry,
+    std::vector<SemanticCorrespondence> correspondences,
+    SuccessorConfig config)
+    : source_(std::move(source)),
+      target_(std::move(target)),
+      target_symbols_(SymbolSets::FromDatabase(target_)),
+      heuristic_(std::move(heuristic)),
+      registry_(registry),
+      correspondences_(std::move(correspondences)),
+      config_(config) {}
+
+std::vector<Op> MappingProblem::CandidateOps(const Database& state) const {
+  std::vector<Op> ops;
+  const bool prune = config_.prune;
+  const SymbolSets& ts = target_symbols_;
+
+  // Attribute names of the whole current state, for rename pruning.
+  SymbolSets state_symbols = SymbolSets::FromDatabase(state);
+
+  // §2.3's example rule: "if the current search state has all attribute
+  // names occurring in the target state, there is no need to explore
+  // applications of the attribute renaming operator" — i.e. renames are
+  // pruned as a class once nothing is missing, but an individual rename
+  // may move even a target-named element (rename chains/swaps need this).
+  bool any_att_missing = false;
+  for (const std::string& att : ts.atts) {
+    if (!state_symbols.atts.contains(att)) {
+      any_att_missing = true;
+      break;
+    }
+  }
+  bool any_rel_missing = false;
+  for (const std::string& rel_name : ts.rels) {
+    if (!state.HasRelation(rel_name)) {
+      any_rel_missing = true;
+      break;
+    }
+  }
+
+  for (const auto& [rname, rel] : state.relations()) {
+    // ρrel: rename this relation to a missing target relation name.
+    if (!prune || any_rel_missing) {
+      for (const std::string& to : ts.rels) {
+        if (state.HasRelation(to)) continue;
+        ops.push_back(RenameRelOp{rname, to});
+      }
+    }
+
+    // ↓: demote metadata. Pruned: only when some symbol that is metadata
+    // here (an attribute or the relation name) appears among the target's
+    // data values — i.e. h2-style evidence that demotion is needed.
+    if (!rel.HasAttribute(kDemoteAttrColumn) &&
+        !rel.HasAttribute(kDemoteValueColumn)) {
+      bool wanted = !prune || ts.values.contains(rname);
+      if (!wanted) {
+        for (const std::string& attr : rel.attributes()) {
+          if (ts.values.contains(attr)) {
+            wanted = true;
+            break;
+          }
+        }
+      }
+      if (wanted) ops.push_back(DemoteOp{rname});
+    }
+
+    // λ: apply an articulated complex correspondence wherever its inputs
+    // are available and its output is absent.
+    for (const SemanticCorrespondence& c : correspondences_) {
+      if (rel.HasAttribute(c.output)) continue;
+      if (prune && !ts.atts.contains(c.output)) continue;
+      bool inputs_ok = true;
+      for (const std::string& in : c.inputs) {
+        if (!rel.HasAttribute(in)) {
+          inputs_ok = false;
+          break;
+        }
+      }
+      if (!inputs_ok) continue;
+      ops.push_back(ApplyFunctionOp{rname, c.function, c.inputs, c.output});
+    }
+
+    // µ: merge. Pruned: only useful when the relation holds nulls (merging
+    // null-free tuples only collapses exact duplicates).
+    if (rel.size() >= 2) {
+      bool has_null = RelationHasNull(rel);
+      for (size_t i = 0; i < rel.arity(); ++i) {
+        if (prune && !has_null) break;
+        ops.push_back(MergeOp{rname, rel.attributes()[i]});
+      }
+    }
+
+    for (size_t i = 0; i < rel.arity(); ++i) {
+      const std::string& attr = rel.attributes()[i];
+
+      // ρatt: rename into a missing target attribute. Pruned as a class
+      // when no target attribute is missing anywhere in the state.
+      if (!prune || any_att_missing) {
+        for (const std::string& to : ts.atts) {
+          if (rel.HasAttribute(to)) continue;
+          ops.push_back(RenameAttrOp{rname, attr, to});
+        }
+      }
+
+      // π̄: drop a column the target does not mention.
+      if (rel.arity() > 1 && (!prune || !ts.atts.contains(attr))) {
+        ops.push_back(DropOp{rname, attr});
+      }
+
+      // ℘: partition when this column's values name missing target
+      // relations.
+      if (!prune ||
+          AnyColumnValue(rel, i, [&](const std::string& v) {
+            return ts.rels.contains(v) && !state.HasRelation(v);
+          })) {
+        ops.push_back(PartitionOp{rname, attr});
+      }
+
+      // ↑: promote this column's values to attribute names, paired with
+      // every other column as the value source. Pruned: only when some
+      // value of this column is a missing target attribute name.
+      bool promote_wanted =
+          !prune || AnyColumnValue(rel, i, [&](const std::string& v) {
+            return ts.atts.contains(v) && !rel.HasAttribute(v);
+          });
+      if (promote_wanted) {
+        for (size_t j = 0; j < rel.arity(); ++j) {
+          if (j == i) continue;
+          ops.push_back(PromoteOp{rname, attr, rel.attributes()[j]});
+        }
+      }
+
+      // →: dereference when this column's values name attributes of the
+      // relation; the fresh column must be a missing target attribute.
+      if (config_.enable_dereference) {
+        bool pointer_ok =
+            !prune || AnyColumnValue(rel, i, [&](const std::string& v) {
+              return rel.HasAttribute(v);
+            });
+        if (pointer_ok) {
+          for (const std::string& out : ts.atts) {
+            if (rel.HasAttribute(out)) continue;
+            if (prune && state_symbols.atts.contains(out)) {
+              // Some relation already carries this target attribute;
+              // dereferencing it into this one is still allowed only when
+              // this relation is the one being shaped — keep it simple and
+              // allow it; the executor/dup-filter discards no-ops.
+            }
+            ops.push_back(DereferenceOp{rname, attr, out});
+          }
+        }
+      }
+    }
+  }
+
+  // ×: Cartesian product of two distinct relations. Pruned: only when some
+  // target relation needs attributes from both sides.
+  if (config_.enable_product && state.relation_count() >= 2) {
+    const auto& rels = state.relations();
+    for (auto li = rels.begin(); li != rels.end(); ++li) {
+      for (auto ri = std::next(li); ri != rels.end(); ++ri) {
+        const Relation& left = li->second;
+        const Relation& right = ri->second;
+        ProductOp op{left.name(), right.name()};
+        if (state.HasRelation(ProductResultName(op))) continue;
+        if (prune) {
+          bool wanted = false;
+          for (const auto& [tname, trel] : target_.relations()) {
+            bool uses_left = false;
+            bool uses_right = false;
+            bool contained_left = true;
+            bool contained_right = true;
+            for (const std::string& a : trel.attributes()) {
+              if (left.HasAttribute(a)) uses_left = true;
+              else contained_left = false;
+              if (right.HasAttribute(a)) uses_right = true;
+              else contained_right = false;
+            }
+            if (uses_left && uses_right && !contained_left &&
+                !contained_right) {
+              wanted = true;
+              break;
+            }
+          }
+          if (!wanted) continue;
+        }
+        ops.push_back(std::move(op));
+      }
+    }
+  }
+
+  return ops;
+}
+
+std::vector<MappingProblem::SuccessorT> MappingProblem::Expand(
+    const Database& state) const {
+  std::vector<SuccessorT> successors;
+  std::unordered_set<uint64_t> seen;
+  seen.insert(state.Fingerprint());
+
+  for (Op& op : CandidateOps(state)) {
+    Result<Database> next = ApplyOp(op, state, registry_);
+    if (!next.ok()) continue;  // inapplicable in this state
+    uint64_t key = next->Fingerprint();
+    if (!seen.insert(key).second) continue;  // duplicate successor / no-op
+    successors.push_back(SuccessorT{std::move(op), std::move(next).value()});
+  }
+  return successors;
+}
+
+}  // namespace tupelo

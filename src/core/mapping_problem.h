@@ -1,0 +1,112 @@
+#ifndef TUPELO_CORE_MAPPING_PROBLEM_H_
+#define TUPELO_CORE_MAPPING_PROBLEM_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "fira/executor.h"
+#include "fira/function_registry.h"
+#include "fira/operators.h"
+#include "heuristics/heuristic.h"
+#include "heuristics/set_based.h"
+#include "relational/database.h"
+
+namespace tupelo {
+
+// A user-articulated complex semantic correspondence (§4): "function
+// `function` applied to the source attributes `inputs` yields the target
+// attribute `output`". TUPELO assumes these have been discovered/indicated
+// up front (e.g. via a visual interface) and searches for where in the
+// mapping expression to apply them.
+struct SemanticCorrespondence {
+  std::string function;
+  std::vector<std::string> inputs;
+  std::string output;
+
+  friend bool operator==(const SemanticCorrespondence&,
+                         const SemanticCorrespondence&) = default;
+};
+
+// Successor-generation switches. With `prune` on (the default), the
+// "obviously inapplicable transformations" rules of §2.3 restrict operator
+// parameters to those that could still contribute to reaching the target;
+// with it off, operators are instantiated for every syntactically valid
+// parameter choice drawn from the state and target symbols (the ablation
+// baseline).
+struct SuccessorConfig {
+  bool prune = true;
+  // The two structurally explosive operators can be disabled entirely for
+  // workloads known not to need them.
+  bool enable_dereference = true;
+  bool enable_product = true;
+};
+
+// The TUPELO search problem (§2.3): states are database instances, actions
+// are L operators, the initial state is the source critical instance, and
+// a state is a goal when it contains the target critical instance.
+// Satisfies the search Problem duck type of search/search_types.h.
+class MappingProblem {
+ public:
+  using State = Database;
+  using Action = Op;
+  struct SuccessorT {
+    Op action;
+    Database state;
+  };
+
+  // `registry` may be null when `correspondences` is empty; it must outlive
+  // the problem. `heuristic` must be built around `target`.
+  MappingProblem(Database source, Database target,
+                 std::unique_ptr<Heuristic> heuristic,
+                 const FunctionRegistry* registry = nullptr,
+                 std::vector<SemanticCorrespondence> correspondences = {},
+                 SuccessorConfig config = SuccessorConfig());
+
+  const Database& initial_state() const { return source_; }
+  const Database& target() const { return target_; }
+
+  bool IsGoal(const Database& state) const { return state.Contains(target_); }
+
+  // Applies every candidate operator to `state`; failures and duplicate
+  // resulting states are dropped. Deterministic order.
+  std::vector<SuccessorT> Expand(const Database& state) const;
+
+  // Heuristic estimates are cached by state fingerprint: IDA* re-visits
+  // shallow states once per iteration and RBFS re-descends abandoned
+  // branches, so the same states are estimated many times over a search.
+  // The cache trades memory (bounded by distinct states visited) for the
+  // dominant per-state cost of the string/vector heuristics.
+  int EstimateCost(const Database& state) const {
+    uint64_t key = state.Fingerprint();
+    auto it = estimate_cache_.find(key);
+    if (it != estimate_cache_.end()) return it->second;
+    int estimate = heuristic_->Estimate(state);
+    estimate_cache_.emplace(key, estimate);
+    return estimate;
+  }
+
+  uint64_t StateKey(const Database& state) const {
+    return state.Fingerprint();
+  }
+
+  // The candidate operators Expand would try on `state`, before execution
+  // and duplicate-state filtering. Exposed for tests and ablations.
+  std::vector<Op> CandidateOps(const Database& state) const;
+
+ private:
+  Database source_;
+  Database target_;
+  SymbolSets target_symbols_;
+  std::unique_ptr<Heuristic> heuristic_;
+  const FunctionRegistry* registry_;
+  std::vector<SemanticCorrespondence> correspondences_;
+  SuccessorConfig config_;
+  mutable std::unordered_map<uint64_t, int> estimate_cache_;
+};
+
+}  // namespace tupelo
+
+#endif  // TUPELO_CORE_MAPPING_PROBLEM_H_

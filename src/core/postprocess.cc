@@ -1,0 +1,34 @@
+#include "core/postprocess.h"
+
+#include <utility>
+
+#include "relational/algebra.h"
+
+namespace tupelo {
+
+Result<Database> ConformToSchema(const Database& mapped,
+                                 const Database& target_schema,
+                                 const ConformOptions& options) {
+  Database out;
+  for (const auto& [name, target_rel] : target_schema.relations()) {
+    TUPELO_ASSIGN_OR_RETURN(const Relation* mapped_rel,
+                            mapped.GetRelation(name));
+    TUPELO_ASSIGN_OR_RETURN(Relation projected,
+                            Project(*mapped_rel, target_rel.attributes()));
+    if (options.drop_null_tuples) {
+      projected = Select(projected, [](const Relation&, const Tuple& t) {
+        for (const Value& v : t.values()) {
+          if (v.is_null()) return false;
+        }
+        return true;
+      });
+    }
+    if (options.deduplicate) {
+      projected = Distinct(projected);
+    }
+    TUPELO_RETURN_IF_ERROR(out.AddRelation(std::move(projected)));
+  }
+  return out;
+}
+
+}  // namespace tupelo

@@ -1,0 +1,33 @@
+#ifndef TUPELO_CORE_POSTPROCESS_H_
+#define TUPELO_CORE_POSTPROCESS_H_
+
+#include "common/result.h"
+#include "relational/database.h"
+
+namespace tupelo {
+
+// §2.1/§2.3: TUPELO's goal test is containment — the mapped state may carry
+// extra relations, columns, and tuples, which "filtering operations (via
+// relational selections) must be applied [to] according to external
+// criteria" after discovery. ConformToSchema is that post-processing step
+// for the most common criterion, the target schema itself.
+struct ConformOptions {
+  // Remove duplicate tuples created by restructuring (e.g. demote).
+  bool deduplicate = true;
+  // Drop tuples that are null in any target attribute (partial tuples from
+  // promote that never merged).
+  bool drop_null_tuples = true;
+};
+
+// Keeps exactly the relations named in `target_schema`, projects each onto
+// the target's attribute list (in target order), and filters per
+// `options`. Tuple *contents* of `target_schema` are ignored — only its
+// schema matters. Fails if a target relation or attribute is absent from
+// `mapped`.
+Result<Database> ConformToSchema(const Database& mapped,
+                                 const Database& target_schema,
+                                 const ConformOptions& options = {});
+
+}  // namespace tupelo
+
+#endif  // TUPELO_CORE_POSTPROCESS_H_

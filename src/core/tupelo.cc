@@ -1,0 +1,94 @@
+#include "core/tupelo.h"
+
+#include <memory>
+#include <utility>
+
+#include "fira/optimizer.h"
+#include "search/a_star.h"
+#include "search/beam.h"
+#include "search/greedy.h"
+#include "search/ida_star.h"
+#include "search/rbfs.h"
+
+namespace tupelo {
+
+Result<TupeloResult> Tupelo::Discover(const TupeloOptions& options) const {
+  if (!correspondences_.empty() && registry_ == nullptr) {
+    return Status::FailedPrecondition(
+        "semantic correspondences supplied but no function registry set");
+  }
+  for (const SemanticCorrespondence& c : correspondences_) {
+    if (registry_ == nullptr || !registry_->Has(c.function)) {
+      return Status::NotFound("correspondence uses unregistered function '" +
+                              c.function + "'");
+    }
+    TUPELO_ASSIGN_OR_RETURN(const ComplexFunction* fn,
+                            registry_->Lookup(c.function));
+    if (fn->arity != c.inputs.size()) {
+      return Status::InvalidArgument(
+          "correspondence for '" + c.function + "' supplies " +
+          std::to_string(c.inputs.size()) + " inputs; function expects " +
+          std::to_string(fn->arity));
+    }
+    if (c.output.empty()) {
+      return Status::InvalidArgument("correspondence for '" + c.function +
+                                     "' has an empty output attribute");
+    }
+  }
+
+  std::unique_ptr<Heuristic> heuristic = MakeHeuristic(
+      options.heuristic, target_, options.algorithm, options.scale_k);
+  if (heuristic == nullptr) {
+    return Status::InvalidArgument("unknown heuristic kind");
+  }
+
+  MappingProblem problem(source_, target_, std::move(heuristic), registry_,
+                         correspondences_, options.successors);
+
+  SearchOutcome<Op> outcome;
+  switch (options.algorithm) {
+    case SearchAlgorithm::kIda:
+      outcome = IdaStarSearch(problem, options.limits);
+      break;
+    case SearchAlgorithm::kRbfs:
+      outcome = RbfsSearch(problem, options.limits);
+      break;
+    case SearchAlgorithm::kAStar:
+      outcome = AStarSearch(problem, options.limits);
+      break;
+    case SearchAlgorithm::kGreedy:
+      outcome = GreedySearch(problem, options.limits);
+      break;
+    case SearchAlgorithm::kBeam:
+      outcome = BeamSearch(problem, options.beam_width, options.limits);
+      break;
+  }
+
+  TupeloResult result;
+  result.found = outcome.found;
+  result.budget_exhausted = outcome.budget_exhausted;
+  result.stats = outcome.stats;
+  if (outcome.found) {
+    result.mapping = MappingExpression(std::move(outcome.path));
+    if (options.simplify) {
+      result.mapping = Simplify(result.mapping);
+    }
+    Result<Database> replay = result.mapping.Apply(source_, registry_);
+    result.verified = replay.ok() && replay->Contains(target_);
+  }
+  return result;
+}
+
+Result<TupeloResult> DiscoverMapping(
+    const Database& source, const Database& target,
+    const TupeloOptions& options, const FunctionRegistry* registry,
+    std::vector<SemanticCorrespondence> correspondences) {
+  Tupelo tupelo(source, target);
+  tupelo.set_registry(registry);
+  for (SemanticCorrespondence& c : correspondences) {
+    tupelo.AddCorrespondence(std::move(c));
+  }
+  return tupelo.Discover(options);
+}
+
+}  // namespace tupelo

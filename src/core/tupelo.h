@@ -1,0 +1,100 @@
+#ifndef TUPELO_CORE_TUPELO_H_
+#define TUPELO_CORE_TUPELO_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/mapping_problem.h"
+#include "fira/expression.h"
+#include "fira/function_registry.h"
+#include "heuristics/heuristic_factory.h"
+#include "relational/database.h"
+#include "search/search_types.h"
+
+namespace tupelo {
+
+// End-to-end configuration for one mapping-discovery run.
+struct TupeloOptions {
+  SearchAlgorithm algorithm = SearchAlgorithm::kRbfs;
+  HeuristicKind heuristic = HeuristicKind::kH1;
+  // Scaling constant for the scaled heuristics; ≤ 0 selects the paper's
+  // per-algorithm default (heuristics/heuristic_factory.h).
+  double scale_k = 0.0;
+  SearchLimits limits;
+  SuccessorConfig successors;
+  // Frontier width for SearchAlgorithm::kBeam (ignored otherwise). Beam
+  // search is incomplete: found=false does not prove no mapping exists.
+  size_t beam_width = 8;
+  // Run the peephole optimizer (fira/optimizer.h) on the discovered
+  // expression; the raw search path is replaced by the simplified,
+  // re-verified equivalent.
+  bool simplify = false;
+};
+
+// The outcome of a discovery run.
+struct TupeloResult {
+  // A mapping was found within the budget.
+  bool found = false;
+  // The search stopped on a SearchLimits bound.
+  bool budget_exhausted = false;
+  // The discovered executable mapping expression (empty unless found).
+  MappingExpression mapping;
+  // True if re-executing `mapping` on the source instance produced a state
+  // containing the target instance (sanity re-check of the search result).
+  bool verified = false;
+  SearchStats stats;
+};
+
+// TUPELO: example-driven discovery of data-mapping expressions.
+//
+// Usage:
+//   Tupelo tupelo(source_instance, target_instance);
+//   tupelo.set_registry(&registry);                    // if λ needed
+//   tupelo.AddCorrespondence({"add", {"Cost", "AgentFee"}, "TotalCost"});
+//   Result<TupeloResult> r = tupelo.Discover(options);
+//
+// Per the Rosetta Stone principle (§2.2), `source` and `target` must be
+// critical instances illustrating the same information under both schemas.
+class Tupelo {
+ public:
+  Tupelo(Database source, Database target)
+      : source_(std::move(source)), target_(std::move(target)) {}
+
+  // `registry` must outlive the Tupelo object; required iff
+  // correspondences are supplied.
+  void set_registry(const FunctionRegistry* registry) { registry_ = registry; }
+
+  void AddCorrespondence(SemanticCorrespondence c) {
+    correspondences_.push_back(std::move(c));
+  }
+  const std::vector<SemanticCorrespondence>& correspondences() const {
+    return correspondences_;
+  }
+
+  const Database& source() const { return source_; }
+  const Database& target() const { return target_; }
+
+  // Runs heuristic search for a mapping expression. Fails on configuration
+  // errors (e.g. correspondences without a registry, or naming unknown
+  // functions); an unsuccessful search is a successful call with
+  // found=false.
+  Result<TupeloResult> Discover(const TupeloOptions& options = {}) const;
+
+ private:
+  Database source_;
+  Database target_;
+  const FunctionRegistry* registry_ = nullptr;
+  std::vector<SemanticCorrespondence> correspondences_;
+};
+
+// One-call convenience wrapper.
+Result<TupeloResult> DiscoverMapping(
+    const Database& source, const Database& target,
+    const TupeloOptions& options = {},
+    const FunctionRegistry* registry = nullptr,
+    std::vector<SemanticCorrespondence> correspondences = {});
+
+}  // namespace tupelo
+
+#endif  // TUPELO_CORE_TUPELO_H_

@@ -1,0 +1,29 @@
+#ifndef TUPELO_FIRA_BUILTIN_FUNCTIONS_H_
+#define TUPELO_FIRA_BUILTIN_FUNCTIONS_H_
+
+#include "common/status.h"
+#include "fira/function_registry.h"
+
+namespace tupelo {
+
+// Registers the library's stock complex semantic functions:
+//
+//   concat(a, b)        -> a ⊕ b
+//   concat_ws(a, b)     -> a ⊕ " " ⊕ b          (e.g. "John" "Smith" -> "John Smith")
+//   full_name(last, first) -> first ⊕ " " ⊕ last (Example 5's f2)
+//   add(a, b)           -> integer sum           (Example 5's f3 shape)
+//   sub(a, b)           -> integer difference
+//   mul(a, b)           -> integer product
+//   scale_pct(a, pct)   -> round(a * pct / 100)
+//   date_us_to_iso(d)   -> "MM/DD/YYYY" -> "YYYY-MM-DD"
+//   usd_to_cents(d)     -> "12.34" -> "1234"
+//   upper(s) / lower(s) -> ASCII case conversion
+//   sqft_to_sqm(a)      -> round(a / 10.7639) on integer square feet
+//
+// Numeric functions fail (Status) on non-numeric input; the λ operator
+// maps per-tuple failures to null.
+Status RegisterBuiltinFunctions(FunctionRegistry* registry);
+
+}  // namespace tupelo
+
+#endif  // TUPELO_FIRA_BUILTIN_FUNCTIONS_H_

@@ -1,0 +1,317 @@
+#include "fira/executor.h"
+
+#include <map>
+#include <optional>
+#include <utility>
+#include <vector>
+
+namespace tupelo {
+namespace {
+
+struct OpApplier {
+  const Database& input;
+  const FunctionRegistry* registry;
+
+  Result<Database> operator()(const DereferenceOp& op) const {
+    Database db = input;
+    TUPELO_ASSIGN_OR_RETURN(const Relation* rel, db.GetRelation(op.rel));
+    std::optional<size_t> pointer_idx = rel->AttributeIndex(op.pointer);
+    if (!pointer_idx.has_value()) {
+      return Status::NotFound("dereference: attribute '" + op.pointer +
+                              "' not in " + op.rel);
+    }
+    if (rel->HasAttribute(op.out)) {
+      return Status::AlreadyExists("dereference: attribute '" + op.out +
+                                   "' already in " + op.rel);
+    }
+    std::vector<std::string> attrs = rel->attributes();
+    attrs.push_back(op.out);
+    TUPELO_ASSIGN_OR_RETURN(Relation out,
+                            Relation::Create(op.rel, std::move(attrs)));
+    for (const Tuple& t : rel->tuples()) {
+      const Value& pointer = t[*pointer_idx];
+      Value deref;
+      if (!pointer.is_null()) {
+        std::optional<size_t> target = rel->AttributeIndex(pointer.atom());
+        if (target.has_value()) deref = t[*target];
+      }
+      std::vector<Value> vs = t.values();
+      vs.push_back(std::move(deref));
+      TUPELO_RETURN_IF_ERROR(out.AddTuple(Tuple(std::move(vs))));
+    }
+    db.PutRelation(std::move(out));
+    return db;
+  }
+
+  Result<Database> operator()(const PromoteOp& op) const {
+    Database db = input;
+    TUPELO_ASSIGN_OR_RETURN(Relation * rel, db.GetMutableRelation(op.rel));
+    std::optional<size_t> name_idx = rel->AttributeIndex(op.name_attr);
+    if (!name_idx.has_value()) {
+      return Status::NotFound("promote: attribute '" + op.name_attr +
+                              "' not in " + op.rel);
+    }
+    std::optional<size_t> value_idx = rel->AttributeIndex(op.value_attr);
+    if (!value_idx.has_value()) {
+      return Status::NotFound("promote: attribute '" + op.value_attr +
+                              "' not in " + op.rel);
+    }
+    TUPELO_ASSIGN_OR_RETURN(std::vector<std::string> new_columns,
+                            rel->DistinctValues(op.name_attr));
+    for (const std::string& col : new_columns) {
+      if (rel->HasAttribute(col)) {
+        return Status::AlreadyExists("promote: column name '" + col +
+                                     "' already in " + op.rel);
+      }
+    }
+    // Rebuild the relation with the appended columns.
+    std::vector<std::string> attrs = rel->attributes();
+    size_t base_arity = attrs.size();
+    attrs.insert(attrs.end(), new_columns.begin(), new_columns.end());
+    std::map<std::string, size_t> column_pos;
+    for (size_t i = 0; i < new_columns.size(); ++i) {
+      column_pos[new_columns[i]] = base_arity + i;
+    }
+    TUPELO_ASSIGN_OR_RETURN(Relation out,
+                            Relation::Create(op.rel, std::move(attrs)));
+    for (const Tuple& t : rel->tuples()) {
+      std::vector<Value> vs = t.values();
+      vs.resize(base_arity + new_columns.size());
+      const Value& name = t[*name_idx];
+      if (!name.is_null()) {
+        vs[column_pos.at(name.atom())] = t[*value_idx];
+      }
+      TUPELO_RETURN_IF_ERROR(out.AddTuple(Tuple(std::move(vs))));
+    }
+    db.PutRelation(std::move(out));
+    return db;
+  }
+
+  Result<Database> operator()(const DemoteOp& op) const {
+    Database db = input;
+    TUPELO_ASSIGN_OR_RETURN(const Relation* rel, db.GetRelation(op.rel));
+    if (rel->HasAttribute(kDemoteAttrColumn) ||
+        rel->HasAttribute(kDemoteValueColumn)) {
+      return Status::AlreadyExists("demote: " + op.rel +
+                                   " already has demote columns");
+    }
+    std::vector<std::string> attrs = rel->attributes();
+    std::vector<std::string> out_attrs = attrs;
+    out_attrs.push_back(kDemoteAttrColumn);
+    out_attrs.push_back(kDemoteValueColumn);
+    TUPELO_ASSIGN_OR_RETURN(Relation out,
+                            Relation::Create(op.rel, std::move(out_attrs)));
+    for (const Tuple& t : rel->tuples()) {
+      for (size_t i = 0; i < attrs.size(); ++i) {
+        std::vector<Value> vs = t.values();
+        vs.emplace_back(attrs[i]);
+        vs.push_back(t[i]);
+        TUPELO_RETURN_IF_ERROR(out.AddTuple(Tuple(std::move(vs))));
+      }
+    }
+    db.PutRelation(std::move(out));
+    return db;
+  }
+
+  Result<Database> operator()(const PartitionOp& op) const {
+    Database db = input;
+    TUPELO_ASSIGN_OR_RETURN(const Relation* rel, db.GetRelation(op.rel));
+    std::optional<size_t> idx = rel->AttributeIndex(op.attr);
+    if (!idx.has_value()) {
+      return Status::NotFound("partition: attribute '" + op.attr +
+                              "' not in " + op.rel);
+    }
+    TUPELO_ASSIGN_OR_RETURN(std::vector<std::string> names,
+                            rel->DistinctValues(op.attr));
+    for (const std::string& name : names) {
+      if (db.HasRelation(name)) {
+        return Status::AlreadyExists("partition: relation '" + name +
+                                     "' already exists");
+      }
+    }
+    for (const std::string& name : names) {
+      TUPELO_ASSIGN_OR_RETURN(Relation part,
+                              Relation::Create(name, rel->attributes()));
+      for (const Tuple& t : rel->tuples()) {
+        if (!t[*idx].is_null() && t[*idx].atom() == name) {
+          TUPELO_RETURN_IF_ERROR(part.AddTuple(t));
+        }
+      }
+      TUPELO_RETURN_IF_ERROR(db.AddRelation(std::move(part)));
+    }
+    return db;
+  }
+
+  Result<Database> operator()(const ProductOp& op) const {
+    if (op.left == op.right) {
+      return Status::InvalidArgument(
+          "product: self-product of '" + op.left +
+          "' would duplicate attribute names");
+    }
+    Database db = input;
+    TUPELO_ASSIGN_OR_RETURN(const Relation* left, db.GetRelation(op.left));
+    TUPELO_ASSIGN_OR_RETURN(const Relation* right, db.GetRelation(op.right));
+    std::string result_name = ProductResultName(op);
+    if (db.HasRelation(result_name)) {
+      return Status::AlreadyExists("product: relation '" + result_name +
+                                   "' already exists");
+    }
+    std::vector<std::string> attrs = left->attributes();
+    for (const std::string& a : right->attributes()) {
+      if (left->HasAttribute(a)) {
+        return Status::InvalidArgument("product: attribute '" + a +
+                                       "' appears in both operands");
+      }
+      attrs.push_back(a);
+    }
+    TUPELO_ASSIGN_OR_RETURN(Relation out,
+                            Relation::Create(result_name, std::move(attrs)));
+    for (const Tuple& lt : left->tuples()) {
+      for (const Tuple& rt : right->tuples()) {
+        std::vector<Value> vs = lt.values();
+        vs.insert(vs.end(), rt.values().begin(), rt.values().end());
+        TUPELO_RETURN_IF_ERROR(out.AddTuple(Tuple(std::move(vs))));
+      }
+    }
+    TUPELO_RETURN_IF_ERROR(db.AddRelation(std::move(out)));
+    return db;
+  }
+
+  Result<Database> operator()(const DropOp& op) const {
+    Database db = input;
+    TUPELO_ASSIGN_OR_RETURN(Relation * rel, db.GetMutableRelation(op.rel));
+    if (rel->arity() <= 1) {
+      return Status::FailedPrecondition("drop: cannot drop the last column of " +
+                                        op.rel);
+    }
+    TUPELO_RETURN_IF_ERROR(rel->DropAttribute(op.attr));
+    return db;
+  }
+
+  Result<Database> operator()(const MergeOp& op) const {
+    Database db = input;
+    TUPELO_ASSIGN_OR_RETURN(Relation * rel, db.GetMutableRelation(op.rel));
+    std::optional<size_t> idx = rel->AttributeIndex(op.attr);
+    if (!idx.has_value()) {
+      return Status::NotFound("merge: attribute '" + op.attr + "' not in " +
+                              op.rel);
+    }
+    // Group tuple indices by their (non-null) merge-key atom; null-keyed
+    // tuples stay untouched.
+    std::vector<Tuple> untouched;
+    std::map<std::string, std::vector<Tuple>> groups;
+    for (const Tuple& t : rel->tuples()) {
+      if (t[*idx].is_null()) {
+        untouched.push_back(t);
+      } else {
+        groups[t[*idx].atom()].push_back(t);
+      }
+    }
+    // Greedy fixpoint within each group: repeatedly merge the first
+    // compatible pair. Deterministic given input tuple order.
+    std::vector<Tuple> merged_all;
+    for (auto& [key, group] : groups) {
+      bool changed = true;
+      while (changed) {
+        changed = false;
+        for (size_t i = 0; i < group.size() && !changed; ++i) {
+          for (size_t j = i + 1; j < group.size() && !changed; ++j) {
+            if (group[i].MergeCompatibleWith(group[j])) {
+              group[i] = group[i].MergedWith(group[j]);
+              group.erase(group.begin() + static_cast<ptrdiff_t>(j));
+              changed = true;
+            }
+          }
+        }
+      }
+      merged_all.insert(merged_all.end(), group.begin(), group.end());
+    }
+    TUPELO_ASSIGN_OR_RETURN(Relation out,
+                            Relation::Create(op.rel, rel->attributes()));
+    for (Tuple& t : merged_all) TUPELO_RETURN_IF_ERROR(out.AddTuple(std::move(t)));
+    for (Tuple& t : untouched) TUPELO_RETURN_IF_ERROR(out.AddTuple(std::move(t)));
+    db.PutRelation(std::move(out));
+    return db;
+  }
+
+  Result<Database> operator()(const RenameAttrOp& op) const {
+    Database db = input;
+    TUPELO_ASSIGN_OR_RETURN(Relation * rel, db.GetMutableRelation(op.rel));
+    TUPELO_RETURN_IF_ERROR(rel->RenameAttribute(op.from, op.to));
+    return db;
+  }
+
+  Result<Database> operator()(const RenameRelOp& op) const {
+    Database db = input;
+    TUPELO_RETURN_IF_ERROR(db.RenameRelation(op.from, op.to));
+    return db;
+  }
+
+  Result<Database> operator()(const ApplyFunctionOp& op) const {
+    if (registry == nullptr) {
+      return Status::FailedPrecondition(
+          "apply: no function registry supplied for λ operator");
+    }
+    TUPELO_ASSIGN_OR_RETURN(const ComplexFunction* fn,
+                            registry->Lookup(op.function));
+    if (fn->arity != op.inputs.size()) {
+      return Status::InvalidArgument(
+          "apply: function '" + op.function + "' expects " +
+          std::to_string(fn->arity) + " inputs, got " +
+          std::to_string(op.inputs.size()));
+    }
+    Database db = input;
+    TUPELO_ASSIGN_OR_RETURN(const Relation* rel, db.GetRelation(op.rel));
+    std::vector<size_t> input_idx;
+    input_idx.reserve(op.inputs.size());
+    for (const std::string& a : op.inputs) {
+      std::optional<size_t> idx = rel->AttributeIndex(a);
+      if (!idx.has_value()) {
+        return Status::NotFound("apply: attribute '" + a + "' not in " +
+                                op.rel);
+      }
+      input_idx.push_back(*idx);
+    }
+    if (rel->HasAttribute(op.out)) {
+      return Status::AlreadyExists("apply: attribute '" + op.out +
+                                   "' already in " + op.rel);
+    }
+    std::vector<std::string> attrs = rel->attributes();
+    attrs.push_back(op.out);
+    TUPELO_ASSIGN_OR_RETURN(Relation out,
+                            Relation::Create(op.rel, std::move(attrs)));
+    for (const Tuple& t : rel->tuples()) {
+      std::vector<std::string> args;
+      args.reserve(input_idx.size());
+      bool applicable = true;
+      for (size_t idx : input_idx) {
+        if (t[idx].is_null()) {
+          applicable = false;
+          break;
+        }
+        args.push_back(t[idx].atom());
+      }
+      Value result;
+      if (applicable) {
+        Result<std::string> r = fn->impl(args);
+        if (r.ok()) result = Value(std::move(r).value());
+        // Per-tuple failure -> null (λ is the identity on tuples of
+        // inappropriate schema).
+      }
+      std::vector<Value> vs = t.values();
+      vs.push_back(std::move(result));
+      TUPELO_RETURN_IF_ERROR(out.AddTuple(Tuple(std::move(vs))));
+    }
+    db.PutRelation(std::move(out));
+    return db;
+  }
+};
+
+}  // namespace
+
+Result<Database> ApplyOp(const Op& op, const Database& input,
+                         const FunctionRegistry* registry) {
+  return std::visit(OpApplier{input, registry}, op);
+}
+
+}  // namespace tupelo

@@ -1,0 +1,20 @@
+#ifndef TUPELO_FIRA_EXECUTOR_H_
+#define TUPELO_FIRA_EXECUTOR_H_
+
+#include "common/result.h"
+#include "fira/function_registry.h"
+#include "fira/operators.h"
+#include "relational/database.h"
+
+namespace tupelo {
+
+// Applies one operator of L to a database state, producing the successor
+// state. The input is untouched. `registry` may be null when `op` is not an
+// ApplyFunctionOp. Fails (never crashes) on inapplicable operators:
+// missing relations/attributes, name collisions, unknown functions.
+Result<Database> ApplyOp(const Op& op, const Database& input,
+                         const FunctionRegistry* registry = nullptr);
+
+}  // namespace tupelo
+
+#endif  // TUPELO_FIRA_EXECUTOR_H_

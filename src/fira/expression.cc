@@ -1,0 +1,41 @@
+#include "fira/expression.h"
+
+namespace tupelo {
+
+Result<Database> MappingExpression::Apply(
+    const Database& input, const FunctionRegistry* registry) const {
+  Database state = input;
+  for (size_t i = 0; i < steps_.size(); ++i) {
+    Result<Database> next = ApplyOp(steps_[i], state, registry);
+    if (!next.ok()) {
+      return Status(next.status().code(),
+                    "step " + std::to_string(i + 1) + " (" +
+                        OpToScript(steps_[i]) +
+                        "): " + next.status().message());
+    }
+    state = std::move(next).value();
+  }
+  return state;
+}
+
+std::string MappingExpression::ToScript() const {
+  std::string out;
+  for (const Op& op : steps_) {
+    out += OpToScript(op);
+    out += "\n";
+  }
+  return out;
+}
+
+std::string MappingExpression::ToPretty() const {
+  std::string out = "DB";
+  for (const Op& op : steps_) {
+    std::string step = OpToPretty(op);
+    // Replace the operator's own "(R)" suffix context: present the pipeline
+    // as nested application around the accumulated expression.
+    out = step + " ∘ " + out;
+  }
+  return out;
+}
+
+}  // namespace tupelo

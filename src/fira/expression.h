@@ -1,0 +1,50 @@
+#ifndef TUPELO_FIRA_EXPRESSION_H_
+#define TUPELO_FIRA_EXPRESSION_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "fira/executor.h"
+#include "fira/function_registry.h"
+#include "fira/operators.h"
+#include "relational/database.h"
+
+namespace tupelo {
+
+// An executable data-mapping expression: a pipeline of L operators applied
+// left to right to a source database instance. This is TUPELO's output
+// artifact — it can be pretty-printed, serialized to a re-parseable script
+// (fira/parser.h), and executed against any instance of the source schema.
+class MappingExpression {
+ public:
+  MappingExpression() = default;
+  explicit MappingExpression(std::vector<Op> steps)
+      : steps_(std::move(steps)) {}
+
+  const std::vector<Op>& steps() const { return steps_; }
+  size_t size() const { return steps_.size(); }
+  bool empty() const { return steps_.empty(); }
+
+  void Append(Op op) { steps_.push_back(std::move(op)); }
+
+  // Applies all steps in order. `registry` may be null if no step is a λ.
+  Result<Database> Apply(const Database& input,
+                         const FunctionRegistry* registry = nullptr) const;
+
+  // Script form, one operator per line; round-trips via ParseExpression.
+  std::string ToScript() const;
+
+  // Paper-style nested form: `ρrel_Prices→Flights(µ_Carrier(...(DB)))`.
+  std::string ToPretty() const;
+
+  friend bool operator==(const MappingExpression&,
+                         const MappingExpression&) = default;
+
+ private:
+  std::vector<Op> steps_;
+};
+
+}  // namespace tupelo
+
+#endif  // TUPELO_FIRA_EXPRESSION_H_

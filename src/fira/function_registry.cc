@@ -1,0 +1,56 @@
+#include "fira/function_registry.h"
+
+#include <utility>
+
+namespace tupelo {
+
+Status FunctionRegistry::Register(ComplexFunction fn) {
+  if (fn.name.empty()) {
+    return Status::InvalidArgument("function name must be non-empty");
+  }
+  if (!fn.impl) {
+    return Status::InvalidArgument("function '" + fn.name +
+                                   "' has no implementation");
+  }
+  std::string name = fn.name;
+  auto [it, inserted] = functions_.emplace(name, std::move(fn));
+  (void)it;
+  if (!inserted) {
+    return Status::AlreadyExists("function '" + name + "' already registered");
+  }
+  return Status::OK();
+}
+
+bool FunctionRegistry::Has(std::string_view name) const {
+  return functions_.find(name) != functions_.end();
+}
+
+Result<const ComplexFunction*> FunctionRegistry::Lookup(
+    std::string_view name) const {
+  auto it = functions_.find(name);
+  if (it == functions_.end()) {
+    return Status::NotFound("function '" + std::string(name) +
+                            "' not registered");
+  }
+  return &it->second;
+}
+
+std::vector<std::string> FunctionRegistry::Names() const {
+  std::vector<std::string> names;
+  names.reserve(functions_.size());
+  for (const auto& [name, fn] : functions_) names.push_back(name);
+  return names;
+}
+
+Result<std::string> FunctionRegistry::Call(
+    std::string_view name, const std::vector<std::string>& args) const {
+  TUPELO_ASSIGN_OR_RETURN(const ComplexFunction* fn, Lookup(name));
+  if (args.size() != fn->arity) {
+    return Status::InvalidArgument(
+        "function '" + fn->name + "' expects " + std::to_string(fn->arity) +
+        " arguments, got " + std::to_string(args.size()));
+  }
+  return fn->impl(args);
+}
+
+}  // namespace tupelo

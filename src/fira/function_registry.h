@@ -1,0 +1,61 @@
+#ifndef TUPELO_FIRA_FUNCTION_REGISTRY_H_
+#define TUPELO_FIRA_FUNCTION_REGISTRY_H_
+
+#include <cstddef>
+#include <functional>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace tupelo {
+
+// A complex semantic function f ∈ F (§4): a named black box from a fixed
+// number of string arguments to a string. Search treats these opaquely —
+// only the name, arity and the values they produce on the critical
+// instances matter; the "meaning" is retrieved at execution time.
+struct ComplexFunction {
+  std::string name;
+  size_t arity = 0;
+  // Never invoked with the wrong argument count. May fail on individual
+  // inputs (e.g. a numeric function on non-numeric text); the λ operator
+  // turns per-tuple failures into nulls. Implementations must be pure and
+  // deterministic: the search re-executes them freely, discovery results
+  // are re-verified by replay, and the optimizer (fira/optimizer.h) may
+  // elide applications whose output column is immediately dropped.
+  std::function<Result<std::string>(const std::vector<std::string>&)> impl;
+  std::string description;
+};
+
+// Holds the complex semantic functions available to λ operators. Mappings
+// discovered against one registry can be executed against any registry
+// providing the same names (e.g. stored procedures in a real deployment).
+class FunctionRegistry {
+ public:
+  FunctionRegistry() = default;
+
+  // Fails with AlreadyExists on duplicate names, InvalidArgument on an
+  // empty name or missing implementation.
+  Status Register(ComplexFunction fn);
+
+  bool Has(std::string_view name) const;
+  Result<const ComplexFunction*> Lookup(std::string_view name) const;
+
+  // Registered names in sorted order.
+  std::vector<std::string> Names() const;
+  size_t size() const { return functions_.size(); }
+
+  // Invokes `name` on `args`, checking existence and arity.
+  Result<std::string> Call(std::string_view name,
+                           const std::vector<std::string>& args) const;
+
+ private:
+  std::map<std::string, ComplexFunction, std::less<>> functions_;
+};
+
+}  // namespace tupelo
+
+#endif  // TUPELO_FIRA_FUNCTION_REGISTRY_H_

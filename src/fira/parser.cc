@@ -1,0 +1,258 @@
+#include "fira/parser.h"
+
+#include <cctype>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace tupelo {
+namespace {
+
+// One argument of an op: either a single name or a bracketed name list.
+struct Arg {
+  bool is_list = false;
+  std::string name;                // when !is_list
+  std::vector<std::string> names;  // when is_list
+};
+
+class ExprParser {
+ public:
+  explicit ExprParser(std::string_view text) : text_(text) {}
+
+  Result<MappingExpression> ParseScript() {
+    MappingExpression expr;
+    SkipSpace();
+    while (pos_ < text_.size()) {
+      TUPELO_ASSIGN_OR_RETURN(Op op, ParseOneOp());
+      expr.Append(std::move(op));
+      SkipSpace();
+    }
+    return expr;
+  }
+
+  Result<Op> ParseSingle() {
+    SkipSpace();
+    TUPELO_ASSIGN_OR_RETURN(Op op, ParseOneOp());
+    SkipSpace();
+    if (pos_ < text_.size()) {
+      return Status::ParseError("trailing input after operator at line " +
+                                std::to_string(line_));
+    }
+    return op;
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c == '\n') {
+        ++line_;
+        ++pos_;
+      } else if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '#') {
+        while (pos_ < text_.size() && text_[pos_] != '\n') ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  Status ExpectChar(char c) {
+    SkipSpace();
+    if (pos_ >= text_.size() || text_[pos_] != c) {
+      return Status::ParseError("expected '" + std::string(1, c) +
+                                "' at line " + std::to_string(line_));
+    }
+    ++pos_;
+    return Status::OK();
+  }
+
+  bool PeekChar(char c) {
+    SkipSpace();
+    return pos_ < text_.size() && text_[pos_] == c;
+  }
+
+  static bool IsNameChar(char c) {
+    return !std::isspace(static_cast<unsigned char>(c)) && c != '(' &&
+           c != ')' && c != '[' && c != ']' && c != ',' && c != '"' &&
+           c != '#';
+  }
+
+  Result<std::string> ParseName() {
+    SkipSpace();
+    if (pos_ >= text_.size()) {
+      return Status::ParseError("expected name at line " +
+                                std::to_string(line_) +
+                                ", got end of input");
+    }
+    if (text_[pos_] == '"') return ParseQuoted();
+    size_t start = pos_;
+    while (pos_ < text_.size() && IsNameChar(text_[pos_])) ++pos_;
+    if (pos_ == start) {
+      return Status::ParseError("expected name at line " +
+                                std::to_string(line_));
+    }
+    return std::string(text_.substr(start, pos_ - start));
+  }
+
+  Result<std::string> ParseQuoted() {
+    ++pos_;  // opening quote
+    std::string out;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c == '\n') ++line_;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) break;
+        char e = text_[pos_++];
+        switch (e) {
+          case '\\':
+            out += '\\';
+            break;
+          case '"':
+            out += '"';
+            break;
+          case 'n':
+            out += '\n';
+            break;
+          case 't':
+            out += '\t';
+            break;
+          default:
+            return Status::ParseError("bad escape '\\" + std::string(1, e) +
+                                      "' at line " + std::to_string(line_));
+        }
+      } else {
+        out += c;
+      }
+    }
+    return Status::ParseError("unterminated string at line " +
+                              std::to_string(line_));
+  }
+
+  Result<Arg> ParseArg() {
+    SkipSpace();
+    Arg arg;
+    if (PeekChar('[')) {
+      ++pos_;
+      arg.is_list = true;
+      if (!PeekChar(']')) {
+        while (true) {
+          TUPELO_ASSIGN_OR_RETURN(std::string name, ParseName());
+          arg.names.push_back(std::move(name));
+          if (PeekChar(',')) {
+            ++pos_;
+            continue;
+          }
+          break;
+        }
+      }
+      TUPELO_RETURN_IF_ERROR(ExpectChar(']'));
+      return arg;
+    }
+    TUPELO_ASSIGN_OR_RETURN(arg.name, ParseName());
+    return arg;
+  }
+
+  Result<Op> ParseOneOp() {
+    TUPELO_ASSIGN_OR_RETURN(std::string opname, ParseName());
+    TUPELO_RETURN_IF_ERROR(ExpectChar('('));
+    std::vector<Arg> args;
+    if (!PeekChar(')')) {
+      while (true) {
+        TUPELO_ASSIGN_OR_RETURN(Arg arg, ParseArg());
+        args.push_back(std::move(arg));
+        if (PeekChar(',')) {
+          ++pos_;
+          continue;
+        }
+        break;
+      }
+    }
+    TUPELO_RETURN_IF_ERROR(ExpectChar(')'));
+    return BuildOp(opname, args);
+  }
+
+  static Result<Op> BuildOp(const std::string& opname,
+                            const std::vector<Arg>& args) {
+    auto want_names = [&](size_t n) -> Status {
+      if (args.size() != n) {
+        return Status::ParseError(opname + " expects " + std::to_string(n) +
+                                  " arguments, got " +
+                                  std::to_string(args.size()));
+      }
+      for (const Arg& a : args) {
+        if (a.is_list) {
+          return Status::ParseError(opname +
+                                    " does not take a list argument");
+        }
+      }
+      return Status::OK();
+    };
+
+    if (opname == "dereference") {
+      TUPELO_RETURN_IF_ERROR(want_names(3));
+      return Op(DereferenceOp{args[0].name, args[1].name, args[2].name});
+    }
+    if (opname == "promote") {
+      TUPELO_RETURN_IF_ERROR(want_names(3));
+      return Op(PromoteOp{args[0].name, args[1].name, args[2].name});
+    }
+    if (opname == "demote") {
+      TUPELO_RETURN_IF_ERROR(want_names(1));
+      return Op(DemoteOp{args[0].name});
+    }
+    if (opname == "partition") {
+      TUPELO_RETURN_IF_ERROR(want_names(2));
+      return Op(PartitionOp{args[0].name, args[1].name});
+    }
+    if (opname == "product") {
+      TUPELO_RETURN_IF_ERROR(want_names(2));
+      return Op(ProductOp{args[0].name, args[1].name});
+    }
+    if (opname == "drop") {
+      TUPELO_RETURN_IF_ERROR(want_names(2));
+      return Op(DropOp{args[0].name, args[1].name});
+    }
+    if (opname == "merge") {
+      TUPELO_RETURN_IF_ERROR(want_names(2));
+      return Op(MergeOp{args[0].name, args[1].name});
+    }
+    if (opname == "rename_att") {
+      TUPELO_RETURN_IF_ERROR(want_names(3));
+      return Op(RenameAttrOp{args[0].name, args[1].name, args[2].name});
+    }
+    if (opname == "rename_rel") {
+      TUPELO_RETURN_IF_ERROR(want_names(2));
+      return Op(RenameRelOp{args[0].name, args[1].name});
+    }
+    if (opname == "apply") {
+      if (args.size() != 4 || args[0].is_list || args[1].is_list ||
+          !args[2].is_list || args[3].is_list) {
+        return Status::ParseError(
+            "apply expects (R, function, [inputs...], out)");
+      }
+      return Op(ApplyFunctionOp{args[0].name, args[1].name, args[2].names,
+                                args[3].name});
+    }
+    return Status::ParseError("unknown operator '" + opname + "'");
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+  size_t line_ = 1;
+};
+
+}  // namespace
+
+Result<MappingExpression> ParseExpression(std::string_view script) {
+  return ExprParser(script).ParseScript();
+}
+
+Result<Op> ParseOp(std::string_view text) {
+  return ExprParser(text).ParseSingle();
+}
+
+}  // namespace tupelo

@@ -1,0 +1,70 @@
+#ifndef TUPELO_FIRA_TYPE_CHECK_H_
+#define TUPELO_FIRA_TYPE_CHECK_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "fira/expression.h"
+#include "fira/function_registry.h"
+#include "fira/operators.h"
+#include "relational/database.h"
+
+namespace tupelo {
+
+// Static ("schema-level") checking of mapping expressions: simulate the
+// effect of every operator on schemas alone — no data — and report
+// operators that can be *proven* inapplicable: missing relations or
+// attributes, name collisions, unknown λ functions, arity mismatches.
+// §4 notes that during search "all that needs to be checked is that the
+// applications of functions are well-typed"; this module makes the same
+// judgement available for saved mapping scripts before execution.
+//
+// Two data-metadata operators create schema elements whose names depend on
+// the data: ↑ (promote) adds data-named columns and ℘ (partition) adds
+// data-named relations. After them the affected schema is marked `open`,
+// and checks that would need the unknown names degrade soundly: only
+// definite errors are reported, never false alarms.
+
+struct RelationSchema {
+  std::vector<std::string> attributes;
+  // True when the relation may carry additional data-dependent attributes
+  // (after a promote).
+  bool open = false;
+
+  bool HasAttribute(const std::string& attr) const;
+  friend bool operator==(const RelationSchema&,
+                         const RelationSchema&) = default;
+};
+
+struct DatabaseSchema {
+  std::map<std::string, RelationSchema> relations;
+  // True when the database may contain additional data-dependent
+  // relations (after a partition).
+  bool open = false;
+
+  static DatabaseSchema Of(const Database& db);
+
+  bool HasRelation(const std::string& name) const {
+    return relations.contains(name);
+  }
+  friend bool operator==(const DatabaseSchema&,
+                         const DatabaseSchema&) = default;
+};
+
+// Simulates one operator. Fails with the reason when the operator is
+// provably ill-typed for `input`; otherwise returns the output schema.
+Result<DatabaseSchema> ApplyOpToSchema(
+    const Op& op, const DatabaseSchema& input,
+    const FunctionRegistry* registry = nullptr);
+
+// Simulates a whole expression left to right. Error messages carry the
+// 1-based step index.
+Result<DatabaseSchema> CheckExpression(
+    const MappingExpression& expression, const DatabaseSchema& input,
+    const FunctionRegistry* registry = nullptr);
+
+}  // namespace tupelo
+
+#endif  // TUPELO_FIRA_TYPE_CHECK_H_

@@ -1,0 +1,56 @@
+#include "heuristics/composite.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "heuristics/set_based.h"
+#include "heuristics/vector_heuristics.h"
+
+namespace tupelo {
+
+MaxHeuristic::MaxHeuristic(
+    std::vector<std::unique_ptr<Heuristic>> components)
+    : components_(std::move(components)) {
+  name_ = "max(";
+  for (size_t i = 0; i < components_.size(); ++i) {
+    if (i > 0) name_ += ",";
+    name_ += components_[i]->name();
+  }
+  name_ += ")";
+}
+
+int MaxHeuristic::Estimate(const Database& state) const {
+  int best = 0;
+  for (const std::unique_ptr<Heuristic>& h : components_) {
+    best = std::max(best, h->Estimate(state));
+  }
+  return best;
+}
+
+WeightedSumHeuristic::WeightedSumHeuristic(std::vector<Term> terms)
+    : terms_(std::move(terms)) {
+  name_ = "sum(";
+  for (size_t i = 0; i < terms_.size(); ++i) {
+    if (i > 0) name_ += ",";
+    name_ += terms_[i].heuristic->name();
+  }
+  name_ += ")";
+}
+
+int WeightedSumHeuristic::Estimate(const Database& state) const {
+  double total = 0.0;
+  for (const Term& term : terms_) {
+    total += term.weight * term.heuristic->Estimate(state);
+  }
+  return static_cast<int>(std::llround(std::max(0.0, total)));
+}
+
+std::unique_ptr<Heuristic> MakeHybridHeuristic(const Database& target,
+                                               double cosine_k) {
+  std::vector<std::unique_ptr<Heuristic>> components;
+  components.push_back(std::make_unique<H1Heuristic>(target));
+  components.push_back(std::make_unique<CosineHeuristic>(target, cosine_k));
+  return std::make_unique<MaxHeuristic>(std::move(components));
+}
+
+}  // namespace tupelo

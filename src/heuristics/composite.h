@@ -1,0 +1,56 @@
+#ifndef TUPELO_HEURISTICS_COMPOSITE_H_
+#define TUPELO_HEURISTICS_COMPOSITE_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "heuristics/heuristic.h"
+
+namespace tupelo {
+
+// Heuristic combinators. The paper's future work (§7) observes that the
+// string/vector heuristics measure *content* while h1/h2 measure missing
+// *structure*, and asks whether a good multi-purpose heuristic exists;
+// these combinators let any mix be composed and evaluated (see
+// bench/ablation_hybrid).
+
+// max(h_a(x), h_b(x), ...): dominates each component; never weaker.
+class MaxHeuristic : public Heuristic {
+ public:
+  explicit MaxHeuristic(std::vector<std::unique_ptr<Heuristic>> components);
+  int Estimate(const Database& state) const override;
+  std::string_view name() const override { return name_; }
+
+ private:
+  std::vector<std::unique_ptr<Heuristic>> components_;
+  std::string name_;
+};
+
+// round(Σ w_i · h_i(x)): blends guidance; with weights summing over 1 it
+// sharpens (and further de-admissibilizes) the estimate.
+class WeightedSumHeuristic : public Heuristic {
+ public:
+  struct Term {
+    double weight;
+    std::unique_ptr<Heuristic> heuristic;
+  };
+  explicit WeightedSumHeuristic(std::vector<Term> terms);
+  int Estimate(const Database& state) const override;
+  std::string_view name() const override { return name_; }
+
+ private:
+  std::vector<Term> terms_;
+  std::string name_;
+};
+
+// The natural structure+content hybrid: max(h1, cosine). h1 counts the
+// target symbols still missing (structure); the cosine term sees value
+// distribution (content).
+std::unique_ptr<Heuristic> MakeHybridHeuristic(const Database& target,
+                                               double cosine_k);
+
+}  // namespace tupelo
+
+#endif  // TUPELO_HEURISTICS_COMPOSITE_H_

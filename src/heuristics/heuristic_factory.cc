@@ -1,0 +1,138 @@
+#include "heuristics/heuristic_factory.h"
+
+#include "heuristics/set_based.h"
+#include "heuristics/vector_heuristics.h"
+
+namespace tupelo {
+
+const std::vector<HeuristicKind>& AllHeuristicKinds() {
+  static const std::vector<HeuristicKind>* const kKinds =
+      new std::vector<HeuristicKind>{
+          HeuristicKind::kH0,          HeuristicKind::kH1,
+          HeuristicKind::kH2,          HeuristicKind::kH3,
+          HeuristicKind::kEuclidean,   HeuristicKind::kEuclideanNorm,
+          HeuristicKind::kCosine,      HeuristicKind::kLevenshtein,
+      };
+  return *kKinds;
+}
+
+std::string_view HeuristicKindName(HeuristicKind kind) {
+  switch (kind) {
+    case HeuristicKind::kH0:
+      return "h0";
+    case HeuristicKind::kH1:
+      return "h1";
+    case HeuristicKind::kH2:
+      return "h2";
+    case HeuristicKind::kH3:
+      return "h3";
+    case HeuristicKind::kLevenshtein:
+      return "levenshtein";
+    case HeuristicKind::kEuclidean:
+      return "euclid";
+    case HeuristicKind::kEuclideanNorm:
+      return "euclid_norm";
+    case HeuristicKind::kCosine:
+      return "cosine";
+    case HeuristicKind::kJaccard:
+      return "jaccard";
+    case HeuristicKind::kPairs:
+      return "pairs";
+  }
+  return "unknown";
+}
+
+std::optional<HeuristicKind> ParseHeuristicKind(std::string_view name) {
+  for (HeuristicKind kind : AllHeuristicKinds()) {
+    if (HeuristicKindName(kind) == name) return kind;
+  }
+  if (name == "jaccard") return HeuristicKind::kJaccard;
+  if (name == "pairs") return HeuristicKind::kPairs;
+  return std::nullopt;
+}
+
+bool HeuristicUsesScale(HeuristicKind kind) {
+  switch (kind) {
+    case HeuristicKind::kLevenshtein:
+    case HeuristicKind::kEuclideanNorm:
+    case HeuristicKind::kCosine:
+    case HeuristicKind::kJaccard:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::string_view SearchAlgorithmName(SearchAlgorithm algo) {
+  switch (algo) {
+    case SearchAlgorithm::kIda:
+      return "ida";
+    case SearchAlgorithm::kRbfs:
+      return "rbfs";
+    case SearchAlgorithm::kAStar:
+      return "astar";
+    case SearchAlgorithm::kGreedy:
+      return "greedy";
+    case SearchAlgorithm::kBeam:
+      return "beam";
+  }
+  return "unknown";
+}
+
+std::optional<SearchAlgorithm> ParseSearchAlgorithm(std::string_view name) {
+  if (name == "ida") return SearchAlgorithm::kIda;
+  if (name == "rbfs") return SearchAlgorithm::kRbfs;
+  if (name == "astar") return SearchAlgorithm::kAStar;
+  if (name == "greedy") return SearchAlgorithm::kGreedy;
+  if (name == "beam") return SearchAlgorithm::kBeam;
+  return std::nullopt;
+}
+
+double DefaultScale(HeuristicKind kind, SearchAlgorithm algo) {
+  // §5, Experimental Setup: overall-optimal k per heuristic and algorithm.
+  bool rbfs = algo == SearchAlgorithm::kRbfs;
+  switch (kind) {
+    case HeuristicKind::kEuclideanNorm:
+      return rbfs ? 20.0 : 7.0;
+    case HeuristicKind::kCosine:
+      return rbfs ? 24.0 : 5.0;
+    case HeuristicKind::kJaccard:
+      // Not in the paper; tuned like cosine (see bench/ablation_k_sweep).
+      return rbfs ? 24.0 : 5.0;
+    case HeuristicKind::kLevenshtein:
+      return rbfs ? 15.0 : 11.0;
+    default:
+      return 1.0;
+  }
+}
+
+std::unique_ptr<Heuristic> MakeHeuristic(HeuristicKind kind,
+                                         const Database& target,
+                                         SearchAlgorithm algo, double k) {
+  if (k <= 0.0) k = DefaultScale(kind, algo);
+  switch (kind) {
+    case HeuristicKind::kH0:
+      return std::make_unique<BlindHeuristic>();
+    case HeuristicKind::kH1:
+      return std::make_unique<H1Heuristic>(target);
+    case HeuristicKind::kH2:
+      return std::make_unique<H2Heuristic>(target);
+    case HeuristicKind::kH3:
+      return std::make_unique<H3Heuristic>(target);
+    case HeuristicKind::kLevenshtein:
+      return std::make_unique<LevenshteinHeuristic>(target, k);
+    case HeuristicKind::kEuclidean:
+      return std::make_unique<EuclideanHeuristic>(target);
+    case HeuristicKind::kEuclideanNorm:
+      return std::make_unique<NormalizedEuclideanHeuristic>(target, k);
+    case HeuristicKind::kCosine:
+      return std::make_unique<CosineHeuristic>(target, k);
+    case HeuristicKind::kJaccard:
+      return std::make_unique<JaccardHeuristic>(target, k);
+    case HeuristicKind::kPairs:
+      return std::make_unique<ColumnPairsHeuristic>(target);
+  }
+  return nullptr;
+}
+
+}  // namespace tupelo

@@ -1,0 +1,59 @@
+#ifndef TUPELO_HEURISTICS_HEURISTIC_FACTORY_H_
+#define TUPELO_HEURISTICS_HEURISTIC_FACTORY_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "heuristics/heuristic.h"
+
+namespace tupelo {
+
+// The seven heuristics of §3 plus the blind baseline h0.
+enum class HeuristicKind {
+  kH0,           // blind (∀x. 0)
+  kH1,           // missing target symbols
+  kH2,           // misplaced symbols (promotions/demotions needed)
+  kH3,           // max(h1, h2)
+  kLevenshtein,  // normalized string edit distance, scaled by k
+  kEuclidean,    // term-vector Euclidean distance
+  kEuclideanNorm,  // normalized term-vector distance, scaled by k
+  kCosine,       // cosine dissimilarity, scaled by k
+  // Extensions beyond the paper's set (excluded from AllHeuristicKinds so
+  // the figure harnesses stay faithful): multiset Jaccard dissimilarity,
+  // and the joint (attribute, value) pair count (§7 structure+content).
+  kJaccard,
+  kPairs,
+};
+
+// All kinds, in the paper's presentation order.
+const std::vector<HeuristicKind>& AllHeuristicKinds();
+
+// "h0", "h1", "h2", "h3", "levenshtein", "euclid", "euclid_norm", "cosine".
+std::string_view HeuristicKindName(HeuristicKind kind);
+std::optional<HeuristicKind> ParseHeuristicKind(std::string_view name);
+
+// True for the heuristics that take a scaling constant k.
+bool HeuristicUsesScale(HeuristicKind kind);
+
+enum class SearchAlgorithm { kIda, kRbfs, kAStar, kGreedy, kBeam };
+
+std::string_view SearchAlgorithmName(SearchAlgorithm algo);
+std::optional<SearchAlgorithm> ParseSearchAlgorithm(std::string_view name);
+
+// The empirically optimal scaling constants reported in §5 (Experimental
+// Setup); A* reuses the IDA constants. Returns 1.0 for unscaled heuristics.
+double DefaultScale(HeuristicKind kind, SearchAlgorithm algo);
+
+// Builds a heuristic around `target`. `k` ≤ 0 selects DefaultScale for
+// `algo`.
+std::unique_ptr<Heuristic> MakeHeuristic(HeuristicKind kind,
+                                         const Database& target,
+                                         SearchAlgorithm algo,
+                                         double k = 0.0);
+
+}  // namespace tupelo
+
+#endif  // TUPELO_HEURISTICS_HEURISTIC_FACTORY_H_

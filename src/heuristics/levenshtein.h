@@ -1,0 +1,15 @@
+#ifndef TUPELO_HEURISTICS_LEVENSHTEIN_H_
+#define TUPELO_HEURISTICS_LEVENSHTEIN_H_
+
+#include <cstddef>
+#include <string_view>
+
+namespace tupelo {
+
+// Classic Levenshtein edit distance (single-character insert, delete,
+// substitute), O(|a|·|b|) time, O(min(|a|,|b|)) space.
+size_t LevenshteinDistance(std::string_view a, std::string_view b);
+
+}  // namespace tupelo
+
+#endif  // TUPELO_HEURISTICS_LEVENSHTEIN_H_

@@ -1,0 +1,125 @@
+#include "heuristics/set_based.h"
+
+#include <algorithm>
+
+namespace tupelo {
+namespace {
+
+// |a − b| for sorted sets.
+int DifferenceSize(const std::set<std::string>& a,
+                   const std::set<std::string>& b) {
+  int n = 0;
+  for (const std::string& s : a) {
+    if (!b.contains(s)) ++n;
+  }
+  return n;
+}
+
+// |a ∩ b| for sorted sets.
+int IntersectionSize(const std::set<std::string>& a,
+                     const std::set<std::string>& b) {
+  int n = 0;
+  const std::set<std::string>& small = a.size() <= b.size() ? a : b;
+  const std::set<std::string>& large = a.size() <= b.size() ? b : a;
+  for (const std::string& s : small) {
+    if (large.contains(s)) ++n;
+  }
+  return n;
+}
+
+}  // namespace
+
+SymbolSets SymbolSets::FromDatabase(const Database& db) {
+  SymbolSets out;
+  for (const auto& [rname, rel] : db.relations()) {
+    out.rels.insert(rname);
+    for (const std::string& attr : rel.attributes()) out.atts.insert(attr);
+    for (const Tuple& t : rel.tuples()) {
+      for (const Value& v : t.values()) {
+        if (!v.is_null()) out.values.insert(v.atom());
+      }
+    }
+  }
+  return out;
+}
+
+int H1Heuristic::Estimate(const Database& state) const {
+  SymbolSets x = SymbolSets::FromDatabase(state);
+  return DifferenceSize(target_.rels, x.rels) +
+         DifferenceSize(target_.atts, x.atts) +
+         DifferenceSize(target_.values, x.values);
+}
+
+int H2Heuristic::Estimate(const Database& state) const {
+  SymbolSets x = SymbolSets::FromDatabase(state);
+  return IntersectionSize(target_.rels, x.atts) +
+         IntersectionSize(target_.rels, x.values) +
+         IntersectionSize(target_.atts, x.rels) +
+         IntersectionSize(target_.atts, x.values) +
+         IntersectionSize(target_.values, x.rels) +
+         IntersectionSize(target_.values, x.atts);
+}
+
+int H3Heuristic::Estimate(const Database& state) const {
+  return std::max(h1_.Estimate(state), h2_.Estimate(state));
+}
+
+namespace {
+
+std::string PairKey(const std::string& att, const std::string& value) {
+  std::string key = att;
+  key += '\x1f';
+  key += value;
+  return key;
+}
+
+// Collects the (att, value) pair keys and the value-less attributes.
+void CollectPairs(const Database& db, std::set<std::string>* pairs,
+                  std::set<std::string>* atts_with_values,
+                  std::set<std::string>* all_atts) {
+  for (const auto& [rname, rel] : db.relations()) {
+    for (size_t i = 0; i < rel.arity(); ++i) {
+      all_atts->insert(rel.attributes()[i]);
+      for (const Tuple& t : rel.tuples()) {
+        if (t[i].is_null()) continue;
+        pairs->insert(PairKey(rel.attributes()[i], t[i].atom()));
+        atts_with_values->insert(rel.attributes()[i]);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+ColumnPairsHeuristic::ColumnPairsHeuristic(const Database& target) {
+  for (const auto& [rname, rel] : target.relations()) {
+    target_rels_.insert(rname);
+  }
+  std::set<std::string> with_values;
+  std::set<std::string> all_atts;
+  CollectPairs(target, &target_pairs_, &with_values, &all_atts);
+  for (const std::string& att : all_atts) {
+    if (!with_values.contains(att)) target_bare_atts_.insert(att);
+  }
+}
+
+int ColumnPairsHeuristic::Estimate(const Database& state) const {
+  std::set<std::string> state_pairs;
+  std::set<std::string> unused;
+  std::set<std::string> state_atts;
+  CollectPairs(state, &state_pairs, &unused, &state_atts);
+
+  int missing = 0;
+  for (const std::string& rel : target_rels_) {
+    if (!state.HasRelation(rel)) ++missing;
+  }
+  for (const std::string& pair : target_pairs_) {
+    if (!state_pairs.contains(pair)) ++missing;
+  }
+  for (const std::string& att : target_bare_atts_) {
+    if (!state_atts.contains(att)) ++missing;
+  }
+  return missing;
+}
+
+}  // namespace tupelo

@@ -1,0 +1,156 @@
+#include "heuristics/term_vector.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+#include <vector>
+
+namespace tupelo {
+namespace {
+
+std::string TripleKey(const std::string& rel, const std::string& att,
+                      const Value& value) {
+  std::string key = rel;
+  key += '\x1f';
+  key += att;
+  key += '\x1f';
+  key += value.is_null() ? std::string(1, '\x1e') : value.atom();
+  return key;
+}
+
+}  // namespace
+
+TermVector TermVector::FromDatabase(const Database& db) {
+  TermVector tv;
+  for (const auto& [rname, rel] : db.relations()) {
+    for (const Tuple& t : rel.tuples()) {
+      for (size_t i = 0; i < rel.arity(); ++i) {
+        tv.counts_[TripleKey(rname, rel.attributes()[i], t[i])] += 1.0;
+      }
+    }
+  }
+  return tv;
+}
+
+double TermVector::Norm() const {
+  double sum = 0.0;
+  for (const auto& [key, count] : counts_) sum += count * count;
+  return std::sqrt(sum);
+}
+
+double TermVector::EuclideanDistance(const TermVector& x, const TermVector& y) {
+  double sum = 0.0;
+  auto xi = x.counts_.begin();
+  auto yi = y.counts_.begin();
+  while (xi != x.counts_.end() || yi != y.counts_.end()) {
+    if (yi == y.counts_.end() ||
+        (xi != x.counts_.end() && xi->first < yi->first)) {
+      sum += xi->second * xi->second;
+      ++xi;
+    } else if (xi == x.counts_.end() || yi->first < xi->first) {
+      sum += yi->second * yi->second;
+      ++yi;
+    } else {
+      double d = xi->second - yi->second;
+      sum += d * d;
+      ++xi;
+      ++yi;
+    }
+  }
+  return std::sqrt(sum);
+}
+
+double TermVector::NormalizedEuclideanDistance(const TermVector& x,
+                                               const TermVector& y) {
+  double nx = x.Norm();
+  double ny = y.Norm();
+  double sum = 0.0;
+  auto xi = x.counts_.begin();
+  auto yi = y.counts_.begin();
+  auto xval = [&](double v) { return nx > 0.0 ? v / nx : 0.0; };
+  auto yval = [&](double v) { return ny > 0.0 ? v / ny : 0.0; };
+  while (xi != x.counts_.end() || yi != y.counts_.end()) {
+    if (yi == y.counts_.end() ||
+        (xi != x.counts_.end() && xi->first < yi->first)) {
+      double d = xval(xi->second);
+      sum += d * d;
+      ++xi;
+    } else if (xi == x.counts_.end() || yi->first < xi->first) {
+      double d = yval(yi->second);
+      sum += d * d;
+      ++yi;
+    } else {
+      double d = xval(xi->second) - yval(yi->second);
+      sum += d * d;
+      ++xi;
+      ++yi;
+    }
+  }
+  return std::sqrt(sum);
+}
+
+double TermVector::CosineSimilarity(const TermVector& x, const TermVector& y) {
+  double nx = x.Norm();
+  double ny = y.Norm();
+  if (nx == 0.0 || ny == 0.0) return 0.0;
+  double dot = 0.0;
+  auto xi = x.counts_.begin();
+  auto yi = y.counts_.begin();
+  while (xi != x.counts_.end() && yi != y.counts_.end()) {
+    if (xi->first < yi->first) {
+      ++xi;
+    } else if (yi->first < xi->first) {
+      ++yi;
+    } else {
+      dot += xi->second * yi->second;
+      ++xi;
+      ++yi;
+    }
+  }
+  return dot / (nx * ny);
+}
+
+double TermVector::JaccardSimilarity(const TermVector& x,
+                                     const TermVector& y) {
+  double min_sum = 0.0;
+  double max_sum = 0.0;
+  auto xi = x.counts_.begin();
+  auto yi = y.counts_.begin();
+  while (xi != x.counts_.end() || yi != y.counts_.end()) {
+    if (yi == y.counts_.end() ||
+        (xi != x.counts_.end() && xi->first < yi->first)) {
+      max_sum += xi->second;
+      ++xi;
+    } else if (xi == x.counts_.end() || yi->first < xi->first) {
+      max_sum += yi->second;
+      ++yi;
+    } else {
+      min_sum += std::min(xi->second, yi->second);
+      max_sum += std::max(xi->second, yi->second);
+      ++xi;
+      ++yi;
+    }
+  }
+  if (max_sum == 0.0) return 1.0;  // both empty: identical
+  return min_sum / max_sum;
+}
+
+std::string DatabaseToTnfString(const Database& db) {
+  std::vector<std::string> rows;
+  for (const auto& [rname, rel] : db.relations()) {
+    for (const Tuple& t : rel.tuples()) {
+      for (size_t i = 0; i < rel.arity(); ++i) {
+        std::string row = rname;
+        row += rel.attributes()[i];
+        row += t[i].is_null() ? std::string("⊥") : t[i].atom();
+        rows.push_back(std::move(row));
+      }
+    }
+  }
+  std::sort(rows.begin(), rows.end());
+  std::string out;
+  for (const std::string& row : rows) out += row;
+  return out;
+}
+
+}  // namespace tupelo

@@ -1,0 +1,57 @@
+#ifndef TUPELO_HEURISTICS_TERM_VECTOR_H_
+#define TUPELO_HEURISTICS_TERM_VECTOR_H_
+
+#include <map>
+#include <string>
+
+#include "relational/database.h"
+
+namespace tupelo {
+
+// The "databases as term vectors" view of §3: a database in TNF with rows
+// (k_i, r_i, a_i, v_i) becomes a vector counting occurrences of each
+// (REL, ATT, VALUE) triple. The paper's vector ranges over all n³ triples
+// of tokens; we store only the nonzero coordinates (a sparse map), which
+// yields identical distances.
+class TermVector {
+ public:
+  TermVector() = default;
+
+  static TermVector FromDatabase(const Database& db);
+
+  // Number of nonzero coordinates.
+  size_t nonzeros() const { return counts_.size(); }
+
+  // L2 norm.
+  double Norm() const;
+
+  const std::map<std::string, double>& counts() const { return counts_; }
+
+  // √Σ(x_i − y_i)².
+  static double EuclideanDistance(const TermVector& x, const TermVector& y);
+
+  // Distance between the L2-normalized vectors; zero vectors normalize to
+  // zero (distance to a nonzero unit vector is then 1).
+  static double NormalizedEuclideanDistance(const TermVector& x,
+                                            const TermVector& y);
+
+  // Σx_i·y_i / (|x||y|); 0 if either vector is zero.
+  static double CosineSimilarity(const TermVector& x, const TermVector& y);
+
+  // Multiset Jaccard: Σ min(x_i, y_i) / Σ max(x_i, y_i); 1 if both are
+  // zero vectors.
+  static double JaccardSimilarity(const TermVector& x, const TermVector& y);
+
+ private:
+  // Key: REL, ATT, VALUE joined with '\x1f'; nulls encoded as '\x1e'.
+  std::map<std::string, double> counts_;
+};
+
+// The "databases as strings" view of §3: for each TNF row, the string
+// r ⊕ a ⊕ v; rows sorted lexicographically and concatenated. Nulls render
+// as "⊥".
+std::string DatabaseToTnfString(const Database& db);
+
+}  // namespace tupelo
+
+#endif  // TUPELO_HEURISTICS_TERM_VECTOR_H_

@@ -1,0 +1,153 @@
+#include "relational/algebra.h"
+
+#include <optional>
+#include <set>
+#include <utility>
+
+namespace tupelo {
+
+Relation Select(const Relation& input, const TuplePredicate& predicate) {
+  Result<Relation> out = Relation::Create(input.name(), input.attributes());
+  Relation result = std::move(out).value();
+  for (const Tuple& t : input.tuples()) {
+    if (predicate(input, t)) {
+      (void)result.AddTuple(t);
+    }
+  }
+  return result;
+}
+
+TuplePredicate AttributeEquals(std::string attr, std::string atom) {
+  return [attr = std::move(attr), atom = std::move(atom)](
+             const Relation& schema, const Tuple& tuple) {
+    std::optional<size_t> idx = schema.AttributeIndex(attr);
+    if (!idx.has_value()) return false;
+    const Value& v = tuple[*idx];
+    return !v.is_null() && v.atom() == atom;
+  };
+}
+
+TuplePredicate AttributeIsNull(std::string attr) {
+  return [attr = std::move(attr)](const Relation& schema,
+                                  const Tuple& tuple) {
+    std::optional<size_t> idx = schema.AttributeIndex(attr);
+    if (!idx.has_value()) return false;
+    return tuple[*idx].is_null();
+  };
+}
+
+Result<Relation> Project(const Relation& input,
+                         const std::vector<std::string>& attrs) {
+  TUPELO_ASSIGN_OR_RETURN(Relation out, Relation::Create(input.name(), attrs));
+  TUPELO_ASSIGN_OR_RETURN(std::vector<Tuple> tuples,
+                          input.ProjectTuples(attrs));
+  for (Tuple& t : tuples) {
+    TUPELO_RETURN_IF_ERROR(out.AddTuple(std::move(t)));
+  }
+  return out;
+}
+
+namespace {
+
+Status RequireSameSchema(const Relation& left, const Relation& right,
+                         const char* op) {
+  if (left.attributes() != right.attributes()) {
+    return Status::InvalidArgument(
+        std::string(op) + ": schemas differ (" + left.name() + " vs " +
+        right.name() + ")");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<Relation> Union(const Relation& left, const Relation& right) {
+  TUPELO_RETURN_IF_ERROR(RequireSameSchema(left, right, "union"));
+  TUPELO_ASSIGN_OR_RETURN(Relation out,
+                          Relation::Create(left.name(), left.attributes()));
+  for (const Tuple& t : left.tuples()) TUPELO_RETURN_IF_ERROR(out.AddTuple(t));
+  for (const Tuple& t : right.tuples()) {
+    TUPELO_RETURN_IF_ERROR(out.AddTuple(t));
+  }
+  return out;
+}
+
+Result<Relation> Difference(const Relation& left, const Relation& right) {
+  TUPELO_RETURN_IF_ERROR(RequireSameSchema(left, right, "difference"));
+  TUPELO_ASSIGN_OR_RETURN(Relation out,
+                          Relation::Create(left.name(), left.attributes()));
+  // Bag difference: each right tuple cancels one left occurrence.
+  std::vector<bool> used(right.size(), false);
+  for (const Tuple& t : left.tuples()) {
+    bool cancelled = false;
+    for (size_t i = 0; i < right.size(); ++i) {
+      if (!used[i] && right.tuples()[i] == t) {
+        used[i] = true;
+        cancelled = true;
+        break;
+      }
+    }
+    if (!cancelled) TUPELO_RETURN_IF_ERROR(out.AddTuple(t));
+  }
+  return out;
+}
+
+Result<Relation> NaturalJoin(const Relation& left, const Relation& right) {
+  // Shared attributes, in left's order.
+  std::vector<std::string> shared;
+  for (const std::string& a : left.attributes()) {
+    if (right.HasAttribute(a)) shared.push_back(a);
+  }
+  std::vector<std::string> out_attrs = left.attributes();
+  for (const std::string& a : right.attributes()) {
+    if (!left.HasAttribute(a)) out_attrs.push_back(a);
+  }
+  TUPELO_ASSIGN_OR_RETURN(
+      Relation out, Relation::Create(left.name() + "⨝" + right.name(),
+                                     std::move(out_attrs)));
+
+  std::vector<size_t> left_shared;
+  std::vector<size_t> right_shared;
+  for (const std::string& a : shared) {
+    left_shared.push_back(*left.AttributeIndex(a));
+    right_shared.push_back(*right.AttributeIndex(a));
+  }
+  std::vector<size_t> right_extra;
+  for (size_t i = 0; i < right.arity(); ++i) {
+    if (!left.HasAttribute(right.attributes()[i])) right_extra.push_back(i);
+  }
+
+  for (const Tuple& lt : left.tuples()) {
+    for (const Tuple& rt : right.tuples()) {
+      bool match = true;
+      for (size_t i = 0; i < shared.size(); ++i) {
+        const Value& lv = lt[left_shared[i]];
+        const Value& rv = rt[right_shared[i]];
+        if (lv.is_null() || rv.is_null() || !(lv == rv)) {
+          match = false;
+          break;
+        }
+      }
+      if (!match) continue;
+      std::vector<Value> vs = lt.values();
+      for (size_t i : right_extra) vs.push_back(rt[i]);
+      TUPELO_RETURN_IF_ERROR(out.AddTuple(Tuple(std::move(vs))));
+    }
+  }
+  return out;
+}
+
+Relation Distinct(const Relation& input) {
+  Result<Relation> created =
+      Relation::Create(input.name(), input.attributes());
+  Relation out = std::move(created).value();
+  std::set<Tuple> seen;
+  for (const Tuple& t : input.tuples()) {
+    if (seen.insert(t).second) {
+      (void)out.AddTuple(t);
+    }
+  }
+  return out;
+}
+
+}  // namespace tupelo

@@ -1,0 +1,54 @@
+#ifndef TUPELO_RELATIONAL_ALGEBRA_H_
+#define TUPELO_RELATIONAL_ALGEBRA_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "relational/relation.h"
+
+namespace tupelo {
+
+// Classic (named-perspective) relational algebra over Relation values.
+// FIRA — and hence TUPELO's language L — extends this algebra with the
+// data-metadata operators (fira/operators.h); the classic fragment lives
+// here and is used for post-processing (§2.1: selections/projections are
+// applied after mapping discovery) and by tests.
+//
+// All operators are pure: inputs are untouched, results are new relations
+// (named after the primary input unless stated otherwise). Bag semantics
+// throughout, matching the rest of the library; Distinct() removes
+// duplicates explicitly.
+
+// A row predicate: receives the tuple and the owning relation's schema.
+using TuplePredicate =
+    std::function<bool(const Relation& schema, const Tuple& tuple)>;
+
+// σ: keeps the tuples satisfying `predicate`.
+Relation Select(const Relation& input, const TuplePredicate& predicate);
+
+// Convenience predicates for Select.
+TuplePredicate AttributeEquals(std::string attr, std::string atom);
+TuplePredicate AttributeIsNull(std::string attr);
+
+// π: projects onto `attrs` in the given order (duplicates preserved).
+Result<Relation> Project(const Relation& input,
+                         const std::vector<std::string>& attrs);
+
+// ∪ / −: inputs must have identical schemas (same attributes, same order).
+Result<Relation> Union(const Relation& left, const Relation& right);
+Result<Relation> Difference(const Relation& left, const Relation& right);
+
+// ⨝: natural join on the shared attributes (Cartesian product when the
+// schemas are disjoint). Null join-key values never match. The result is
+// named "left⨝right" with left's attributes followed by right's non-shared
+// attributes.
+Result<Relation> NaturalJoin(const Relation& left, const Relation& right);
+
+// Removes duplicate tuples (bag → set).
+Relation Distinct(const Relation& input);
+
+}  // namespace tupelo
+
+#endif  // TUPELO_RELATIONAL_ALGEBRA_H_

@@ -1,0 +1,100 @@
+#include "relational/catalog.h"
+
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "relational/algebra.h"
+#include "relational/tnf.h"
+
+namespace tupelo {
+
+Relation BuildRelationCatalog(const Database& db) {
+  Result<Relation> created =
+      Relation::Create(kCatalogRelations, {kTnfRel});
+  Relation out = std::move(created).value();
+  for (const auto& [name, rel] : db.relations()) {
+    (void)out.AddRow({name});
+  }
+  return out;
+}
+
+Relation BuildAttributeCatalog(const Database& db) {
+  Result<Relation> created =
+      Relation::Create(kCatalogAttributes, {kTnfRel, kTnfAtt, "POS"});
+  Relation out = std::move(created).value();
+  for (const auto& [name, rel] : db.relations()) {
+    for (size_t i = 0; i < rel.arity(); ++i) {
+      (void)out.AddRow({name, rel.attributes()[i], std::to_string(i)});
+    }
+  }
+  return out;
+}
+
+Result<Relation> BuildTnfViaCatalog(const Database& db) {
+  // The construction the paper sketches in SQL: for every catalog row
+  // (REL, ATT, POS), select that relation's column ATT paired with a tuple
+  // id, and union the per-column results.
+  Relation attributes = BuildAttributeCatalog(db);
+  TUPELO_ASSIGN_OR_RETURN(
+      Relation tnf,
+      Relation::Create(kTnfRelationName,
+                       {kTnfTid, kTnfRel, kTnfAtt, kTnfValue}));
+
+  // Assign tuple ids per relation, in (relation, position) order —
+  // consistent with a ROW_NUMBER() over the base table.
+  std::map<std::string, size_t> tid_base;
+  {
+    size_t next = 1;
+    Relation rels = BuildRelationCatalog(db);
+    for (const Tuple& t : rels.tuples()) {
+      const std::string& name = t[0].atom();
+      TUPELO_ASSIGN_OR_RETURN(const Relation* rel, db.GetRelation(name));
+      tid_base[name] = next;
+      next += rel->size();
+    }
+  }
+
+  for (const Tuple& catalog_row : attributes.tuples()) {
+    const std::string& rel_name = catalog_row[0].atom();
+    const std::string& att_name = catalog_row[1].atom();
+    TUPELO_ASSIGN_OR_RETURN(const Relation* rel, db.GetRelation(rel_name));
+    // π_ATT applied through the library's algebra, keeping bag order.
+    TUPELO_ASSIGN_OR_RETURN(Relation column, Project(*rel, {att_name}));
+    for (size_t i = 0; i < column.size(); ++i) {
+      std::string tid = "t" + std::to_string(tid_base.at(rel_name) + i);
+      TUPELO_RETURN_IF_ERROR(tnf.AddTuple(Tuple(std::vector<Value>{
+          Value(tid), Value(rel_name), Value(att_name),
+          column.tuples()[i][0]})));
+    }
+  }
+  return tnf;
+}
+
+namespace {
+
+// The (REL, ATT, VALUE) triple bag, TIDs erased, as a sorted multiset.
+std::multiset<std::string> TripleBag(const Relation& tnf) {
+  std::multiset<std::string> bag;
+  for (const Tuple& t : tnf.tuples()) {
+    std::string key = t[1].atom();
+    key += '\x1f';
+    key += t[2].atom();
+    key += '\x1f';
+    key += t[3].is_null() ? std::string(1, '\x1e') : t[3].atom();
+    bag.insert(std::move(key));
+  }
+  return bag;
+}
+
+}  // namespace
+
+Result<bool> VerifyCatalogTnf(const Database& db) {
+  TUPELO_ASSIGN_OR_RETURN(Relation via_catalog, BuildTnfViaCatalog(db));
+  Relation direct = EncodeTnf(db);
+  return TripleBag(via_catalog) == TripleBag(direct);
+}
+
+}  // namespace tupelo

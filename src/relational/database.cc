@@ -1,0 +1,144 @@
+#include "relational/database.h"
+
+#include <utility>
+
+#include "common/hash.h"
+
+namespace tupelo {
+
+Status Database::AddRelation(Relation relation) {
+  fingerprint_.reset();
+  std::string name = relation.name();
+  if (name.empty()) {
+    return Status::InvalidArgument("relation name must be non-empty");
+  }
+  auto [it, inserted] = relations_.emplace(name, std::move(relation));
+  (void)it;
+  if (!inserted) {
+    return Status::AlreadyExists("relation '" + name + "' already exists");
+  }
+  return Status::OK();
+}
+
+void Database::PutRelation(Relation relation) {
+  fingerprint_.reset();
+  std::string name = relation.name();
+  relations_.insert_or_assign(std::move(name), std::move(relation));
+}
+
+Status Database::RemoveRelation(std::string_view name) {
+  fingerprint_.reset();
+  auto it = relations_.find(std::string(name));
+  if (it == relations_.end()) {
+    return Status::NotFound("relation '" + std::string(name) + "' not found");
+  }
+  relations_.erase(it);
+  return Status::OK();
+}
+
+Status Database::RenameRelation(std::string_view from, const std::string& to) {
+  fingerprint_.reset();
+  if (to.empty()) {
+    return Status::InvalidArgument("relation name must be non-empty");
+  }
+  auto it = relations_.find(std::string(from));
+  if (it == relations_.end()) {
+    return Status::NotFound("relation '" + std::string(from) + "' not found");
+  }
+  if (relations_.contains(to)) {
+    return Status::AlreadyExists("relation '" + to + "' already exists");
+  }
+  Relation r = std::move(it->second);
+  relations_.erase(it);
+  r.set_name(to);
+  relations_.emplace(to, std::move(r));
+  return Status::OK();
+}
+
+bool Database::HasRelation(std::string_view name) const {
+  return relations_.contains(std::string(name));
+}
+
+Result<const Relation*> Database::GetRelation(std::string_view name) const {
+  auto it = relations_.find(std::string(name));
+  if (it == relations_.end()) {
+    return Status::NotFound("relation '" + std::string(name) + "' not found");
+  }
+  return &it->second;
+}
+
+Result<Relation*> Database::GetMutableRelation(std::string_view name) {
+  fingerprint_.reset();
+  auto it = relations_.find(std::string(name));
+  if (it == relations_.end()) {
+    return Status::NotFound("relation '" + std::string(name) + "' not found");
+  }
+  return &it->second;
+}
+
+std::vector<std::string> Database::RelationNames() const {
+  std::vector<std::string> names;
+  names.reserve(relations_.size());
+  for (const auto& [name, rel] : relations_) names.push_back(name);
+  return names;
+}
+
+size_t Database::TupleCount() const {
+  size_t n = 0;
+  for (const auto& [name, rel] : relations_) n += rel.size();
+  return n;
+}
+
+bool Database::Contains(const Database& target) const {
+  for (const auto& [name, trel] : target.relations_) {
+    auto it = relations_.find(name);
+    if (it == relations_.end()) return false;
+    const Relation& srel = it->second;
+    // Target attributes must all be present here.
+    for (const std::string& attr : trel.attributes()) {
+      if (!srel.HasAttribute(attr)) return false;
+    }
+    Result<std::vector<Tuple>> projected =
+        srel.ProjectTuples(trel.attributes());
+    if (!projected.ok()) return false;
+    // Every target tuple must match some projected tuple.
+    for (const Tuple& want : trel.tuples()) {
+      bool found = false;
+      for (const Tuple& have : projected.value()) {
+        if (have == want) {
+          found = true;
+          break;
+        }
+      }
+      if (!found) return false;
+    }
+  }
+  return true;
+}
+
+std::string Database::CanonicalKey() const {
+  std::string key;
+  for (const auto& [name, rel] : relations_) {
+    key += rel.CanonicalKey();
+    key += ";";
+  }
+  return key;
+}
+
+uint64_t Database::Fingerprint() const {
+  if (!fingerprint_.has_value()) fingerprint_ = Fnv1a(CanonicalKey());
+  return *fingerprint_;
+}
+
+std::string Database::ToString() const {
+  std::string out;
+  bool first = true;
+  for (const auto& [name, rel] : relations_) {
+    if (!first) out += "\n";
+    first = false;
+    out += rel.ToString();
+  }
+  return out;
+}
+
+}  // namespace tupelo

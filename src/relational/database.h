@@ -1,0 +1,83 @@
+#ifndef TUPELO_RELATIONAL_DATABASE_H_
+#define TUPELO_RELATIONAL_DATABASE_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "relational/relation.h"
+
+namespace tupelo {
+
+// A database instance: a set of relations keyed by name. Database values
+// are the states of TUPELO's search space; they are value types (copied
+// freely) with a stable canonical fingerprint for duplicate detection.
+class Database {
+ public:
+  Database() = default;
+
+  // Adds a relation; fails if one with the same name exists.
+  Status AddRelation(Relation relation);
+
+  // Replaces or inserts.
+  void PutRelation(Relation relation);
+
+  Status RemoveRelation(std::string_view name);
+
+  // Renames relation `from` to `to`; `to` must not exist.
+  Status RenameRelation(std::string_view from, const std::string& to);
+
+  bool HasRelation(std::string_view name) const;
+
+  // Fails with NotFound if absent.
+  Result<const Relation*> GetRelation(std::string_view name) const;
+  Result<Relation*> GetMutableRelation(std::string_view name);
+
+  // Relation names in sorted order.
+  std::vector<std::string> RelationNames() const;
+
+  // Relations in name-sorted order.
+  const std::map<std::string, Relation>& relations() const {
+    return relations_;
+  }
+
+  size_t relation_count() const { return relations_.size(); }
+  bool empty() const { return relations_.empty(); }
+
+  // Total number of tuples across relations.
+  size_t TupleCount() const;
+
+  // True if this database "contains" `target` in the sense of TUPELO's
+  // goal test (§2.3): every relation of `target` has a same-named relation
+  // here whose attributes are a superset, and every target tuple equals the
+  // projection of some tuple here onto the target's attributes.
+  bool Contains(const Database& target) const;
+
+  // Stable text fingerprint of the whole instance (relation canonical keys
+  // joined in name order); equal keys <=> equal instances.
+  std::string CanonicalKey() const;
+
+  // 64-bit stable fingerprint of CanonicalKey(). Cached: search states are
+  // written once and fingerprinted many times. Mutating methods (including
+  // GetMutableRelation) invalidate the cache.
+  uint64_t Fingerprint() const;
+
+  bool ContentsEqual(const Database& other) const {
+    return CanonicalKey() == other.CanonicalKey();
+  }
+
+  std::string ToString() const;
+
+ private:
+  std::map<std::string, Relation> relations_;
+  mutable std::optional<uint64_t> fingerprint_;
+};
+
+}  // namespace tupelo
+
+#endif  // TUPELO_RELATIONAL_DATABASE_H_

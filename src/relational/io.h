@@ -1,0 +1,42 @@
+#ifndef TUPELO_RELATIONAL_IO_H_
+#define TUPELO_RELATIONAL_IO_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "relational/database.h"
+
+namespace tupelo {
+
+// Text format for database instances (".tdb"):
+//
+//   # comment to end of line
+//   relation Flights (Carrier, Fee, ATL29, ORD17) {
+//     (AirEast, 15, 100, 110)
+//     ("Jet West", "16", null, 220)
+//   }
+//
+// Atoms are bare words (no whitespace or punctuation ()-{},"#) or
+// double-quoted strings with \\ \" \n \t escapes; `null` (bare, case
+// sensitive) is the null value. Attribute names follow the same lexical
+// rules as atoms.
+Result<Database> ParseTdb(std::string_view text);
+
+// Serializes `db` in .tdb format; round-trips through ParseTdb.
+std::string WriteTdb(const Database& db);
+
+// Reads/writes a single relation as RFC-4180-style CSV. The first record is
+// the header (attribute names). Fields containing commas, quotes or
+// newlines are double-quoted with "" escaping. An empty unquoted field is
+// null; an explicitly quoted empty field ("") is the empty atom.
+Result<Relation> ParseCsvRelation(std::string name, std::string_view csv);
+std::string WriteCsv(const Relation& relation);
+
+// File helpers.
+Result<Database> LoadTdbFile(const std::string& path);
+Status SaveTdbFile(const Database& db, const std::string& path);
+
+}  // namespace tupelo
+
+#endif  // TUPELO_RELATIONAL_IO_H_

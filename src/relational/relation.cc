@@ -1,0 +1,184 @@
+#include "relational/relation.h"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_set>
+#include <utility>
+
+#include "common/string_util.h"
+
+namespace tupelo {
+
+Result<Relation> Relation::Create(std::string name,
+                                  std::vector<std::string> attributes) {
+  if (name.empty()) {
+    return Status::InvalidArgument("relation name must be non-empty");
+  }
+  std::unordered_set<std::string_view> seen;
+  for (const std::string& attr : attributes) {
+    if (attr.empty()) {
+      return Status::InvalidArgument("attribute name must be non-empty (in " +
+                                     name + ")");
+    }
+    if (!seen.insert(attr).second) {
+      return Status::InvalidArgument("duplicate attribute '" + attr + "' in " +
+                                     name);
+    }
+  }
+  Relation r;
+  r.name_ = std::move(name);
+  r.attributes_ = std::move(attributes);
+  return r;
+}
+
+std::optional<size_t> Relation::AttributeIndex(std::string_view attr) const {
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    if (attributes_[i] == attr) return i;
+  }
+  return std::nullopt;
+}
+
+Status Relation::AddTuple(Tuple tuple) {
+  if (tuple.size() != attributes_.size()) {
+    return Status::InvalidArgument(
+        "tuple arity " + std::to_string(tuple.size()) + " != schema arity " +
+        std::to_string(attributes_.size()) + " in " + name_);
+  }
+  tuples_.push_back(std::move(tuple));
+  return Status::OK();
+}
+
+Status Relation::AddRow(const std::vector<std::string>& atoms) {
+  return AddTuple(Tuple::OfAtoms(atoms));
+}
+
+Status Relation::AddAttribute(const std::string& attr, const Value& fill) {
+  if (attr.empty()) {
+    return Status::InvalidArgument("attribute name must be non-empty");
+  }
+  if (HasAttribute(attr)) {
+    return Status::AlreadyExists("attribute '" + attr + "' already in " +
+                                 name_);
+  }
+  attributes_.push_back(attr);
+  for (Tuple& t : tuples_) t.Append(fill);
+  return Status::OK();
+}
+
+Status Relation::DropAttribute(std::string_view attr) {
+  std::optional<size_t> idx = AttributeIndex(attr);
+  if (!idx.has_value()) {
+    return Status::NotFound("attribute '" + std::string(attr) + "' not in " +
+                            name_);
+  }
+  attributes_.erase(attributes_.begin() + static_cast<ptrdiff_t>(*idx));
+  for (Tuple& t : tuples_) t.Erase(*idx);
+  return Status::OK();
+}
+
+Status Relation::RenameAttribute(std::string_view from, const std::string& to) {
+  std::optional<size_t> idx = AttributeIndex(from);
+  if (!idx.has_value()) {
+    return Status::NotFound("attribute '" + std::string(from) + "' not in " +
+                            name_);
+  }
+  if (to.empty()) {
+    return Status::InvalidArgument("attribute name must be non-empty");
+  }
+  if (HasAttribute(to)) {
+    return Status::AlreadyExists("attribute '" + to + "' already in " + name_);
+  }
+  attributes_[*idx] = to;
+  return Status::OK();
+}
+
+Result<std::vector<std::string>> Relation::DistinctValues(
+    std::string_view attr) const {
+  std::optional<size_t> idx = AttributeIndex(attr);
+  if (!idx.has_value()) {
+    return Status::NotFound("attribute '" + std::string(attr) + "' not in " +
+                            name_);
+  }
+  std::vector<std::string> out;
+  std::unordered_set<std::string_view> seen;
+  for (const Tuple& t : tuples_) {
+    const Value& v = t[*idx];
+    if (v.is_null()) continue;
+    if (seen.insert(v.atom()).second) out.push_back(v.atom());
+  }
+  return out;
+}
+
+Result<std::vector<Tuple>> Relation::ProjectTuples(
+    const std::vector<std::string>& attrs) const {
+  std::vector<size_t> indices;
+  indices.reserve(attrs.size());
+  for (const std::string& a : attrs) {
+    std::optional<size_t> idx = AttributeIndex(a);
+    if (!idx.has_value()) {
+      return Status::NotFound("attribute '" + a + "' not in " + name_);
+    }
+    indices.push_back(*idx);
+  }
+  std::vector<Tuple> out;
+  out.reserve(tuples_.size());
+  for (const Tuple& t : tuples_) {
+    std::vector<Value> vs;
+    vs.reserve(indices.size());
+    for (size_t i : indices) vs.push_back(t[i]);
+    out.emplace_back(std::move(vs));
+  }
+  return out;
+}
+
+Relation Relation::Canonical() const {
+  std::vector<size_t> order(attributes_.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [this](size_t a, size_t b) {
+    return attributes_[a] < attributes_[b];
+  });
+
+  Relation out;
+  out.name_ = name_;
+  out.attributes_.reserve(attributes_.size());
+  for (size_t i : order) out.attributes_.push_back(attributes_[i]);
+  out.tuples_.reserve(tuples_.size());
+  for (const Tuple& t : tuples_) {
+    std::vector<Value> vs;
+    vs.reserve(order.size());
+    for (size_t i : order) vs.push_back(t[i]);
+    out.tuples_.emplace_back(std::move(vs));
+  }
+  std::sort(out.tuples_.begin(), out.tuples_.end());
+  return out;
+}
+
+std::string Relation::CanonicalKey() const {
+  Relation c = Canonical();
+  std::string key = Quote(c.name_) + "[";
+  for (size_t i = 0; i < c.attributes_.size(); ++i) {
+    if (i > 0) key += ",";
+    key += Quote(c.attributes_[i]);
+  }
+  key += "]{";
+  for (const Tuple& t : c.tuples_) {
+    key += "(";
+    for (size_t i = 0; i < t.size(); ++i) {
+      if (i > 0) key += ",";
+      key += t[i].is_null() ? std::string("@null") : Quote(t[i].atom());
+    }
+    key += ")";
+  }
+  key += "}";
+  return key;
+}
+
+std::string Relation::ToString() const {
+  std::string out = name_ + "(" + Join(attributes_, ", ") + ")";
+  for (const Tuple& t : tuples_) {
+    out += "\n  " + t.ToString();
+  }
+  return out;
+}
+
+}  // namespace tupelo

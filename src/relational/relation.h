@@ -1,0 +1,96 @@
+#ifndef TUPELO_RELATIONAL_RELATION_H_
+#define TUPELO_RELATIONAL_RELATION_H_
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "relational/tuple.h"
+
+namespace tupelo {
+
+// A named relation: an attribute list (the schema) plus a bag of tuples.
+// Attribute names are unique within a relation; tuple order is not
+// semantically meaningful (canonicalization sorts tuples), but insertion
+// order is preserved for display.
+class Relation {
+ public:
+  Relation() = default;
+
+  // Builds an empty relation, validating that `name` is non-empty and the
+  // attribute names are non-empty and pairwise distinct.
+  static Result<Relation> Create(std::string name,
+                                 std::vector<std::string> attributes);
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  const std::vector<std::string>& attributes() const { return attributes_; }
+  size_t arity() const { return attributes_.size(); }
+
+  const std::vector<Tuple>& tuples() const { return tuples_; }
+  size_t size() const { return tuples_.size(); }
+  bool empty() const { return tuples_.empty(); }
+
+  // Position of attribute `attr`, or nullopt.
+  std::optional<size_t> AttributeIndex(std::string_view attr) const;
+  bool HasAttribute(std::string_view attr) const {
+    return AttributeIndex(attr).has_value();
+  }
+
+  // Appends a tuple; fails unless its arity matches the schema.
+  Status AddTuple(Tuple tuple);
+
+  // Convenience for tests/fixtures: appends a tuple of non-null atoms.
+  Status AddRow(const std::vector<std::string>& atoms);
+
+  // Appends attribute `attr` (must be fresh) with value `fill` in all
+  // existing tuples.
+  Status AddAttribute(const std::string& attr, const Value& fill = Value());
+
+  // Removes attribute `attr` and its column of values.
+  Status DropAttribute(std::string_view attr);
+
+  // Renames attribute `from` to `to`; `to` must not already exist.
+  Status RenameAttribute(std::string_view from, const std::string& to);
+
+  // The distinct non-null values appearing in column `attr`, in first-seen
+  // order. Fails if the attribute does not exist.
+  Result<std::vector<std::string>> DistinctValues(std::string_view attr) const;
+
+  // Projection of every tuple onto `attrs` (all must exist), preserving
+  // duplicates. Used by the containment test.
+  Result<std::vector<Tuple>> ProjectTuples(
+      const std::vector<std::string>& attrs) const;
+
+  // Returns a copy with attributes sorted by name (columns permuted
+  // consistently) and tuples sorted; equal canonical forms identify equal
+  // relation contents.
+  Relation Canonical() const;
+
+  // Stable text fingerprint of the canonical form, used for state hashing.
+  std::string CanonicalKey() const;
+
+  // Multi-line display: header then one tuple per line.
+  std::string ToString() const;
+
+  // Contents-equal after canonicalization (name, schema as a set, tuple
+  // bag). operator== is intentionally not provided: column/tuple order is
+  // presentation detail and an accidental ordered comparison is a bug trap.
+  bool ContentsEqual(const Relation& other) const {
+    return CanonicalKey() == other.CanonicalKey();
+  }
+
+ private:
+  std::string name_;
+  std::vector<std::string> attributes_;
+  std::vector<Tuple> tuples_;
+};
+
+}  // namespace tupelo
+
+#endif  // TUPELO_RELATIONAL_RELATION_H_

@@ -1,0 +1,134 @@
+#include "relational/tnf.h"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+namespace tupelo {
+
+Relation EncodeTnf(const Database& db) {
+  Result<Relation> created = Relation::Create(
+      kTnfRelationName, {kTnfTid, kTnfRel, kTnfAtt, kTnfValue});
+  Relation tnf = std::move(created).value();
+  size_t next_tid = 1;
+  for (const auto& [rname, rel] : db.relations()) {
+    for (const Tuple& t : rel.tuples()) {
+      std::string tid = "t" + std::to_string(next_tid++);
+      for (size_t i = 0; i < rel.arity(); ++i) {
+        Tuple row(std::vector<Value>{Value(tid), Value(rname),
+                                     Value(rel.attributes()[i]), t[i]});
+        // Arity is four by construction; AddTuple cannot fail.
+        (void)tnf.AddTuple(std::move(row));
+      }
+    }
+  }
+  return tnf;
+}
+
+std::vector<TnfRow> TnfRows(const Database& db) {
+  Relation tnf = EncodeTnf(db);
+  std::vector<TnfRow> rows;
+  rows.reserve(tnf.size());
+  for (const Tuple& t : tnf.tuples()) {
+    rows.push_back(TnfRow{t[0].atom(), t[1].atom(), t[2].atom(), t[3]});
+  }
+  return rows;
+}
+
+Result<Database> DecodeTnf(const Relation& tnf) {
+  const std::vector<std::string> want = {kTnfTid, kTnfRel, kTnfAtt, kTnfValue};
+  if (tnf.attributes() != want) {
+    return Status::InvalidArgument(
+        "TNF relation must have attributes (TID, REL, ATT, VALUE), got (" +
+        [&] {
+          std::string s;
+          for (size_t i = 0; i < tnf.attributes().size(); ++i) {
+            if (i > 0) s += ", ";
+            s += tnf.attributes()[i];
+          }
+          return s;
+        }() +
+        ")");
+  }
+
+  // Group rows by TID, remembering relation, attribute order and values.
+  struct TupleBuild {
+    std::string rel;
+    std::vector<std::string> attrs;
+    std::vector<Value> values;
+    size_t first_row;  // for deterministic tuple ordering
+  };
+  std::map<std::string, TupleBuild> by_tid;
+  std::vector<std::string> tid_order;
+
+  for (size_t row_idx = 0; row_idx < tnf.tuples().size(); ++row_idx) {
+    const Tuple& row = tnf.tuples()[row_idx];
+    for (size_t i = 0; i < 3; ++i) {
+      if (row[i].is_null()) {
+        return Status::ParseError("TNF TID/REL/ATT must be non-null");
+      }
+    }
+    const std::string& tid = row[0].atom();
+    const std::string& rel = row[1].atom();
+    const std::string& att = row[2].atom();
+
+    auto [it, inserted] = by_tid.try_emplace(tid);
+    TupleBuild& tb = it->second;
+    if (inserted) {
+      tb.rel = rel;
+      tb.first_row = row_idx;
+      tid_order.push_back(tid);
+    } else if (tb.rel != rel) {
+      return Status::ParseError("TID '" + tid +
+                                "' spans relations '" + tb.rel + "' and '" +
+                                rel + "'");
+    }
+    for (const std::string& prev : tb.attrs) {
+      if (prev == att) {
+        return Status::ParseError("TID '" + tid + "' repeats attribute '" +
+                                  att + "'");
+      }
+    }
+    tb.attrs.push_back(att);
+    tb.values.push_back(row[3]);
+  }
+
+  // Assemble relations; attribute order = first-mentioned tuple's order.
+  Database db;
+  // Sort tids by first appearance to keep tuple order stable.
+  std::sort(tid_order.begin(), tid_order.end(),
+            [&](const std::string& a, const std::string& b) {
+              return by_tid.at(a).first_row < by_tid.at(b).first_row;
+            });
+
+  for (const std::string& tid : tid_order) {
+    const TupleBuild& tb = by_tid.at(tid);
+    if (!db.HasRelation(tb.rel)) {
+      TUPELO_ASSIGN_OR_RETURN(Relation r,
+                              Relation::Create(tb.rel, tb.attrs));
+      TUPELO_RETURN_IF_ERROR(db.AddRelation(std::move(r)));
+    }
+    TUPELO_ASSIGN_OR_RETURN(Relation * rel, db.GetMutableRelation(tb.rel));
+    if (tb.attrs.size() != rel->arity()) {
+      return Status::ParseError("TID '" + tid + "' has " +
+                                std::to_string(tb.attrs.size()) +
+                                " attributes; relation '" + tb.rel + "' has " +
+                                std::to_string(rel->arity()));
+    }
+    // Reorder values into the relation's attribute order.
+    std::vector<Value> ordered(rel->arity());
+    for (size_t i = 0; i < tb.attrs.size(); ++i) {
+      std::optional<size_t> idx = rel->AttributeIndex(tb.attrs[i]);
+      if (!idx.has_value()) {
+        return Status::ParseError("TID '" + tid + "' mentions attribute '" +
+                                  tb.attrs[i] + "' unknown to relation '" +
+                                  tb.rel + "'");
+      }
+      ordered[*idx] = tb.values[i];
+    }
+    TUPELO_RETURN_IF_ERROR(rel->AddTuple(Tuple(std::move(ordered))));
+  }
+  return db;
+}
+
+}  // namespace tupelo

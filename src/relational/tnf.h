@@ -1,0 +1,53 @@
+#ifndef TUPELO_RELATIONAL_TNF_H_
+#define TUPELO_RELATIONAL_TNF_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "relational/database.h"
+
+namespace tupelo {
+
+// Tuple Normal Form (Litwin, Ketabchi & Krishnamurthy 1991): a whole
+// database encoded as one four-column relation
+//   (TID, REL, ATT, VALUE)
+// with one row per (tuple, attribute) pair. TUPELO uses TNF as its internal
+// interchange format; the set-based heuristics (h1..h3) are defined over
+// the REL/ATT/VALUE columns.
+
+inline constexpr char kTnfTid[] = "TID";
+inline constexpr char kTnfRel[] = "REL";
+inline constexpr char kTnfAtt[] = "ATT";
+inline constexpr char kTnfValue[] = "VALUE";
+inline constexpr char kTnfRelationName[] = "TNF";
+
+// One decoded TNF row.
+struct TnfRow {
+  std::string tid;
+  std::string rel;
+  std::string att;
+  Value value;
+
+  friend bool operator==(const TnfRow&, const TnfRow&) = default;
+};
+
+// Encodes `db` into its TNF relation. Tuple IDs are "t1", "t2", ... assigned
+// in (relation-name, tuple-position) order, unique across the database.
+// Null cells are encoded as null VALUEs. Empty relations and attribute-less
+// tuples produce no rows (TNF cannot represent them; see DecodeTnf).
+Relation EncodeTnf(const Database& db);
+
+// Convenience: the rows of EncodeTnf as structs.
+std::vector<TnfRow> TnfRows(const Database& db);
+
+// Rebuilds a database from a TNF relation. The input must have exactly the
+// four TNF attributes. Each (TID) group must mention every attribute of its
+// relation exactly once, and all tuples of one relation must agree on the
+// attribute set; otherwise a ParseError/InvalidArgument is returned.
+// Attribute order within a relation is first-mention order.
+Result<Database> DecodeTnf(const Relation& tnf);
+
+}  // namespace tupelo
+
+#endif  // TUPELO_RELATIONAL_TNF_H_

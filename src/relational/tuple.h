@@ -1,0 +1,86 @@
+#ifndef TUPELO_RELATIONAL_TUPLE_H_
+#define TUPELO_RELATIONAL_TUPLE_H_
+
+#include <compare>
+#include <cstddef>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "relational/value.h"
+
+namespace tupelo {
+
+// An ordered list of values, positionally aligned with the schema of the
+// relation that owns it. Tuples are plain data; schema-aware operations
+// (projection by attribute name, etc.) live on Relation.
+class Tuple {
+ public:
+  Tuple() = default;
+  explicit Tuple(std::vector<Value> values) : values_(std::move(values)) {}
+
+  // Convenience: builds a tuple of non-null atoms.
+  static Tuple OfAtoms(std::initializer_list<const char*> atoms) {
+    std::vector<Value> vs;
+    vs.reserve(atoms.size());
+    for (const char* a : atoms) vs.emplace_back(a);
+    return Tuple(std::move(vs));
+  }
+  static Tuple OfAtoms(const std::vector<std::string>& atoms) {
+    std::vector<Value> vs;
+    vs.reserve(atoms.size());
+    for (const std::string& a : atoms) vs.emplace_back(a);
+    return Tuple(std::move(vs));
+  }
+
+  size_t size() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+
+  const Value& at(size_t i) const { return values_[i]; }
+  Value& at(size_t i) { return values_[i]; }
+  const Value& operator[](size_t i) const { return values_[i]; }
+  Value& operator[](size_t i) { return values_[i]; }
+
+  const std::vector<Value>& values() const { return values_; }
+
+  void Append(Value v) { values_.push_back(std::move(v)); }
+
+  // Removes the value at position `i`; positions above shift down.
+  void Erase(size_t i) {
+    values_.erase(values_.begin() + static_cast<ptrdiff_t>(i));
+  }
+
+  // True if every position is merge-compatible with `other`'s
+  // (requires equal arity, which the caller guarantees).
+  bool MergeCompatibleWith(const Tuple& other) const {
+    for (size_t i = 0; i < values_.size(); ++i) {
+      if (!MergeCompatible(values_[i], other.values_[i])) return false;
+    }
+    return true;
+  }
+
+  // Pointwise merge of two merge-compatible tuples.
+  Tuple MergedWith(const Tuple& other) const {
+    std::vector<Value> out;
+    out.reserve(values_.size());
+    for (size_t i = 0; i < values_.size(); ++i) {
+      out.push_back(MergeValues(values_[i], other.values_[i]));
+    }
+    return Tuple(std::move(out));
+  }
+
+  // "(a, ⊥, c)"
+  std::string ToString() const;
+
+  friend bool operator==(const Tuple& a, const Tuple& b) = default;
+  friend std::strong_ordering operator<=>(const Tuple& a, const Tuple& b) {
+    return a.values_ <=> b.values_;
+  }
+
+ private:
+  std::vector<Value> values_;
+};
+
+}  // namespace tupelo
+
+#endif  // TUPELO_RELATIONAL_TUPLE_H_

@@ -1,0 +1,9 @@
+#include "relational/value.h"
+
+namespace tupelo {
+
+std::ostream& operator<<(std::ostream& os, const Value& v) {
+  return os << v.ToString();
+}
+
+}  // namespace tupelo

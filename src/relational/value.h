@@ -1,0 +1,70 @@
+#ifndef TUPELO_RELATIONAL_VALUE_H_
+#define TUPELO_RELATIONAL_VALUE_H_
+
+#include <compare>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace tupelo {
+
+// A single cell of a relation: either a string atom or the null marker
+// (written "⊥"). TUPELO is a purely syntactic system, so all atoms are
+// strings; complex semantic functions parse their own argument encodings.
+// Nulls arise from the data-metadata operators (promote creates columns
+// that are null for non-matching tuples; merge unifies null-compatible
+// tuples).
+class Value {
+ public:
+  // Constructs the null value.
+  Value() = default;
+
+  explicit Value(std::string atom) : null_(false), atom_(std::move(atom)) {}
+  explicit Value(std::string_view atom) : null_(false), atom_(atom) {}
+  explicit Value(const char* atom) : null_(false), atom_(atom) {}
+
+  static Value Null() { return Value(); }
+
+  bool is_null() const { return null_; }
+
+  // The string atom; must not be called on a null value.
+  const std::string& atom() const { return atom_; }
+
+  // Display form: the atom itself, or "⊥" for null.
+  std::string ToString() const { return null_ ? "⊥" : atom_; }
+
+  // Nulls compare equal to each other and order before all atoms.
+  friend bool operator==(const Value& a, const Value& b) {
+    return a.null_ == b.null_ && a.atom_ == b.atom_;
+  }
+  friend std::strong_ordering operator<=>(const Value& a, const Value& b) {
+    if (a.null_ != b.null_) {
+      return a.null_ ? std::strong_ordering::less
+                     : std::strong_ordering::greater;
+    }
+    return a.atom_ <=> b.atom_;
+  }
+
+ private:
+  bool null_ = true;
+  std::string atom_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Value& v);
+
+// Two values are merge-compatible when they are equal or either is null
+// (Wyss & Robertson's simple merge, used by the µ operator).
+inline bool MergeCompatible(const Value& a, const Value& b) {
+  return a.is_null() || b.is_null() || a == b;
+}
+
+// The non-null one of two merge-compatible values (either if both non-null
+// and equal; null if both null).
+inline Value MergeValues(const Value& a, const Value& b) {
+  return a.is_null() ? b : a;
+}
+
+}  // namespace tupelo
+
+#endif  // TUPELO_RELATIONAL_VALUE_H_

@@ -1,0 +1,129 @@
+#ifndef TUPELO_SEARCH_A_STAR_H_
+#define TUPELO_SEARCH_A_STAR_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <queue>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "search/search_types.h"
+#include "search/trace.h"
+
+namespace tupelo {
+
+// Classic best-first A* with open/closed lists. Kept as the baseline the
+// paper's early TUPELO implementation used and abandoned: its memory use is
+// exponential in the search depth (tracked in stats.peak_memory_nodes),
+// which is what the linear-memory IDA*/RBFS implementations fix.
+template <typename P>
+SearchOutcome<typename P::Action> AStarSearch(
+    const P& problem, const SearchLimits& limits = SearchLimits(),
+    SearchTracer* tracer = nullptr) {
+  using Action = typename P::Action;
+  using State = typename P::State;
+
+  SearchOutcome<Action> outcome;
+
+  struct Node {
+    State state;
+    uint64_t key;
+    int64_t g;
+    // Parent chain for path reconstruction.
+    std::shared_ptr<const Node> parent;
+    Action action_from_parent;  // undefined for the root
+  };
+  using NodePtr = std::shared_ptr<const Node>;
+
+  struct QueueEntry {
+    int64_t f;
+    int64_t g;
+    uint64_t seq;  // FIFO tiebreak for determinism
+    NodePtr node;
+  };
+  struct Worse {
+    bool operator()(const QueueEntry& a, const QueueEntry& b) const {
+      if (a.f != b.f) return a.f > b.f;
+      if (a.g != b.g) return a.g < b.g;  // prefer deeper (closer to goal)
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>, Worse> open;
+  // Best g seen per state key.
+  std::unordered_map<uint64_t, int64_t> best_g;
+  uint64_t seq = 0;
+
+  const State& root_state = problem.initial_state();
+  NodePtr root(new Node{root_state, problem.StateKey(root_state), 0, nullptr,
+                        Action{}});
+  best_g[root->key] = 0;
+  open.push(QueueEntry{problem.EstimateCost(root_state), 0, seq++, root});
+
+  auto track_memory = [&] {
+    outcome.stats.peak_memory_nodes =
+        std::max(outcome.stats.peak_memory_nodes,
+                 static_cast<uint64_t>(open.size() + best_g.size()));
+  };
+
+  while (!open.empty()) {
+    track_memory();
+    QueueEntry entry = open.top();
+    open.pop();
+    const NodePtr& node = entry.node;
+    // Skip stale entries superseded by a cheaper path.
+    auto it = best_g.find(node->key);
+    if (it != best_g.end() && it->second < node->g) continue;
+
+    if (outcome.stats.states_examined >= limits.max_states ||
+        node->g > limits.max_depth) {
+      outcome.budget_exhausted = true;
+      return outcome;
+    }
+    ++outcome.stats.states_examined;
+    if (tracer != nullptr) {
+      tracer->Record(TraceEvent{TraceEventKind::kVisit, node->key,
+                                static_cast<int>(node->g), entry.f});
+    }
+
+    if (problem.IsGoal(node->state)) {
+      if (tracer != nullptr) {
+        tracer->Record(TraceEvent{TraceEventKind::kGoal, node->key,
+                                  static_cast<int>(node->g), entry.f});
+      }
+      outcome.found = true;
+      outcome.stats.solution_cost = static_cast<int>(node->g);
+      std::vector<Action> path;
+      for (const Node* n = node.get(); n->parent != nullptr;
+           n = n->parent.get()) {
+        path.push_back(n->action_from_parent);
+      }
+      std::reverse(path.begin(), path.end());
+      outcome.path = std::move(path);
+      return outcome;
+    }
+
+    auto successors = problem.Expand(node->state);
+    outcome.stats.states_generated += successors.size();
+    for (auto& succ : successors) {
+      uint64_t key = problem.StateKey(succ.state);
+      int64_t g = node->g + 1;
+      auto [git, inserted] = best_g.try_emplace(key, g);
+      if (!inserted) {
+        if (git->second <= g) continue;
+        git->second = g;
+      }
+      int64_t f = g + problem.EstimateCost(succ.state);
+      NodePtr child(new Node{std::move(succ.state), key, g, node,
+                             std::move(succ.action)});
+      open.push(QueueEntry{f, g, seq++, std::move(child)});
+    }
+  }
+  return outcome;
+}
+
+}  // namespace tupelo
+
+#endif  // TUPELO_SEARCH_A_STAR_H_

@@ -1,0 +1,102 @@
+#ifndef TUPELO_SEARCH_BEAM_H_
+#define TUPELO_SEARCH_BEAM_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "search/search_types.h"
+#include "search/trace.h"
+
+namespace tupelo {
+
+// Level-synchronous beam search: keep only the `beam_width` lowest-h
+// states per depth level. Another of §7's "further search techniques" —
+// the cheapest memory-bounded best-first variant, and deliberately
+// *incomplete*: if every goal path leaves the beam, the search fails even
+// though a mapping exists. Useful as a recall benchmark for heuristics
+// (a heuristic whose beam-8 recall is high is trustworthy greedily).
+template <typename P>
+SearchOutcome<typename P::Action> BeamSearch(
+    const P& problem, size_t beam_width,
+    const SearchLimits& limits = SearchLimits(),
+    SearchTracer* tracer = nullptr) {
+  using Action = typename P::Action;
+  using State = typename P::State;
+
+  SearchOutcome<Action> outcome;
+  if (beam_width == 0) return outcome;
+
+  struct Node {
+    State state;
+    std::vector<Action> path;
+    int64_t h;
+  };
+
+  std::unordered_set<uint64_t> seen;
+  std::vector<Node> frontier;
+  const State& root = problem.initial_state();
+  seen.insert(problem.StateKey(root));
+  frontier.push_back(Node{root, {}, problem.EstimateCost(root)});
+
+  for (int depth = 0; depth <= limits.max_depth; ++depth) {
+    outcome.stats.peak_memory_nodes =
+        std::max(outcome.stats.peak_memory_nodes,
+                 static_cast<uint64_t>(frontier.size() + seen.size()));
+
+    std::vector<Node> next_level;
+    for (Node& node : frontier) {
+      if (outcome.stats.states_examined >= limits.max_states) {
+        outcome.budget_exhausted = true;
+        return outcome;
+      }
+      ++outcome.stats.states_examined;
+      if (tracer != nullptr) {
+        tracer->Record(TraceEvent{TraceEventKind::kVisit,
+                                  problem.StateKey(node.state), depth,
+                                  node.h});
+      }
+
+      if (problem.IsGoal(node.state)) {
+        if (tracer != nullptr) {
+          tracer->Record(TraceEvent{TraceEventKind::kGoal,
+                                    problem.StateKey(node.state), depth,
+                                    node.h});
+        }
+        outcome.found = true;
+        outcome.stats.solution_cost = static_cast<int>(node.path.size());
+        outcome.path = std::move(node.path);
+        return outcome;
+      }
+
+      auto successors = problem.Expand(node.state);
+      outcome.stats.states_generated += successors.size();
+      for (auto& succ : successors) {
+        uint64_t key = problem.StateKey(succ.state);
+        if (!seen.insert(key).second) continue;
+        std::vector<Action> path = node.path;
+        path.push_back(std::move(succ.action));
+        int64_t h = problem.EstimateCost(succ.state);
+        next_level.push_back(
+            Node{std::move(succ.state), std::move(path), h});
+      }
+    }
+    if (next_level.empty()) return outcome;  // beam ran dry
+
+    // Keep the beam_width best by h (stable within ties).
+    if (next_level.size() > beam_width) {
+      std::stable_sort(next_level.begin(), next_level.end(),
+                       [](const Node& a, const Node& b) { return a.h < b.h; });
+      next_level.resize(beam_width);
+    }
+    frontier = std::move(next_level);
+  }
+  outcome.budget_exhausted = true;  // depth bound reached
+  return outcome;
+}
+
+}  // namespace tupelo
+
+#endif  // TUPELO_SEARCH_BEAM_H_

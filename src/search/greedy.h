@@ -1,0 +1,119 @@
+#ifndef TUPELO_SEARCH_GREEDY_H_
+#define TUPELO_SEARCH_GREEDY_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <queue>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "search/search_types.h"
+#include "search/trace.h"
+
+namespace tupelo {
+
+// Greedy best-first search: expand the open node with the smallest h,
+// ignoring path cost. One of the "further search techniques from the AI
+// literature" the paper's future work (§7) points at: it trades the
+// optimality pressure of f = g + h for raw goal-seeking speed, and is a
+// useful comparison point for TUPELO's heuristics — a heuristic that only
+// works under greedy search is too weak to order f-ties, and one that
+// fails under greedy search is actively misleading.
+//
+// Memory grows with the states retained (like A*); duplicates are pruned
+// via a closed set, so states are examined at most once.
+template <typename P>
+SearchOutcome<typename P::Action> GreedySearch(
+    const P& problem, const SearchLimits& limits = SearchLimits(),
+    SearchTracer* tracer = nullptr) {
+  using Action = typename P::Action;
+  using State = typename P::State;
+
+  SearchOutcome<Action> outcome;
+
+  struct Node {
+    State state;
+    int64_t g;
+    std::shared_ptr<const Node> parent;
+    Action action_from_parent;  // undefined for the root
+  };
+  using NodePtr = std::shared_ptr<const Node>;
+
+  struct QueueEntry {
+    int64_t h;
+    uint64_t seq;
+    NodePtr node;
+  };
+  struct Worse {
+    bool operator()(const QueueEntry& a, const QueueEntry& b) const {
+      if (a.h != b.h) return a.h > b.h;
+      return a.seq > b.seq;  // FIFO tiebreak
+    }
+  };
+
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>, Worse> open;
+  std::unordered_set<uint64_t> seen;
+  uint64_t seq = 0;
+
+  const State& root_state = problem.initial_state();
+  NodePtr root(new Node{root_state, 0, nullptr, Action{}});
+  seen.insert(problem.StateKey(root_state));
+  open.push(QueueEntry{problem.EstimateCost(root_state), seq++, root});
+
+  while (!open.empty()) {
+    outcome.stats.peak_memory_nodes =
+        std::max(outcome.stats.peak_memory_nodes,
+                 static_cast<uint64_t>(open.size() + seen.size()));
+    QueueEntry entry = open.top();
+    open.pop();
+    const NodePtr& node = entry.node;
+
+    if (outcome.stats.states_examined >= limits.max_states ||
+        node->g > limits.max_depth) {
+      outcome.budget_exhausted = true;
+      return outcome;
+    }
+    ++outcome.stats.states_examined;
+    if (tracer != nullptr) {
+      tracer->Record(TraceEvent{TraceEventKind::kVisit,
+                                problem.StateKey(node->state),
+                                static_cast<int>(node->g), entry.h});
+    }
+
+    if (problem.IsGoal(node->state)) {
+      if (tracer != nullptr) {
+        tracer->Record(TraceEvent{TraceEventKind::kGoal,
+                                  problem.StateKey(node->state),
+                                  static_cast<int>(node->g), entry.h});
+      }
+      outcome.found = true;
+      outcome.stats.solution_cost = static_cast<int>(node->g);
+      std::vector<Action> path;
+      for (const Node* n = node.get(); n->parent != nullptr;
+           n = n->parent.get()) {
+        path.push_back(n->action_from_parent);
+      }
+      std::reverse(path.begin(), path.end());
+      outcome.path = std::move(path);
+      return outcome;
+    }
+
+    auto successors = problem.Expand(node->state);
+    outcome.stats.states_generated += successors.size();
+    for (auto& succ : successors) {
+      uint64_t key = problem.StateKey(succ.state);
+      if (!seen.insert(key).second) continue;
+      int64_t h = problem.EstimateCost(succ.state);
+      NodePtr child(new Node{std::move(succ.state), node->g + 1, node,
+                             std::move(succ.action)});
+      open.push(QueueEntry{h, seq++, std::move(child)});
+    }
+  }
+  return outcome;
+}
+
+}  // namespace tupelo
+
+#endif  // TUPELO_SEARCH_GREEDY_H_

@@ -1,0 +1,116 @@
+#ifndef TUPELO_SEARCH_IDA_STAR_H_
+#define TUPELO_SEARCH_IDA_STAR_H_
+
+#include <algorithm>
+#include <unordered_set>
+#include <vector>
+
+#include "search/search_types.h"
+#include "search/trace.h"
+
+namespace tupelo {
+
+// Iterative Deepening A* (Korf 1985, as described in Nilsson 1998 / §2.3 of
+// the paper): repeated depth-first probes bounded by f = g + h, raising the
+// bound to the smallest exceeded f-value between iterations. Memory is
+// linear in the search depth; states are re-examined across iterations and
+// each re-visit counts toward stats.states_examined (the paper's measure).
+//
+// Cycle avoidance: successors whose StateKey already occurs on the current
+// path are skipped (they can never shorten a unit-cost path).
+template <typename P>
+SearchOutcome<typename P::Action> IdaStarSearch(
+    const P& problem, const SearchLimits& limits = SearchLimits(),
+    SearchTracer* tracer = nullptr) {
+  using Action = typename P::Action;
+  using State = typename P::State;
+
+  SearchOutcome<Action> outcome;
+
+  struct Dfs {
+    const P& problem;
+    const SearchLimits& limits;
+    SearchOutcome<Action>& out;
+    SearchTracer* tracer;
+    std::vector<Action> path_actions;
+    std::unordered_set<uint64_t> path_keys;
+    int64_t next_bound = kSearchInfinity;
+    bool aborted = false;
+
+    enum class Verdict { kFound, kNotFound };
+
+    Verdict Visit(const State& state, int64_t g, int64_t bound) {
+      if (out.stats.states_examined >= limits.max_states ||
+          g > limits.max_depth) {
+        aborted = true;
+        return Verdict::kNotFound;
+      }
+      ++out.stats.states_examined;
+      out.stats.peak_memory_nodes = std::max(
+          out.stats.peak_memory_nodes, static_cast<uint64_t>(g) + 1);
+
+      int64_t f = g + problem.EstimateCost(state);
+      if (tracer != nullptr) {
+        tracer->Record(TraceEvent{TraceEventKind::kVisit,
+                                  problem.StateKey(state),
+                                  static_cast<int>(g), f});
+      }
+      if (f > bound) {
+        next_bound = std::min(next_bound, f);
+        return Verdict::kNotFound;
+      }
+      if (problem.IsGoal(state)) {
+        if (tracer != nullptr) {
+          tracer->Record(TraceEvent{TraceEventKind::kGoal,
+                                    problem.StateKey(state),
+                                    static_cast<int>(g), f});
+        }
+        out.found = true;
+        out.path = path_actions;
+        out.stats.solution_cost = static_cast<int>(g);
+        return Verdict::kFound;
+      }
+      auto successors = problem.Expand(state);
+      out.stats.states_generated += successors.size();
+      for (auto& succ : successors) {
+        uint64_t key = problem.StateKey(succ.state);
+        if (path_keys.contains(key)) continue;
+        path_keys.insert(key);
+        path_actions.push_back(succ.action);
+        Verdict v = Visit(succ.state, g + 1, bound);
+        path_actions.pop_back();
+        path_keys.erase(key);
+        if (v == Verdict::kFound || aborted) return v;
+      }
+      return Verdict::kNotFound;
+    }
+  };
+
+  Dfs dfs{problem, limits, outcome, tracer, {}, {}, kSearchInfinity, false};
+
+  const State& root = problem.initial_state();
+  uint64_t root_key = problem.StateKey(root);
+  int64_t bound = problem.EstimateCost(root);
+
+  while (true) {
+    if (tracer != nullptr) {
+      tracer->Record(TraceEvent{TraceEventKind::kIteration, 0, 0, bound});
+    }
+    dfs.next_bound = kSearchInfinity;
+    dfs.path_keys = {root_key};
+    dfs.path_actions.clear();
+    typename Dfs::Verdict v = dfs.Visit(root, 0, bound);
+    ++outcome.stats.iterations;
+    if (v == Dfs::Verdict::kFound) return outcome;
+    if (dfs.aborted) {
+      outcome.budget_exhausted = true;
+      return outcome;
+    }
+    if (dfs.next_bound >= kSearchInfinity) return outcome;  // space exhausted
+    bound = dfs.next_bound;
+  }
+}
+
+}  // namespace tupelo
+
+#endif  // TUPELO_SEARCH_IDA_STAR_H_

@@ -1,0 +1,68 @@
+#ifndef TUPELO_SEARCH_SEARCH_TYPES_H_
+#define TUPELO_SEARCH_SEARCH_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace tupelo {
+
+// Generic state-space search (src/search) is written against a Problem
+// "duck type" P providing:
+//
+//   using State  = ...;   // value type
+//   using Action = ...;   // value type
+//   struct SuccessorT { Action action; State state; };
+//
+//   const State& initial_state() const;
+//   bool IsGoal(const State& s) const;
+//   // Successors in a deterministic order. Unit step costs.
+//   std::vector<SuccessorT> Expand(const State& s) const;
+//   // Heuristic estimate h(s) ≥ 0 of the distance to a goal.
+//   int EstimateCost(const State& s) const;
+//   // Stable fingerprint for duplicate/cycle detection.
+//   uint64_t StateKey(const State& s) const;
+//
+// MappingProblem (src/core) is the real instance; tests use toy problems.
+
+inline constexpr int64_t kSearchInfinity =
+    std::numeric_limits<int64_t>::max() / 4;
+
+// Budget knobs. Searches abort (found=false, budget_exhausted=true) when a
+// limit trips.
+struct SearchLimits {
+  // Upper bound on states examined (nodes visited, counting IDA/RBFS
+  // re-visits, matching the paper's performance measure).
+  uint64_t max_states = 10'000'000;
+  // Upper bound on solution depth / recursion depth.
+  int max_depth = 64;
+};
+
+struct SearchStats {
+  // Nodes visited, including redundant re-expansions across IDA iterations
+  // and RBFS re-descents — the paper's "number of states examined".
+  uint64_t states_examined = 0;
+  // Successor states produced by Expand.
+  uint64_t states_generated = 0;
+  // IDA: completed depth-bound iterations; RBFS/A*: unused (0).
+  int iterations = 0;
+  // A*: peak open+closed entries; IDA/RBFS: peak recursion depth. A proxy
+  // for memory footprint (the paper's motivation for dropping plain A*).
+  uint64_t peak_memory_nodes = 0;
+  // Length of the found path, or -1.
+  int solution_cost = -1;
+};
+
+template <typename Action>
+struct SearchOutcome {
+  bool found = false;
+  // True when the search stopped because a SearchLimits bound tripped
+  // (i.e. failure is inconclusive).
+  bool budget_exhausted = false;
+  std::vector<Action> path;
+  SearchStats stats;
+};
+
+}  // namespace tupelo
+
+#endif  // TUPELO_SEARCH_SEARCH_TYPES_H_

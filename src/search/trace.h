@@ -1,0 +1,82 @@
+#ifndef TUPELO_SEARCH_TRACE_H_
+#define TUPELO_SEARCH_TRACE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tupelo {
+
+// Lightweight search observability: algorithms that accept a SearchTracer
+// record one event per state visit (and per IDA* iteration), capped at a
+// fixed capacity so tracing a runaway search cannot exhaust memory. Used
+// for debugging heuristics ("where did the f-bound jump?") and by tests
+// asserting algorithm invariants (bounds are non-decreasing, depths stay
+// within limits).
+enum class TraceEventKind {
+  kVisit,      // a state was examined; f = g + h at that state
+  kGoal,       // the goal test succeeded at this state
+  kIteration,  // IDA* started a new iteration; value = the new f-bound
+};
+
+struct TraceEvent {
+  TraceEventKind kind;
+  uint64_t state_key = 0;  // 0 for kIteration
+  int depth = 0;           // g (0 for kIteration)
+  int64_t value = 0;       // f for visits, bound for iterations
+
+  friend bool operator==(const TraceEvent&, const TraceEvent&) = default;
+};
+
+class SearchTracer {
+ public:
+  explicit SearchTracer(size_t capacity = 100000) : capacity_(capacity) {}
+
+  void Record(TraceEvent event) {
+    if (events_.size() < capacity_) {
+      events_.push_back(event);
+    } else {
+      truncated_ = true;
+    }
+  }
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  bool truncated() const { return truncated_; }
+  void Clear() {
+    events_.clear();
+    truncated_ = false;
+  }
+
+  // Human-readable dump, one event per line.
+  std::string ToString() const {
+    std::string out;
+    for (const TraceEvent& e : events_) {
+      switch (e.kind) {
+        case TraceEventKind::kVisit:
+          out += "visit g=" + std::to_string(e.depth) +
+                 " f=" + std::to_string(e.value) +
+                 " key=" + std::to_string(e.state_key) + "\n";
+          break;
+        case TraceEventKind::kGoal:
+          out += "goal  g=" + std::to_string(e.depth) +
+                 " key=" + std::to_string(e.state_key) + "\n";
+          break;
+        case TraceEventKind::kIteration:
+          out += "iteration bound=" + std::to_string(e.value) + "\n";
+          break;
+      }
+    }
+    if (truncated_) out += "(truncated)\n";
+    return out;
+  }
+
+ private:
+  size_t capacity_;
+  std::vector<TraceEvent> events_;
+  bool truncated_ = false;
+};
+
+}  // namespace tupelo
+
+#endif  // TUPELO_SEARCH_TRACE_H_

@@ -1,0 +1,207 @@
+#include "workloads/bamm.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+#include <random>
+#include <utility>
+
+namespace tupelo {
+namespace {
+
+struct AttributeSpec {
+  const char* canonical;
+  std::vector<const char*> synonyms;  // alternatives, canonical not repeated
+  const char* value;                  // critical-instance value
+};
+
+struct DomainSpec {
+  const char* relation;
+  std::vector<const char*> relation_synonyms;
+  std::vector<AttributeSpec> attributes;  // exactly 8, like the BAMM max
+};
+
+const DomainSpec& GetDomainSpec(BammDomain domain) {
+  static const DomainSpec* const kBooks = new DomainSpec{
+      "Books",
+      {"BookSearch", "BookQuery", "FindBooks"},
+      {
+          {"Title", {"BookTitle", "Name", "TitleKeyword"}, "TheHobbit"},
+          {"Author", {"Writer", "AuthorName", "By"}, "Tolkien"},
+          {"ISBN", {"Isbn13", "BookCode", "Identifier"}, "9780261103344"},
+          {"Publisher", {"Press", "Imprint"}, "Allen-Unwin"},
+          {"Year", {"PubYear", "Published", "ReleaseYear"}, "1937"},
+          {"Price", {"Cost", "Amount", "ListPrice"}, "12.99"},
+          {"Format", {"Binding", "Edition"}, "Hardcover"},
+          {"Subject", {"Category", "Genre", "Keyword"}, "Fantasy"},
+      }};
+  static const DomainSpec* const kAutos = new DomainSpec{
+      "Autos",
+      {"CarSearch", "Vehicles", "AutoFinder"},
+      {
+          {"Make", {"Brand", "Manufacturer"}, "Toyota"},
+          {"Model", {"ModelName", "Line"}, "Corolla"},
+          {"Year", {"ModelYear", "Vintage"}, "2004"},
+          {"Price", {"Cost", "AskingPrice", "Amount"}, "10500"},
+          {"Mileage", {"Miles", "Odometer"}, "42000"},
+          {"Color", {"Colour", "ExteriorColor", "Paint"}, "Silver"},
+          {"ZipCode", {"Zip", "PostalCode", "Location"}, "47401"},
+          {"BodyStyle", {"Body", "Type", "Class"}, "Sedan"},
+      }};
+  static const DomainSpec* const kMusic = new DomainSpec{
+      "Music",
+      {"MusicSearch", "Albums", "CDStore"},
+      {
+          {"Artist", {"Band", "Performer", "Musician"}, "Coltrane"},
+          {"Album", {"AlbumTitle", "Record", "Release"}, "BlueTrain"},
+          {"Song", {"Track", "SongTitle", "TrackName"}, "Moments-Notice"},
+          {"Genre", {"Style", "Category"}, "Jazz"},
+          {"Year", {"ReleaseYear", "Released"}, "1957"},
+          {"Label", {"RecordLabel", "Publisher"}, "BlueNote"},
+          {"Price", {"Cost", "Amount"}, "9.99"},
+          {"Format", {"Media", "MediaType"}, "CD"},
+      }};
+  static const DomainSpec* const kMovies = new DomainSpec{
+      "Movies",
+      {"MovieSearch", "Films", "FilmFinder"},
+      {
+          {"Title", {"MovieTitle", "FilmTitle", "Name"}, "Metropolis"},
+          {"Director", {"DirectedBy", "Filmmaker"}, "Lang"},
+          {"Actor", {"Star", "Cast", "Starring"}, "Helm"},
+          {"Genre", {"Category", "Kind"}, "SciFi"},
+          {"Year", {"ReleaseYear", "Released"}, "1927"},
+          {"Rating", {"MPAA", "Certificate"}, "NR"},
+          {"Studio", {"Distributor", "Producer"}, "UFA"},
+          {"Format", {"Media", "Edition"}, "DVD"},
+      }};
+  switch (domain) {
+    case BammDomain::kBooks:
+      return *kBooks;
+    case BammDomain::kAutos:
+      return *kAutos;
+    case BammDomain::kMusic:
+      return *kMusic;
+    case BammDomain::kMovies:
+      return *kMovies;
+  }
+  return *kBooks;
+}
+
+Database MakeInstance(const std::string& relation_name,
+                      const std::vector<std::string>& attrs,
+                      const std::vector<std::string>& values) {
+  Result<Relation> r = Relation::Create(relation_name, attrs);
+  assert(r.ok());
+  Relation rel = std::move(r).value();
+  Status st = rel.AddRow(values);
+  assert(st.ok());
+  (void)st;
+  Database db;
+  (void)db.AddRelation(std::move(rel));
+  return db;
+}
+
+}  // namespace
+
+const std::vector<BammDomain>& AllBammDomains() {
+  static const std::vector<BammDomain>* const kDomains =
+      new std::vector<BammDomain>{BammDomain::kBooks, BammDomain::kAutos,
+                                  BammDomain::kMusic, BammDomain::kMovies};
+  return *kDomains;
+}
+
+std::string_view BammDomainName(BammDomain domain) {
+  switch (domain) {
+    case BammDomain::kBooks:
+      return "Books";
+    case BammDomain::kAutos:
+      return "Auto";
+    case BammDomain::kMusic:
+      return "Music";
+    case BammDomain::kMovies:
+      return "Movies";
+  }
+  return "unknown";
+}
+
+size_t BammDomainSchemaCount(BammDomain domain) {
+  // §5.2: 55, 55, 49, 52 schemas for Books, Automobiles, Music, Movies.
+  switch (domain) {
+    case BammDomain::kBooks:
+      return 55;
+    case BammDomain::kAutos:
+      return 55;
+    case BammDomain::kMusic:
+      return 49;
+    case BammDomain::kMovies:
+      return 52;
+  }
+  return 0;
+}
+
+BammWorkload MakeBammWorkload(BammDomain domain, uint64_t seed) {
+  const DomainSpec& spec = GetDomainSpec(domain);
+  std::mt19937_64 rng(seed ^ (static_cast<uint64_t>(domain) << 32));
+
+  BammWorkload out;
+  out.domain = domain;
+
+  // The fixed source: the full vocabulary under canonical names.
+  {
+    std::vector<std::string> attrs;
+    std::vector<std::string> values;
+    for (const AttributeSpec& a : spec.attributes) {
+      attrs.push_back(a.canonical);
+      values.push_back(a.value);
+    }
+    out.source = MakeInstance(spec.relation, attrs, values);
+  }
+
+  size_t total = BammDomainSchemaCount(domain);
+  // BAMM query interfaces have 1–8 attributes; skew toward the middle like
+  // real query forms (triangular-ish via sum of two dice).
+  std::uniform_int_distribution<size_t> die(0, 3);
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+
+  for (size_t s = 1; s < total; ++s) {
+    size_t k = 1 + die(rng) + die(rng);  // 1..7
+    if (coin(rng) < 0.15) k = 8;         // occasional full-width schema
+    k = std::min<size_t>(k, spec.attributes.size());
+
+    std::vector<size_t> order(spec.attributes.size());
+    std::iota(order.begin(), order.end(), size_t{0});
+    std::shuffle(order.begin(), order.end(), rng);
+    order.resize(k);
+    std::sort(order.begin(), order.end());  // stable attribute ordering
+
+    std::vector<std::string> attrs;
+    std::vector<std::string> values;
+    BammGroundTruth truth;
+    for (size_t idx : order) {
+      const AttributeSpec& a = spec.attributes[idx];
+      // Usually keep the canonical label (real query interfaces share
+      // most labels); sometimes pick a synonym that will need a rename.
+      if (!a.synonyms.empty() && coin(rng) < 0.35) {
+        std::uniform_int_distribution<size_t> pick(0, a.synonyms.size() - 1);
+        attrs.push_back(a.synonyms[pick(rng)]);
+        truth.attribute_renames.emplace_back(a.canonical, attrs.back());
+      } else {
+        attrs.push_back(a.canonical);
+      }
+      values.push_back(a.value);
+    }
+
+    std::string rel_name = spec.relation;
+    if (coin(rng) < 0.3 && !spec.relation_synonyms.empty()) {
+      std::uniform_int_distribution<size_t> pick(
+          0, spec.relation_synonyms.size() - 1);
+      rel_name = spec.relation_synonyms[pick(rng)];
+      truth.relation_rename = rel_name;
+    }
+    out.targets.push_back(MakeInstance(rel_name, attrs, values));
+    out.ground_truth.push_back(std::move(truth));
+  }
+  return out;
+}
+
+}  // namespace tupelo

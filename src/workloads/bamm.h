@@ -1,0 +1,59 @@
+#ifndef TUPELO_WORKLOADS_BAMM_H_
+#define TUPELO_WORKLOADS_BAMM_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "relational/database.h"
+
+namespace tupelo {
+
+// A synthetic stand-in for the BAMM dataset of Experiment 2 (§5.2): the
+// UIUC Web Integration Repository's Books / Automobiles / Music / Movies
+// deep-web query schemas (55/55/49/52 schemas of 1–8 attributes). The real
+// repository is not redistributable; this generator reproduces its shape:
+// per-domain attribute vocabularies with synonym sets, domain-sized schema
+// populations, the 1–8 attribute-count range, and critical instances
+// illustrating one shared entity per domain (the Rosetta Stone principle).
+// Since TUPELO is purely syntactic, search cost depends only on this shape,
+// not on the English labels. See DESIGN.md §2.
+enum class BammDomain { kBooks, kAutos, kMusic, kMovies };
+
+const std::vector<BammDomain>& AllBammDomains();
+std::string_view BammDomainName(BammDomain domain);
+
+// The number of schemas the real dataset has in this domain.
+size_t BammDomainSchemaCount(BammDomain domain);
+
+// Ground truth for one generated target schema: which source (canonical)
+// labels were renamed to which synonyms. Lets tests and benches check the
+// *correctness* of discovered matches, not just their search cost.
+struct BammGroundTruth {
+  // (canonical source attribute, target label) for every renamed
+  // attribute; attributes kept under their canonical name are omitted.
+  std::vector<std::pair<std::string, std::string>> attribute_renames;
+  // Set when the target's relation label differs from the source's.
+  std::string relation_rename;  // empty = same name
+};
+
+// One generated domain population: `source` is the fixed schema the
+// experiment maps from (it exposes the full attribute vocabulary under
+// canonical names); `targets` are the other schemas of the domain, each a
+// 1–8 attribute view with synonym-renamed labels, populated with the same
+// critical instance. `ground_truth[i]` describes `targets[i]`.
+struct BammWorkload {
+  BammDomain domain;
+  Database source;
+  std::vector<Database> targets;
+  std::vector<BammGroundTruth> ground_truth;
+};
+
+// Deterministic for a given (domain, seed).
+BammWorkload MakeBammWorkload(BammDomain domain, uint64_t seed);
+
+}  // namespace tupelo
+
+#endif  // TUPELO_WORKLOADS_BAMM_H_

@@ -1,0 +1,72 @@
+#include "workloads/flights.h"
+
+#include <cassert>
+#include <utility>
+
+namespace tupelo {
+namespace {
+
+Relation MustRelation(const char* name, std::vector<std::string> attrs,
+                      std::vector<std::vector<std::string>> rows) {
+  Result<Relation> r = Relation::Create(name, std::move(attrs));
+  assert(r.ok());
+  Relation rel = std::move(r).value();
+  for (std::vector<std::string>& row : rows) {
+    Status st = rel.AddRow(row);
+    assert(st.ok());
+    (void)st;
+  }
+  return rel;
+}
+
+}  // namespace
+
+Database MakeFlightsA() {
+  Database db;
+  (void)db.AddRelation(MustRelation("Flights",
+                                    {"Carrier", "Fee", "ATL29", "ORD17"},
+                                    {{"AirEast", "15", "100", "110"},
+                                     {"JetWest", "16", "200", "220"}}));
+  return db;
+}
+
+Database MakeFlightsB() {
+  Database db;
+  (void)db.AddRelation(MustRelation("Prices",
+                                    {"Carrier", "Route", "Cost", "AgentFee"},
+                                    {{"AirEast", "ATL29", "100", "15"},
+                                     {"JetWest", "ATL29", "200", "16"},
+                                     {"AirEast", "ORD17", "110", "15"},
+                                     {"JetWest", "ORD17", "220", "16"}}));
+  return db;
+}
+
+Database MakeFlightsC() {
+  Database db;
+  (void)db.AddRelation(MustRelation("AirEast",
+                                    {"Route", "BaseCost", "TotalCost"},
+                                    {{"ATL29", "100", "115"},
+                                     {"ORD17", "110", "125"}}));
+  (void)db.AddRelation(MustRelation("JetWest",
+                                    {"Route", "BaseCost", "TotalCost"},
+                                    {{"ATL29", "200", "216"},
+                                     {"ORD17", "220", "236"}}));
+  return db;
+}
+
+MappingExpression FlightsBToAExpression() {
+  MappingExpression expr;
+  expr.Append(PromoteOp{"Prices", "Route", "Cost"});
+  expr.Append(DropOp{"Prices", "Route"});
+  expr.Append(DropOp{"Prices", "Cost"});
+  expr.Append(MergeOp{"Prices", "Carrier"});
+  expr.Append(RenameAttrOp{"Prices", "AgentFee", "Fee"});
+  expr.Append(RenameRelOp{"Prices", "Flights"});
+  return expr;
+}
+
+std::vector<SemanticCorrespondence> FlightsBToCCorrespondences() {
+  return {SemanticCorrespondence{"add", {"Cost", "AgentFee"}, "TotalCost"}};
+}
+
+}  // namespace tupelo

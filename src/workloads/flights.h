@@ -1,0 +1,34 @@
+#ifndef TUPELO_WORKLOADS_FLIGHTS_H_
+#define TUPELO_WORKLOADS_FLIGHTS_H_
+
+#include <vector>
+
+#include "core/mapping_problem.h"
+#include "fira/expression.h"
+#include "relational/database.h"
+
+namespace tupelo {
+
+// The three airline flight-price databases of Fig. 1 — the paper's running
+// example. All three carry the same information content:
+//
+//   FlightsA:  Flights(Carrier, Fee, ATL29, ORD17)       route fares as columns
+//   FlightsB:  Prices(Carrier, Route, Cost, AgentFee)    fully flat
+//   FlightsC:  AirEast(Route, BaseCost, TotalCost)       one relation per carrier,
+//              JetWest(Route, BaseCost, TotalCost)       TotalCost = Cost + Fee
+Database MakeFlightsA();
+Database MakeFlightsB();
+Database MakeFlightsC();
+
+// The hand-written mapping of Example 2 (FlightsB -> FlightsA):
+//   promote Route/Cost, drop Route and Cost, merge on Carrier, rename
+//   AgentFee->Fee and Prices->Flights.
+MappingExpression FlightsBToAExpression();
+
+// The complex correspondence of Example 5/6 (FlightsB -> FlightsC):
+// TotalCost = add(Cost, AgentFee). Uses the builtin "add" function.
+std::vector<SemanticCorrespondence> FlightsBToCCorrespondences();
+
+}  // namespace tupelo
+
+#endif  // TUPELO_WORKLOADS_FLIGHTS_H_

@@ -1,0 +1,84 @@
+#include "workloads/restructuring.h"
+
+#include <cassert>
+#include <string>
+#include <utility>
+
+namespace tupelo {
+namespace {
+
+std::string CarrierName(size_t c) { return "Carrier" + std::to_string(c + 1); }
+
+std::string RouteName(size_t r) { return "RT" + std::to_string(r + 1); }
+
+// Deterministic synthetic prices.
+int BaseCost(size_t c, size_t r) {
+  return 100 + static_cast<int>(c) * 100 + static_cast<int>(r) * 10;
+}
+
+int AgentFee(size_t c) { return 10 + static_cast<int>(c); }
+
+}  // namespace
+
+RestructuringWorkload MakeRestructuringWorkload(size_t num_carriers,
+                                                size_t num_routes) {
+  assert(num_carriers >= 1 && num_routes >= 1);
+  RestructuringWorkload out;
+
+  // wide: Flights(Carrier, Fee, R1..Rn).
+  {
+    std::vector<std::string> attrs = {"Carrier", "Fee"};
+    for (size_t r = 0; r < num_routes; ++r) attrs.push_back(RouteName(r));
+    Result<Relation> rel = Relation::Create("Flights", std::move(attrs));
+    assert(rel.ok());
+    for (size_t c = 0; c < num_carriers; ++c) {
+      std::vector<std::string> row = {CarrierName(c),
+                                      std::to_string(AgentFee(c))};
+      for (size_t r = 0; r < num_routes; ++r) {
+        row.push_back(std::to_string(BaseCost(c, r)));
+      }
+      Status st = rel->AddRow(row);
+      assert(st.ok());
+      (void)st;
+    }
+    (void)out.wide.AddRelation(std::move(rel).value());
+  }
+
+  // flat: Prices(Carrier, Route, Cost, AgentFee).
+  {
+    Result<Relation> rel = Relation::Create(
+        "Prices", {"Carrier", "Route", "Cost", "AgentFee"});
+    assert(rel.ok());
+    for (size_t r = 0; r < num_routes; ++r) {
+      for (size_t c = 0; c < num_carriers; ++c) {
+        Status st = rel->AddRow({CarrierName(c), RouteName(r),
+                                 std::to_string(BaseCost(c, r)),
+                                 std::to_string(AgentFee(c))});
+        assert(st.ok());
+        (void)st;
+      }
+    }
+    (void)out.flat.AddRelation(std::move(rel).value());
+  }
+
+  // split: one relation per carrier with TotalCost = Cost + AgentFee.
+  for (size_t c = 0; c < num_carriers; ++c) {
+    Result<Relation> rel = Relation::Create(
+        CarrierName(c), {"Route", "BaseCost", "TotalCost"});
+    assert(rel.ok());
+    for (size_t r = 0; r < num_routes; ++r) {
+      int base = BaseCost(c, r);
+      Status st = rel->AddRow({RouteName(r), std::to_string(base),
+                               std::to_string(base + AgentFee(c))});
+      assert(st.ok());
+      (void)st;
+    }
+    (void)out.split.AddRelation(std::move(rel).value());
+  }
+
+  out.flat_to_split = {
+      SemanticCorrespondence{"add", {"Cost", "AgentFee"}, "TotalCost"}};
+  return out;
+}
+
+}  // namespace tupelo

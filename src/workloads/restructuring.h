@@ -1,0 +1,41 @@
+#ifndef TUPELO_WORKLOADS_RESTRUCTURING_H_
+#define TUPELO_WORKLOADS_RESTRUCTURING_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/mapping_problem.h"
+#include "relational/database.h"
+
+namespace tupelo {
+
+// A parametric generalization of Fig. 1: the same flight-price information
+// under three natural schemas, scaled by the number of carriers and
+// routes. The paper's §5.4 points to its companion workshop paper [11]
+// for validation on exactly these data-metadata restructurings; this
+// generator drives that experiment at any size.
+//
+//   wide:   Flights(Carrier, Fee, R1, ..., Rn)        one column per route
+//   flat:   Prices(Carrier, Route, Cost, AgentFee)    one row per (carrier, route)
+//   split:  one relation per carrier: C(Route, BaseCost, TotalCost)
+//           with TotalCost = Cost + AgentFee (the λ correspondence)
+//
+// All three carry identical information; every pair is a valid
+// mapping-discovery task. flat -> wide exercises ↑/π̄/µ, wide -> flat
+// exercises ↓, flat -> split exercises ℘/λ.
+struct RestructuringWorkload {
+  Database wide;
+  Database flat;
+  Database split;
+  // The complex correspondence needed for `split` targets:
+  // TotalCost = add(Cost, AgentFee).
+  std::vector<SemanticCorrespondence> flat_to_split;
+};
+
+// Deterministic in (num_carriers, num_routes); both must be ≥ 1.
+RestructuringWorkload MakeRestructuringWorkload(size_t num_carriers,
+                                                size_t num_routes);
+
+}  // namespace tupelo
+
+#endif  // TUPELO_WORKLOADS_RESTRUCTURING_H_

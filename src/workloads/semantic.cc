@@ -1,0 +1,194 @@
+#include "workloads/semantic.h"
+
+#include <algorithm>
+#include <cassert>
+#include <string>
+#include <utility>
+
+#include "fira/builtin_functions.h"
+#include "fira/executor.h"
+
+namespace tupelo {
+namespace {
+
+struct DomainData {
+  const char* source_relation;
+  const char* target_relation;
+  std::vector<std::string> attrs;
+  std::vector<std::vector<std::string>> rows;  // critical instance
+  // Two base attributes renamed between source and target, so the mapping
+  // always mixes structural matching with the λ steps.
+  std::pair<const char*, const char*> rename1;
+  std::pair<const char*, const char*> rename2;
+  std::vector<SemanticCorrespondence> catalog;
+};
+
+DomainData InventoryData() {
+  DomainData d;
+  d.source_relation = "Inventory";
+  d.target_relation = "Stock";
+  d.attrs = {"item", "brand",    "model", "code",   "category", "quantity",
+             "price", "tax",     "cost",  "discount", "restock", "msrp"};
+  d.rows = {
+      {"widget", "Acme", "X100", "ab12", "TOOLS", "3", "100", "8", "60",
+       "25", "07/04/2026", "12.34"},
+      {"gadget", "Apex", "Z9", "cd34", "PARTS", "5", "40", "3", "22",
+       "10", "11/30/2026", "8.05"},
+  };
+  d.rename1 = {"item", "product"};
+  d.rename2 = {"brand", "maker"};
+  d.catalog = {
+      {"add", {"price", "tax"}, "total"},
+      {"concat_ws", {"brand", "model"}, "label"},
+      {"usd_to_cents", {"msrp"}, "msrp_cents"},
+      {"upper", {"code"}, "code_uc"},
+      {"date_us_to_iso", {"restock"}, "restock_iso"},
+      {"sub", {"price", "cost"}, "margin"},
+      {"mul", {"quantity", "price"}, "stock_value"},
+      {"scale_pct", {"price", "discount"}, "discount_amount"},
+      {"lower", {"category"}, "category_lc"},
+      {"concat", {"code", "quantity"}, "sku"},
+  };
+  return d;
+}
+
+DomainData RealEstateData() {
+  DomainData d;
+  d.source_relation = "Listings";
+  d.target_relation = "HousesForSale";
+  d.attrs = {"street",  "city",  "state",       "zip",  "beds",
+             "baths",   "sqft",  "lot_sqft",    "price", "listed",
+             "agent_first", "agent_last", "commission_pct", "hoa"};
+  d.rows = {
+      {"12-Oak-St", "Bloomington", "in", "47401", "3", "2", "1800", "7500",
+       "250000", "05/01/2026", "Jane", "Doe", "6", "1200"},
+      {"9-Elm-Ave", "Columbus", "oh", "43004", "4", "3", "2400", "9000",
+       "310000", "06/15/2026", "John", "Smith", "5", "900"},
+  };
+  d.rename1 = {"street", "address"};
+  d.rename2 = {"zip", "postal_code"};
+  d.catalog = {
+      {"concat_ws", {"city", "state"}, "location"},
+      {"full_name", {"agent_last", "agent_first"}, "agent"},
+      {"sqft_to_sqm", {"sqft"}, "sqm"},
+      {"sqft_to_sqm", {"lot_sqft"}, "lot_sqm"},
+      {"add", {"beds", "baths"}, "rooms"},
+      {"date_us_to_iso", {"listed"}, "listed_iso"},
+      {"scale_pct", {"price", "commission_pct"}, "commission"},
+      {"upper", {"state"}, "state_uc"},
+      {"lower", {"street"}, "street_lc"},
+      {"concat", {"zip", "state"}, "region_code"},
+      {"sub", {"price", "hoa"}, "net_price"},
+      {"mul", {"beds", "baths"}, "bed_bath_index"},
+  };
+  return d;
+}
+
+DomainData GetDomainData(SemanticDomain domain) {
+  switch (domain) {
+    case SemanticDomain::kInventory:
+      return InventoryData();
+    case SemanticDomain::kRealEstate:
+      return RealEstateData();
+  }
+  return InventoryData();
+}
+
+}  // namespace
+
+std::string_view SemanticDomainName(SemanticDomain domain) {
+  switch (domain) {
+    case SemanticDomain::kInventory:
+      return "Inventory";
+    case SemanticDomain::kRealEstate:
+      return "RealEstateII";
+  }
+  return "unknown";
+}
+
+size_t SemanticDomainFunctionCount(SemanticDomain domain) {
+  return GetDomainData(domain).catalog.size();
+}
+
+SemanticWorkload MakeSemanticWorkload(SemanticDomain domain,
+                                      size_t num_functions) {
+  DomainData data = GetDomainData(domain);
+  num_functions = std::min(num_functions, data.catalog.size());
+
+  SemanticWorkload out;
+  out.domain = domain;
+  Status st = RegisterBuiltinFunctions(&out.registry);
+  assert(st.ok());
+  (void)st;
+
+  // Source: the critical instance under the source schema.
+  {
+    Result<Relation> r = Relation::Create(data.source_relation, data.attrs);
+    assert(r.ok());
+    Relation rel = std::move(r).value();
+    for (const std::vector<std::string>& row : data.rows) {
+      Status add = rel.AddRow(row);
+      assert(add.ok());
+      (void)add;
+    }
+    (void)out.source.AddRelation(std::move(rel));
+  }
+
+  out.correspondences.assign(data.catalog.begin(),
+                             data.catalog.begin() +
+                                 static_cast<ptrdiff_t>(num_functions));
+
+  // Target: materialize the chosen correspondences by executing them on
+  // the source instance, then apply the structural renames and project the
+  // target attribute set (two renamed base attributes + the λ outputs).
+  Database work = out.source;
+  for (const SemanticCorrespondence& c : out.correspondences) {
+    Result<Database> next =
+        ApplyOp(ApplyFunctionOp{data.source_relation, c.function, c.inputs,
+                                c.output},
+                work, &out.registry);
+    assert(next.ok());
+    work = std::move(next).value();
+  }
+  {
+    Result<Database> next = ApplyOp(
+        RenameAttrOp{data.source_relation, data.rename1.first,
+                     data.rename1.second},
+        work, nullptr);
+    assert(next.ok());
+    work = std::move(next).value();
+    next = ApplyOp(RenameAttrOp{data.source_relation, data.rename2.first,
+                                data.rename2.second},
+                   work, nullptr);
+    assert(next.ok());
+    work = std::move(next).value();
+    next = ApplyOp(RenameRelOp{data.source_relation, data.target_relation},
+                   work, nullptr);
+    assert(next.ok());
+    work = std::move(next).value();
+  }
+
+  // Project to the target attribute list.
+  std::vector<std::string> target_attrs = {data.rename1.second,
+                                           data.rename2.second};
+  for (const SemanticCorrespondence& c : out.correspondences) {
+    target_attrs.push_back(c.output);
+  }
+  Result<const Relation*> full = work.GetRelation(data.target_relation);
+  assert(full.ok());
+  Result<std::vector<Tuple>> projected =
+      (*full)->ProjectTuples(target_attrs);
+  assert(projected.ok());
+  Result<Relation> target_rel =
+      Relation::Create(data.target_relation, target_attrs);
+  assert(target_rel.ok());
+  for (Tuple& t : projected.value()) {
+    Status add = target_rel->AddTuple(std::move(t));
+    assert(add.ok());
+    (void)add;
+  }
+  (void)out.target.AddRelation(std::move(target_rel).value());
+  return out;
+}
+
+}  // namespace tupelo

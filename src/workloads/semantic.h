@@ -1,0 +1,47 @@
+#ifndef TUPELO_WORKLOADS_SEMANTIC_H_
+#define TUPELO_WORKLOADS_SEMANTIC_H_
+
+#include <cstddef>
+#include <string_view>
+#include <vector>
+
+#include "core/mapping_problem.h"
+#include "fira/function_registry.h"
+#include "relational/database.h"
+
+namespace tupelo {
+
+// A synthetic stand-in for Experiment 3 (§5.3): the Illinois Semantic
+// Integration Archive's Inventory (10 complex mappings) and Real Estate II
+// (12 complex mappings) domains. The archive is offline; these workloads
+// reproduce what the experiment measures — search cost as a function of
+// the number of complex (many-to-one) semantic correspondences between a
+// source and target schema — by pairing a realistic source schema with a
+// target whose first `num_functions` attributes are materialized complex
+// functions of source attributes (plus a relation rename and two attribute
+// renames, so the mapping is never a pure λ pipeline). See DESIGN.md §2.
+enum class SemanticDomain { kInventory, kRealEstate };
+
+std::string_view SemanticDomainName(SemanticDomain domain);
+
+// 10 for Inventory, 12 for Real Estate II (the counts in §5.3).
+size_t SemanticDomainFunctionCount(SemanticDomain domain);
+
+struct SemanticWorkload {
+  SemanticDomain domain;
+  Database source;
+  Database target;
+  // Exactly the correspondences materialized in `target` (the first
+  // `num_functions` of the domain's catalog).
+  std::vector<SemanticCorrespondence> correspondences;
+  // Registry providing every function the domain uses (the builtins).
+  FunctionRegistry registry;
+};
+
+// `num_functions` is clamped to [0, SemanticDomainFunctionCount(domain)].
+SemanticWorkload MakeSemanticWorkload(SemanticDomain domain,
+                                      size_t num_functions);
+
+}  // namespace tupelo
+
+#endif  // TUPELO_WORKLOADS_SEMANTIC_H_

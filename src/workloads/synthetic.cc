@@ -1,0 +1,44 @@
+#include "workloads/synthetic.h"
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace tupelo {
+namespace {
+
+std::string Padded(size_t i, size_t width) {
+  std::string digits = std::to_string(i);
+  while (digits.size() < width) digits.insert(digits.begin(), '0');
+  return digits;
+}
+
+Database MakeSide(const char* prefix, size_t n) {
+  size_t width = std::to_string(n).size();
+  std::vector<std::string> attrs;
+  std::vector<std::string> row;
+  attrs.reserve(n);
+  row.reserve(n);
+  for (size_t i = 1; i <= n; ++i) {
+    attrs.push_back(prefix + Padded(i, width));
+    row.push_back("a" + Padded(i, width));
+  }
+  Result<Relation> r = Relation::Create("R", std::move(attrs));
+  assert(r.ok());
+  Relation rel = std::move(r).value();
+  Status st = rel.AddRow(row);
+  assert(st.ok());
+  (void)st;
+  Database db;
+  (void)db.AddRelation(std::move(rel));
+  return db;
+}
+
+}  // namespace
+
+SyntheticMatchingPair MakeSyntheticMatchingPair(size_t n) {
+  return SyntheticMatchingPair{MakeSide("A", n), MakeSide("B", n)};
+}
+
+}  // namespace tupelo

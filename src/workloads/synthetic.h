@@ -1,0 +1,28 @@
+#ifndef TUPELO_WORKLOADS_SYNTHETIC_H_
+#define TUPELO_WORKLOADS_SYNTHETIC_H_
+
+#include <cstddef>
+
+#include "relational/database.h"
+
+namespace tupelo {
+
+// The synthetic schema-matching workload of Experiment 1 (§5.1): a pair of
+// single-relation schemas with n attributes each,
+//
+//   source:  R(A1, ..., An) with one tuple (a1, ..., an)
+//   target:  R(B1, ..., Bn) with one tuple (a1, ..., an)
+//
+// so discovering the mapping means finding the matchings Ai ↔ Bi. Indices
+// are zero-padded ("A01") so lexicographic successor order aligns source
+// and target the same way for every n.
+struct SyntheticMatchingPair {
+  Database source;
+  Database target;
+};
+
+SyntheticMatchingPair MakeSyntheticMatchingPair(size_t n);
+
+}  // namespace tupelo
+
+#endif  // TUPELO_WORKLOADS_SYNTHETIC_H_

@@ -1,0 +1,202 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "relational/algebra.h"
+#include "relational/io.h"
+
+namespace tupelo {
+namespace {
+
+Relation Rel(const char* tdb, const char* name) {
+  Result<Database> db = ParseTdb(tdb);
+  EXPECT_TRUE(db.ok()) << db.status();
+  Result<const Relation*> r = db->GetRelation(name);
+  EXPECT_TRUE(r.ok()) << r.status();
+  return **r;
+}
+
+// ---------------------------------------------------------------------------
+// σ select
+// ---------------------------------------------------------------------------
+
+TEST(SelectTest, KeepsMatchingTuples) {
+  Relation r = Rel("relation R (A, B) { (1, x) (2, y) (1, z) }", "R");
+  Relation out = Select(r, AttributeEquals("A", "1"));
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out.tuples()[0], Tuple::OfAtoms({"1", "x"}));
+  EXPECT_EQ(out.tuples()[1], Tuple::OfAtoms({"1", "z"}));
+  EXPECT_EQ(out.name(), "R");
+  EXPECT_EQ(out.attributes(), r.attributes());
+}
+
+TEST(SelectTest, MissingAttributeMatchesNothing) {
+  Relation r = Rel("relation R (A) { (1) }", "R");
+  EXPECT_TRUE(Select(r, AttributeEquals("Z", "1")).empty());
+}
+
+TEST(SelectTest, NullsNeverEqualAtoms) {
+  Relation r = Rel("relation R (A) { (null) (1) }", "R");
+  Relation out = Select(r, AttributeEquals("A", "1"));
+  EXPECT_EQ(out.size(), 1u);
+}
+
+TEST(SelectTest, AttributeIsNullPredicate) {
+  Relation r = Rel("relation R (A, B) { (null, x) (1, y) }", "R");
+  Relation out = Select(r, AttributeIsNull("A"));
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out.tuples()[0][1], Value("x"));
+}
+
+TEST(SelectTest, CustomPredicateSeesSchema) {
+  Relation r = Rel("relation R (A, B) { (1, 2) (5, 3) }", "R");
+  Relation out = Select(r, [](const Relation& schema, const Tuple& t) {
+    size_t a = *schema.AttributeIndex("A");
+    size_t b = *schema.AttributeIndex("B");
+    return t[a].atom() < t[b].atom();
+  });
+  EXPECT_EQ(out.size(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// π project
+// ---------------------------------------------------------------------------
+
+TEST(ProjectTest, ReordersColumns) {
+  Relation r = Rel("relation R (A, B, C) { (1, 2, 3) }", "R");
+  Result<Relation> out = Project(r, {"C", "A"});
+  ASSERT_TRUE(out.ok()) << out.status();
+  EXPECT_EQ(out->attributes(), (std::vector<std::string>{"C", "A"}));
+  EXPECT_EQ(out->tuples()[0], Tuple::OfAtoms({"3", "1"}));
+}
+
+TEST(ProjectTest, KeepsDuplicatesBagSemantics) {
+  Relation r = Rel("relation R (A, B) { (1, x) (1, y) }", "R");
+  Result<Relation> out = Project(r, {"A"});
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->size(), 2u);
+}
+
+TEST(ProjectTest, MissingAttributeFails) {
+  Relation r = Rel("relation R (A) { (1) }", "R");
+  EXPECT_FALSE(Project(r, {"Z"}).ok());
+}
+
+// ---------------------------------------------------------------------------
+// ∪ / − union & difference
+// ---------------------------------------------------------------------------
+
+TEST(UnionTest, ConcatenatesBags) {
+  Relation a = Rel("relation R (A) { (1) (2) }", "R");
+  Relation b = Rel("relation R (A) { (2) (3) }", "R");
+  Result<Relation> out = Union(a, b);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->size(), 4u);
+}
+
+TEST(UnionTest, SchemaMismatchFails) {
+  Relation a = Rel("relation R (A) { (1) }", "R");
+  Relation b = Rel("relation R (B) { (1) }", "R");
+  EXPECT_FALSE(Union(a, b).ok());
+  // Attribute order matters too (named perspective, positional storage).
+  Relation c = Rel("relation R (A, B) { (1, 2) }", "R");
+  Relation d = Rel("relation R (B, A) { (2, 1) }", "R");
+  EXPECT_FALSE(Union(c, d).ok());
+}
+
+TEST(DifferenceTest, BagDifferenceCancelsPerOccurrence) {
+  Relation a = Rel("relation R (A) { (1) (1) (2) }", "R");
+  Relation b = Rel("relation R (A) { (1) }", "R");
+  Result<Relation> out = Difference(a, b);
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->size(), 2u);  // one 1 and the 2 survive
+  EXPECT_EQ(out->tuples()[0], Tuple::OfAtoms({"1"}));
+  EXPECT_EQ(out->tuples()[1], Tuple::OfAtoms({"2"}));
+}
+
+TEST(DifferenceTest, DisjointLeavesLeftIntact) {
+  Relation a = Rel("relation R (A) { (1) }", "R");
+  Relation b = Rel("relation R (A) { (9) }", "R");
+  Result<Relation> out = Difference(a, b);
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(out->ContentsEqual(a));
+}
+
+// ---------------------------------------------------------------------------
+// ⨝ natural join
+// ---------------------------------------------------------------------------
+
+TEST(NaturalJoinTest, JoinsOnSharedAttributes) {
+  Relation emp = Rel("relation Emp (Name, Dept) { (ada, d1) (bob, d2) }",
+                     "Emp");
+  Relation dept = Rel("relation Dept (Dept, Floor) { (d1, 3) (d2, 5) }",
+                      "Dept");
+  Result<Relation> out = NaturalJoin(emp, dept);
+  ASSERT_TRUE(out.ok()) << out.status();
+  EXPECT_EQ(out->attributes(),
+            (std::vector<std::string>{"Name", "Dept", "Floor"}));
+  ASSERT_EQ(out->size(), 2u);
+  EXPECT_EQ(out->tuples()[0], Tuple::OfAtoms({"ada", "d1", "3"}));
+  EXPECT_EQ(out->name(), "Emp⨝Dept");
+}
+
+TEST(NaturalJoinTest, NoSharedAttributesIsCartesian) {
+  Relation a = Rel("relation A (X) { (1) (2) }", "A");
+  Relation b = Rel("relation B (Y) { (p) (q) }", "B");
+  Result<Relation> out = NaturalJoin(a, b);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->size(), 4u);
+}
+
+TEST(NaturalJoinTest, NullKeysNeverJoin) {
+  Relation a = Rel("relation A (K, X) { (null, 1) (k, 2) }", "A");
+  Relation b = Rel("relation B (K, Y) { (null, p) (k, q) }", "B");
+  Result<Relation> out = NaturalJoin(a, b);
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->size(), 1u);
+  EXPECT_EQ(out->tuples()[0], Tuple::OfAtoms({"k", "2", "q"}));
+}
+
+TEST(NaturalJoinTest, MultipleSharedAttributes) {
+  Relation a = Rel("relation A (K1, K2, X) { (1, 2, x) (1, 3, y) }", "A");
+  Relation b = Rel("relation B (K1, K2, Y) { (1, 2, p) }", "B");
+  Result<Relation> out = NaturalJoin(a, b);
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->size(), 1u);
+  EXPECT_EQ(out->tuples()[0], Tuple::OfAtoms({"1", "2", "x", "p"}));
+}
+
+// ---------------------------------------------------------------------------
+// Distinct
+// ---------------------------------------------------------------------------
+
+TEST(DistinctTest, RemovesDuplicates) {
+  Relation r = Rel("relation R (A, B) { (1, x) (1, x) (1, y) }", "R");
+  Relation out = Distinct(r);
+  EXPECT_EQ(out.size(), 2u);
+}
+
+TEST(DistinctTest, NullsCompareEqual) {
+  Relation r = Rel("relation R (A) { (null) (null) }", "R");
+  EXPECT_EQ(Distinct(r).size(), 1u);
+}
+
+TEST(AlgebraCompositionTest, SelectProjectJoinPipeline) {
+  // A small end-to-end query: employees on floor 3.
+  Relation emp = Rel(
+      "relation Emp (Name, Dept) { (ada, d1) (bob, d2) (eve, d1) }", "Emp");
+  Relation dept = Rel("relation Dept (Dept, Floor) { (d1, 3) (d2, 5) }",
+                      "Dept");
+  Result<Relation> joined = NaturalJoin(emp, dept);
+  ASSERT_TRUE(joined.ok());
+  Relation floor3 = Select(*joined, AttributeEquals("Floor", "3"));
+  Result<Relation> names = Project(floor3, {"Name"});
+  ASSERT_TRUE(names.ok());
+  ASSERT_EQ(names->size(), 2u);
+  EXPECT_EQ(names->tuples()[0], Tuple::OfAtoms({"ada"}));
+  EXPECT_EQ(names->tuples()[1], Tuple::OfAtoms({"eve"}));
+}
+
+}  // namespace
+}  // namespace tupelo

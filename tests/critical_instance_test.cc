@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/critical_instance.h"
+#include "core/tupelo.h"
+#include "relational/io.h"
+#include "workloads/flights.h"
+
+namespace tupelo {
+namespace {
+
+Database Tdb(const char* text) {
+  Result<Database> db = ParseTdb(text);
+  EXPECT_TRUE(db.ok()) << db.status();
+  return std::move(db).value();
+}
+
+TEST(CriticalInstanceTest, LinksSharedEntity) {
+  // Full instances: one shared employee (Ada) plus unshared rows.
+  Database source = Tdb(
+      "relation Staff (Name, Office) {\n"
+      "  (Ada, B12)\n"
+      "  (OnlyInSource, Z99)\n"
+      "}");
+  Database target = Tdb(
+      "relation Employees (FullName, Room) {\n"
+      "  (Ada, B12)\n"
+      "  (OnlyInTarget, Q11)\n"
+      "}");
+  CriticalInstanceOptions options;
+  options.max_tuples_per_relation = 1;
+  Result<CriticalInstancePair> pair =
+      ExtractCriticalInstances(source, target, options);
+  ASSERT_TRUE(pair.ok()) << pair.status();
+  // The linked tuple is the shared one.
+  const Relation* t = pair->target.GetRelation("Employees").value();
+  ASSERT_EQ(t->size(), 1u);
+  EXPECT_EQ(t->tuples()[0], Tuple::OfAtoms({"Ada", "B12"}));
+  const Relation* s = pair->source.GetRelation("Staff").value();
+  ASSERT_EQ(s->size(), 1u);
+  EXPECT_EQ(s->tuples()[0], Tuple::OfAtoms({"Ada", "B12"}));
+  EXPECT_EQ(pair->overlap_score, 2u);
+}
+
+TEST(CriticalInstanceTest, SchemasPreserved) {
+  Database source = Tdb("relation S (A, B) { (1, 2) }");
+  Database target = Tdb("relation T (X) { (1) }");
+  Result<CriticalInstancePair> pair =
+      ExtractCriticalInstances(source, target);
+  ASSERT_TRUE(pair.ok());
+  EXPECT_EQ(pair->source.GetRelation("S").value()->attributes(),
+            (std::vector<std::string>{"A", "B"}));
+  EXPECT_EQ(pair->target.GetRelation("T").value()->attributes(),
+            (std::vector<std::string>{"X"}));
+}
+
+TEST(CriticalInstanceTest, RespectsMaxTuplesPerRelation) {
+  Database source = Tdb(
+      "relation S (A) { (x1) (x2) (x3) (x4) }");
+  Database target = Tdb(
+      "relation T (B) { (x1) (x2) (x3) (x4) }");
+  CriticalInstanceOptions options;
+  options.max_tuples_per_relation = 2;
+  Result<CriticalInstancePair> pair =
+      ExtractCriticalInstances(source, target, options);
+  ASSERT_TRUE(pair.ok());
+  EXPECT_EQ(pair->target.GetRelation("T").value()->size(), 2u);
+}
+
+TEST(CriticalInstanceTest, NoOverlapFails) {
+  Database source = Tdb("relation S (A) { (x) }");
+  Database target = Tdb("relation T (B) { (y) }");
+  EXPECT_EQ(ExtractCriticalInstances(source, target).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(CriticalInstanceTest, EmptyInputsFail) {
+  Database source = Tdb("relation S (A) { (x) }");
+  EXPECT_FALSE(ExtractCriticalInstances(Database(), source).ok());
+  EXPECT_FALSE(ExtractCriticalInstances(source, Database()).ok());
+}
+
+TEST(CriticalInstanceTest, UnlinkedSourceRelationKeepsOneSample) {
+  Database source = Tdb(
+      "relation Linked (A) { (shared) }\n"
+      "relation Orphan (Z) { (unrelated1) (unrelated2) }");
+  Database target = Tdb("relation T (B) { (shared) }");
+  Result<CriticalInstancePair> pair =
+      ExtractCriticalInstances(source, target);
+  ASSERT_TRUE(pair.ok());
+  EXPECT_EQ(pair->source.GetRelation("Orphan").value()->size(), 1u);
+}
+
+TEST(CriticalInstanceTest, MultiRelationTargetLinksEachRelation) {
+  // FlightsC-shaped target: both carrier relations must link to rows of
+  // the flat source.
+  Database source = MakeFlightsB();
+  Database target = MakeFlightsC();
+  CriticalInstanceOptions options;
+  options.max_tuples_per_relation = 2;
+  Result<CriticalInstancePair> pair =
+      ExtractCriticalInstances(source, target, options);
+  ASSERT_TRUE(pair.ok()) << pair.status();
+  EXPECT_EQ(pair->target.GetRelation("AirEast").value()->size(), 2u);
+  EXPECT_EQ(pair->target.GetRelation("JetWest").value()->size(), 2u);
+  EXPECT_GE(pair->overlap_score, 4u);
+}
+
+TEST(CriticalInstanceTest, ExtractedInstancesDriveDiscovery) {
+  // End to end: pad the flights instances with unrelated rows, extract,
+  // then discover the mapping on the extracted criticals.
+  Database source = MakeFlightsB();
+  Relation* prices = source.GetMutableRelation("Prices").value();
+  ASSERT_TRUE(
+      prices->AddRow({"NoiseAir", "XXX99", "987", "55"}).ok());
+  Database target = MakeFlightsA();
+
+  Result<CriticalInstancePair> pair =
+      ExtractCriticalInstances(source, target);
+  ASSERT_TRUE(pair.ok());
+
+  TupeloOptions options;
+  options.limits.max_states = 500000;
+  Result<TupeloResult> r =
+      DiscoverMapping(pair->source, pair->target, options);
+  ASSERT_TRUE(r.ok());
+  ASSERT_TRUE(r->found);
+  // The discovered expression, applied to the FULL source, still contains
+  // the full target (mapping generalizes beyond the critical instance).
+  Result<Database> mapped = r->mapping.Apply(source);
+  ASSERT_TRUE(mapped.ok()) << mapped.status();
+  EXPECT_TRUE(mapped->Contains(target));
+}
+
+}  // namespace
+}  // namespace tupelo

@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "fira/builtin_functions.h"
+#include "fira/expression.h"
+#include "relational/io.h"
+#include "workloads/flights.h"
+
+namespace tupelo {
+namespace {
+
+Database Tdb(const char* text) {
+  Result<Database> db = ParseTdb(text);
+  EXPECT_TRUE(db.ok()) << db.status();
+  return std::move(db).value();
+}
+
+TEST(ExpressionTest, EmptyExpressionIsIdentity) {
+  MappingExpression expr;
+  Database db = Tdb("relation R (A) { (1) }");
+  Result<Database> out = expr.Apply(db);
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(out->ContentsEqual(db));
+  EXPECT_TRUE(expr.empty());
+  EXPECT_EQ(expr.ToScript(), "");
+}
+
+TEST(ExpressionTest, AppliesStepsInOrder) {
+  MappingExpression expr;
+  expr.Append(RenameAttrOp{"R", "A", "B"});
+  expr.Append(RenameAttrOp{"R", "B", "C"});  // depends on step 1
+  Database db = Tdb("relation R (A) { (1) }");
+  Result<Database> out = expr.Apply(db);
+  ASSERT_TRUE(out.ok()) << out.status();
+  EXPECT_TRUE(out->GetRelation("R").value()->HasAttribute("C"));
+}
+
+TEST(ExpressionTest, ErrorIdentifiesFailingStep) {
+  MappingExpression expr;
+  expr.Append(RenameAttrOp{"R", "A", "B"});
+  expr.Append(DropOp{"R", "Z"});  // fails
+  Database db = Tdb("relation R (A, X) { (1, 2) }");
+  Result<Database> out = expr.Apply(db);
+  ASSERT_FALSE(out.ok());
+  EXPECT_NE(out.status().message().find("step 2"), std::string::npos);
+  EXPECT_NE(out.status().message().find("drop(R, Z)"), std::string::npos);
+}
+
+TEST(ExpressionTest, PaperExample2EndToEnd) {
+  // The full Example 2 expression maps FlightsB exactly onto FlightsA.
+  MappingExpression expr = FlightsBToAExpression();
+  Result<Database> out = expr.Apply(MakeFlightsB());
+  ASSERT_TRUE(out.ok()) << out.status();
+  EXPECT_TRUE(out->Contains(MakeFlightsA()));
+  EXPECT_TRUE(MakeFlightsA().Contains(*out));  // exact, both directions
+}
+
+TEST(ExpressionTest, ExpressionIsReusableAcrossInstances) {
+  // A discovered expression runs on *other* instances of the source
+  // schema, not just the critical instance.
+  MappingExpression expr = FlightsBToAExpression();
+  Database other = Tdb(
+      "relation Prices (Carrier, Route, Cost, AgentFee) {\n"
+      "  (SkyHigh, LAX05, 300, 20)\n"
+      "  (SkyHigh, JFK09, 400, 20)\n"
+      "}");
+  Result<Database> out = expr.Apply(other);
+  ASSERT_TRUE(out.ok()) << out.status();
+  const Relation* r = out->GetRelation("Flights").value();
+  EXPECT_EQ(r->attributes(),
+            (std::vector<std::string>{"Carrier", "Fee", "LAX05", "JFK09"}));
+  ASSERT_EQ(r->size(), 1u);
+  EXPECT_EQ(r->tuples()[0], Tuple::OfAtoms({"SkyHigh", "20", "300", "400"}));
+}
+
+TEST(ExpressionTest, LambdaStepsNeedRegistry) {
+  MappingExpression expr;
+  expr.Append(ApplyFunctionOp{"Prices", "add", {"Cost", "AgentFee"},
+                              "TotalCost"});
+  EXPECT_FALSE(expr.Apply(MakeFlightsB(), nullptr).ok());
+  FunctionRegistry reg;
+  ASSERT_TRUE(RegisterBuiltinFunctions(&reg).ok());
+  Result<Database> out = expr.Apply(MakeFlightsB(), &reg);
+  ASSERT_TRUE(out.ok()) << out.status();
+  EXPECT_TRUE(
+      out->GetRelation("Prices").value()->HasAttribute("TotalCost"));
+}
+
+TEST(ExpressionTest, ToScriptOnePerLine) {
+  MappingExpression expr = FlightsBToAExpression();
+  std::string script = expr.ToScript();
+  EXPECT_EQ(script,
+            "promote(Prices, Route, Cost)\n"
+            "drop(Prices, Route)\n"
+            "drop(Prices, Cost)\n"
+            "merge(Prices, Carrier)\n"
+            "rename_att(Prices, AgentFee, Fee)\n"
+            "rename_rel(Prices, Flights)\n");
+}
+
+TEST(ExpressionTest, ToPrettyComposesRightToLeft) {
+  MappingExpression expr;
+  expr.Append(PromoteOp{"R", "A", "B"});
+  expr.Append(DropOp{"R", "A"});
+  std::string pretty = expr.ToPretty();
+  // Last-applied operator appears leftmost.
+  EXPECT_EQ(pretty, "π̄_A(R) ∘ ↑^A_B(R) ∘ DB");
+}
+
+TEST(ExpressionTest, EqualityIsStructural) {
+  EXPECT_EQ(FlightsBToAExpression(), FlightsBToAExpression());
+  MappingExpression other = FlightsBToAExpression();
+  other.Append(DemoteOp{"Flights"});
+  EXPECT_NE(FlightsBToAExpression(), other);
+}
+
+}  // namespace
+}  // namespace tupelo

@@ -1,0 +1,268 @@
+// End-to-end scenarios across the full stack: workloads -> discovery ->
+// expression serialization -> re-parse -> re-execution.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include <string>
+
+#include "core/schema_matching.h"
+#include "core/tupelo.h"
+#include "fira/builtin_functions.h"
+#include "fira/parser.h"
+#include "relational/io.h"
+#include "workloads/bamm.h"
+#include "workloads/flights.h"
+#include "workloads/semantic.h"
+#include "workloads/synthetic.h"
+
+namespace tupelo {
+namespace {
+
+TEST(IntegrationTest, DiscoverSerializeReparseReexecute) {
+  // The full artifact lifecycle: a discovered mapping survives a round
+  // trip through its script form and still maps the source to the target.
+  Tupelo system(MakeFlightsB(), MakeFlightsA());
+  TupeloOptions options;
+  options.limits.max_states = 200000;
+  Result<TupeloResult> r = system.Discover(options);
+  ASSERT_TRUE(r.ok());
+  ASSERT_TRUE(r->found);
+
+  std::string script = r->mapping.ToScript();
+  Result<MappingExpression> reparsed = ParseExpression(script);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status();
+  EXPECT_EQ(*reparsed, r->mapping);
+
+  Result<Database> out = reparsed->Apply(MakeFlightsB());
+  ASSERT_TRUE(out.ok()) << out.status();
+  EXPECT_TRUE(out->Contains(MakeFlightsA()));
+}
+
+TEST(IntegrationTest, DiscoveredMappingGeneralizesToLargerInstance) {
+  // Discover on the critical instances, execute on a bigger instance of
+  // the same source schema.
+  Tupelo system(MakeFlightsB(), MakeFlightsA());
+  TupeloOptions options;
+  options.limits.max_states = 200000;
+  Result<TupeloResult> r = system.Discover(options);
+  ASSERT_TRUE(r.ok());
+  ASSERT_TRUE(r->found);
+
+  Result<Database> bigger_r = ParseTdb(
+      "relation Prices (Carrier, Route, Cost, AgentFee) {\n"
+      "  (AirEast, ATL29, 100, 15)\n"
+      "  (JetWest, ATL29, 200, 16)\n"
+      "  (AirEast, ORD17, 110, 15)\n"
+      "  (JetWest, ORD17, 220, 16)\n"
+      "  (AirEast, SFO88, 310, 15)\n"
+      "  (JetWest, SFO88, 320, 16)\n"
+      "}");
+  ASSERT_TRUE(bigger_r.ok());
+  Result<Database> out = r->mapping.Apply(*bigger_r);
+  ASSERT_TRUE(out.ok()) << out.status();
+  const Relation* flights = out->GetRelation("Flights").value();
+  EXPECT_TRUE(flights->HasAttribute("SFO88"));
+  EXPECT_EQ(flights->size(), 2u);
+}
+
+TEST(IntegrationTest, SyntheticExperimentEndToEnd) {
+  for (size_t n : {1u, 2u, 4u, 6u}) {
+    SyntheticMatchingPair pair = MakeSyntheticMatchingPair(n);
+    Result<SchemaMatch> m = MatchSchemas(pair.source, pair.target);
+    ASSERT_TRUE(m.ok());
+    ASSERT_TRUE(m->found) << "n=" << n;
+    EXPECT_EQ(m->attribute_matches.size(), n) << "n=" << n;
+    // Every match pairs Ai with Bi (identical index).
+    for (const auto& [from, to] : m->attribute_matches) {
+      EXPECT_EQ(from.substr(1), to.substr(1)) << from << "->" << to;
+    }
+  }
+}
+
+TEST(IntegrationTest, BammMatchingAlwaysSolvable) {
+  BammWorkload w = MakeBammWorkload(BammDomain::kAutos, 123);
+  TupeloOptions options;
+  options.heuristic = HeuristicKind::kCosine;
+  options.limits.max_states = 500000;
+  size_t solved = 0;
+  // A slice of the domain keeps the test fast.
+  for (size_t i = 0; i < 10 && i < w.targets.size(); ++i) {
+    Result<TupeloResult> r =
+        DiscoverMapping(w.source, w.targets[i], options);
+    ASSERT_TRUE(r.ok());
+    EXPECT_TRUE(r->found) << "target " << i;
+    EXPECT_TRUE(r->verified) << "target " << i;
+    if (r->found) ++solved;
+  }
+  EXPECT_EQ(solved, 10u);
+}
+
+TEST(IntegrationTest, SemanticWorkloadEndToEnd) {
+  SemanticWorkload w = MakeSemanticWorkload(SemanticDomain::kInventory, 3);
+  Tupelo system(w.source, w.target);
+  system.set_registry(&w.registry);
+  for (const SemanticCorrespondence& c : w.correspondences) {
+    system.AddCorrespondence(c);
+  }
+  TupeloOptions options;
+  options.heuristic = HeuristicKind::kH1;
+  options.limits.max_states = 500000;
+  Result<TupeloResult> r = system.Discover(options);
+  ASSERT_TRUE(r.ok());
+  ASSERT_TRUE(r->found);
+  EXPECT_TRUE(r->verified);
+  // Depth: rel rename + 2 attr renames + 3 λ steps.
+  EXPECT_EQ(r->stats.solution_cost, 6);
+}
+
+TEST(IntegrationTest, FlightsCycleAToBToC) {
+  // A -> B needs demote; B -> C needs partition + λ. Chain both directions
+  // through discovery to exercise all data-metadata operators.
+  FunctionRegistry registry;
+  ASSERT_TRUE(RegisterBuiltinFunctions(&registry).ok());
+
+  // A -> B: demote the route columns back to data.
+  Tupelo a_to_b(MakeFlightsA(), MakeFlightsB());
+  TupeloOptions options;
+  options.heuristic = HeuristicKind::kH1;
+  options.algorithm = SearchAlgorithm::kRbfs;
+  options.limits.max_states = 2000000;
+  options.limits.max_depth = 10;
+  Result<TupeloResult> r1 = a_to_b.Discover(options);
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r1->found) << "A->B not found; states="
+                         << r1->stats.states_examined;
+  EXPECT_TRUE(r1->verified);
+
+  // B -> C with the complex correspondence.
+  Tupelo b_to_c(MakeFlightsB(), MakeFlightsC());
+  b_to_c.set_registry(&registry);
+  for (const SemanticCorrespondence& c : FlightsBToCCorrespondences()) {
+    b_to_c.AddCorrespondence(c);
+  }
+  Result<TupeloResult> r2 = b_to_c.Discover(options);
+  ASSERT_TRUE(r2.ok());
+  ASSERT_TRUE(r2->found);
+  EXPECT_TRUE(r2->verified);
+
+  // Composing the two expressions maps A's instance all the way to C.
+  Result<Database> b_inst = r1->mapping.Apply(MakeFlightsA(), &registry);
+  ASSERT_TRUE(b_inst.ok()) << b_inst.status();
+  ASSERT_TRUE(b_inst->Contains(MakeFlightsB()));
+  Result<Database> c_inst = r2->mapping.Apply(*b_inst, &registry);
+  ASSERT_TRUE(c_inst.ok()) << c_inst.status();
+  EXPECT_TRUE(c_inst->Contains(MakeFlightsC()));
+}
+
+TEST(IntegrationTest, TdbFilesDriveDiscovery) {
+  // Simulates the CLI path: write .tdb files, load them, discover.
+  std::string dir = testing::TempDir();
+  ASSERT_TRUE(SaveTdbFile(MakeFlightsB(), dir + "/src.tdb").ok());
+  ASSERT_TRUE(SaveTdbFile(MakeFlightsA(), dir + "/tgt.tdb").ok());
+  Result<Database> source = LoadTdbFile(dir + "/src.tdb");
+  Result<Database> target = LoadTdbFile(dir + "/tgt.tdb");
+  ASSERT_TRUE(source.ok());
+  ASSERT_TRUE(target.ok());
+  TupeloOptions options;
+  options.limits.max_states = 200000;
+  Result<TupeloResult> r = DiscoverMapping(*source, *target, options);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->found);
+}
+
+TEST(IntegrationTest, BammDiscoveredMatchesAreCorrect) {
+  // Not just cheap — *right*: the matches TUPELO reads off its discovered
+  // expressions must equal the generator's ground truth exactly.
+  BammWorkload w = MakeBammWorkload(BammDomain::kMusic, 77);
+  TupeloOptions options;
+  options.heuristic = HeuristicKind::kPairs;
+  options.limits.max_states = 200000;
+  size_t checked = 0;
+  for (size_t i = 0; i < 12 && i < w.targets.size(); ++i) {
+    Result<SchemaMatch> m =
+        MatchSchemas(w.source, w.targets[i], options);
+    ASSERT_TRUE(m.ok());
+    ASSERT_TRUE(m->found) << "target " << i;
+    const BammGroundTruth& truth = w.ground_truth[i];
+    // Same number of attribute matches, and each expected pair present.
+    EXPECT_EQ(m->attribute_matches.size(), truth.attribute_renames.size())
+        << "target " << i;
+    for (const auto& expected : truth.attribute_renames) {
+      EXPECT_NE(std::find(m->attribute_matches.begin(),
+                          m->attribute_matches.end(), expected),
+                m->attribute_matches.end())
+          << "target " << i << ": " << expected.first << "->"
+          << expected.second;
+    }
+    if (!truth.relation_rename.empty()) {
+      ASSERT_EQ(m->relation_matches.size(), 1u) << "target " << i;
+      EXPECT_EQ(m->relation_matches[0].second, truth.relation_rename);
+    } else {
+      EXPECT_TRUE(m->relation_matches.empty()) << "target " << i;
+    }
+    ++checked;
+  }
+  EXPECT_EQ(checked, std::min<size_t>(12, w.targets.size()));
+}
+
+TEST(IntegrationTest, ProductDiscovery) {
+  // A target relation spanning two source relations needs ×.
+  Result<Database> source = ParseTdb(
+      "relation Dim1 (A) { (a1) (a2) }\n"
+      "relation Dim2 (B) { (b1) }");
+  Result<Database> target = ParseTdb(
+      "relation \"Dim1*Dim2\" (A, B) { (a1, b1) (a2, b1) }");
+  ASSERT_TRUE(source.ok());
+  ASSERT_TRUE(target.ok());
+  TupeloOptions options;
+  options.limits.max_states = 100000;
+  Result<TupeloResult> r = DiscoverMapping(*source, *target, options);
+  ASSERT_TRUE(r.ok());
+  ASSERT_TRUE(r->found);
+  EXPECT_TRUE(r->verified);
+  EXPECT_EQ(r->mapping.steps()[0], Op(ProductOp{"Dim1", "Dim2"}));
+}
+
+TEST(IntegrationTest, DereferenceDiscovery) {
+  // The fresh target column holds t[t[Pick]] — only → can produce it.
+  Result<Database> source = ParseTdb(
+      "relation R (Pick, Low, High) { (Low, 10, 99) (High, 20, 88) }");
+  Result<Database> target = ParseTdb(
+      "relation R (Pick, Low, High, Chosen) "
+      "{ (Low, 10, 99, 10) (High, 20, 88, 88) }");
+  ASSERT_TRUE(source.ok());
+  ASSERT_TRUE(target.ok());
+  TupeloOptions options;
+  options.limits.max_states = 100000;
+  Result<TupeloResult> r = DiscoverMapping(*source, *target, options);
+  ASSERT_TRUE(r.ok());
+  ASSERT_TRUE(r->found);
+  EXPECT_TRUE(r->verified);
+  EXPECT_EQ(r->mapping.steps()[0],
+            Op(DereferenceOp{"R", "Pick", "Chosen"}));
+}
+
+TEST(IntegrationTest, AllAlgorithmsAgreeOnSolvability) {
+  SyntheticMatchingPair pair = MakeSyntheticMatchingPair(3);
+  for (SearchAlgorithm algo : {SearchAlgorithm::kIda, SearchAlgorithm::kRbfs,
+                               SearchAlgorithm::kAStar}) {
+    for (HeuristicKind h : {HeuristicKind::kH1, HeuristicKind::kCosine}) {
+      TupeloOptions options;
+      options.algorithm = algo;
+      options.heuristic = h;
+      options.limits.max_states = 500000;
+      Result<TupeloResult> r =
+          DiscoverMapping(pair.source, pair.target, options);
+      ASSERT_TRUE(r.ok());
+      EXPECT_TRUE(r->found)
+          << SearchAlgorithmName(algo) << "/" << HeuristicKindName(h);
+      EXPECT_EQ(r->stats.solution_cost, 3)
+          << SearchAlgorithmName(algo) << "/" << HeuristicKindName(h);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tupelo

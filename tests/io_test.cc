@@ -1,0 +1,243 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "relational/io.h"
+#include "workloads/flights.h"
+
+namespace tupelo {
+namespace {
+
+Database MustParseTdb(const char* text) {
+  Result<Database> db = ParseTdb(text);
+  EXPECT_TRUE(db.ok()) << db.status();
+  return std::move(db).value();
+}
+
+// ---------------------------------------------------------------------------
+// .tdb parsing
+// ---------------------------------------------------------------------------
+
+TEST(TdbParseTest, EmptyInput) {
+  Database db = MustParseTdb("");
+  EXPECT_TRUE(db.empty());
+  EXPECT_TRUE(MustParseTdb("  \n # just a comment\n").empty());
+}
+
+TEST(TdbParseTest, SingleRelation) {
+  Database db = MustParseTdb(
+      "relation R (A, B) {\n"
+      "  (1, 2)\n"
+      "  (3, 4)\n"
+      "}\n");
+  Result<const Relation*> r = db.GetRelation("R");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)->attributes(), (std::vector<std::string>{"A", "B"}));
+  ASSERT_EQ((*r)->size(), 2u);
+  EXPECT_EQ((*r)->tuples()[1], Tuple::OfAtoms({"3", "4"}));
+}
+
+TEST(TdbParseTest, MultipleRelations) {
+  Database db = MustParseTdb(
+      "relation R (A) { (1) }\n"
+      "relation S (B) { (2) }\n");
+  EXPECT_TRUE(db.HasRelation("R"));
+  EXPECT_TRUE(db.HasRelation("S"));
+}
+
+TEST(TdbParseTest, NullKeyword) {
+  Database db = MustParseTdb("relation R (A, B) { (null, x) }");
+  const Relation* r = db.GetRelation("R").value();
+  EXPECT_TRUE(r->tuples()[0][0].is_null());
+  EXPECT_EQ(r->tuples()[0][1], Value("x"));
+}
+
+TEST(TdbParseTest, QuotedStringsWithEscapes) {
+  Database db = MustParseTdb(
+      R"(relation "My Table" ("Col 1") { ("a\"b\\c\nd") })");
+  const Relation* r = db.GetRelation("My Table").value();
+  EXPECT_EQ(r->attributes()[0], "Col 1");
+  EXPECT_EQ(r->tuples()[0][0], Value("a\"b\\c\nd"));
+}
+
+TEST(TdbParseTest, QuotedNullIsAnAtom) {
+  // "null" in quotes is the atom, not the null value.
+  Database db = MustParseTdb(R"(relation R (A) { ("null") })");
+  EXPECT_EQ(db.GetRelation("R").value()->tuples()[0][0], Value("null"));
+}
+
+TEST(TdbParseTest, CommentsAnywhere) {
+  Database db = MustParseTdb(
+      "# header\n"
+      "relation R (A) { # schema\n"
+      "  (1) # tuple\n"
+      "}\n");
+  EXPECT_EQ(db.GetRelation("R").value()->size(), 1u);
+}
+
+TEST(TdbParseTest, ZeroArityRelation) {
+  Database db = MustParseTdb("relation R () { }");
+  EXPECT_EQ(db.GetRelation("R").value()->arity(), 0u);
+}
+
+TEST(TdbParseTest, ErrorsCarryLineNumbers) {
+  Result<Database> r = ParseTdb("relation R (A) {\n  (1,\n}");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("line"), std::string::npos);
+}
+
+TEST(TdbParseTest, RejectsMalformedInputs) {
+  EXPECT_FALSE(ParseTdb("relation").ok());
+  EXPECT_FALSE(ParseTdb("relation R").ok());
+  EXPECT_FALSE(ParseTdb("relation R (A)").ok());
+  EXPECT_FALSE(ParseTdb("relation R (A) { (1) ").ok());     // no closing }
+  EXPECT_FALSE(ParseTdb("relation R (A A) { }").ok());      // missing comma
+  EXPECT_FALSE(ParseTdb("relation R (A, A) { }").ok());     // dup attribute
+  EXPECT_FALSE(ParseTdb("relation R (A) { (1, 2) }").ok()); // arity
+  EXPECT_FALSE(ParseTdb("xrelation R (A) { }").ok());
+  EXPECT_FALSE(ParseTdb(R"(relation R (A) { ("unterminated) })").ok());
+  EXPECT_FALSE(ParseTdb(R"(relation R (A) { ("bad\q") })").ok());
+  EXPECT_FALSE(ParseTdb("relation R (A) { (null null) }").ok());
+  EXPECT_FALSE(ParseTdb("relation null (A) { }").ok());  // null not a name
+}
+
+TEST(TdbParseTest, DuplicateRelationNameRejected) {
+  EXPECT_FALSE(ParseTdb("relation R (A) { } relation R (B) { }").ok());
+}
+
+// ---------------------------------------------------------------------------
+// .tdb writing / round trips
+// ---------------------------------------------------------------------------
+
+TEST(TdbWriteTest, RoundTripFlights) {
+  for (const Database& db :
+       {MakeFlightsA(), MakeFlightsB(), MakeFlightsC()}) {
+    Result<Database> back = ParseTdb(WriteTdb(db));
+    ASSERT_TRUE(back.ok()) << back.status();
+    EXPECT_TRUE(back->ContentsEqual(db));
+  }
+}
+
+TEST(TdbWriteTest, RoundTripAwkwardNames) {
+  Database db;
+  Result<Relation> r =
+      Relation::Create("weird name", {"has space", "has\"quote", "null"});
+  ASSERT_TRUE(r.ok());
+  ASSERT_TRUE(
+      r->AddTuple(Tuple(std::vector<Value>{Value(""), Value::Null(),
+                                           Value("multi\nline")}))
+          .ok());
+  ASSERT_TRUE(db.AddRelation(std::move(r).value()).ok());
+  Result<Database> back = ParseTdb(WriteTdb(db));
+  ASSERT_TRUE(back.ok()) << back.status();
+  EXPECT_TRUE(back->ContentsEqual(db));
+}
+
+TEST(TdbWriteTest, NullWrittenAsKeyword) {
+  Database db;
+  Result<Relation> r = Relation::Create("R", {"A"});
+  ASSERT_TRUE(r.ok());
+  ASSERT_TRUE(r->AddTuple(Tuple(std::vector<Value>{Value::Null()})).ok());
+  ASSERT_TRUE(db.AddRelation(std::move(r).value()).ok());
+  EXPECT_NE(WriteTdb(db).find("(null)"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// CSV
+// ---------------------------------------------------------------------------
+
+TEST(CsvTest, ParseBasic) {
+  Result<Relation> r = ParseCsvRelation("R", "A,B\n1,2\n3,4\n");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->attributes(), (std::vector<std::string>{"A", "B"}));
+  ASSERT_EQ(r->size(), 2u);
+  EXPECT_EQ(r->tuples()[0], Tuple::OfAtoms({"1", "2"}));
+}
+
+TEST(CsvTest, QuotedFieldsAndEscapedQuotes) {
+  Result<Relation> r =
+      ParseCsvRelation("R", "A,B\n\"x,y\",\"say \"\"hi\"\"\"\n");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->tuples()[0][0], Value("x,y"));
+  EXPECT_EQ(r->tuples()[0][1], Value("say \"hi\""));
+}
+
+TEST(CsvTest, EmbeddedNewlineInQuotedField) {
+  Result<Relation> r = ParseCsvRelation("R", "A\n\"line1\nline2\"\n");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->tuples()[0][0], Value("line1\nline2"));
+}
+
+TEST(CsvTest, EmptyUnquotedIsNullQuotedIsEmptyAtom) {
+  Result<Relation> r = ParseCsvRelation("R", "A,B\n,\"\"\n");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_TRUE(r->tuples()[0][0].is_null());
+  EXPECT_EQ(r->tuples()[0][1], Value(""));
+}
+
+TEST(CsvTest, CrLfHandled) {
+  Result<Relation> r = ParseCsvRelation("R", "A,B\r\n1,2\r\n");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->tuples()[0], Tuple::OfAtoms({"1", "2"}));
+}
+
+TEST(CsvTest, MissingFinalNewlineOk) {
+  Result<Relation> r = ParseCsvRelation("R", "A,B\n1,2");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->size(), 1u);
+}
+
+TEST(CsvTest, Rejections) {
+  EXPECT_FALSE(ParseCsvRelation("R", "").ok());           // no header
+  EXPECT_FALSE(ParseCsvRelation("R", "A,B\n1\n").ok());   // field count
+  EXPECT_FALSE(ParseCsvRelation("R", "A\n\"x\n").ok());   // open quote
+  EXPECT_FALSE(ParseCsvRelation("R", "A\nx\"y\n").ok());  // stray quote
+  EXPECT_FALSE(ParseCsvRelation("R", "A,A\n1,2\n").ok()); // dup attrs
+}
+
+TEST(CsvTest, WriteRoundTrip) {
+  Database db = MakeFlightsB();
+  const Relation* rel = db.GetRelation("Prices").value();
+  Result<Relation> back = ParseCsvRelation("Prices", WriteCsv(*rel));
+  ASSERT_TRUE(back.ok()) << back.status();
+  EXPECT_TRUE(back->ContentsEqual(*rel));
+}
+
+TEST(CsvTest, WriteRoundTripWithNullsAndSpecials) {
+  Result<Relation> r = Relation::Create("R", {"A", "B", "C"});
+  ASSERT_TRUE(r.ok());
+  ASSERT_TRUE(r->AddTuple(Tuple(std::vector<Value>{
+                              Value("x,y"), Value::Null(), Value("q\"z")}))
+                  .ok());
+  ASSERT_TRUE(
+      r->AddTuple(Tuple(std::vector<Value>{Value(""), Value("line\nbreak"),
+                                           Value("plain")}))
+          .ok());
+  Result<Relation> back = ParseCsvRelation("R", WriteCsv(*r));
+  ASSERT_TRUE(back.ok()) << back.status();
+  EXPECT_TRUE(back->ContentsEqual(*r));
+}
+
+// ---------------------------------------------------------------------------
+// Files
+// ---------------------------------------------------------------------------
+
+TEST(FileTest, SaveAndLoad) {
+  std::string path = testing::TempDir() + "/tupelo_io_test.tdb";
+  Database db = MakeFlightsA();
+  ASSERT_TRUE(SaveTdbFile(db, path).ok());
+  Result<Database> back = LoadTdbFile(path);
+  ASSERT_TRUE(back.ok()) << back.status();
+  EXPECT_TRUE(back->ContentsEqual(db));
+  std::remove(path.c_str());
+}
+
+TEST(FileTest, LoadMissingFileFails) {
+  EXPECT_EQ(LoadTdbFile("/nonexistent/nowhere.tdb").status().code(),
+            StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace tupelo

@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "core/mapping_repository.h"
+#include "core/tupelo.h"
+#include "fira/builtin_functions.h"
+#include "workloads/flights.h"
+
+namespace tupelo {
+namespace {
+
+StoredMapping ExampleMapping() {
+  StoredMapping m;
+  m.name = "prices_to_flights";
+  m.expression = FlightsBToAExpression();
+  m.source_instance = MakeFlightsB();
+  m.target_instance = MakeFlightsA();
+  m.algorithm = "rbfs";
+  m.heuristic = "h1";
+  m.states_examined = 2570;
+  return m;
+}
+
+TEST(MappingRepositoryTest, WriteParseRoundTrip) {
+  StoredMapping m = ExampleMapping();
+  Result<StoredMapping> back = ParseMapping(WriteMapping(m));
+  ASSERT_TRUE(back.ok()) << back.status();
+  EXPECT_EQ(back->name, m.name);
+  EXPECT_EQ(back->algorithm, "rbfs");
+  EXPECT_EQ(back->heuristic, "h1");
+  EXPECT_EQ(back->states_examined, 2570u);
+  EXPECT_EQ(back->expression, m.expression);
+  EXPECT_TRUE(back->source_instance.ContentsEqual(m.source_instance));
+  EXPECT_TRUE(back->target_instance.ContentsEqual(m.target_instance));
+}
+
+TEST(MappingRepositoryTest, RoundTripWithCorrespondences) {
+  StoredMapping m;
+  m.name = "b_to_c";
+  m.source_instance = MakeFlightsB();
+  m.target_instance = MakeFlightsC();
+  m.correspondences = FlightsBToCCorrespondences();
+  m.expression.Append(
+      ApplyFunctionOp{"Prices", "add", {"Cost", "AgentFee"}, "TotalCost"});
+  m.expression.Append(PartitionOp{"Prices", "Carrier"});
+  m.expression.Append(RenameAttrOp{"AirEast", "Cost", "BaseCost"});
+  m.expression.Append(RenameAttrOp{"JetWest", "Cost", "BaseCost"});
+  Result<StoredMapping> back = ParseMapping(WriteMapping(m));
+  ASSERT_TRUE(back.ok()) << back.status();
+  ASSERT_EQ(back->correspondences.size(), 1u);
+  EXPECT_EQ(back->correspondences[0],
+            (SemanticCorrespondence{"add", {"Cost", "AgentFee"},
+                                    "TotalCost"}));
+  EXPECT_EQ(back->expression, m.expression);
+}
+
+TEST(MappingRepositoryTest, RoundTripAwkwardNames) {
+  StoredMapping m;
+  m.name = "odd name with spaces";
+  m.source_instance = MakeFlightsB();
+  m.target_instance = MakeFlightsA();
+  m.expression.Append(RenameAttrOp{"Prices", "AgentFee", "new fee"});
+  m.correspondences.push_back(
+      {"concat", {"a b", "c,d"}, "out put"});
+  Result<StoredMapping> back = ParseMapping(WriteMapping(m));
+  ASSERT_TRUE(back.ok()) << back.status();
+  EXPECT_EQ(back->name, m.name);
+  EXPECT_EQ(back->correspondences, m.correspondences);
+  EXPECT_EQ(back->expression, m.expression);
+}
+
+TEST(MappingRepositoryTest, ValidateStoredMapping) {
+  StoredMapping good = ExampleMapping();
+  Result<bool> ok = ValidateStoredMapping(good);
+  ASSERT_TRUE(ok.ok()) << ok.status();
+  EXPECT_TRUE(*ok);
+
+  // Tamper with the expression: validation reports false (or an error for
+  // inapplicable expressions).
+  StoredMapping bad = good;
+  bad.expression = MappingExpression();
+  Result<bool> tampered = ValidateStoredMapping(bad);
+  ASSERT_TRUE(tampered.ok());
+  EXPECT_FALSE(*tampered);
+}
+
+TEST(MappingRepositoryTest, ValidateWithLambda) {
+  FunctionRegistry registry;
+  ASSERT_TRUE(RegisterBuiltinFunctions(&registry).ok());
+  StoredMapping m;
+  m.source_instance = MakeFlightsB();
+  m.target_instance = MakeFlightsC();
+  m.correspondences = FlightsBToCCorrespondences();
+  m.expression.Append(
+      ApplyFunctionOp{"Prices", "add", {"Cost", "AgentFee"}, "TotalCost"});
+  m.expression.Append(RenameAttrOp{"Prices", "Cost", "BaseCost"});
+  m.expression.Append(PartitionOp{"Prices", "Carrier"});
+  Result<bool> ok = ValidateStoredMapping(m, &registry);
+  ASSERT_TRUE(ok.ok()) << ok.status();
+  EXPECT_TRUE(*ok);
+  // Without the registry, execution fails cleanly.
+  EXPECT_FALSE(ValidateStoredMapping(m, nullptr).ok());
+}
+
+TEST(MappingRepositoryTest, FileRoundTrip) {
+  std::string path = testing::TempDir() + "/tupelo_repo_test.tmap";
+  StoredMapping m = ExampleMapping();
+  ASSERT_TRUE(SaveMappingFile(m, path).ok());
+  Result<StoredMapping> back = LoadMappingFile(path);
+  ASSERT_TRUE(back.ok()) << back.status();
+  EXPECT_EQ(back->expression, m.expression);
+  std::remove(path.c_str());
+}
+
+TEST(MappingRepositoryTest, Rejections) {
+  EXPECT_FALSE(ParseMapping("").ok());
+  EXPECT_FALSE(ParseMapping("not a mapping").ok());
+  EXPECT_FALSE(ParseMapping("tupelo-mapping 99\n").ok());
+  // Missing sections.
+  EXPECT_FALSE(ParseMapping("tupelo-mapping 1\nname x\n").ok());
+  // Unterminated section.
+  EXPECT_FALSE(
+      ParseMapping("tupelo-mapping 1\nbegin source\nrelation R (A) { }\n")
+          .ok());
+  // Unknown section.
+  EXPECT_FALSE(
+      ParseMapping("tupelo-mapping 1\nbegin junk\nend junk\n").ok());
+  // Bad states value.
+  EXPECT_FALSE(ParseMapping("tupelo-mapping 1\nstates abc\n").ok());
+  // Unknown header keyword.
+  EXPECT_FALSE(ParseMapping("tupelo-mapping 1\nbogus x\n").ok());
+}
+
+TEST(MappingRepositoryTest, EndToEndFromDiscovery) {
+  TupeloOptions options;
+  options.limits.max_states = 200000;
+  Result<TupeloResult> r =
+      DiscoverMapping(MakeFlightsB(), MakeFlightsA(), options);
+  ASSERT_TRUE(r.ok());
+  ASSERT_TRUE(r->found);
+
+  StoredMapping m;
+  m.name = "discovered";
+  m.expression = r->mapping;
+  m.source_instance = MakeFlightsB();
+  m.target_instance = MakeFlightsA();
+  m.algorithm = std::string(SearchAlgorithmName(options.algorithm));
+  m.heuristic = std::string(HeuristicKindName(options.heuristic));
+  m.states_examined = r->stats.states_examined;
+
+  Result<StoredMapping> back = ParseMapping(WriteMapping(m));
+  ASSERT_TRUE(back.ok()) << back.status();
+  Result<bool> valid = ValidateStoredMapping(*back);
+  ASSERT_TRUE(valid.ok());
+  EXPECT_TRUE(*valid);
+}
+
+}  // namespace
+}  // namespace tupelo

@@ -1,0 +1,178 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "fira/builtin_functions.h"
+#include "fira/optimizer.h"
+#include "relational/io.h"
+#include "workloads/flights.h"
+
+namespace tupelo {
+namespace {
+
+Database Tdb(const char* text) {
+  Result<Database> db = ParseTdb(text);
+  EXPECT_TRUE(db.ok()) << db.status();
+  return std::move(db).value();
+}
+
+MappingExpression Steps(std::vector<Op> ops) {
+  return MappingExpression(std::move(ops));
+}
+
+TEST(OptimizerTest, EmptyAndSingleStepUnchanged) {
+  EXPECT_TRUE(Simplify(MappingExpression()).empty());
+  MappingExpression one = Steps({DropOp{"R", "A"}});
+  EXPECT_EQ(Simplify(one), one);
+}
+
+TEST(OptimizerTest, FusesRenameAttrChain) {
+  MappingExpression expr = Steps({RenameAttrOp{"R", "A", "B"},
+                                  RenameAttrOp{"R", "B", "C"}});
+  MappingExpression simplified = Simplify(expr);
+  ASSERT_EQ(simplified.size(), 1u);
+  EXPECT_EQ(simplified.steps()[0], Op(RenameAttrOp{"R", "A", "C"}));
+}
+
+TEST(OptimizerTest, RemovesRenameRoundTrip) {
+  MappingExpression expr = Steps({RenameAttrOp{"R", "A", "B"},
+                                  RenameAttrOp{"R", "B", "A"}});
+  EXPECT_TRUE(Simplify(expr).empty());
+}
+
+TEST(OptimizerTest, FusesLongRenameChainToFixpoint) {
+  MappingExpression expr = Steps({RenameAttrOp{"R", "A", "B"},
+                                  RenameAttrOp{"R", "B", "C"},
+                                  RenameAttrOp{"R", "C", "D"}});
+  MappingExpression simplified = Simplify(expr);
+  ASSERT_EQ(simplified.size(), 1u);
+  EXPECT_EQ(simplified.steps()[0], Op(RenameAttrOp{"R", "A", "D"}));
+}
+
+TEST(OptimizerTest, DifferentRelationsNotFused) {
+  MappingExpression expr = Steps({RenameAttrOp{"R", "A", "B"},
+                                  RenameAttrOp{"S", "B", "C"}});
+  EXPECT_EQ(Simplify(expr), expr);
+}
+
+TEST(OptimizerTest, FusesRenameRelChain) {
+  MappingExpression expr =
+      Steps({RenameRelOp{"A", "B"}, RenameRelOp{"B", "C"}});
+  MappingExpression simplified = Simplify(expr);
+  ASSERT_EQ(simplified.size(), 1u);
+  EXPECT_EQ(simplified.steps()[0], Op(RenameRelOp{"A", "C"}));
+  EXPECT_TRUE(
+      Simplify(Steps({RenameRelOp{"A", "B"}, RenameRelOp{"B", "A"}}))
+          .empty());
+}
+
+TEST(OptimizerTest, RenameThenDropBecomesDrop) {
+  MappingExpression expr =
+      Steps({RenameAttrOp{"R", "A", "B"}, DropOp{"R", "B"}});
+  MappingExpression simplified = Simplify(expr);
+  ASSERT_EQ(simplified.size(), 1u);
+  EXPECT_EQ(simplified.steps()[0], Op(DropOp{"R", "A"}));
+}
+
+TEST(OptimizerTest, CreateThenDropRemoved) {
+  MappingExpression expr =
+      Steps({ApplyFunctionOp{"R", "add", {"A", "B"}, "X"},
+             DropOp{"R", "X"}});
+  EXPECT_TRUE(Simplify(expr).empty());
+  MappingExpression deref =
+      Steps({DereferenceOp{"R", "P", "X"}, DropOp{"R", "X"}});
+  EXPECT_TRUE(Simplify(deref).empty());
+}
+
+TEST(OptimizerTest, CreateThenDropOfOtherColumnKept) {
+  MappingExpression expr =
+      Steps({ApplyFunctionOp{"R", "add", {"A", "B"}, "X"},
+             DropOp{"R", "A"}});
+  EXPECT_EQ(Simplify(expr).size(), 2u);
+}
+
+TEST(OptimizerTest, DemotePlusDropsNotRemoved) {
+  // Not a bag-semantics no-op (tuple multiplicity changes).
+  MappingExpression expr = Steps({DemoteOp{"R"},
+                                  DropOp{"R", kDemoteAttrColumn},
+                                  DropOp{"R", kDemoteValueColumn}});
+  EXPECT_EQ(Simplify(expr).size(), 3u);
+}
+
+TEST(OptimizerTest, SortsConsecutiveDrops) {
+  MappingExpression expr = Steps({DropOp{"R", "Z"}, DropOp{"R", "A"},
+                                  DropOp{"R", "M"}});
+  MappingExpression simplified = Simplify(expr);
+  ASSERT_EQ(simplified.size(), 3u);
+  EXPECT_EQ(simplified.steps()[0], Op(DropOp{"R", "A"}));
+  EXPECT_EQ(simplified.steps()[1], Op(DropOp{"R", "M"}));
+  EXPECT_EQ(simplified.steps()[2], Op(DropOp{"R", "Z"}));
+}
+
+TEST(OptimizerTest, DropsOnDifferentRelationsNotReordered) {
+  MappingExpression expr = Steps({DropOp{"S", "Z"}, DropOp{"R", "A"}});
+  EXPECT_EQ(Simplify(expr), expr);
+}
+
+TEST(OptimizerTest, CascadedRulesReachFixpoint) {
+  // rename chain collapses, then the fused rename fuses with the drop.
+  MappingExpression expr = Steps({RenameAttrOp{"R", "A", "B"},
+                                  RenameAttrOp{"R", "B", "C"},
+                                  DropOp{"R", "C"}});
+  MappingExpression simplified = Simplify(expr);
+  ASSERT_EQ(simplified.size(), 1u);
+  EXPECT_EQ(simplified.steps()[0], Op(DropOp{"R", "A"}));
+}
+
+TEST(OptimizerTest, PaperExpressionAlreadyMinimal) {
+  MappingExpression expr = FlightsBToAExpression();
+  MappingExpression simplified = Simplify(expr);
+  EXPECT_EQ(simplified.size(), expr.size());
+}
+
+// Semantics preservation: simplified expressions produce identical results
+// on concrete instances.
+TEST(OptimizerTest, PreservesSemanticsOnFlights) {
+  FunctionRegistry reg;
+  ASSERT_TRUE(RegisterBuiltinFunctions(&reg).ok());
+
+  std::vector<MappingExpression> cases = {
+      Steps({RenameAttrOp{"Prices", "Cost", "Tmp"},
+             RenameAttrOp{"Prices", "Tmp", "BaseCost"}}),
+      Steps({ApplyFunctionOp{"Prices", "add", {"Cost", "AgentFee"}, "X"},
+             DropOp{"Prices", "X"},
+             RenameAttrOp{"Prices", "AgentFee", "Fee"}}),
+      Steps({RenameRelOp{"Prices", "Tmp"}, RenameRelOp{"Tmp", "Flights"}}),
+      Steps({DropOp{"Prices", "Route"}, DropOp{"Prices", "AgentFee"}}),
+  };
+  for (const MappingExpression& expr : cases) {
+    MappingExpression simplified = Simplify(expr);
+    EXPECT_LE(simplified.size(), expr.size());
+    Result<Database> original = expr.Apply(MakeFlightsB(), &reg);
+    Result<Database> optimized = simplified.Apply(MakeFlightsB(), &reg);
+    ASSERT_TRUE(original.ok()) << original.status();
+    ASSERT_TRUE(optimized.ok()) << optimized.status();
+    EXPECT_TRUE(original->ContentsEqual(*optimized))
+        << expr.ToScript() << "vs\n"
+        << simplified.ToScript();
+  }
+}
+
+TEST(OptimizerTest, PreservesSemanticsWithInterleavedRelations) {
+  Database db = Tdb(
+      "relation R (A, B) { (1, 2) }\n"
+      "relation S (C, D) { (3, 4) }");
+  MappingExpression expr = Steps({RenameAttrOp{"R", "A", "X"},
+                                  DropOp{"S", "D"},
+                                  RenameAttrOp{"R", "X", "Y"}});
+  MappingExpression simplified = Simplify(expr);
+  Result<Database> original = expr.Apply(db);
+  Result<Database> optimized = simplified.Apply(db);
+  ASSERT_TRUE(original.ok());
+  ASSERT_TRUE(optimized.ok());
+  EXPECT_TRUE(original->ContentsEqual(*optimized));
+}
+
+}  // namespace
+}  // namespace tupelo

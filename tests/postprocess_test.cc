@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/postprocess.h"
+#include "core/tupelo.h"
+#include "relational/io.h"
+#include "workloads/flights.h"
+
+namespace tupelo {
+namespace {
+
+Database Tdb(const char* text) {
+  Result<Database> db = ParseTdb(text);
+  EXPECT_TRUE(db.ok()) << db.status();
+  return std::move(db).value();
+}
+
+TEST(ConformTest, DropsExtraRelations) {
+  Database mapped = Tdb(
+      "relation Keep (A) { (1) }\n"
+      "relation Junk (X) { (9) }");
+  Database target = Tdb("relation Keep (A) { }");
+  Result<Database> out = ConformToSchema(mapped, target);
+  ASSERT_TRUE(out.ok()) << out.status();
+  EXPECT_TRUE(out->HasRelation("Keep"));
+  EXPECT_FALSE(out->HasRelation("Junk"));
+}
+
+TEST(ConformTest, ProjectsToTargetAttributesInTargetOrder) {
+  Database mapped = Tdb("relation R (A, B, C) { (1, 2, 3) }");
+  Database target = Tdb("relation R (C, A) { }");
+  Result<Database> out = ConformToSchema(mapped, target);
+  ASSERT_TRUE(out.ok());
+  const Relation* r = out->GetRelation("R").value();
+  EXPECT_EQ(r->attributes(), (std::vector<std::string>{"C", "A"}));
+  EXPECT_EQ(r->tuples()[0], Tuple::OfAtoms({"3", "1"}));
+}
+
+TEST(ConformTest, TargetTuplesAreIgnoredSchemaOnly) {
+  Database mapped = Tdb("relation R (A) { (1) }");
+  Database target = Tdb("relation R (A) { (totally) (different) }");
+  Result<Database> out = ConformToSchema(mapped, target);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->GetRelation("R").value()->size(), 1u);
+}
+
+TEST(ConformTest, DropsNullTuplesByDefault) {
+  Database mapped = Tdb("relation R (A, B) { (1, 2) (3, null) }");
+  Database target = Tdb("relation R (A, B) { }");
+  Result<Database> out = ConformToSchema(mapped, target);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->GetRelation("R").value()->size(), 1u);
+}
+
+TEST(ConformTest, NullDropConsidersOnlyTargetAttributes) {
+  // The null sits in a column the target does not keep.
+  Database mapped = Tdb("relation R (A, B) { (1, null) }");
+  Database target = Tdb("relation R (A) { }");
+  Result<Database> out = ConformToSchema(mapped, target);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->GetRelation("R").value()->size(), 1u);
+}
+
+TEST(ConformTest, KeepNullsWhenDisabled) {
+  Database mapped = Tdb("relation R (A) { (null) (1) }");
+  Database target = Tdb("relation R (A) { }");
+  ConformOptions options;
+  options.drop_null_tuples = false;
+  options.deduplicate = false;
+  Result<Database> out = ConformToSchema(mapped, target, options);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->GetRelation("R").value()->size(), 2u);
+}
+
+TEST(ConformTest, DeduplicatesProjectionDuplicates) {
+  Database mapped = Tdb("relation R (A, B) { (1, x) (1, y) }");
+  Database target = Tdb("relation R (A) { }");
+  Result<Database> out = ConformToSchema(mapped, target);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->GetRelation("R").value()->size(), 1u);
+  ConformOptions keep;
+  keep.deduplicate = false;
+  Result<Database> bag = ConformToSchema(mapped, target, keep);
+  ASSERT_TRUE(bag.ok());
+  EXPECT_EQ(bag->GetRelation("R").value()->size(), 2u);
+}
+
+TEST(ConformTest, MissingTargetRelationFails) {
+  Database mapped = Tdb("relation R (A) { (1) }");
+  Database target = Tdb("relation S (A) { }");
+  EXPECT_FALSE(ConformToSchema(mapped, target).ok());
+}
+
+TEST(ConformTest, MissingTargetAttributeFails) {
+  Database mapped = Tdb("relation R (A) { (1) }");
+  Database target = Tdb("relation R (A, Missing) { }");
+  EXPECT_FALSE(ConformToSchema(mapped, target).ok());
+}
+
+TEST(ConformTest, EndToEndAfterDiscovery) {
+  // Discover B -> A, execute, conform: the result is exactly FlightsA.
+  TupeloOptions options;
+  options.limits.max_states = 200000;
+  Result<TupeloResult> r =
+      DiscoverMapping(MakeFlightsB(), MakeFlightsA(), options);
+  ASSERT_TRUE(r.ok());
+  ASSERT_TRUE(r->found);
+  Result<Database> mapped = r->mapping.Apply(MakeFlightsB());
+  ASSERT_TRUE(mapped.ok());
+  Result<Database> conformed = ConformToSchema(*mapped, MakeFlightsA());
+  ASSERT_TRUE(conformed.ok()) << conformed.status();
+  EXPECT_TRUE(conformed->ContentsEqual(MakeFlightsA()));
+}
+
+TEST(ConformTest, WideToFlatCleansDemoteResidue) {
+  // A -> B via demote leaves junk rows (metadata pairs for Carrier/Fee);
+  // containment tolerates them and conformance cannot remove them — it
+  // only projects/dedups. Verify conformance keeps the true rows and that
+  // the junk rows survive as data (the paper's external-criteria σ would
+  // remove them).
+  Database a = MakeFlightsA();
+  MappingExpression expr;
+  expr.Append(DemoteOp{"Flights"});
+  expr.Append(RenameAttrOp{"Flights", "_att", "Route"});
+  expr.Append(RenameAttrOp{"Flights", "_val", "Cost"});
+  expr.Append(RenameAttrOp{"Flights", "AgentFee", "Fee"});
+  Result<Database> mapped = expr.Apply(a);
+  // The A schema has no AgentFee; fix the expression accordingly.
+  MappingExpression expr2;
+  expr2.Append(DemoteOp{"Flights"});
+  expr2.Append(RenameAttrOp{"Flights", "_att", "Route"});
+  expr2.Append(RenameAttrOp{"Flights", "_val", "Cost"});
+  expr2.Append(RenameAttrOp{"Flights", "Fee", "AgentFee"});
+  expr2.Append(RenameRelOp{"Flights", "Prices"});
+  mapped = expr2.Apply(a);
+  ASSERT_TRUE(mapped.ok()) << mapped.status();
+  ASSERT_TRUE(mapped->Contains(MakeFlightsB()));
+  Result<Database> conformed = ConformToSchema(*mapped, MakeFlightsB());
+  ASSERT_TRUE(conformed.ok());
+  // All true FlightsB tuples present...
+  EXPECT_TRUE(conformed->Contains(MakeFlightsB()));
+  // ...plus the metadata-pair residue rows (Route="Carrier" etc.).
+  EXPECT_GT(conformed->GetRelation("Prices").value()->size(),
+            MakeFlightsB().GetRelation("Prices").value()->size());
+}
+
+}  // namespace
+}  // namespace tupelo

@@ -1,0 +1,450 @@
+// Property-based tests: seeded random generators drive invariants across
+// the relational substrate, the operator algebra, and end-to-end mapping
+// discovery.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "core/tupelo.h"
+#include "fira/builtin_functions.h"
+#include "fira/optimizer.h"
+#include "fira/parser.h"
+#include "fira/executor.h"
+#include "heuristics/heuristic_factory.h"
+#include "heuristics/levenshtein.h"
+#include "relational/io.h"
+#include "relational/tnf.h"
+
+namespace tupelo {
+namespace {
+
+using Rng = std::mt19937_64;
+
+std::string RandomAtom(Rng& rng) {
+  static const char* kPool[] = {"a",  "b",   "cc",  "d1", "e 2", "f\"g",
+                                "hh", "i,j", "k\n", "xyz", "0",  "null"};
+  std::uniform_int_distribution<size_t> pick(0, std::size(kPool) - 1);
+  return kPool[pick(rng)];
+}
+
+std::string RandomName(Rng& rng, const char* prefix) {
+  std::uniform_int_distribution<int> pick(0, 999);
+  return std::string(prefix) + std::to_string(pick(rng));
+}
+
+// Fills `out` with a random database: 1-3 relations, 1-4 attributes, 0-4
+// tuples, and a sprinkling of nulls. (Out-parameter so ASSERTs work.)
+void RandomDatabase(Rng& rng, Database* out) {
+  Database db;
+  std::uniform_int_distribution<int> nrels(1, 3);
+  std::uniform_int_distribution<int> nattrs(1, 4);
+  std::uniform_int_distribution<int> ntuples(0, 4);
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+  int rels = nrels(rng);
+  for (int r = 0; r < rels; ++r) {
+    std::string name = RandomName(rng, "Rel");
+    if (db.HasRelation(name)) continue;
+    int arity = nattrs(rng);
+    std::vector<std::string> attrs;
+    for (int a = 0; a < arity; ++a) {
+      std::string attr = RandomName(rng, "col");
+      if (std::find(attrs.begin(), attrs.end(), attr) == attrs.end()) {
+        attrs.push_back(attr);
+      }
+    }
+    Result<Relation> rel = Relation::Create(name, attrs);
+    ASSERT_TRUE(rel.ok()) << rel.status();
+    int rows = ntuples(rng);
+    for (int t = 0; t < rows; ++t) {
+      std::vector<Value> vs;
+      for (size_t a = 0; a < attrs.size(); ++a) {
+        vs.push_back(coin(rng) < 0.2 ? Value::Null()
+                                     : Value(RandomAtom(rng)));
+      }
+      ASSERT_TRUE(rel->AddTuple(Tuple(std::move(vs))).ok());
+    }
+    ASSERT_TRUE(db.AddRelation(std::move(rel).value()).ok());
+  }
+  *out = std::move(db);
+}
+
+class SeededProperty : public testing::TestWithParam<uint64_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeededProperty,
+                         testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89,
+                                         144, 233));
+
+TEST_P(SeededProperty, TdbRoundTrip) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 5; ++i) {
+    Database db;
+    RandomDatabase(rng, &db);
+    Result<Database> back = ParseTdb(WriteTdb(db));
+    ASSERT_TRUE(back.ok()) << back.status() << "\n" << WriteTdb(db);
+    EXPECT_TRUE(back->ContentsEqual(db));
+  }
+}
+
+TEST_P(SeededProperty, TnfRoundTripForNonEmptyRelations) {
+  Rng rng(GetParam() ^ 0xfeed);
+  for (int i = 0; i < 5; ++i) {
+    Database db;
+    RandomDatabase(rng, &db);
+    // TNF cannot represent empty relations; drop them first.
+    Database trimmed;
+    for (const auto& [name, rel] : db.relations()) {
+      if (!rel.empty()) trimmed.PutRelation(rel);
+    }
+    Result<Database> back = DecodeTnf(EncodeTnf(trimmed));
+    ASSERT_TRUE(back.ok()) << back.status();
+    EXPECT_TRUE(back->ContentsEqual(trimmed));
+  }
+}
+
+TEST_P(SeededProperty, CanonicalKeyInvariantUnderPresentationOrder) {
+  Rng rng(GetParam() ^ 0xc0ffee);
+  Database db;
+  RandomDatabase(rng, &db);
+  for (const auto& [name, rel] : db.relations()) {
+    if (rel.arity() < 2) continue;
+    // Permute columns: rebuild with attributes reversed.
+    std::vector<std::string> attrs = rel.attributes();
+    std::reverse(attrs.begin(), attrs.end());
+    Result<Relation> permuted = Relation::Create(name, attrs);
+    ASSERT_TRUE(permuted.ok());
+    std::vector<Tuple> tuples = rel.tuples();
+    std::reverse(tuples.begin(), tuples.end());  // shuffle tuple order too
+    for (const Tuple& t : tuples) {
+      std::vector<Value> vs = t.values();
+      std::reverse(vs.begin(), vs.end());
+      ASSERT_TRUE(permuted->AddTuple(Tuple(std::move(vs))).ok());
+    }
+    EXPECT_TRUE(rel.ContentsEqual(*permuted)) << name;
+  }
+}
+
+TEST_P(SeededProperty, ExecutorNeverMutatesInput) {
+  Rng rng(GetParam() ^ 0xdead);
+  Database db;
+  RandomDatabase(rng, &db);
+  std::string before = db.CanonicalKey();
+  // Try a batch of arbitrary ops (most will fail; none may mutate input).
+  std::vector<Op> ops;
+  for (const auto& [name, rel] : db.relations()) {
+    ops.push_back(DemoteOp{name});
+    if (!rel.attributes().empty()) {
+      const std::string& a = rel.attributes()[0];
+      ops.push_back(DropOp{name, a});
+      ops.push_back(MergeOp{name, a});
+      ops.push_back(PartitionOp{name, a});
+      ops.push_back(PromoteOp{name, a, rel.attributes().back()});
+      ops.push_back(RenameAttrOp{name, a, "renamed_" + a});
+      ops.push_back(DereferenceOp{name, a, "deref_out"});
+    }
+    ops.push_back(RenameRelOp{name, name + "_x"});
+  }
+  for (const Op& op : ops) {
+    Result<Database> out = ApplyOp(op, db, nullptr);
+    EXPECT_EQ(db.CanonicalKey(), before) << OpToScript(op);
+    if (out.ok()) {
+      // Fingerprint agrees with canonical-key equality.
+      EXPECT_EQ(out->Fingerprint() == db.Fingerprint(),
+                out->CanonicalKey() == db.CanonicalKey());
+    }
+  }
+}
+
+TEST_P(SeededProperty, HeuristicsNonNegativeAndZeroAtTarget) {
+  Rng rng(GetParam() ^ 0xbeef);
+  Database target;
+  RandomDatabase(rng, &target);
+  Database other;
+  RandomDatabase(rng, &other);
+  bool target_has_tuples = target.TupleCount() > 0;
+  for (HeuristicKind kind : AllHeuristicKinds()) {
+    auto h = MakeHeuristic(kind, target, SearchAlgorithm::kRbfs);
+    ASSERT_NE(h, nullptr);
+    EXPECT_GE(h->Estimate(other), 0) << h->name();
+    if (kind == HeuristicKind::kH2) {
+      // h2 can be nonzero at the target when a symbol plays two roles.
+      continue;
+    }
+    if ((kind == HeuristicKind::kCosine ||
+         kind == HeuristicKind::kEuclideanNorm) &&
+        !target_has_tuples) {
+      // The tuple-less target has a zero term vector; cosine similarity
+      // to the zero vector is defined as 0, so these are k, not 0.
+      continue;
+    }
+    EXPECT_EQ(h->Estimate(target), 0) << h->name();
+  }
+}
+
+// Operator algebra properties on random databases.
+TEST_P(SeededProperty, DemoteAfterPromoteContainsOriginal) {
+  // ↓(↑A_B(R)) ⊇ R: promotion adds columns, demotion unpivots; the
+  // original tuples remain recoverable by projection.
+  Rng rng(GetParam() ^ 0x1234);
+  Database db;
+  RandomDatabase(rng, &db);
+  for (const auto& [name, rel] : db.relations()) {
+    if (rel.arity() < 2 || rel.empty()) continue;
+    PromoteOp promote{name, rel.attributes()[0], rel.attributes()[1]};
+    Result<Database> promoted = ApplyOp(promote, db, nullptr);
+    if (!promoted.ok()) continue;  // e.g. column-name collision
+    Result<Database> demoted = ApplyOp(DemoteOp{name}, *promoted, nullptr);
+    if (!demoted.ok()) continue;
+    Database original_only;
+    original_only.PutRelation(rel);
+    EXPECT_TRUE(demoted->Contains(original_only)) << name;
+  }
+}
+
+TEST_P(SeededProperty, MergeIsIdempotent) {
+  Rng rng(GetParam() ^ 0x4321);
+  Database db;
+  RandomDatabase(rng, &db);
+  for (const auto& [name, rel] : db.relations()) {
+    if (rel.arity() == 0) continue;
+    MergeOp merge{name, rel.attributes()[0]};
+    Result<Database> once = ApplyOp(merge, db, nullptr);
+    ASSERT_TRUE(once.ok()) << once.status();
+    Result<Database> twice = ApplyOp(merge, *once, nullptr);
+    ASSERT_TRUE(twice.ok()) << twice.status();
+    EXPECT_TRUE(once->ContentsEqual(*twice)) << name;
+  }
+}
+
+TEST_P(SeededProperty, PartitionsCoverNonNullKeyedTuples) {
+  Rng rng(GetParam() ^ 0x9999);
+  Database db;
+  RandomDatabase(rng, &db);
+  const auto& [name, rel] = *db.relations().begin();
+  if (rel.arity() == 0) return;
+  const std::string& attr = rel.attributes()[0];
+  Result<Database> out = ApplyOp(PartitionOp{name, attr}, db, nullptr);
+  if (!out.ok()) return;  // name collision with an existing relation
+  size_t idx = *rel.AttributeIndex(attr);
+  size_t covered = 0;
+  for (const auto& [pname, part] : out->relations()) {
+    if (pname == name || db.HasRelation(pname)) continue;
+    covered += part.size();
+    // Every tuple in the partition keys exactly its relation's name.
+    for (const Tuple& t : part.tuples()) {
+      ASSERT_FALSE(t[idx].is_null());
+      EXPECT_EQ(t[idx].atom(), pname);
+    }
+  }
+  size_t non_null = 0;
+  for (const Tuple& t : rel.tuples()) {
+    if (!t[idx].is_null()) ++non_null;
+  }
+  EXPECT_EQ(covered, non_null) << name;
+}
+
+TEST_P(SeededProperty, RenameIsInvertible) {
+  Rng rng(GetParam() ^ 0x7777);
+  Database db;
+  RandomDatabase(rng, &db);
+  const auto& [name, rel] = *db.relations().begin();
+  if (rel.arity() == 0) return;
+  const std::string& attr = rel.attributes()[0];
+  Result<Database> there =
+      ApplyOp(RenameAttrOp{name, attr, "tmp_xyz"}, db, nullptr);
+  ASSERT_TRUE(there.ok()) << there.status();
+  Result<Database> back =
+      ApplyOp(RenameAttrOp{name, "tmp_xyz", attr}, *there, nullptr);
+  ASSERT_TRUE(back.ok()) << back.status();
+  EXPECT_TRUE(back->ContentsEqual(db));
+}
+
+// Parser robustness: random byte soup and random mutations of valid
+// inputs must produce a clean Status, never a crash or hang.
+TEST_P(SeededProperty, ParsersSurviveGarbage) {
+  Rng rng(GetParam() ^ 0xf422);
+  std::uniform_int_distribution<int> len(0, 80);
+  std::uniform_int_distribution<int> byte(0, 255);
+  const std::string valid_tdb = "relation R (A, B) {\n  (1, null)\n}\n";
+  const std::string valid_expr = "promote(R, A, B)\ndrop(R, A)\n";
+
+  for (int i = 0; i < 20; ++i) {
+    // Pure garbage.
+    std::string garbage;
+    int n = len(rng);
+    for (int j = 0; j < n; ++j) {
+      garbage += static_cast<char>(byte(rng));
+    }
+    (void)ParseTdb(garbage);
+    (void)ParseExpression(garbage);
+
+    // Mutated valid inputs (single byte flipped / truncated).
+    for (const std::string& base : {valid_tdb, valid_expr}) {
+      std::string mutated = base;
+      if (!mutated.empty()) {
+        std::uniform_int_distribution<size_t> pos(0, mutated.size() - 1);
+        mutated[pos(rng)] = static_cast<char>(byte(rng));
+        (void)ParseTdb(mutated);
+        (void)ParseExpression(mutated);
+        (void)ParseTdb(mutated.substr(0, pos(rng)));
+        (void)ParseExpression(mutated.substr(0, pos(rng)));
+      }
+    }
+  }
+  SUCCEED();  // not crashing is the property
+}
+
+// Brute-force recursive Levenshtein for cross-checking the DP.
+size_t SlowLevenshtein(std::string_view a, std::string_view b) {
+  if (a.empty()) return b.size();
+  if (b.empty()) return a.size();
+  size_t cost = a[0] == b[0] ? 0 : 1;
+  return std::min({SlowLevenshtein(a.substr(1), b) + 1,
+                   SlowLevenshtein(a, b.substr(1)) + 1,
+                   SlowLevenshtein(a.substr(1), b.substr(1)) + cost});
+}
+
+TEST_P(SeededProperty, LevenshteinMatchesBruteForce) {
+  Rng rng(GetParam() ^ 0xabcd);
+  std::uniform_int_distribution<int> len(0, 6);
+  std::uniform_int_distribution<int> ch(0, 2);  // small alphabet: collisions
+  for (int i = 0; i < 10; ++i) {
+    std::string a, b;
+    int la = len(rng);
+    int lb = len(rng);
+    for (int j = 0; j < la; ++j) a += static_cast<char>('a' + ch(rng));
+    for (int j = 0; j < lb; ++j) b += static_cast<char>('a' + ch(rng));
+    EXPECT_EQ(LevenshteinDistance(a, b), SlowLevenshtein(a, b))
+        << a << " vs " << b;
+  }
+}
+
+// Optimizer soundness: build random expressions of renames/drops/λ that
+// execute successfully on a generated source, then check Simplify
+// preserves the result exactly.
+TEST_P(SeededProperty, SimplifyPreservesSemantics) {
+  Rng rng(GetParam() ^ 0x0b71);
+  FunctionRegistry registry;
+  ASSERT_TRUE(RegisterBuiltinFunctions(&registry).ok());
+
+  // Fixed well-behaved source.
+  Result<Relation> rel =
+      Relation::Create("R", {"a1", "a2", "a3", "n1", "n2"});
+  ASSERT_TRUE(rel.ok());
+  ASSERT_TRUE(rel->AddRow({"x", "y", "z", "10", "20"}).ok());
+  ASSERT_TRUE(rel->AddRow({"p", "q", "r", "30", "40"}).ok());
+  Database source;
+  ASSERT_TRUE(source.AddRelation(std::move(rel).value()).ok());
+
+  std::uniform_int_distribution<int> len(2, 10);
+  std::uniform_int_distribution<int> kind(0, 3);
+  std::uniform_int_distribution<int> counter(0, 9999);
+
+  for (int trial = 0; trial < 4; ++trial) {
+    // Grow an expression by appending random ops that remain executable.
+    MappingExpression expr;
+    Database state = source;
+    int want = len(rng);
+    int guard = 0;
+    while (expr.size() < static_cast<size_t>(want) && guard++ < 60) {
+      const Relation* r = state.relations().begin()->second.arity() > 0
+                              ? &state.relations().begin()->second
+                              : nullptr;
+      if (r == nullptr || r->arity() == 0) break;
+      std::uniform_int_distribution<size_t> attr_pick(0, r->arity() - 1);
+      Op op = DropOp{r->name(), r->attributes()[attr_pick(rng)]};
+      switch (kind(rng)) {
+        case 0:
+          op = RenameAttrOp{r->name(), r->attributes()[attr_pick(rng)],
+                            "c" + std::to_string(counter(rng))};
+          break;
+        case 1:
+          op = DropOp{r->name(), r->attributes()[attr_pick(rng)]};
+          break;
+        case 2:
+          op = RenameRelOp{r->name(), "T" + std::to_string(counter(rng))};
+          break;
+        case 3:
+          op = ApplyFunctionOp{r->name(),
+                               "concat",
+                               {r->attributes()[attr_pick(rng)],
+                                r->attributes()[attr_pick(rng)]},
+                               "c" + std::to_string(counter(rng))};
+          break;
+      }
+      Result<Database> next = ApplyOp(op, state, &registry);
+      if (!next.ok()) continue;
+      expr.Append(std::move(op));
+      state = std::move(next).value();
+    }
+
+    MappingExpression simplified = Simplify(expr);
+    EXPECT_LE(simplified.size(), expr.size());
+    Result<Database> optimized = simplified.Apply(source, &registry);
+    ASSERT_TRUE(optimized.ok())
+        << optimized.status() << "\noriginal:\n"
+        << expr.ToScript() << "simplified:\n"
+        << simplified.ToScript();
+    EXPECT_TRUE(optimized->ContentsEqual(state))
+        << "original:\n"
+        << expr.ToScript() << "simplified:\n"
+        << simplified.ToScript();
+  }
+}
+
+// Round-trip discovery: scramble a random database with renames/drops,
+// then verify TUPELO rediscovers a mapping back to the original.
+TEST_P(SeededProperty, DiscoveryRecoversScrambledSchema) {
+  Rng rng(GetParam() ^ 0x5eed);
+  // Build a well-behaved source: one relation, distinct values.
+  std::uniform_int_distribution<int> nattrs(2, 4);
+  int arity = nattrs(rng);
+  std::vector<std::string> attrs;
+  std::vector<std::string> row;
+  for (int i = 0; i < arity; ++i) {
+    attrs.push_back("src" + std::to_string(i));
+    row.push_back("val" + std::to_string(i));
+  }
+  Result<Relation> rel = Relation::Create("Source", attrs);
+  ASSERT_TRUE(rel.ok());
+  ASSERT_TRUE(rel->AddRow(row).ok());
+  Database source;
+  ASSERT_TRUE(source.AddRelation(std::move(rel).value()).ok());
+
+  // Scramble: rename a random subset of attributes and maybe the relation.
+  Database target = source;
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+  int expected_depth = 0;
+  for (int i = 0; i < arity; ++i) {
+    if (coin(rng) < 0.6) {
+      Result<Database> next =
+          ApplyOp(RenameAttrOp{"Source", "src" + std::to_string(i),
+                               "tgt" + std::to_string(i)},
+                  target, nullptr);
+      ASSERT_TRUE(next.ok());
+      target = std::move(next).value();
+      ++expected_depth;
+    }
+  }
+  if (coin(rng) < 0.5) {
+    Result<Database> next =
+        ApplyOp(RenameRelOp{"Source", "Target"}, target, nullptr);
+    ASSERT_TRUE(next.ok());
+    target = std::move(next).value();
+    ++expected_depth;
+  }
+
+  TupeloOptions options;
+  options.limits.max_states = 500000;
+  Result<TupeloResult> r = DiscoverMapping(source, target, options);
+  ASSERT_TRUE(r.ok());
+  ASSERT_TRUE(r->found);
+  EXPECT_TRUE(r->verified);
+  EXPECT_EQ(r->stats.solution_cost, expected_depth);
+}
+
+}  // namespace
+}  // namespace tupelo

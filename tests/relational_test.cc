@@ -1,0 +1,414 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "relational/database.h"
+#include "relational/relation.h"
+#include "relational/tuple.h"
+#include "relational/value.h"
+
+namespace tupelo {
+namespace {
+
+Relation MakeRel(const char* name, std::vector<std::string> attrs) {
+  Result<Relation> r = Relation::Create(name, std::move(attrs));
+  EXPECT_TRUE(r.ok()) << r.status();
+  return std::move(r).value();
+}
+
+// ---------------------------------------------------------------------------
+// Value
+// ---------------------------------------------------------------------------
+
+TEST(ValueTest, DefaultIsNull) {
+  Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_EQ(v.ToString(), "⊥");
+}
+
+TEST(ValueTest, AtomConstruction) {
+  Value v("abc");
+  EXPECT_FALSE(v.is_null());
+  EXPECT_EQ(v.atom(), "abc");
+  EXPECT_EQ(v.ToString(), "abc");
+}
+
+TEST(ValueTest, EqualityAndOrdering) {
+  EXPECT_EQ(Value::Null(), Value::Null());
+  EXPECT_EQ(Value("a"), Value("a"));
+  EXPECT_NE(Value("a"), Value("b"));
+  EXPECT_NE(Value("a"), Value::Null());
+  EXPECT_LT(Value::Null(), Value("a"));  // nulls order first
+  EXPECT_LT(Value("a"), Value("b"));
+}
+
+TEST(ValueTest, EmptyAtomIsNotNull) {
+  Value v("");
+  EXPECT_FALSE(v.is_null());
+  EXPECT_NE(v, Value::Null());
+}
+
+TEST(ValueTest, MergeCompatibility) {
+  EXPECT_TRUE(MergeCompatible(Value("a"), Value("a")));
+  EXPECT_TRUE(MergeCompatible(Value("a"), Value::Null()));
+  EXPECT_TRUE(MergeCompatible(Value::Null(), Value("a")));
+  EXPECT_TRUE(MergeCompatible(Value::Null(), Value::Null()));
+  EXPECT_FALSE(MergeCompatible(Value("a"), Value("b")));
+}
+
+TEST(ValueTest, MergeValuesPicksNonNull) {
+  EXPECT_EQ(MergeValues(Value("a"), Value::Null()), Value("a"));
+  EXPECT_EQ(MergeValues(Value::Null(), Value("b")), Value("b"));
+  EXPECT_EQ(MergeValues(Value("a"), Value("a")), Value("a"));
+  EXPECT_TRUE(MergeValues(Value::Null(), Value::Null()).is_null());
+}
+
+// ---------------------------------------------------------------------------
+// Tuple
+// ---------------------------------------------------------------------------
+
+TEST(TupleTest, OfAtoms) {
+  Tuple t = Tuple::OfAtoms({"x", "y"});
+  ASSERT_EQ(t.size(), 2u);
+  EXPECT_EQ(t[0], Value("x"));
+  EXPECT_EQ(t[1], Value("y"));
+}
+
+TEST(TupleTest, AppendAndErase) {
+  Tuple t = Tuple::OfAtoms({"a", "b", "c"});
+  t.Append(Value("d"));
+  EXPECT_EQ(t.size(), 4u);
+  t.Erase(1);
+  EXPECT_EQ(t.size(), 3u);
+  EXPECT_EQ(t[1], Value("c"));
+}
+
+TEST(TupleTest, MergeCompatibleWith) {
+  Tuple a(std::vector<Value>{Value("x"), Value::Null()});
+  Tuple b(std::vector<Value>{Value("x"), Value("y")});
+  Tuple c(std::vector<Value>{Value("z"), Value("y")});
+  EXPECT_TRUE(a.MergeCompatibleWith(b));
+  EXPECT_FALSE(b.MergeCompatibleWith(c));
+  Tuple merged = a.MergedWith(b);
+  EXPECT_EQ(merged, b);
+}
+
+TEST(TupleTest, ToStringShowsNulls) {
+  Tuple t(std::vector<Value>{Value("a"), Value::Null()});
+  EXPECT_EQ(t.ToString(), "(a, ⊥)");
+}
+
+TEST(TupleTest, OrderingIsLexicographic) {
+  EXPECT_LT(Tuple::OfAtoms({"a", "b"}), Tuple::OfAtoms({"a", "c"}));
+  EXPECT_LT(Tuple::OfAtoms({"a"}), Tuple::OfAtoms({"a", "a"}));
+}
+
+// ---------------------------------------------------------------------------
+// Relation
+// ---------------------------------------------------------------------------
+
+TEST(RelationTest, CreateValidatesName) {
+  EXPECT_FALSE(Relation::Create("", {"A"}).ok());
+}
+
+TEST(RelationTest, CreateValidatesAttributes) {
+  EXPECT_FALSE(Relation::Create("R", {"A", "A"}).ok());
+  EXPECT_FALSE(Relation::Create("R", {""}).ok());
+  EXPECT_TRUE(Relation::Create("R", {}).ok());
+}
+
+TEST(RelationTest, AttributeIndex) {
+  Relation r = MakeRel("R", {"A", "B", "C"});
+  EXPECT_EQ(r.AttributeIndex("B"), 1u);
+  EXPECT_FALSE(r.AttributeIndex("Z").has_value());
+  EXPECT_TRUE(r.HasAttribute("C"));
+  EXPECT_FALSE(r.HasAttribute("c"));  // case sensitive
+}
+
+TEST(RelationTest, AddTupleChecksArity) {
+  Relation r = MakeRel("R", {"A", "B"});
+  EXPECT_TRUE(r.AddRow({"1", "2"}).ok());
+  EXPECT_FALSE(r.AddRow({"1"}).ok());
+  EXPECT_FALSE(r.AddRow({"1", "2", "3"}).ok());
+  EXPECT_EQ(r.size(), 1u);
+}
+
+TEST(RelationTest, AddAttributeFillsExistingTuples) {
+  Relation r = MakeRel("R", {"A"});
+  ASSERT_TRUE(r.AddRow({"1"}).ok());
+  ASSERT_TRUE(r.AddAttribute("B", Value("x")).ok());
+  EXPECT_EQ(r.arity(), 2u);
+  EXPECT_EQ(r.tuples()[0][1], Value("x"));
+  ASSERT_TRUE(r.AddAttribute("C").ok());
+  EXPECT_TRUE(r.tuples()[0][2].is_null());
+}
+
+TEST(RelationTest, AddAttributeRejectsDuplicate) {
+  Relation r = MakeRel("R", {"A"});
+  EXPECT_EQ(r.AddAttribute("A").code(), StatusCode::kAlreadyExists);
+}
+
+TEST(RelationTest, DropAttribute) {
+  Relation r = MakeRel("R", {"A", "B", "C"});
+  ASSERT_TRUE(r.AddRow({"1", "2", "3"}).ok());
+  ASSERT_TRUE(r.DropAttribute("B").ok());
+  EXPECT_EQ(r.attributes(), (std::vector<std::string>{"A", "C"}));
+  EXPECT_EQ(r.tuples()[0], Tuple::OfAtoms({"1", "3"}));
+  EXPECT_EQ(r.DropAttribute("B").code(), StatusCode::kNotFound);
+}
+
+TEST(RelationTest, RenameAttribute) {
+  Relation r = MakeRel("R", {"A", "B"});
+  ASSERT_TRUE(r.RenameAttribute("A", "X").ok());
+  EXPECT_TRUE(r.HasAttribute("X"));
+  EXPECT_FALSE(r.HasAttribute("A"));
+  EXPECT_EQ(r.RenameAttribute("X", "B").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(r.RenameAttribute("A", "Y").code(), StatusCode::kNotFound);
+  EXPECT_FALSE(r.RenameAttribute("B", "").ok());
+}
+
+TEST(RelationTest, DistinctValuesSkipsNullsAndDedups) {
+  Relation r = MakeRel("R", {"A"});
+  ASSERT_TRUE(r.AddTuple(Tuple(std::vector<Value>{Value("x")})).ok());
+  ASSERT_TRUE(r.AddTuple(Tuple(std::vector<Value>{Value::Null()})).ok());
+  ASSERT_TRUE(r.AddTuple(Tuple(std::vector<Value>{Value("y")})).ok());
+  ASSERT_TRUE(r.AddTuple(Tuple(std::vector<Value>{Value("x")})).ok());
+  Result<std::vector<std::string>> values = r.DistinctValues("A");
+  ASSERT_TRUE(values.ok());
+  EXPECT_EQ(values.value(), (std::vector<std::string>{"x", "y"}));
+  EXPECT_FALSE(r.DistinctValues("Z").ok());
+}
+
+TEST(RelationTest, ProjectTuples) {
+  Relation r = MakeRel("R", {"A", "B", "C"});
+  ASSERT_TRUE(r.AddRow({"1", "2", "3"}).ok());
+  ASSERT_TRUE(r.AddRow({"4", "5", "6"}).ok());
+  Result<std::vector<Tuple>> p = r.ProjectTuples({"C", "A"});
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p.value()[0], Tuple::OfAtoms({"3", "1"}));
+  EXPECT_EQ(p.value()[1], Tuple::OfAtoms({"6", "4"}));
+  EXPECT_FALSE(r.ProjectTuples({"A", "Z"}).ok());
+}
+
+TEST(RelationTest, CanonicalSortsColumnsAndTuples) {
+  Relation r1 = MakeRel("R", {"B", "A"});
+  ASSERT_TRUE(r1.AddRow({"2", "1"}).ok());
+  ASSERT_TRUE(r1.AddRow({"4", "3"}).ok());
+  Relation r2 = MakeRel("R", {"A", "B"});
+  ASSERT_TRUE(r2.AddRow({"3", "4"}).ok());
+  ASSERT_TRUE(r2.AddRow({"1", "2"}).ok());
+  EXPECT_TRUE(r1.ContentsEqual(r2));
+  EXPECT_EQ(r1.CanonicalKey(), r2.CanonicalKey());
+}
+
+TEST(RelationTest, CanonicalKeyDistinguishesContents) {
+  Relation r1 = MakeRel("R", {"A"});
+  ASSERT_TRUE(r1.AddRow({"1"}).ok());
+  Relation r2 = MakeRel("R", {"A"});
+  ASSERT_TRUE(r2.AddRow({"2"}).ok());
+  EXPECT_NE(r1.CanonicalKey(), r2.CanonicalKey());
+  Relation r3 = MakeRel("S", {"A"});
+  ASSERT_TRUE(r3.AddRow({"1"}).ok());
+  EXPECT_NE(r1.CanonicalKey(), r3.CanonicalKey());
+}
+
+TEST(RelationTest, CanonicalKeyNullVsAtNullString) {
+  // A null cell must not collide with the literal atom "@null".
+  Relation r1 = MakeRel("R", {"A"});
+  ASSERT_TRUE(r1.AddTuple(Tuple(std::vector<Value>{Value::Null()})).ok());
+  Relation r2 = MakeRel("R", {"A"});
+  ASSERT_TRUE(r2.AddRow({"@null"}).ok());
+  EXPECT_NE(r1.CanonicalKey(), r2.CanonicalKey());
+}
+
+TEST(RelationTest, CanonicalKeyBagSemantics) {
+  // Duplicate tuples are preserved in the canonical form.
+  Relation r1 = MakeRel("R", {"A"});
+  ASSERT_TRUE(r1.AddRow({"1"}).ok());
+  ASSERT_TRUE(r1.AddRow({"1"}).ok());
+  Relation r2 = MakeRel("R", {"A"});
+  ASSERT_TRUE(r2.AddRow({"1"}).ok());
+  EXPECT_NE(r1.CanonicalKey(), r2.CanonicalKey());
+}
+
+// ---------------------------------------------------------------------------
+// Database
+// ---------------------------------------------------------------------------
+
+TEST(DatabaseTest, AddAndGetRelation) {
+  Database db;
+  ASSERT_TRUE(db.AddRelation(MakeRel("R", {"A"})).ok());
+  EXPECT_TRUE(db.HasRelation("R"));
+  EXPECT_FALSE(db.HasRelation("S"));
+  Result<const Relation*> r = db.GetRelation("R");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)->name(), "R");
+  EXPECT_FALSE(db.GetRelation("S").ok());
+}
+
+TEST(DatabaseTest, AddDuplicateFails) {
+  Database db;
+  ASSERT_TRUE(db.AddRelation(MakeRel("R", {"A"})).ok());
+  EXPECT_EQ(db.AddRelation(MakeRel("R", {"B"})).code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(DatabaseTest, PutRelationReplaces) {
+  Database db;
+  ASSERT_TRUE(db.AddRelation(MakeRel("R", {"A"})).ok());
+  db.PutRelation(MakeRel("R", {"B"}));
+  Result<const Relation*> r = db.GetRelation("R");
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE((*r)->HasAttribute("B"));
+}
+
+TEST(DatabaseTest, RemoveRelation) {
+  Database db;
+  ASSERT_TRUE(db.AddRelation(MakeRel("R", {"A"})).ok());
+  ASSERT_TRUE(db.RemoveRelation("R").ok());
+  EXPECT_FALSE(db.HasRelation("R"));
+  EXPECT_EQ(db.RemoveRelation("R").code(), StatusCode::kNotFound);
+}
+
+TEST(DatabaseTest, RenameRelation) {
+  Database db;
+  ASSERT_TRUE(db.AddRelation(MakeRel("R", {"A"})).ok());
+  ASSERT_TRUE(db.AddRelation(MakeRel("S", {"A"})).ok());
+  EXPECT_EQ(db.RenameRelation("R", "S").code(), StatusCode::kAlreadyExists);
+  ASSERT_TRUE(db.RenameRelation("R", "T").ok());
+  EXPECT_TRUE(db.HasRelation("T"));
+  Result<const Relation*> t = db.GetRelation("T");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ((*t)->name(), "T");  // relation's own name updated
+  EXPECT_EQ(db.RenameRelation("R", "U").code(), StatusCode::kNotFound);
+}
+
+TEST(DatabaseTest, RelationNamesSorted) {
+  Database db;
+  ASSERT_TRUE(db.AddRelation(MakeRel("Zeta", {"A"})).ok());
+  ASSERT_TRUE(db.AddRelation(MakeRel("Alpha", {"A"})).ok());
+  EXPECT_EQ(db.RelationNames(), (std::vector<std::string>{"Alpha", "Zeta"}));
+}
+
+TEST(DatabaseTest, TupleCount) {
+  Database db;
+  Relation r = MakeRel("R", {"A"});
+  ASSERT_TRUE(r.AddRow({"1"}).ok());
+  ASSERT_TRUE(r.AddRow({"2"}).ok());
+  ASSERT_TRUE(db.AddRelation(std::move(r)).ok());
+  ASSERT_TRUE(db.AddRelation(MakeRel("S", {"B"})).ok());
+  EXPECT_EQ(db.TupleCount(), 2u);
+}
+
+TEST(DatabaseTest, FingerprintStableAndContentSensitive) {
+  Database db1;
+  ASSERT_TRUE(db1.AddRelation(MakeRel("R", {"A", "B"})).ok());
+  Database db2;
+  ASSERT_TRUE(db2.AddRelation(MakeRel("R", {"B", "A"})).ok());
+  EXPECT_EQ(db1.Fingerprint(), db2.Fingerprint());  // column order irrelevant
+  Database db3;
+  ASSERT_TRUE(db3.AddRelation(MakeRel("R", {"A", "C"})).ok());
+  EXPECT_NE(db1.Fingerprint(), db3.Fingerprint());
+}
+
+// ---------------------------------------------------------------------------
+// Containment (the goal test)
+// ---------------------------------------------------------------------------
+
+Database OneRelation(const char* name, std::vector<std::string> attrs,
+                     std::vector<std::vector<std::string>> rows) {
+  Database db;
+  Relation r = MakeRel(name, std::move(attrs));
+  for (auto& row : rows) EXPECT_TRUE(r.AddRow(row).ok());
+  EXPECT_TRUE(db.AddRelation(std::move(r)).ok());
+  return db;
+}
+
+TEST(ContainmentTest, IdenticalContains) {
+  Database db = OneRelation("R", {"A", "B"}, {{"1", "2"}});
+  EXPECT_TRUE(db.Contains(db));
+}
+
+TEST(ContainmentTest, ExtraAttributesAllowed) {
+  Database big = OneRelation("R", {"A", "B", "C"}, {{"1", "2", "3"}});
+  Database small = OneRelation("R", {"B"}, {{"2"}});
+  EXPECT_TRUE(big.Contains(small));
+  EXPECT_FALSE(small.Contains(big));
+}
+
+TEST(ContainmentTest, ExtraTuplesAllowed) {
+  Database big = OneRelation("R", {"A"}, {{"1"}, {"2"}});
+  Database small = OneRelation("R", {"A"}, {{"2"}});
+  EXPECT_TRUE(big.Contains(small));
+  EXPECT_FALSE(small.Contains(big));
+}
+
+TEST(ContainmentTest, ExtraRelationsAllowed) {
+  Database big = OneRelation("R", {"A"}, {{"1"}});
+  ASSERT_TRUE(big.AddRelation(MakeRel("Junk", {"X"})).ok());
+  Database small = OneRelation("R", {"A"}, {{"1"}});
+  EXPECT_TRUE(big.Contains(small));
+}
+
+TEST(ContainmentTest, MissingRelationFails) {
+  Database state = OneRelation("R", {"A"}, {{"1"}});
+  Database target = OneRelation("S", {"A"}, {{"1"}});
+  EXPECT_FALSE(state.Contains(target));
+}
+
+TEST(ContainmentTest, ValueMismatchFails) {
+  Database state = OneRelation("R", {"A", "B"}, {{"1", "2"}});
+  Database target = OneRelation("R", {"A", "B"}, {{"2", "1"}});
+  EXPECT_FALSE(state.Contains(target));
+}
+
+TEST(ContainmentTest, TransposedColumnsFail) {
+  // All symbols present but in the wrong columns: not contained.
+  Database state = OneRelation("R", {"A", "B"}, {{"x", "y"}});
+  Database target = OneRelation("R", {"B", "A"}, {{"x", "y"}});
+  EXPECT_FALSE(state.Contains(target));
+}
+
+TEST(ContainmentTest, ProjectionAcrossTuples) {
+  // Each target tuple must come from a single state tuple, not be stitched
+  // from several.
+  Database state = OneRelation("R", {"A", "B"}, {{"1", "x"}, {"2", "y"}});
+  Database target = OneRelation("R", {"A", "B"}, {{"1", "y"}});
+  EXPECT_FALSE(state.Contains(target));
+}
+
+TEST(ContainmentTest, NullsMustMatch) {
+  Database state = OneRelation("R", {"A", "B"}, {});
+  Relation* rel = state.GetMutableRelation("R").value();
+  ASSERT_TRUE(
+      rel->AddTuple(Tuple(std::vector<Value>{Value("1"), Value::Null()}))
+          .ok());
+  Database target_null = OneRelation("R", {"A", "B"}, {});
+  Relation* trel = target_null.GetMutableRelation("R").value();
+  ASSERT_TRUE(
+      trel->AddTuple(Tuple(std::vector<Value>{Value("1"), Value::Null()}))
+          .ok());
+  EXPECT_TRUE(state.Contains(target_null));
+  Database target_atom = OneRelation("R", {"A", "B"}, {{"1", "2"}});
+  EXPECT_FALSE(state.Contains(target_atom));
+}
+
+TEST(ContainmentTest, EmptyTargetAlwaysContained) {
+  Database state;
+  Database empty;
+  EXPECT_TRUE(state.Contains(empty));
+  state = OneRelation("R", {"A"}, {{"1"}});
+  EXPECT_TRUE(state.Contains(empty));
+}
+
+TEST(ContainmentTest, EmptyTargetRelationNeedsNameAndAttrs) {
+  Database state = OneRelation("R", {"A"}, {{"1"}});
+  Database target = OneRelation("R", {"A"}, {});
+  EXPECT_TRUE(state.Contains(target));
+  Database target2 = OneRelation("R", {"Z"}, {});
+  EXPECT_FALSE(state.Contains(target2));
+}
+
+}  // namespace
+}  // namespace tupelo

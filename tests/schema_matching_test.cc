@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/schema_matching.h"
+#include "relational/io.h"
+
+namespace tupelo {
+namespace {
+
+Database Tdb(const char* text) {
+  Result<Database> db = ParseTdb(text);
+  EXPECT_TRUE(db.ok()) << db.status();
+  return std::move(db).value();
+}
+
+using Pair = std::pair<std::string, std::string>;
+
+bool HasMatch(const std::vector<Pair>& matches, const char* from,
+              const char* to) {
+  return std::find(matches.begin(), matches.end(), Pair(from, to)) !=
+         matches.end();
+}
+
+TEST(SchemaMatchingTest, OneToOneAttributeMatching) {
+  Database source = Tdb("relation R (Name, Office) { (ada, b12) }");
+  Database target = Tdb("relation R (FullName, Room) { (ada, b12) }");
+  Result<SchemaMatch> m = MatchSchemas(source, target);
+  ASSERT_TRUE(m.ok()) << m.status();
+  ASSERT_TRUE(m->found);
+  EXPECT_EQ(m->attribute_matches.size(), 2u);
+  EXPECT_TRUE(HasMatch(m->attribute_matches, "Name", "FullName"));
+  EXPECT_TRUE(HasMatch(m->attribute_matches, "Office", "Room"));
+  EXPECT_TRUE(m->relation_matches.empty());
+}
+
+TEST(SchemaMatchingTest, RelationMatching) {
+  Database source = Tdb("relation Staff (Name) { (ada) }");
+  Database target = Tdb("relation Employees (Name) { (ada) }");
+  Result<SchemaMatch> m = MatchSchemas(source, target);
+  ASSERT_TRUE(m.ok());
+  ASSERT_TRUE(m->found);
+  EXPECT_TRUE(HasMatch(m->relation_matches, "Staff", "Employees"));
+}
+
+TEST(SchemaMatchingTest, IdentitySchemasGiveNoMatches) {
+  Database db = Tdb("relation R (A) { (1) }");
+  Result<SchemaMatch> m = MatchSchemas(db, db);
+  ASSERT_TRUE(m.ok());
+  ASSERT_TRUE(m->found);
+  EXPECT_TRUE(m->attribute_matches.empty());
+  EXPECT_TRUE(m->relation_matches.empty());
+}
+
+TEST(SchemaMatchingTest, PaperExperiment1Shape) {
+  // The synthetic matching task: Ai ↔ Bi for every i.
+  Database source = Tdb("relation R (A1, A2, A3) { (a1, a2, a3) }");
+  Database target = Tdb("relation R (B1, B2, B3) { (a1, a2, a3) }");
+  Result<SchemaMatch> m = MatchSchemas(source, target);
+  ASSERT_TRUE(m.ok());
+  ASSERT_TRUE(m->found);
+  EXPECT_TRUE(HasMatch(m->attribute_matches, "A1", "B1"));
+  EXPECT_TRUE(HasMatch(m->attribute_matches, "A2", "B2"));
+  EXPECT_TRUE(HasMatch(m->attribute_matches, "A3", "B3"));
+}
+
+TEST(SchemaMatchingTest, ComposedRenamesReportOriginalNames) {
+  // Force a two-step rename chain by making the direct rename collide:
+  // source has both A and B; target has B (from A's data) and C (from B's).
+  Database source = Tdb("relation R (A, B) { (x, y) }");
+  Database target = Tdb("relation R (B, C) { (x, y) }");
+  Result<SchemaMatch> m = MatchSchemas(source, target);
+  ASSERT_TRUE(m.ok());
+  ASSERT_TRUE(m->found);
+  // B's column (data y) must end up named C, and A's (data x) named B.
+  EXPECT_TRUE(HasMatch(m->attribute_matches, "B", "C"));
+  EXPECT_TRUE(HasMatch(m->attribute_matches, "A", "B"));
+  EXPECT_EQ(m->attribute_matches.size(), 2u);
+}
+
+TEST(SchemaMatchingTest, SubsetTargetMatchesOnlyItsAttributes) {
+  Database source =
+      Tdb("relation R (Title, Author, Year) { (t, a, y) }");
+  Database target = Tdb("relation R (Writer) { (a) }");
+  Result<SchemaMatch> m = MatchSchemas(source, target);
+  ASSERT_TRUE(m.ok());
+  ASSERT_TRUE(m->found);
+  EXPECT_TRUE(HasMatch(m->attribute_matches, "Author", "Writer"));
+  EXPECT_EQ(m->attribute_matches.size(), 1u);
+}
+
+TEST(SchemaMatchingTest, NotFoundPropagates) {
+  Database source = Tdb("relation R (A) { (1) }");
+  Database target = Tdb("relation R (A) { (2) }");
+  TupeloOptions options;
+  options.limits.max_states = 2000;
+  Result<SchemaMatch> m = MatchSchemas(source, target, options);
+  ASSERT_TRUE(m.ok());
+  EXPECT_FALSE(m->found);
+  EXPECT_TRUE(m->attribute_matches.empty());
+}
+
+TEST(SchemaMatchingTest, StatsAndMappingExposed) {
+  Database source = Tdb("relation R (A) { (1) }");
+  Database target = Tdb("relation R (B) { (1) }");
+  Result<SchemaMatch> m = MatchSchemas(source, target);
+  ASSERT_TRUE(m.ok());
+  ASSERT_TRUE(m->found);
+  EXPECT_GE(m->stats.states_examined, 1u);
+  EXPECT_EQ(m->mapping.size(), 1u);
+}
+
+}  // namespace
+}  // namespace tupelo

@@ -1,0 +1,460 @@
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <map>
+#include <vector>
+
+#include "search/a_star.h"
+#include "search/beam.h"
+#include "search/greedy.h"
+#include "search/ida_star.h"
+#include "search/rbfs.h"
+#include "search/search_types.h"
+#include "search/trace.h"
+
+namespace tupelo {
+namespace {
+
+// A small explicit-graph problem for exercising the search algorithms
+// independently of the mapping domain. Actions are the successor node ids.
+struct GraphProblem {
+  using State = int;
+  using Action = int;
+  struct SuccessorT {
+    Action action;
+    State state;
+  };
+
+  std::map<int, std::vector<int>> edges;
+  std::map<int, int> h;  // defaults to 0
+  int start = 0;
+  int goal = 0;
+
+  const State& initial_state() const { return start; }
+  bool IsGoal(const State& s) const { return s == goal; }
+  std::vector<SuccessorT> Expand(const State& s) const {
+    std::vector<SuccessorT> out;
+    auto it = edges.find(s);
+    if (it == edges.end()) return out;
+    for (int next : it->second) out.push_back(SuccessorT{next, next});
+    return out;
+  }
+  int EstimateCost(const State& s) const {
+    auto it = h.find(s);
+    return it == h.end() ? 0 : it->second;
+  }
+  uint64_t StateKey(const State& s) const {
+    return static_cast<uint64_t>(s) + 1;
+  }
+};
+
+// A number-line problem: move ±1 from 0 toward `goal`; |goal − x| is an
+// admissible, consistent heuristic. Unbounded state space exercises
+// heuristic guidance (blind search would wander).
+struct NumberLineProblem {
+  using State = int;
+  using Action = int;  // +1 or -1
+  struct SuccessorT {
+    Action action;
+    State state;
+  };
+
+  int goal = 0;
+
+  const State& initial_state() const {
+    static const int kStart = 0;
+    return kStart;
+  }
+  bool IsGoal(const State& s) const { return s == goal; }
+  std::vector<SuccessorT> Expand(const State& s) const {
+    return {SuccessorT{-1, s - 1}, SuccessorT{+1, s + 1}};
+  }
+  int EstimateCost(const State& s) const { return std::abs(goal - s); }
+  uint64_t StateKey(const State& s) const {
+    return static_cast<uint64_t>(static_cast<int64_t>(s) + (1LL << 32));
+  }
+};
+
+template <typename P>
+using Runner = SearchOutcome<typename P::Action> (*)(const P&,
+                                                     const SearchLimits&);
+
+// Parameterized over the four algorithms so every scenario runs on all.
+enum class Algo { kIda, kRbfs, kAStar, kGreedy };
+
+template <typename P>
+SearchOutcome<typename P::Action> RunSearch(Algo algo, const P& problem,
+                                      const SearchLimits& limits = {}) {
+  switch (algo) {
+    case Algo::kIda:
+      return IdaStarSearch(problem, limits);
+    case Algo::kRbfs:
+      return RbfsSearch(problem, limits);
+    case Algo::kAStar:
+      return AStarSearch(problem, limits);
+    case Algo::kGreedy:
+      return GreedySearch(problem, limits);
+  }
+  return {};
+}
+
+class AllAlgorithms : public testing::TestWithParam<Algo> {};
+
+INSTANTIATE_TEST_SUITE_P(Algos, AllAlgorithms,
+                         testing::Values(Algo::kIda, Algo::kRbfs,
+                                         Algo::kAStar, Algo::kGreedy),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case Algo::kIda:
+                               return "ida";
+                             case Algo::kRbfs:
+                               return "rbfs";
+                             case Algo::kAStar:
+                               return "astar";
+                             case Algo::kGreedy:
+                               return "greedy";
+                           }
+                           return "unknown";
+                         });
+
+TEST_P(AllAlgorithms, TrivialGoalAtStart) {
+  GraphProblem p;
+  p.start = p.goal = 7;
+  auto out = RunSearch(GetParam(), p);
+  EXPECT_TRUE(out.found);
+  EXPECT_EQ(out.stats.solution_cost, 0);
+  EXPECT_TRUE(out.path.empty());
+  EXPECT_EQ(out.stats.states_examined, 1u);
+}
+
+TEST_P(AllAlgorithms, LinearChain) {
+  GraphProblem p;
+  p.edges = {{0, {1}}, {1, {2}}, {2, {3}}};
+  p.start = 0;
+  p.goal = 3;
+  auto out = RunSearch(GetParam(), p);
+  ASSERT_TRUE(out.found);
+  EXPECT_EQ(out.stats.solution_cost, 3);
+  EXPECT_EQ(out.path, (std::vector<int>{1, 2, 3}));
+}
+
+TEST_P(AllAlgorithms, FindsShorterOfTwoBranches) {
+  // 0 -> 1 -> 2 -> goal(5), and 0 -> 3 -> 5 (shorter).
+  GraphProblem p;
+  p.edges = {{0, {1, 3}}, {1, {2}}, {2, {5}}, {3, {5}}};
+  p.goal = 5;
+  // Admissible heuristic favoring nothing: h = 0.
+  auto out = RunSearch(GetParam(), p);
+  ASSERT_TRUE(out.found);
+  EXPECT_EQ(out.stats.solution_cost, 2);
+  EXPECT_EQ(out.path, (std::vector<int>{3, 5}));
+}
+
+TEST_P(AllAlgorithms, UnreachableGoalExhaustsSpace) {
+  GraphProblem p;
+  p.edges = {{0, {1}}, {1, {0}}};  // cycle, goal 9 unreachable
+  p.goal = 9;
+  auto out = RunSearch(GetParam(), p);
+  EXPECT_FALSE(out.found);
+  EXPECT_FALSE(out.budget_exhausted);  // space exhausted, not budget
+}
+
+TEST_P(AllAlgorithms, CyclesDoNotTrapSearch) {
+  GraphProblem p;
+  p.edges = {{0, {1}}, {1, {0, 2}}, {2, {1, 3}}, {3, {}}};
+  p.goal = 3;
+  SearchLimits limits;
+  limits.max_states = 1000;
+  auto out = RunSearch(GetParam(), p, limits);
+  ASSERT_TRUE(out.found);
+  EXPECT_EQ(out.stats.solution_cost, 3);
+}
+
+TEST_P(AllAlgorithms, StateBudgetAborts) {
+  NumberLineProblem p;
+  p.goal = 1000;  // needs 1000 steps
+  SearchLimits limits;
+  limits.max_states = 50;
+  limits.max_depth = 2000;
+  auto out = RunSearch(GetParam(), p, limits);
+  EXPECT_FALSE(out.found);
+  EXPECT_TRUE(out.budget_exhausted);
+  EXPECT_LE(out.stats.states_examined, 50u);
+}
+
+TEST_P(AllAlgorithms, DepthLimitAborts) {
+  NumberLineProblem p;
+  p.goal = 100;
+  SearchLimits limits;
+  limits.max_depth = 10;
+  auto out = RunSearch(GetParam(), p, limits);
+  EXPECT_FALSE(out.found);
+  EXPECT_TRUE(out.budget_exhausted);
+}
+
+TEST_P(AllAlgorithms, GuidedNumberLineIsNearLinear) {
+  NumberLineProblem p;
+  p.goal = 200;
+  SearchLimits limits;
+  limits.max_depth = 500;
+  auto out = RunSearch(GetParam(), p, limits);
+  ASSERT_TRUE(out.found);
+  EXPECT_EQ(out.stats.solution_cost, 200);
+  // With a perfect heuristic the search examines O(goal) states.
+  EXPECT_LE(out.stats.states_examined, 1000u);
+}
+
+TEST_P(AllAlgorithms, AdmissibleHeuristicGivesOptimalCost) {
+  // Diamond with a tempting long route: 0→1→2→3→4→9 vs 0→5→9.
+  GraphProblem p;
+  p.edges = {{0, {1, 5}}, {1, {2}}, {2, {3}}, {3, {4}}, {4, {9}}, {5, {9}}};
+  p.goal = 9;
+  p.h = {{0, 2}, {1, 2}, {2, 2}, {3, 2}, {4, 1}, {5, 1}, {9, 0}};
+  auto out = RunSearch(GetParam(), p);
+  ASSERT_TRUE(out.found);
+  EXPECT_EQ(out.stats.solution_cost, 2);
+}
+
+TEST_P(AllAlgorithms, MisleadingHeuristicStillSolves) {
+  // Heuristic prefers the dead-end branch; search must recover.
+  GraphProblem p;
+  p.edges = {{0, {1, 2}}, {1, {3}}, {3, {}}, {2, {4}}, {4, {9}}};
+  p.goal = 9;
+  p.h = {{1, 0}, {3, 0}, {2, 5}, {4, 5}, {9, 0}, {0, 0}};
+  auto out = RunSearch(GetParam(), p);
+  ASSERT_TRUE(out.found);
+  EXPECT_EQ(out.path, (std::vector<int>{2, 4, 9}));
+}
+
+TEST_P(AllAlgorithms, StatsAreCounted) {
+  GraphProblem p;
+  p.edges = {{0, {1, 2}}, {1, {3}}, {2, {3}}, {3, {4}}};
+  p.goal = 4;
+  auto out = RunSearch(GetParam(), p);
+  ASSERT_TRUE(out.found);
+  EXPECT_GE(out.stats.states_examined, 3u);
+  EXPECT_GE(out.stats.states_generated, 2u);
+  EXPECT_GE(out.stats.peak_memory_nodes, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Algorithm-specific behavior
+// ---------------------------------------------------------------------------
+
+TEST(IdaStarTest, IterationsGrowWithMisleadingHeuristic) {
+  // h = 0 everywhere: IDA* raises the bound once per depth level.
+  GraphProblem p;
+  p.edges = {{0, {1}}, {1, {2}}, {2, {3}}, {3, {4}}};
+  p.goal = 4;
+  auto out = IdaStarSearch(p);
+  ASSERT_TRUE(out.found);
+  EXPECT_EQ(out.stats.iterations, 5);  // bounds 0..4
+  // Re-examinations across iterations are counted.
+  EXPECT_GT(out.stats.states_examined, 5u);
+}
+
+TEST(IdaStarTest, PerfectHeuristicSingleIteration) {
+  GraphProblem p;
+  p.edges = {{0, {1}}, {1, {2}}};
+  p.goal = 2;
+  p.h = {{0, 2}, {1, 1}, {2, 0}};
+  auto out = IdaStarSearch(p);
+  ASSERT_TRUE(out.found);
+  EXPECT_EQ(out.stats.iterations, 1);
+  EXPECT_EQ(out.stats.states_examined, 3u);
+}
+
+TEST(RbfsTest, BacktracksOnBackedUpValues) {
+  // RBFS must abandon the initially-best branch when its backed-up value
+  // exceeds the alternative.
+  GraphProblem p;
+  p.edges = {{0, {1, 2}}, {1, {3}}, {3, {5}}, {2, {4}}, {4, {9}}, {5, {}}};
+  p.goal = 9;
+  p.h = {{1, 1}, {2, 2}, {3, 3}, {5, 9}, {4, 1}, {9, 0}};
+  auto out = RbfsSearch(p);
+  ASSERT_TRUE(out.found);
+  EXPECT_EQ(out.path, (std::vector<int>{2, 4, 9}));
+}
+
+TEST(RbfsTest, LinearMemoryOnDeepProblem) {
+  NumberLineProblem p;
+  p.goal = 300;
+  SearchLimits limits;
+  limits.max_depth = 400;
+  auto out = RbfsSearch(p, limits);
+  ASSERT_TRUE(out.found);
+  // Peak tracked memory is the recursion depth, not the state count.
+  EXPECT_LE(out.stats.peak_memory_nodes, 301u);
+}
+
+TEST(AStarTest, TracksOpenClosedMemory) {
+  NumberLineProblem p;
+  p.goal = 50;
+  SearchLimits limits;
+  limits.max_depth = 200;
+  auto out = AStarSearch(p, limits);
+  ASSERT_TRUE(out.found);
+  // A* keeps every generated state: memory exceeds the solution depth.
+  EXPECT_GT(out.stats.peak_memory_nodes, 50u);
+}
+
+TEST(AStarTest, ReopensWhenShorterPathFound) {
+  // 0→1 (h huge) and 0→2→1: with inconsistent h, the cheaper g must win.
+  GraphProblem p;
+  p.edges = {{0, {2, 1}}, {2, {1}}, {1, {9}}};
+  p.goal = 9;
+  p.h = {{0, 0}, {1, 0}, {2, 0}, {9, 0}};
+  auto out = AStarSearch(p);
+  ASSERT_TRUE(out.found);
+  EXPECT_EQ(out.stats.solution_cost, 2);  // 0→1→9
+}
+
+TEST(BeamTest, FindsGoalWithGoodHeuristic) {
+  NumberLineProblem p;
+  p.goal = 50;
+  SearchLimits limits;
+  limits.max_depth = 100;
+  auto out = BeamSearch(p, 4, limits);
+  ASSERT_TRUE(out.found);
+  EXPECT_EQ(out.stats.solution_cost, 50);
+  // Beam examines at most width × depth states.
+  EXPECT_LE(out.stats.states_examined, 4u * 51u);
+}
+
+TEST(BeamTest, IsIncompleteWhenGoalLeavesBeam) {
+  // Two branches; the heuristic prefers the dead end and width 1 commits
+  // to it: the goal is missed even though it exists.
+  GraphProblem p;
+  p.edges = {{0, {1, 2}}, {1, {3}}, {3, {}}, {2, {9}}};
+  p.goal = 9;
+  p.h = {{1, 0}, {3, 0}, {2, 5}, {9, 0}};
+  auto narrow = BeamSearch(p, 1);
+  EXPECT_FALSE(narrow.found);
+  // A wider beam keeps the alternative alive.
+  auto wide = BeamSearch(p, 2);
+  EXPECT_TRUE(wide.found);
+}
+
+TEST(BeamTest, ZeroWidthFindsNothing) {
+  GraphProblem p;
+  p.goal = 0;
+  auto out = BeamSearch(p, 0);
+  EXPECT_FALSE(out.found);
+}
+
+TEST(BeamTest, BudgetAborts) {
+  NumberLineProblem p;
+  p.goal = 1000;
+  SearchLimits limits;
+  limits.max_states = 20;
+  limits.max_depth = 2000;
+  auto out = BeamSearch(p, 8, limits);
+  EXPECT_FALSE(out.found);
+  EXPECT_TRUE(out.budget_exhausted);
+}
+
+TEST(BeamTest, GoalAtRoot) {
+  GraphProblem p;
+  p.start = p.goal = 3;
+  auto out = BeamSearch(p, 2);
+  EXPECT_TRUE(out.found);
+  EXPECT_EQ(out.stats.solution_cost, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Tracing
+// ---------------------------------------------------------------------------
+
+TEST(TraceTest, IdaRecordsNonDecreasingBounds) {
+  GraphProblem p;
+  p.edges = {{0, {1}}, {1, {2}}, {2, {3}}, {3, {4}}};
+  p.goal = 4;
+  SearchTracer tracer;
+  auto out = IdaStarSearch(p, SearchLimits(), &tracer);
+  ASSERT_TRUE(out.found);
+  int64_t last_bound = -1;
+  size_t iterations = 0;
+  size_t visits = 0;
+  for (const TraceEvent& e : tracer.events()) {
+    if (e.kind == TraceEventKind::kIteration) {
+      EXPECT_GT(e.value, last_bound);
+      last_bound = e.value;
+      ++iterations;
+    } else if (e.kind == TraceEventKind::kVisit) {
+      ++visits;
+    }
+  }
+  EXPECT_EQ(iterations, static_cast<size_t>(out.stats.iterations));
+  EXPECT_EQ(visits, out.stats.states_examined);
+  EXPECT_EQ(tracer.events().back().kind, TraceEventKind::kGoal);
+}
+
+TEST(TraceTest, VisitCountsMatchStatsAcrossAlgorithms) {
+  GraphProblem p;
+  p.edges = {{0, {1, 2}}, {1, {3}}, {2, {3}}, {3, {4}}};
+  p.goal = 4;
+  for (int which = 0; which < 4; ++which) {
+    SearchTracer tracer;
+    SearchOutcome<int> out;
+    switch (which) {
+      case 0:
+        out = IdaStarSearch(p, SearchLimits(), &tracer);
+        break;
+      case 1:
+        out = RbfsSearch(p, SearchLimits(), &tracer);
+        break;
+      case 2:
+        out = AStarSearch(p, SearchLimits(), &tracer);
+        break;
+      case 3:
+        out = GreedySearch(p, SearchLimits(), &tracer);
+        break;
+    }
+    ASSERT_TRUE(out.found) << which;
+    size_t visits = 0;
+    for (const TraceEvent& e : tracer.events()) {
+      if (e.kind == TraceEventKind::kVisit) ++visits;
+      EXPECT_LE(e.depth, out.stats.solution_cost + 8) << which;
+    }
+    EXPECT_EQ(visits, out.stats.states_examined) << which;
+  }
+}
+
+TEST(TraceTest, CapacityTruncates) {
+  NumberLineProblem p;
+  p.goal = 100;
+  SearchLimits limits;
+  limits.max_depth = 200;
+  SearchTracer tracer(10);
+  auto out = RbfsSearch(p, limits, &tracer);
+  ASSERT_TRUE(out.found);
+  EXPECT_EQ(tracer.events().size(), 10u);
+  EXPECT_TRUE(tracer.truncated());
+  tracer.Clear();
+  EXPECT_TRUE(tracer.events().empty());
+  EXPECT_FALSE(tracer.truncated());
+}
+
+TEST(TraceTest, ToStringMentionsEveryKind) {
+  SearchTracer tracer;
+  tracer.Record(TraceEvent{TraceEventKind::kIteration, 0, 0, 3});
+  tracer.Record(TraceEvent{TraceEventKind::kVisit, 42, 1, 5});
+  tracer.Record(TraceEvent{TraceEventKind::kGoal, 42, 2, 5});
+  std::string dump = tracer.ToString();
+  EXPECT_NE(dump.find("iteration bound=3"), std::string::npos);
+  EXPECT_NE(dump.find("visit g=1 f=5"), std::string::npos);
+  EXPECT_NE(dump.find("goal  g=2"), std::string::npos);
+}
+
+TEST(AStarTest, DeterministicTieBreaking) {
+  GraphProblem p;
+  p.edges = {{0, {1, 2}}, {1, {9}}, {2, {9}}};
+  p.goal = 9;
+  auto out1 = AStarSearch(p);
+  auto out2 = AStarSearch(p);
+  ASSERT_TRUE(out1.found);
+  EXPECT_EQ(out1.path, out2.path);
+}
+
+}  // namespace
+}  // namespace tupelo

@@ -1,0 +1,208 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "relational/tnf.h"
+#include "workloads/flights.h"
+
+namespace tupelo {
+namespace {
+
+Relation MakeRel(const char* name, std::vector<std::string> attrs) {
+  Result<Relation> r = Relation::Create(name, std::move(attrs));
+  EXPECT_TRUE(r.ok()) << r.status();
+  return std::move(r).value();
+}
+
+TEST(TnfTest, EncodeEmptyDatabase) {
+  Database db;
+  Relation tnf = EncodeTnf(db);
+  EXPECT_EQ(tnf.name(), kTnfRelationName);
+  EXPECT_EQ(tnf.attributes(),
+            (std::vector<std::string>{kTnfTid, kTnfRel, kTnfAtt, kTnfValue}));
+  EXPECT_TRUE(tnf.empty());
+}
+
+TEST(TnfTest, EncodeSingleTuple) {
+  Database db;
+  Relation r = MakeRel("R", {"A", "B"});
+  ASSERT_TRUE(r.AddRow({"1", "2"}).ok());
+  ASSERT_TRUE(db.AddRelation(std::move(r)).ok());
+  std::vector<TnfRow> rows = TnfRows(db);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0], (TnfRow{"t1", "R", "A", Value("1")}));
+  EXPECT_EQ(rows[1], (TnfRow{"t1", "R", "B", Value("2")}));
+}
+
+TEST(TnfTest, EncodeAssignsUniqueTidsAcrossRelations) {
+  Database db;
+  Relation r = MakeRel("R", {"A"});
+  ASSERT_TRUE(r.AddRow({"1"}).ok());
+  Relation s = MakeRel("S", {"B"});
+  ASSERT_TRUE(s.AddRow({"2"}).ok());
+  ASSERT_TRUE(s.AddRow({"3"}).ok());
+  ASSERT_TRUE(db.AddRelation(std::move(r)).ok());
+  ASSERT_TRUE(db.AddRelation(std::move(s)).ok());
+  std::vector<TnfRow> rows = TnfRows(db);
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0].tid, "t1");
+  EXPECT_EQ(rows[1].tid, "t2");
+  EXPECT_EQ(rows[2].tid, "t3");
+  EXPECT_EQ(rows[1].rel, "S");
+}
+
+TEST(TnfTest, EncodePreservesNulls) {
+  Database db;
+  Relation r = MakeRel("R", {"A", "B"});
+  ASSERT_TRUE(
+      r.AddTuple(Tuple(std::vector<Value>{Value("1"), Value::Null()})).ok());
+  ASSERT_TRUE(db.AddRelation(std::move(r)).ok());
+  std::vector<TnfRow> rows = TnfRows(db);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_FALSE(rows[0].value.is_null());
+  EXPECT_TRUE(rows[1].value.is_null());
+}
+
+TEST(TnfTest, PaperExample4FlightsC) {
+  // The paper's Example 4: TNF of FlightsC has 12 rows; the AirEast tuple
+  // t1 carries (Route=ATL29, BaseCost=100, TotalCost=115).
+  Database db = MakeFlightsC();
+  std::vector<TnfRow> rows = TnfRows(db);
+  ASSERT_EQ(rows.size(), 12u);
+  EXPECT_EQ(rows[0], (TnfRow{"t1", "AirEast", "Route", Value("ATL29")}));
+  EXPECT_EQ(rows[1], (TnfRow{"t1", "AirEast", "BaseCost", Value("100")}));
+  EXPECT_EQ(rows[2], (TnfRow{"t1", "AirEast", "TotalCost", Value("115")}));
+  // Relations appear in name order; JetWest rows follow AirEast's.
+  EXPECT_EQ(rows[6].rel, "JetWest");
+}
+
+TEST(TnfTest, RoundTripSimple) {
+  Database db;
+  Relation r = MakeRel("R", {"A", "B"});
+  ASSERT_TRUE(r.AddRow({"1", "2"}).ok());
+  ASSERT_TRUE(r.AddRow({"3", "4"}).ok());
+  ASSERT_TRUE(db.AddRelation(std::move(r)).ok());
+  Result<Database> decoded = DecodeTnf(EncodeTnf(db));
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_TRUE(decoded->ContentsEqual(db));
+}
+
+TEST(TnfTest, RoundTripMultiRelationWithNulls) {
+  Database db = MakeFlightsC();
+  Relation extra = MakeRel("Extra", {"X", "Y"});
+  ASSERT_TRUE(
+      extra.AddTuple(Tuple(std::vector<Value>{Value::Null(), Value("y")}))
+          .ok());
+  ASSERT_TRUE(db.AddRelation(std::move(extra)).ok());
+  Result<Database> decoded = DecodeTnf(EncodeTnf(db));
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_TRUE(decoded->ContentsEqual(db));
+}
+
+TEST(TnfTest, RoundTripFlightsAAndB) {
+  for (const Database& db : {MakeFlightsA(), MakeFlightsB()}) {
+    Result<Database> decoded = DecodeTnf(EncodeTnf(db));
+    ASSERT_TRUE(decoded.ok()) << decoded.status();
+    EXPECT_TRUE(decoded->ContentsEqual(db));
+  }
+}
+
+TEST(TnfTest, DecodeRejectsWrongSchema) {
+  Relation bad = MakeRel("TNF", {"TID", "REL", "ATT"});
+  EXPECT_FALSE(DecodeTnf(bad).ok());
+  Relation bad2 = MakeRel("TNF", {"REL", "TID", "ATT", "VALUE"});
+  EXPECT_FALSE(DecodeTnf(bad2).ok());
+}
+
+Relation TnfShell() {
+  return MakeRel(kTnfRelationName, {kTnfTid, kTnfRel, kTnfAtt, kTnfValue});
+}
+
+TEST(TnfTest, DecodeRejectsNullTid) {
+  Relation tnf = TnfShell();
+  ASSERT_TRUE(tnf.AddTuple(Tuple(std::vector<Value>{
+                               Value::Null(), Value("R"), Value("A"),
+                               Value("1")}))
+                  .ok());
+  EXPECT_EQ(DecodeTnf(tnf).status().code(), StatusCode::kParseError);
+}
+
+TEST(TnfTest, DecodeRejectsTidSpanningRelations) {
+  Relation tnf = TnfShell();
+  ASSERT_TRUE(tnf.AddRow({"t1", "R", "A", "1"}).ok());
+  ASSERT_TRUE(tnf.AddRow({"t1", "S", "B", "2"}).ok());
+  EXPECT_EQ(DecodeTnf(tnf).status().code(), StatusCode::kParseError);
+}
+
+TEST(TnfTest, DecodeRejectsRepeatedAttribute) {
+  Relation tnf = TnfShell();
+  ASSERT_TRUE(tnf.AddRow({"t1", "R", "A", "1"}).ok());
+  ASSERT_TRUE(tnf.AddRow({"t1", "R", "A", "2"}).ok());
+  EXPECT_EQ(DecodeTnf(tnf).status().code(), StatusCode::kParseError);
+}
+
+TEST(TnfTest, DecodeRejectsInconsistentAttributeSets) {
+  Relation tnf = TnfShell();
+  ASSERT_TRUE(tnf.AddRow({"t1", "R", "A", "1"}).ok());
+  ASSERT_TRUE(tnf.AddRow({"t1", "R", "B", "2"}).ok());
+  ASSERT_TRUE(tnf.AddRow({"t2", "R", "A", "3"}).ok());
+  EXPECT_EQ(DecodeTnf(tnf).status().code(), StatusCode::kParseError);
+}
+
+TEST(TnfTest, DecodeRejectsUnknownAttributeInLaterTuple) {
+  Relation tnf = TnfShell();
+  ASSERT_TRUE(tnf.AddRow({"t1", "R", "A", "1"}).ok());
+  ASSERT_TRUE(tnf.AddRow({"t2", "R", "B", "2"}).ok());
+  EXPECT_FALSE(DecodeTnf(tnf).ok());
+}
+
+TEST(TnfTest, DecodeHandlesInterleavedTuples) {
+  // Rows of different TIDs interleaved are grouped correctly.
+  Relation tnf = TnfShell();
+  ASSERT_TRUE(tnf.AddRow({"t1", "R", "A", "1"}).ok());
+  ASSERT_TRUE(tnf.AddRow({"t2", "R", "A", "3"}).ok());
+  ASSERT_TRUE(tnf.AddRow({"t1", "R", "B", "2"}).ok());
+  ASSERT_TRUE(tnf.AddRow({"t2", "R", "B", "4"}).ok());
+  Result<Database> db = DecodeTnf(tnf);
+  ASSERT_TRUE(db.ok()) << db.status();
+  Result<const Relation*> r = db->GetRelation("R");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)->size(), 2u);
+  EXPECT_EQ((*r)->tuples()[0], Tuple::OfAtoms({"1", "2"}));
+  EXPECT_EQ((*r)->tuples()[1], Tuple::OfAtoms({"3", "4"}));
+}
+
+TEST(TnfTest, DecodeOrderIndependentOfColumnPermutationWithinTuple) {
+  // A tuple's attributes may arrive in any order; the first tuple of the
+  // relation fixes the schema order.
+  Relation tnf = TnfShell();
+  ASSERT_TRUE(tnf.AddRow({"t1", "R", "A", "1"}).ok());
+  ASSERT_TRUE(tnf.AddRow({"t1", "R", "B", "2"}).ok());
+  ASSERT_TRUE(tnf.AddRow({"t2", "R", "B", "4"}).ok());
+  ASSERT_TRUE(tnf.AddRow({"t2", "R", "A", "3"}).ok());
+  Result<Database> db = DecodeTnf(tnf);
+  ASSERT_TRUE(db.ok()) << db.status();
+  Result<const Relation*> r = db->GetRelation("R");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)->attributes(), (std::vector<std::string>{"A", "B"}));
+  EXPECT_EQ((*r)->tuples()[1], Tuple::OfAtoms({"3", "4"}));
+}
+
+TEST(TnfTest, EncodedTnfOfDatabaseMatchesUnionOfPerRelationTnf) {
+  // TNF of a database = union of TNF of its relations (modulo TID names);
+  // check row counts per relation.
+  Database db = MakeFlightsC();
+  std::vector<TnfRow> rows = TnfRows(db);
+  size_t aireast = 0;
+  size_t jetwest = 0;
+  for (const TnfRow& row : rows) {
+    if (row.rel == "AirEast") ++aireast;
+    if (row.rel == "JetWest") ++jetwest;
+  }
+  EXPECT_EQ(aireast, 6u);
+  EXPECT_EQ(jetwest, 6u);
+}
+
+}  // namespace
+}  // namespace tupelo

@@ -1,0 +1,184 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "fira/builtin_functions.h"
+#include "fira/executor.h"
+#include "fira/type_check.h"
+#include "relational/io.h"
+#include "workloads/flights.h"
+
+namespace tupelo {
+namespace {
+
+DatabaseSchema SchemaOf(const char* tdb) {
+  Result<Database> db = ParseTdb(tdb);
+  EXPECT_TRUE(db.ok()) << db.status();
+  return DatabaseSchema::Of(*db);
+}
+
+TEST(DatabaseSchemaTest, OfCapturesRelationsAndAttributes) {
+  DatabaseSchema s = SchemaOf("relation R (A, B) { }\nrelation S (C) { }");
+  ASSERT_TRUE(s.HasRelation("R"));
+  EXPECT_EQ(s.relations.at("R").attributes,
+            (std::vector<std::string>{"A", "B"}));
+  EXPECT_FALSE(s.relations.at("R").open);
+  EXPECT_FALSE(s.open);
+}
+
+TEST(TypeCheckTest, RenameAttrTracksSchema) {
+  DatabaseSchema s = SchemaOf("relation R (A, B) { }");
+  Result<DatabaseSchema> out =
+      ApplyOpToSchema(RenameAttrOp{"R", "A", "X"}, s);
+  ASSERT_TRUE(out.ok()) << out.status();
+  EXPECT_EQ(out->relations.at("R").attributes,
+            (std::vector<std::string>{"X", "B"}));
+  EXPECT_FALSE(ApplyOpToSchema(RenameAttrOp{"R", "Z", "Y"}, s).ok());
+  EXPECT_FALSE(ApplyOpToSchema(RenameAttrOp{"R", "A", "B"}, s).ok());
+}
+
+TEST(TypeCheckTest, RenameRelTracksSchema) {
+  DatabaseSchema s = SchemaOf("relation R (A) { }\nrelation S (B) { }");
+  Result<DatabaseSchema> out = ApplyOpToSchema(RenameRelOp{"R", "T"}, s);
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(out->HasRelation("T"));
+  EXPECT_FALSE(out->HasRelation("R"));
+  EXPECT_FALSE(ApplyOpToSchema(RenameRelOp{"R", "S"}, s).ok());
+  EXPECT_FALSE(ApplyOpToSchema(RenameRelOp{"Z", "T"}, s).ok());
+}
+
+TEST(TypeCheckTest, DropChecksArityAndExistence) {
+  DatabaseSchema s = SchemaOf("relation R (A, B) { }");
+  Result<DatabaseSchema> out = ApplyOpToSchema(DropOp{"R", "A"}, s);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->relations.at("R").attributes,
+            (std::vector<std::string>{"B"}));
+  EXPECT_FALSE(ApplyOpToSchema(DropOp{"R", "B"}, *out).ok());  // last column
+  EXPECT_FALSE(ApplyOpToSchema(DropOp{"R", "Z"}, s).ok());
+}
+
+TEST(TypeCheckTest, PromoteOpensRelation) {
+  DatabaseSchema s = SchemaOf("relation R (A, B) { }");
+  Result<DatabaseSchema> out = ApplyOpToSchema(PromoteOp{"R", "A", "B"}, s);
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(out->relations.at("R").open);
+  // After opening, unknown attributes cannot be proven absent: dropping an
+  // unseen name is allowed at the schema level.
+  EXPECT_TRUE(ApplyOpToSchema(DropOp{"R", "mystery"}, *out).ok());
+  // But before opening, it is a definite error.
+  EXPECT_FALSE(ApplyOpToSchema(DropOp{"R", "mystery"}, s).ok());
+}
+
+TEST(TypeCheckTest, PartitionOpensDatabase) {
+  DatabaseSchema s = SchemaOf("relation R (A, B) { }");
+  Result<DatabaseSchema> out = ApplyOpToSchema(PartitionOp{"R", "A"}, s);
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(out->open);
+  // Unknown relations are now plausible: operating on one is not a
+  // definite error.
+  EXPECT_TRUE(ApplyOpToSchema(DemoteOp{"SomePartition"}, *out).ok());
+  EXPECT_FALSE(ApplyOpToSchema(DemoteOp{"SomePartition"}, s).ok());
+}
+
+TEST(TypeCheckTest, DemoteAppendsColumnsOnce) {
+  DatabaseSchema s = SchemaOf("relation R (A) { }");
+  Result<DatabaseSchema> once = ApplyOpToSchema(DemoteOp{"R"}, s);
+  ASSERT_TRUE(once.ok());
+  EXPECT_EQ(once->relations.at("R").attributes,
+            (std::vector<std::string>{"A", kDemoteAttrColumn,
+                                      kDemoteValueColumn}));
+  EXPECT_FALSE(ApplyOpToSchema(DemoteOp{"R"}, *once).ok());
+}
+
+TEST(TypeCheckTest, ProductChecksOverlapAndCollision) {
+  DatabaseSchema s = SchemaOf("relation R (A) { }\nrelation S (B) { }");
+  Result<DatabaseSchema> out = ApplyOpToSchema(ProductOp{"R", "S"}, s);
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(out->HasRelation("R*S"));
+  EXPECT_EQ(out->relations.at("R*S").attributes,
+            (std::vector<std::string>{"A", "B"}));
+  DatabaseSchema overlap = SchemaOf("relation R (A) { }\nrelation S (A) { }");
+  EXPECT_FALSE(ApplyOpToSchema(ProductOp{"R", "S"}, overlap).ok());
+  EXPECT_FALSE(ApplyOpToSchema(ProductOp{"R", "R"}, s).ok());
+}
+
+TEST(TypeCheckTest, ApplyChecksRegistryArityAndCollision) {
+  FunctionRegistry reg;
+  ASSERT_TRUE(RegisterBuiltinFunctions(&reg).ok());
+  DatabaseSchema s = SchemaOf("relation R (A, B) { }");
+  EXPECT_TRUE(
+      ApplyOpToSchema(ApplyFunctionOp{"R", "add", {"A", "B"}, "S"}, s, &reg)
+          .ok());
+  EXPECT_FALSE(
+      ApplyOpToSchema(ApplyFunctionOp{"R", "add", {"A", "B"}, "S"}, s,
+                      nullptr)
+          .ok());
+  EXPECT_FALSE(
+      ApplyOpToSchema(ApplyFunctionOp{"R", "nope", {"A"}, "S"}, s, &reg)
+          .ok());
+  EXPECT_FALSE(
+      ApplyOpToSchema(ApplyFunctionOp{"R", "add", {"A"}, "S"}, s, &reg)
+          .ok());
+  EXPECT_FALSE(
+      ApplyOpToSchema(ApplyFunctionOp{"R", "add", {"A", "Z"}, "S"}, s, &reg)
+          .ok());
+  EXPECT_FALSE(
+      ApplyOpToSchema(ApplyFunctionOp{"R", "add", {"A", "B"}, "B"}, s, &reg)
+          .ok());
+}
+
+TEST(TypeCheckTest, DereferenceChecks) {
+  DatabaseSchema s = SchemaOf("relation R (P, A) { }");
+  Result<DatabaseSchema> out =
+      ApplyOpToSchema(DereferenceOp{"R", "P", "Out"}, s);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->relations.at("R").attributes,
+            (std::vector<std::string>{"P", "A", "Out"}));
+  EXPECT_FALSE(ApplyOpToSchema(DereferenceOp{"R", "Z", "Out"}, s).ok());
+  EXPECT_FALSE(ApplyOpToSchema(DereferenceOp{"R", "P", "A"}, s).ok());
+}
+
+TEST(CheckExpressionTest, PaperExample2TypeChecks) {
+  DatabaseSchema input = DatabaseSchema::Of(MakeFlightsB());
+  Result<DatabaseSchema> out =
+      CheckExpression(FlightsBToAExpression(), input);
+  ASSERT_TRUE(out.ok()) << out.status();
+  ASSERT_TRUE(out->HasRelation("Flights"));
+  // Promote opened the relation; the tracked attributes still reflect the
+  // statically-known ones.
+  EXPECT_TRUE(out->relations.at("Flights").open);
+  EXPECT_TRUE(out->relations.at("Flights").HasAttribute("Carrier"));
+  EXPECT_TRUE(out->relations.at("Flights").HasAttribute("Fee"));
+}
+
+TEST(CheckExpressionTest, ReportsFailingStep) {
+  DatabaseSchema input = SchemaOf("relation R (A, B) { }");
+  MappingExpression expr;
+  expr.Append(RenameAttrOp{"R", "A", "X"});
+  expr.Append(DropOp{"R", "A"});  // A was just renamed away
+  Result<DatabaseSchema> out = CheckExpression(expr, input);
+  ASSERT_FALSE(out.ok());
+  EXPECT_NE(out.status().message().find("step 2"), std::string::npos);
+}
+
+TEST(CheckExpressionTest, AgreesWithExecutorOnFlights) {
+  // Whenever the executor succeeds, the type checker must too (it may be
+  // weaker, never stricter on valid expressions).
+  Database source = MakeFlightsB();
+  MappingExpression expr = FlightsBToAExpression();
+  Result<Database> executed = expr.Apply(source);
+  ASSERT_TRUE(executed.ok());
+  Result<DatabaseSchema> checked =
+      CheckExpression(expr, DatabaseSchema::Of(source));
+  ASSERT_TRUE(checked.ok()) << checked.status();
+  // And the tracked closed attributes appear in the executed result.
+  const Relation* flights = executed->GetRelation("Flights").value();
+  for (const std::string& attr :
+       checked->relations.at("Flights").attributes) {
+    EXPECT_TRUE(flights->HasAttribute(attr)) << attr;
+  }
+}
+
+}  // namespace
+}  // namespace tupelo

@@ -1,0 +1,357 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "fira/executor.h"
+#include "workloads/bamm.h"
+#include "fira/expression.h"
+#include "workloads/flights.h"
+#include "workloads/restructuring.h"
+#include "workloads/semantic.h"
+#include "workloads/synthetic.h"
+
+namespace tupelo {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Flights fixtures (Fig. 1)
+// ---------------------------------------------------------------------------
+
+TEST(FlightsTest, ShapesMatchFigure1) {
+  Database a = MakeFlightsA();
+  EXPECT_EQ(a.RelationNames(), (std::vector<std::string>{"Flights"}));
+  EXPECT_EQ(a.GetRelation("Flights").value()->size(), 2u);
+
+  Database b = MakeFlightsB();
+  EXPECT_EQ(b.RelationNames(), (std::vector<std::string>{"Prices"}));
+  EXPECT_EQ(b.GetRelation("Prices").value()->size(), 4u);
+
+  Database c = MakeFlightsC();
+  EXPECT_EQ(c.RelationNames(),
+            (std::vector<std::string>{"AirEast", "JetWest"}));
+}
+
+TEST(FlightsTest, TotalCostIsCostPlusFee) {
+  // FlightsC's TotalCost column equals B's Cost + AgentFee row by row.
+  Database c = MakeFlightsC();
+  const Relation* ae = c.GetRelation("AirEast").value();
+  EXPECT_EQ(ae->tuples()[0][2], Value("115"));  // 100 + 15
+  const Relation* jw = c.GetRelation("JetWest").value();
+  EXPECT_EQ(jw->tuples()[1][2], Value("236"));  // 220 + 16
+}
+
+TEST(FlightsTest, PaperExpressionMapsBOntoAExactly) {
+  Result<Database> out = FlightsBToAExpression().Apply(MakeFlightsB());
+  ASSERT_TRUE(out.ok()) << out.status();
+  EXPECT_TRUE(out->Contains(MakeFlightsA()));
+  EXPECT_TRUE(MakeFlightsA().Contains(*out));
+}
+
+// ---------------------------------------------------------------------------
+// Synthetic schema matching (Experiment 1)
+// ---------------------------------------------------------------------------
+
+TEST(SyntheticTest, ShapeForSmallN) {
+  SyntheticMatchingPair pair = MakeSyntheticMatchingPair(3);
+  const Relation* s = pair.source.GetRelation("R").value();
+  const Relation* t = pair.target.GetRelation("R").value();
+  EXPECT_EQ(s->attributes(), (std::vector<std::string>{"A1", "A2", "A3"}));
+  EXPECT_EQ(t->attributes(), (std::vector<std::string>{"B1", "B2", "B3"}));
+  EXPECT_EQ(s->tuples()[0], t->tuples()[0]);  // same critical instance
+}
+
+TEST(SyntheticTest, ZeroPaddingKeepsLexicographicAlignment) {
+  SyntheticMatchingPair pair = MakeSyntheticMatchingPair(12);
+  const Relation* s = pair.source.GetRelation("R").value();
+  EXPECT_EQ(s->attributes()[0], "A01");
+  EXPECT_EQ(s->attributes()[9], "A10");
+  // Sorted order of attributes equals index order.
+  std::vector<std::string> sorted = s->attributes();
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, s->attributes());
+}
+
+TEST(SyntheticTest, SourceNeverContainsTargetForPositiveN) {
+  for (size_t n : {1u, 2u, 8u}) {
+    SyntheticMatchingPair pair = MakeSyntheticMatchingPair(n);
+    EXPECT_FALSE(pair.source.Contains(pair.target)) << n;
+  }
+}
+
+TEST(SyntheticTest, NRenamesSolveIt) {
+  SyntheticMatchingPair pair = MakeSyntheticMatchingPair(4);
+  Database state = pair.source;
+  for (int i = 1; i <= 4; ++i) {
+    // n=4 is single-digit, so names are unpadded (A1..A4).
+    std::string from = "A" + std::to_string(i);
+    std::string to = "B" + std::to_string(i);
+    Result<Database> next =
+        ApplyOp(RenameAttrOp{"R", from, to}, state, nullptr);
+    ASSERT_TRUE(next.ok()) << next.status();
+    state = std::move(next).value();
+  }
+  EXPECT_TRUE(state.Contains(pair.target));
+}
+
+// ---------------------------------------------------------------------------
+// BAMM (Experiment 2)
+// ---------------------------------------------------------------------------
+
+TEST(BammTest, DomainCountsMatchPaper) {
+  EXPECT_EQ(BammDomainSchemaCount(BammDomain::kBooks), 55u);
+  EXPECT_EQ(BammDomainSchemaCount(BammDomain::kAutos), 55u);
+  EXPECT_EQ(BammDomainSchemaCount(BammDomain::kMusic), 49u);
+  EXPECT_EQ(BammDomainSchemaCount(BammDomain::kMovies), 52u);
+  EXPECT_EQ(AllBammDomains().size(), 4u);
+}
+
+TEST(BammTest, WorkloadHasFixedSourcePlusTargets) {
+  for (BammDomain domain : AllBammDomains()) {
+    BammWorkload w = MakeBammWorkload(domain, 42);
+    EXPECT_EQ(w.targets.size(), BammDomainSchemaCount(domain) - 1)
+        << BammDomainName(domain);
+    EXPECT_EQ(w.source.relation_count(), 1u);
+  }
+}
+
+TEST(BammTest, TargetsHaveOneToEightAttributes) {
+  BammWorkload w = MakeBammWorkload(BammDomain::kBooks, 7);
+  for (const Database& target : w.targets) {
+    const Relation& rel = target.relations().begin()->second;
+    EXPECT_GE(rel.arity(), 1u);
+    EXPECT_LE(rel.arity(), 8u);
+    EXPECT_EQ(rel.size(), 1u);  // one critical tuple
+  }
+}
+
+TEST(BammTest, DeterministicForSeed) {
+  BammWorkload a = MakeBammWorkload(BammDomain::kMusic, 5);
+  BammWorkload b = MakeBammWorkload(BammDomain::kMusic, 5);
+  ASSERT_EQ(a.targets.size(), b.targets.size());
+  for (size_t i = 0; i < a.targets.size(); ++i) {
+    EXPECT_TRUE(a.targets[i].ContentsEqual(b.targets[i]));
+  }
+  BammWorkload c = MakeBammWorkload(BammDomain::kMusic, 6);
+  bool any_different = false;
+  for (size_t i = 0; i < a.targets.size() && i < c.targets.size(); ++i) {
+    if (!a.targets[i].ContentsEqual(c.targets[i])) any_different = true;
+  }
+  EXPECT_TRUE(any_different);
+}
+
+TEST(BammTest, TargetValuesComeFromSourceEntity) {
+  // Rosetta Stone: every target value appears in the source instance.
+  BammWorkload w = MakeBammWorkload(BammDomain::kMovies, 11);
+  std::set<std::string> source_values;
+  const Relation& src = w.source.relations().begin()->second;
+  for (const Value& v : src.tuples()[0].values()) {
+    source_values.insert(v.atom());
+  }
+  for (const Database& target : w.targets) {
+    const Relation& rel = target.relations().begin()->second;
+    for (const Value& v : rel.tuples()[0].values()) {
+      EXPECT_TRUE(source_values.contains(v.atom())) << v.atom();
+    }
+  }
+}
+
+TEST(BammTest, SynonymVocabulariesNeverCollideAcrossAttributes) {
+  // A synonym chosen for one attribute must not equal the canonical name
+  // of another attribute of the same domain (that would create ambiguous
+  // mapping tasks).
+  for (BammDomain domain : AllBammDomains()) {
+    BammWorkload w = MakeBammWorkload(domain, 3);
+    for (const Database& target : w.targets) {
+      const Relation& rel = target.relations().begin()->second;
+      std::set<std::string> seen;
+      for (const std::string& attr : rel.attributes()) {
+        EXPECT_TRUE(seen.insert(attr).second)
+            << BammDomainName(domain) << ": duplicate " << attr;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Semantic mapping workloads (Experiment 3)
+// ---------------------------------------------------------------------------
+
+TEST(SemanticTest, FunctionCountsMatchPaper) {
+  EXPECT_EQ(SemanticDomainFunctionCount(SemanticDomain::kInventory), 10u);
+  EXPECT_EQ(SemanticDomainFunctionCount(SemanticDomain::kRealEstate), 12u);
+}
+
+TEST(SemanticTest, WorkloadShape) {
+  SemanticWorkload w = MakeSemanticWorkload(SemanticDomain::kInventory, 4);
+  EXPECT_EQ(w.correspondences.size(), 4u);
+  EXPECT_EQ(w.source.relation_count(), 1u);
+  EXPECT_EQ(w.target.relation_count(), 1u);
+  // Target: 2 renamed base attrs + k outputs.
+  const Relation& trel = w.target.relations().begin()->second;
+  EXPECT_EQ(trel.arity(), 2u + 4u);
+}
+
+TEST(SemanticTest, ClampsFunctionCount) {
+  SemanticWorkload w = MakeSemanticWorkload(SemanticDomain::kInventory, 99);
+  EXPECT_EQ(w.correspondences.size(), 10u);
+}
+
+TEST(SemanticTest, TargetOutputsComputedByFunctions) {
+  SemanticWorkload w = MakeSemanticWorkload(SemanticDomain::kInventory, 1);
+  // First correspondence: total = add(price, tax); prices 100+8 and 40+3.
+  const Relation& trel = w.target.relations().begin()->second;
+  std::optional<size_t> idx = trel.AttributeIndex("total");
+  ASSERT_TRUE(idx.has_value());
+  EXPECT_EQ(trel.tuples()[0][*idx], Value("108"));
+  EXPECT_EQ(trel.tuples()[1][*idx], Value("43"));
+}
+
+TEST(SemanticTest, RegistryCoversAllCatalogFunctions) {
+  for (SemanticDomain domain :
+       {SemanticDomain::kInventory, SemanticDomain::kRealEstate}) {
+    SemanticWorkload w = MakeSemanticWorkload(
+        domain, SemanticDomainFunctionCount(domain));
+    for (const SemanticCorrespondence& c : w.correspondences) {
+      EXPECT_TRUE(w.registry.Has(c.function)) << c.function;
+      Result<const ComplexFunction*> f = w.registry.Lookup(c.function);
+      ASSERT_TRUE(f.ok());
+      EXPECT_EQ((*f)->arity, c.inputs.size()) << c.function;
+    }
+  }
+}
+
+TEST(SemanticTest, SourceDoesNotContainTarget) {
+  for (size_t k : {1u, 5u}) {
+    SemanticWorkload w = MakeSemanticWorkload(SemanticDomain::kRealEstate, k);
+    EXPECT_FALSE(w.source.Contains(w.target));
+  }
+}
+
+TEST(SemanticTest, GroundTruthExpressionReachesTarget) {
+  // Applying all k correspondences plus the renames reaches the target.
+  SemanticWorkload w = MakeSemanticWorkload(SemanticDomain::kRealEstate, 3);
+  Database state = w.source;
+  for (const SemanticCorrespondence& c : w.correspondences) {
+    Result<Database> next = ApplyOp(
+        ApplyFunctionOp{"Listings", c.function, c.inputs, c.output}, state,
+        &w.registry);
+    ASSERT_TRUE(next.ok()) << next.status();
+    state = std::move(next).value();
+  }
+  Result<Database> renamed =
+      ApplyOp(RenameAttrOp{"Listings", "street", "address"}, state, nullptr);
+  ASSERT_TRUE(renamed.ok());
+  renamed = ApplyOp(RenameAttrOp{"Listings", "zip", "postal_code"}, *renamed,
+                    nullptr);
+  ASSERT_TRUE(renamed.ok());
+  renamed = ApplyOp(RenameRelOp{"Listings", "HousesForSale"}, *renamed,
+                    nullptr);
+  ASSERT_TRUE(renamed.ok());
+  EXPECT_TRUE(renamed->Contains(w.target));
+}
+
+TEST(SemanticTest, ZeroFunctionsStillRequiresStructuralMapping) {
+  SemanticWorkload w = MakeSemanticWorkload(SemanticDomain::kInventory, 0);
+  EXPECT_TRUE(w.correspondences.empty());
+  EXPECT_FALSE(w.source.Contains(w.target));  // renames still needed
+}
+
+TEST(BammTest, GroundTruthDescribesTargets) {
+  BammWorkload w = MakeBammWorkload(BammDomain::kBooks, 2006);
+  ASSERT_EQ(w.ground_truth.size(), w.targets.size());
+  for (size_t i = 0; i < w.targets.size(); ++i) {
+    const Relation& rel = w.targets[i].relations().begin()->second;
+    const BammGroundTruth& truth = w.ground_truth[i];
+    // Every recorded rename's target label really appears in the target
+    // schema, and its canonical source label does not.
+    for (const auto& [canonical, label] : truth.attribute_renames) {
+      EXPECT_TRUE(rel.HasAttribute(label)) << label;
+      EXPECT_FALSE(rel.HasAttribute(canonical)) << canonical;
+      EXPECT_TRUE(w.source.relations().begin()->second.HasAttribute(
+          canonical))
+          << canonical;
+    }
+    if (!truth.relation_rename.empty()) {
+      EXPECT_EQ(rel.name(), truth.relation_rename);
+    } else {
+      EXPECT_EQ(rel.name(), w.source.relations().begin()->first);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Restructuring workload (Fig. 1 scaled)
+// ---------------------------------------------------------------------------
+
+TEST(RestructuringTest, MinimalSizeMatchesFig1Shape) {
+  RestructuringWorkload w = MakeRestructuringWorkload(2, 2);
+  const Relation* wide = w.wide.GetRelation("Flights").value();
+  EXPECT_EQ(wide->attributes(),
+            (std::vector<std::string>{"Carrier", "Fee", "RT1", "RT2"}));
+  EXPECT_EQ(wide->size(), 2u);
+  const Relation* flat = w.flat.GetRelation("Prices").value();
+  EXPECT_EQ(flat->size(), 4u);  // carriers × routes
+  EXPECT_EQ(w.split.relation_count(), 2u);
+}
+
+TEST(RestructuringTest, AllThreeViewsCarrySameInformation) {
+  RestructuringWorkload w = MakeRestructuringWorkload(3, 4);
+  // flat joins consistently: every (carrier, route) cost in flat appears
+  // as the route column value in wide.
+  const Relation* wide = w.wide.GetRelation("Flights").value();
+  const Relation* flat = w.flat.GetRelation("Prices").value();
+  for (const Tuple& ft : flat->tuples()) {
+    const std::string& carrier = ft[0].atom();
+    const std::string& route = ft[1].atom();
+    const std::string& cost = ft[2].atom();
+    bool found = false;
+    size_t route_idx = *wide->AttributeIndex(route);
+    for (const Tuple& wt : wide->tuples()) {
+      if (wt[0].atom() == carrier) {
+        EXPECT_EQ(wt[route_idx].atom(), cost);
+        found = true;
+      }
+    }
+    EXPECT_TRUE(found) << carrier << "/" << route;
+  }
+}
+
+TEST(RestructuringTest, SplitTotalsAreCostPlusFee) {
+  RestructuringWorkload w = MakeRestructuringWorkload(2, 3);
+  for (const auto& [name, rel] : w.split.relations()) {
+    for (const Tuple& t : rel.tuples()) {
+      int base = std::stoi(t[1].atom());
+      int total = std::stoi(t[2].atom());
+      EXPECT_GT(total, base);
+    }
+  }
+  EXPECT_EQ(w.flat_to_split.size(), 1u);
+  EXPECT_EQ(w.flat_to_split[0].function, "add");
+}
+
+TEST(RestructuringTest, GroundTruthFlatToWideMapping) {
+  // The Example 2 expression generalizes to any size.
+  RestructuringWorkload w = MakeRestructuringWorkload(3, 3);
+  MappingExpression expr;
+  expr.Append(PromoteOp{"Prices", "Route", "Cost"});
+  expr.Append(DropOp{"Prices", "Route"});
+  expr.Append(DropOp{"Prices", "Cost"});
+  expr.Append(MergeOp{"Prices", "Carrier"});
+  expr.Append(RenameAttrOp{"Prices", "AgentFee", "Fee"});
+  expr.Append(RenameRelOp{"Prices", "Flights"});
+  Result<Database> out = expr.Apply(w.flat);
+  ASSERT_TRUE(out.ok()) << out.status();
+  EXPECT_TRUE(out->Contains(w.wide));
+}
+
+TEST(RestructuringTest, Deterministic) {
+  RestructuringWorkload a = MakeRestructuringWorkload(2, 2);
+  RestructuringWorkload b = MakeRestructuringWorkload(2, 2);
+  EXPECT_TRUE(a.flat.ContentsEqual(b.flat));
+  EXPECT_TRUE(a.wide.ContentsEqual(b.wide));
+  EXPECT_TRUE(a.split.ContentsEqual(b.split));
+}
+
+}  // namespace
+}  // namespace tupelo
