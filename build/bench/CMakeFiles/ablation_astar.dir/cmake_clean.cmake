@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_astar.dir/ablation_astar.cc.o"
+  "CMakeFiles/ablation_astar.dir/ablation_astar.cc.o.d"
+  "ablation_astar"
+  "ablation_astar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_astar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bamm_by_size.dir/bamm_by_size.cc.o"
+  "CMakeFiles/bamm_by_size.dir/bamm_by_size.cc.o.d"
+  "bamm_by_size"
+  "bamm_by_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bamm_by_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

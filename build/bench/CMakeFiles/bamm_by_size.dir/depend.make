@@ -1,0 +1,2 @@
+# Empty dependencies file for bamm_by_size.
+# This may be replaced when dependencies are built.

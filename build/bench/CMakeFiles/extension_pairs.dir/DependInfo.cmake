@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/extension_pairs.cc" "bench/CMakeFiles/extension_pairs.dir/extension_pairs.cc.o" "gcc" "bench/CMakeFiles/extension_pairs.dir/extension_pairs.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/bench_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tupelo_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tupelo_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tupelo_fira.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tupelo_heuristics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tupelo_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tupelo_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_pairs.dir/extension_pairs.cc.o"
+  "CMakeFiles/extension_pairs.dir/extension_pairs.cc.o.d"
+  "extension_pairs"
+  "extension_pairs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_pairs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

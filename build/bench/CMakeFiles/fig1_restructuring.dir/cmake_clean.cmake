@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_restructuring.dir/fig1_restructuring.cc.o"
+  "CMakeFiles/fig1_restructuring.dir/fig1_restructuring.cc.o.d"
+  "fig1_restructuring"
+  "fig1_restructuring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_restructuring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_synthetic_ida.dir/fig5_synthetic_ida.cc.o"
+  "CMakeFiles/fig5_synthetic_ida.dir/fig5_synthetic_ida.cc.o.d"
+  "fig5_synthetic_ida"
+  "fig5_synthetic_ida.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_synthetic_ida.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_synthetic_rbfs.dir/fig6_synthetic_rbfs.cc.o"
+  "CMakeFiles/fig6_synthetic_rbfs.dir/fig6_synthetic_rbfs.cc.o.d"
+  "fig6_synthetic_rbfs"
+  "fig6_synthetic_rbfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_synthetic_rbfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

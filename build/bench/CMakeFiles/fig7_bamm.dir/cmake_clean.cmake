@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_bamm.dir/fig7_bamm.cc.o"
+  "CMakeFiles/fig7_bamm.dir/fig7_bamm.cc.o.d"
+  "fig7_bamm"
+  "fig7_bamm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_bamm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_bamm_overall.dir/fig8_bamm_overall.cc.o"
+  "CMakeFiles/fig8_bamm_overall.dir/fig8_bamm_overall.cc.o.d"
+  "fig8_bamm_overall"
+  "fig8_bamm_overall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_bamm_overall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

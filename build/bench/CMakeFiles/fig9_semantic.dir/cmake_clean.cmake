@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_semantic.dir/fig9_semantic.cc.o"
+  "CMakeFiles/fig9_semantic.dir/fig9_semantic.cc.o.d"
+  "fig9_semantic"
+  "fig9_semantic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_semantic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

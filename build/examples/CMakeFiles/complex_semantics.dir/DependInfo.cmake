@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/complex_semantics.cpp" "examples/CMakeFiles/complex_semantics.dir/complex_semantics.cpp.o" "gcc" "examples/CMakeFiles/complex_semantics.dir/complex_semantics.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tupelo_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tupelo_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tupelo_fira.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tupelo_heuristics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tupelo_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tupelo_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

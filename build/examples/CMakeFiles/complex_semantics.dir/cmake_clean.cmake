@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/complex_semantics.dir/complex_semantics.cpp.o"
+  "CMakeFiles/complex_semantics.dir/complex_semantics.cpp.o.d"
+  "complex_semantics"
+  "complex_semantics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/complex_semantics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

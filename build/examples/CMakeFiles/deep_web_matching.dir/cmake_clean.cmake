@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deep_web_matching.dir/deep_web_matching.cpp.o"
+  "CMakeFiles/deep_web_matching.dir/deep_web_matching.cpp.o.d"
+  "deep_web_matching"
+  "deep_web_matching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deep_web_matching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

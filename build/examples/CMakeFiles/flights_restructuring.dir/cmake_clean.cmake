@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flights_restructuring.dir/flights_restructuring.cpp.o"
+  "CMakeFiles/flights_restructuring.dir/flights_restructuring.cpp.o.d"
+  "flights_restructuring"
+  "flights_restructuring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flights_restructuring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mapping_pipeline.dir/mapping_pipeline.cpp.o"
+  "CMakeFiles/mapping_pipeline.dir/mapping_pipeline.cpp.o.d"
+  "mapping_pipeline"
+  "mapping_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mapping_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

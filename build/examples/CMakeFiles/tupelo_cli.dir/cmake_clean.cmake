@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tupelo_cli.dir/tupelo_cli.cpp.o"
+  "CMakeFiles/tupelo_cli.dir/tupelo_cli.cpp.o.d"
+  "tupelo_cli"
+  "tupelo_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tupelo_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

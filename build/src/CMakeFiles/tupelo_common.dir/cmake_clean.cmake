@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tupelo_common.dir/common/status.cc.o"
+  "CMakeFiles/tupelo_common.dir/common/status.cc.o.d"
+  "CMakeFiles/tupelo_common.dir/common/string_util.cc.o"
+  "CMakeFiles/tupelo_common.dir/common/string_util.cc.o.d"
+  "libtupelo_common.a"
+  "libtupelo_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tupelo_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

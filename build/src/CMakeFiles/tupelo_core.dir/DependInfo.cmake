@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/critical_instance.cc" "src/CMakeFiles/tupelo_core.dir/core/critical_instance.cc.o" "gcc" "src/CMakeFiles/tupelo_core.dir/core/critical_instance.cc.o.d"
+  "/root/repo/src/core/mapping_problem.cc" "src/CMakeFiles/tupelo_core.dir/core/mapping_problem.cc.o" "gcc" "src/CMakeFiles/tupelo_core.dir/core/mapping_problem.cc.o.d"
+  "/root/repo/src/core/mapping_repository.cc" "src/CMakeFiles/tupelo_core.dir/core/mapping_repository.cc.o" "gcc" "src/CMakeFiles/tupelo_core.dir/core/mapping_repository.cc.o.d"
+  "/root/repo/src/core/postprocess.cc" "src/CMakeFiles/tupelo_core.dir/core/postprocess.cc.o" "gcc" "src/CMakeFiles/tupelo_core.dir/core/postprocess.cc.o.d"
+  "/root/repo/src/core/schema_matching.cc" "src/CMakeFiles/tupelo_core.dir/core/schema_matching.cc.o" "gcc" "src/CMakeFiles/tupelo_core.dir/core/schema_matching.cc.o.d"
+  "/root/repo/src/core/tupelo.cc" "src/CMakeFiles/tupelo_core.dir/core/tupelo.cc.o" "gcc" "src/CMakeFiles/tupelo_core.dir/core/tupelo.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tupelo_fira.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tupelo_heuristics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tupelo_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tupelo_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

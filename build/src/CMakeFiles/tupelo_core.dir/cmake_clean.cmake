@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tupelo_core.dir/core/critical_instance.cc.o"
+  "CMakeFiles/tupelo_core.dir/core/critical_instance.cc.o.d"
+  "CMakeFiles/tupelo_core.dir/core/mapping_problem.cc.o"
+  "CMakeFiles/tupelo_core.dir/core/mapping_problem.cc.o.d"
+  "CMakeFiles/tupelo_core.dir/core/mapping_repository.cc.o"
+  "CMakeFiles/tupelo_core.dir/core/mapping_repository.cc.o.d"
+  "CMakeFiles/tupelo_core.dir/core/postprocess.cc.o"
+  "CMakeFiles/tupelo_core.dir/core/postprocess.cc.o.d"
+  "CMakeFiles/tupelo_core.dir/core/schema_matching.cc.o"
+  "CMakeFiles/tupelo_core.dir/core/schema_matching.cc.o.d"
+  "CMakeFiles/tupelo_core.dir/core/tupelo.cc.o"
+  "CMakeFiles/tupelo_core.dir/core/tupelo.cc.o.d"
+  "libtupelo_core.a"
+  "libtupelo_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tupelo_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fira/builtin_functions.cc" "src/CMakeFiles/tupelo_fira.dir/fira/builtin_functions.cc.o" "gcc" "src/CMakeFiles/tupelo_fira.dir/fira/builtin_functions.cc.o.d"
+  "/root/repo/src/fira/executor.cc" "src/CMakeFiles/tupelo_fira.dir/fira/executor.cc.o" "gcc" "src/CMakeFiles/tupelo_fira.dir/fira/executor.cc.o.d"
+  "/root/repo/src/fira/expression.cc" "src/CMakeFiles/tupelo_fira.dir/fira/expression.cc.o" "gcc" "src/CMakeFiles/tupelo_fira.dir/fira/expression.cc.o.d"
+  "/root/repo/src/fira/function_registry.cc" "src/CMakeFiles/tupelo_fira.dir/fira/function_registry.cc.o" "gcc" "src/CMakeFiles/tupelo_fira.dir/fira/function_registry.cc.o.d"
+  "/root/repo/src/fira/operators.cc" "src/CMakeFiles/tupelo_fira.dir/fira/operators.cc.o" "gcc" "src/CMakeFiles/tupelo_fira.dir/fira/operators.cc.o.d"
+  "/root/repo/src/fira/optimizer.cc" "src/CMakeFiles/tupelo_fira.dir/fira/optimizer.cc.o" "gcc" "src/CMakeFiles/tupelo_fira.dir/fira/optimizer.cc.o.d"
+  "/root/repo/src/fira/parser.cc" "src/CMakeFiles/tupelo_fira.dir/fira/parser.cc.o" "gcc" "src/CMakeFiles/tupelo_fira.dir/fira/parser.cc.o.d"
+  "/root/repo/src/fira/type_check.cc" "src/CMakeFiles/tupelo_fira.dir/fira/type_check.cc.o" "gcc" "src/CMakeFiles/tupelo_fira.dir/fira/type_check.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tupelo_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tupelo_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

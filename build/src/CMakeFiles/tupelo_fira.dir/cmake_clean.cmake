@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tupelo_fira.dir/fira/builtin_functions.cc.o"
+  "CMakeFiles/tupelo_fira.dir/fira/builtin_functions.cc.o.d"
+  "CMakeFiles/tupelo_fira.dir/fira/executor.cc.o"
+  "CMakeFiles/tupelo_fira.dir/fira/executor.cc.o.d"
+  "CMakeFiles/tupelo_fira.dir/fira/expression.cc.o"
+  "CMakeFiles/tupelo_fira.dir/fira/expression.cc.o.d"
+  "CMakeFiles/tupelo_fira.dir/fira/function_registry.cc.o"
+  "CMakeFiles/tupelo_fira.dir/fira/function_registry.cc.o.d"
+  "CMakeFiles/tupelo_fira.dir/fira/operators.cc.o"
+  "CMakeFiles/tupelo_fira.dir/fira/operators.cc.o.d"
+  "CMakeFiles/tupelo_fira.dir/fira/optimizer.cc.o"
+  "CMakeFiles/tupelo_fira.dir/fira/optimizer.cc.o.d"
+  "CMakeFiles/tupelo_fira.dir/fira/parser.cc.o"
+  "CMakeFiles/tupelo_fira.dir/fira/parser.cc.o.d"
+  "CMakeFiles/tupelo_fira.dir/fira/type_check.cc.o"
+  "CMakeFiles/tupelo_fira.dir/fira/type_check.cc.o.d"
+  "libtupelo_fira.a"
+  "libtupelo_fira.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tupelo_fira.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

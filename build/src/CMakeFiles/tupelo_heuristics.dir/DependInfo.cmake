@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/heuristics/composite.cc" "src/CMakeFiles/tupelo_heuristics.dir/heuristics/composite.cc.o" "gcc" "src/CMakeFiles/tupelo_heuristics.dir/heuristics/composite.cc.o.d"
+  "/root/repo/src/heuristics/heuristic_factory.cc" "src/CMakeFiles/tupelo_heuristics.dir/heuristics/heuristic_factory.cc.o" "gcc" "src/CMakeFiles/tupelo_heuristics.dir/heuristics/heuristic_factory.cc.o.d"
+  "/root/repo/src/heuristics/levenshtein.cc" "src/CMakeFiles/tupelo_heuristics.dir/heuristics/levenshtein.cc.o" "gcc" "src/CMakeFiles/tupelo_heuristics.dir/heuristics/levenshtein.cc.o.d"
+  "/root/repo/src/heuristics/set_based.cc" "src/CMakeFiles/tupelo_heuristics.dir/heuristics/set_based.cc.o" "gcc" "src/CMakeFiles/tupelo_heuristics.dir/heuristics/set_based.cc.o.d"
+  "/root/repo/src/heuristics/term_vector.cc" "src/CMakeFiles/tupelo_heuristics.dir/heuristics/term_vector.cc.o" "gcc" "src/CMakeFiles/tupelo_heuristics.dir/heuristics/term_vector.cc.o.d"
+  "/root/repo/src/heuristics/vector_heuristics.cc" "src/CMakeFiles/tupelo_heuristics.dir/heuristics/vector_heuristics.cc.o" "gcc" "src/CMakeFiles/tupelo_heuristics.dir/heuristics/vector_heuristics.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tupelo_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tupelo_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tupelo_heuristics.dir/heuristics/composite.cc.o"
+  "CMakeFiles/tupelo_heuristics.dir/heuristics/composite.cc.o.d"
+  "CMakeFiles/tupelo_heuristics.dir/heuristics/heuristic_factory.cc.o"
+  "CMakeFiles/tupelo_heuristics.dir/heuristics/heuristic_factory.cc.o.d"
+  "CMakeFiles/tupelo_heuristics.dir/heuristics/levenshtein.cc.o"
+  "CMakeFiles/tupelo_heuristics.dir/heuristics/levenshtein.cc.o.d"
+  "CMakeFiles/tupelo_heuristics.dir/heuristics/set_based.cc.o"
+  "CMakeFiles/tupelo_heuristics.dir/heuristics/set_based.cc.o.d"
+  "CMakeFiles/tupelo_heuristics.dir/heuristics/term_vector.cc.o"
+  "CMakeFiles/tupelo_heuristics.dir/heuristics/term_vector.cc.o.d"
+  "CMakeFiles/tupelo_heuristics.dir/heuristics/vector_heuristics.cc.o"
+  "CMakeFiles/tupelo_heuristics.dir/heuristics/vector_heuristics.cc.o.d"
+  "libtupelo_heuristics.a"
+  "libtupelo_heuristics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tupelo_heuristics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/relational/algebra.cc" "src/CMakeFiles/tupelo_relational.dir/relational/algebra.cc.o" "gcc" "src/CMakeFiles/tupelo_relational.dir/relational/algebra.cc.o.d"
+  "/root/repo/src/relational/catalog.cc" "src/CMakeFiles/tupelo_relational.dir/relational/catalog.cc.o" "gcc" "src/CMakeFiles/tupelo_relational.dir/relational/catalog.cc.o.d"
+  "/root/repo/src/relational/database.cc" "src/CMakeFiles/tupelo_relational.dir/relational/database.cc.o" "gcc" "src/CMakeFiles/tupelo_relational.dir/relational/database.cc.o.d"
+  "/root/repo/src/relational/io.cc" "src/CMakeFiles/tupelo_relational.dir/relational/io.cc.o" "gcc" "src/CMakeFiles/tupelo_relational.dir/relational/io.cc.o.d"
+  "/root/repo/src/relational/relation.cc" "src/CMakeFiles/tupelo_relational.dir/relational/relation.cc.o" "gcc" "src/CMakeFiles/tupelo_relational.dir/relational/relation.cc.o.d"
+  "/root/repo/src/relational/tnf.cc" "src/CMakeFiles/tupelo_relational.dir/relational/tnf.cc.o" "gcc" "src/CMakeFiles/tupelo_relational.dir/relational/tnf.cc.o.d"
+  "/root/repo/src/relational/tuple.cc" "src/CMakeFiles/tupelo_relational.dir/relational/tuple.cc.o" "gcc" "src/CMakeFiles/tupelo_relational.dir/relational/tuple.cc.o.d"
+  "/root/repo/src/relational/value.cc" "src/CMakeFiles/tupelo_relational.dir/relational/value.cc.o" "gcc" "src/CMakeFiles/tupelo_relational.dir/relational/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tupelo_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

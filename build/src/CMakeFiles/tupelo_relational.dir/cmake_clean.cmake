@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tupelo_relational.dir/relational/algebra.cc.o"
+  "CMakeFiles/tupelo_relational.dir/relational/algebra.cc.o.d"
+  "CMakeFiles/tupelo_relational.dir/relational/catalog.cc.o"
+  "CMakeFiles/tupelo_relational.dir/relational/catalog.cc.o.d"
+  "CMakeFiles/tupelo_relational.dir/relational/database.cc.o"
+  "CMakeFiles/tupelo_relational.dir/relational/database.cc.o.d"
+  "CMakeFiles/tupelo_relational.dir/relational/io.cc.o"
+  "CMakeFiles/tupelo_relational.dir/relational/io.cc.o.d"
+  "CMakeFiles/tupelo_relational.dir/relational/relation.cc.o"
+  "CMakeFiles/tupelo_relational.dir/relational/relation.cc.o.d"
+  "CMakeFiles/tupelo_relational.dir/relational/tnf.cc.o"
+  "CMakeFiles/tupelo_relational.dir/relational/tnf.cc.o.d"
+  "CMakeFiles/tupelo_relational.dir/relational/tuple.cc.o"
+  "CMakeFiles/tupelo_relational.dir/relational/tuple.cc.o.d"
+  "CMakeFiles/tupelo_relational.dir/relational/value.cc.o"
+  "CMakeFiles/tupelo_relational.dir/relational/value.cc.o.d"
+  "libtupelo_relational.a"
+  "libtupelo_relational.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tupelo_relational.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/bamm.cc" "src/CMakeFiles/tupelo_workloads.dir/workloads/bamm.cc.o" "gcc" "src/CMakeFiles/tupelo_workloads.dir/workloads/bamm.cc.o.d"
+  "/root/repo/src/workloads/flights.cc" "src/CMakeFiles/tupelo_workloads.dir/workloads/flights.cc.o" "gcc" "src/CMakeFiles/tupelo_workloads.dir/workloads/flights.cc.o.d"
+  "/root/repo/src/workloads/restructuring.cc" "src/CMakeFiles/tupelo_workloads.dir/workloads/restructuring.cc.o" "gcc" "src/CMakeFiles/tupelo_workloads.dir/workloads/restructuring.cc.o.d"
+  "/root/repo/src/workloads/semantic.cc" "src/CMakeFiles/tupelo_workloads.dir/workloads/semantic.cc.o" "gcc" "src/CMakeFiles/tupelo_workloads.dir/workloads/semantic.cc.o.d"
+  "/root/repo/src/workloads/synthetic.cc" "src/CMakeFiles/tupelo_workloads.dir/workloads/synthetic.cc.o" "gcc" "src/CMakeFiles/tupelo_workloads.dir/workloads/synthetic.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tupelo_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tupelo_fira.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tupelo_heuristics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tupelo_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tupelo_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tupelo_workloads.dir/workloads/bamm.cc.o"
+  "CMakeFiles/tupelo_workloads.dir/workloads/bamm.cc.o.d"
+  "CMakeFiles/tupelo_workloads.dir/workloads/flights.cc.o"
+  "CMakeFiles/tupelo_workloads.dir/workloads/flights.cc.o.d"
+  "CMakeFiles/tupelo_workloads.dir/workloads/restructuring.cc.o"
+  "CMakeFiles/tupelo_workloads.dir/workloads/restructuring.cc.o.d"
+  "CMakeFiles/tupelo_workloads.dir/workloads/semantic.cc.o"
+  "CMakeFiles/tupelo_workloads.dir/workloads/semantic.cc.o.d"
+  "CMakeFiles/tupelo_workloads.dir/workloads/synthetic.cc.o"
+  "CMakeFiles/tupelo_workloads.dir/workloads/synthetic.cc.o.d"
+  "libtupelo_workloads.a"
+  "libtupelo_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tupelo_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

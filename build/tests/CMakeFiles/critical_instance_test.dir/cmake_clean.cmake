@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/critical_instance_test.dir/critical_instance_test.cc.o"
+  "CMakeFiles/critical_instance_test.dir/critical_instance_test.cc.o.d"
+  "critical_instance_test"
+  "critical_instance_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/critical_instance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mapping_problem_test.dir/mapping_problem_test.cc.o"
+  "CMakeFiles/mapping_problem_test.dir/mapping_problem_test.cc.o.d"
+  "mapping_problem_test"
+  "mapping_problem_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mapping_problem_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mapping_repository_test.dir/mapping_repository_test.cc.o"
+  "CMakeFiles/mapping_repository_test.dir/mapping_repository_test.cc.o.d"
+  "mapping_repository_test"
+  "mapping_repository_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mapping_repository_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

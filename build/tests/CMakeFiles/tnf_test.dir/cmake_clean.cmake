@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tnf_test.dir/tnf_test.cc.o"
+  "CMakeFiles/tnf_test.dir/tnf_test.cc.o.d"
+  "tnf_test"
+  "tnf_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tnf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tupelo_test.dir/tupelo_test.cc.o"
+  "CMakeFiles/tupelo_test.dir/tupelo_test.cc.o.d"
+  "tupelo_test"
+  "tupelo_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tupelo_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
