@@ -4,6 +4,7 @@
 // substantiating §2.3's remark that A*'s exponential memory made early
 // TUPELO implementations ineffective.
 
+#include <chrono>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -29,6 +30,9 @@ int main(int argc, char** argv) {
   std::vector<size_t> sizes = {2, 4, 6, 8, 10, 12};
   if (args.quick) sizes = {2, 4, 8};
 
+  BenchReport report("ablation_astar", args);
+  report.BeginPanel("memory_comparison");
+
   for (size_t n : sizes) {
     SyntheticMatchingPair pair = MakeSyntheticMatchingPair(n);
     for (SearchAlgorithm algo :
@@ -37,23 +41,46 @@ int main(int argc, char** argv) {
       MappingProblem problem(
           pair.source, pair.target,
           MakeHeuristic(HeuristicKind::kH1, pair.target, algo));
+      obs::MetricRegistry registry;
+      obs::MetricRegistry* metrics = report.enabled() ? &registry : nullptr;
+      problem.set_metrics(metrics);
       SearchLimits limits;
       limits.max_states = args.budget;
       limits.max_depth = static_cast<int>(n) + 4;
 
+      auto start = std::chrono::steady_clock::now();
       SearchOutcome<Op> outcome;
       switch (algo) {
         case SearchAlgorithm::kAStar:
-          outcome = AStarSearch(problem, limits);
+          outcome = AStarSearch(problem, limits, nullptr, metrics);
           break;
         case SearchAlgorithm::kIda:
-          outcome = IdaStarSearch(problem, limits);
+          outcome = IdaStarSearch(problem, limits, nullptr, metrics);
           break;
         case SearchAlgorithm::kRbfs:
-          outcome = RbfsSearch(problem, limits);
+          outcome = RbfsSearch(problem, limits, nullptr, metrics);
           break;
         default:
           continue;  // memory comparison covers the three paper algorithms
+      }
+      double millis = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - start)
+                          .count();
+      if (report.enabled()) {
+        RunResult r;
+        r.found = outcome.found;
+        r.cutoff = outcome.budget_exhausted;
+        r.states = outcome.stats.states_examined;
+        r.states_generated = outcome.stats.states_generated;
+        r.iterations = outcome.stats.iterations;
+        r.peak_memory_nodes = outcome.stats.peak_memory_nodes;
+        r.depth = outcome.stats.solution_cost;
+        r.millis = millis;
+        obs::JsonValue run = BenchReport::MakeRun(r);
+        run["n"] = static_cast<uint64_t>(n);
+        run["algo"] = std::string(SearchAlgorithmName(algo));
+        run["metrics"] = registry.ToJson();
+        report.AddRun(std::move(run));
       }
       PrintRow({std::to_string(n),
                 std::string(SearchAlgorithmName(algo)),
@@ -64,6 +91,7 @@ int main(int argc, char** argv) {
                14);
     }
   }
+  report.Write();
   std::printf(
       "\n# peak_memory: A* counts retained open+closed states; IDA*/RBFS "
       "count recursion depth.\n");

@@ -3,6 +3,7 @@
 // h1 (structure), cosine (content), and their max/sum hybrids across all
 // three workload families under RBFS.
 
+#include <chrono>
 #include <cstdio>
 #include <memory>
 #include <string>
@@ -87,23 +88,45 @@ int main(int argc, char** argv) {
   for (const std::string& v : variants) header.push_back(v);
   PrintRow(header, 16);
 
+  BenchReport report("ablation_hybrid", args);
+  report.BeginPanel("hybrids");
+
   for (const Task& task : tasks) {
     std::vector<std::string> row = {task.name};
     for (const std::string& which : variants) {
       MappingProblem problem(task.source, task.target,
                              MakeNamed(which, task.target), &registry,
                              task.corrs);
+      obs::MetricRegistry reg;
+      obs::MetricRegistry* metrics = report.enabled() ? &reg : nullptr;
+      problem.set_metrics(metrics);
       SearchLimits limits;
       limits.max_states = args.budget;
       limits.max_depth = 16;
-      SearchOutcome<Op> outcome = RbfsSearch(problem, limits);
+      auto start = std::chrono::steady_clock::now();
+      SearchOutcome<Op> outcome = RbfsSearch(problem, limits, nullptr, metrics);
       RunResult r;
       r.found = outcome.found;
       r.cutoff = outcome.budget_exhausted;
       r.states = outcome.stats.states_examined;
+      r.states_generated = outcome.stats.states_generated;
+      r.iterations = outcome.stats.iterations;
+      r.peak_memory_nodes = outcome.stats.peak_memory_nodes;
+      r.depth = outcome.stats.solution_cost;
+      r.millis = std::chrono::duration<double, std::milli>(
+                     std::chrono::steady_clock::now() - start)
+                     .count();
+      if (report.enabled()) {
+        obs::JsonValue run = BenchReport::MakeRun(r);
+        run["task"] = task.name;
+        run["variant"] = which;
+        run["metrics"] = reg.ToJson();
+        report.AddRun(std::move(run));
+      }
       row.push_back(FormatStates(r, args.budget));
     }
     PrintRow(row, 16);
   }
+  report.Write();
   return 0;
 }

@@ -39,10 +39,13 @@ int main(int argc, char** argv) {
   std::vector<double> ks = {1, 2, 3, 5, 7, 9, 11, 15, 20, 24, 28};
   if (args.quick) ks = {1, 5, 11, 24};
 
+  BenchReport report("ablation_k_sweep", args);
+
   for (HeuristicKind kind :
        {HeuristicKind::kEuclideanNorm, HeuristicKind::kCosine,
         HeuristicKind::kLevenshtein}) {
     std::printf("## %s\n", std::string(HeuristicKindName(kind)).c_str());
+    report.BeginPanel(std::string(HeuristicKindName(kind)));
     PrintRow({"k", "ida_total", "rbfs_total"}, 14);
     for (double k : ks) {
       std::vector<std::string> row = {std::to_string(int(k))};
@@ -50,14 +53,25 @@ int main(int argc, char** argv) {
            {SearchAlgorithm::kIda, SearchAlgorithm::kRbfs}) {
         uint64_t total = 0;
         bool all_found = true;
-        for (const Task& task : tasks) {
+        for (size_t t = 0; t < tasks.size(); ++t) {
+          const Task& task = tasks[t];
           TupeloOptions options;
           options.algorithm = algo;
           options.heuristic = kind;
           options.scale_k = k;
           options.limits.max_states = args.budget;
           options.limits.max_depth = 14;
-          RunResult r = Measure(task.source, task.target, options);
+          obs::MetricRegistry registry;
+          RunResult r = Measure(task.source, task.target, options, nullptr,
+                                {}, report.enabled() ? &registry : nullptr);
+          if (report.enabled()) {
+            obs::JsonValue run = BenchReport::MakeRun(r);
+            run["k"] = k;
+            run["algo"] = std::string(SearchAlgorithmName(algo));
+            run["task_index"] = static_cast<uint64_t>(t);
+            run["metrics"] = registry.ToJson();
+            report.AddRun(std::move(run));
+          }
           total += r.found ? r.states : args.budget;
           if (!r.found) all_found = false;
         }
@@ -68,5 +82,6 @@ int main(int argc, char** argv) {
     std::printf("\n");
   }
   std::printf("# '*' marks sweeps where at least one task hit the budget\n");
+  report.Write();
   return 0;
 }

@@ -40,6 +40,20 @@ int main(int argc, char** argv) {
         {"bamm_books_" + std::to_string(i), books.source, books.targets[i]});
   }
 
+  BenchReport report("ablation_pruning", args);
+  report.BeginPanel("pruning");
+
+  auto record = [&](const Task& task, HeuristicKind kind, bool prune,
+                    const RunResult& r, const obs::MetricRegistry& reg) {
+    if (!report.enabled()) return;
+    obs::JsonValue run = BenchReport::MakeRun(r);
+    run["task"] = task.name;
+    run["heuristic"] = std::string(HeuristicKindName(kind));
+    run["prune"] = prune;
+    run["metrics"] = reg.ToJson();
+    report.AddRun(std::move(run));
+  };
+
   PrintRow({"task", "heuristic", "pruned", "unpruned", "ratio"}, 16);
   for (const Task& task : tasks) {
     for (HeuristicKind kind : {HeuristicKind::kH1, HeuristicKind::kCosine}) {
@@ -49,10 +63,17 @@ int main(int argc, char** argv) {
       options.limits.max_states = args.budget;
       options.limits.max_depth = 16;
 
+      obs::MetricRegistry pruned_reg;
       options.successors.prune = true;
-      RunResult pruned = Measure(task.source, task.target, options);
+      RunResult pruned = Measure(task.source, task.target, options, nullptr,
+                                 {}, report.enabled() ? &pruned_reg : nullptr);
+      record(task, kind, true, pruned, pruned_reg);
+      obs::MetricRegistry unpruned_reg;
       options.successors.prune = false;
-      RunResult unpruned = Measure(task.source, task.target, options);
+      RunResult unpruned =
+          Measure(task.source, task.target, options, nullptr, {},
+                  report.enabled() ? &unpruned_reg : nullptr);
+      record(task, kind, false, unpruned, unpruned_reg);
 
       std::string ratio = "-";
       if (pruned.found && unpruned.found && pruned.states > 0) {
@@ -68,5 +89,6 @@ int main(int argc, char** argv) {
                16);
     }
   }
+  report.Write();
   return 0;
 }

@@ -34,8 +34,11 @@ int main(int argc, char** argv) {
   // arity -> heuristic -> bucket
   std::map<size_t, std::map<HeuristicKind, Bucket>> buckets;
 
+  BenchReport report("bamm_by_size", args);
+
   for (BammDomain domain : AllBammDomains()) {
     BammWorkload w = MakeBammWorkload(domain, args.seed);
+    report.BeginPanel(std::string(BammDomainName(domain)));
     size_t limit = args.quick ? 8 : w.targets.size();
     for (size_t i = 0; i < limit && i < w.targets.size(); ++i) {
       const Database& target = w.targets[i];
@@ -46,7 +49,17 @@ int main(int argc, char** argv) {
         options.heuristic = kind;
         options.limits.max_states = args.budget;
         options.limits.max_depth = 12;
-        RunResult r = Measure(w.source, target, options);
+        obs::MetricRegistry registry;
+        RunResult r = Measure(w.source, target, options, nullptr, {},
+                              report.enabled() ? &registry : nullptr);
+        if (report.enabled()) {
+          obs::JsonValue run = BenchReport::MakeRun(r);
+          run["arity"] = static_cast<uint64_t>(arity);
+          run["target_index"] = static_cast<uint64_t>(i);
+          run["heuristic"] = std::string(HeuristicKindName(kind));
+          run["metrics"] = registry.ToJson();
+          report.AddRun(std::move(run));
+        }
         Bucket& b = buckets[arity][kind];
         b.total += r.found ? r.states : args.budget;
         if (!r.found) ++b.cutoffs;
@@ -80,5 +93,6 @@ int main(int argc, char** argv) {
     }
     PrintRow(row);
   }
+  report.Write();
   return 0;
 }

@@ -29,13 +29,22 @@ using BammTable =
     std::map<BammDomain, std::map<SearchAlgorithm,
                                   std::map<HeuristicKind, BammCell>>>;
 
-inline BammTable RunBammExperiment(const BenchArgs& args) {
+// With a non-null enabled `report`, emits one panel per (domain, algo)
+// pair whose runs carry heuristic/target_index axis fields plus the full
+// per-run metric registry snapshot.
+inline BammTable RunBammExperiment(const BenchArgs& args,
+                                   BenchReport* report = nullptr) {
+  bool record = report != nullptr && report->enabled();
   BammTable table;
   for (BammDomain domain : AllBammDomains()) {
     BammWorkload workload = MakeBammWorkload(domain, args.seed);
     size_t limit = args.quick ? 8 : workload.targets.size();
     for (SearchAlgorithm algo :
          {SearchAlgorithm::kIda, SearchAlgorithm::kRbfs}) {
+      if (record) {
+        report->BeginPanel(std::string(BammDomainName(domain)) + "." +
+                           std::string(SearchAlgorithmName(algo)));
+      }
       for (HeuristicKind kind : AllHeuristicKinds()) {
         BammCell& cell = table[domain][algo][kind];
         uint64_t total = 0;
@@ -45,8 +54,17 @@ inline BammTable RunBammExperiment(const BenchArgs& args) {
           options.heuristic = kind;
           options.limits.max_states = args.budget;
           options.limits.max_depth = 12;
+          obs::MetricRegistry registry;
           RunResult r =
-              Measure(workload.source, workload.targets[i], options);
+              Measure(workload.source, workload.targets[i], options, nullptr,
+                      {}, record ? &registry : nullptr);
+          if (record) {
+            obs::JsonValue run = BenchReport::MakeRun(r);
+            run["heuristic"] = std::string(HeuristicKindName(kind));
+            run["target_index"] = static_cast<uint64_t>(i);
+            run["metrics"] = registry.ToJson();
+            report->AddRun(std::move(run));
+          }
           total += r.found ? r.states : args.budget;
           if (!r.found) ++cell.cutoffs;
           ++cell.runs;

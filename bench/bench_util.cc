@@ -5,19 +5,24 @@
 #include <cstdlib>
 #include <cstring>
 #include <string_view>
+#include <utility>
 
 namespace tupelo::bench {
 
 RunResult Measure(const Database& source, const Database& target,
                   const TupeloOptions& options,
                   const FunctionRegistry* registry,
-                  const std::vector<SemanticCorrespondence>& corrs) {
+                  const std::vector<SemanticCorrespondence>& corrs,
+                  obs::MetricRegistry* metrics) {
   Tupelo system(source, target);
   system.set_registry(registry);
   for (const SemanticCorrespondence& c : corrs) system.AddCorrespondence(c);
 
+  TupeloOptions run_options = options;
+  run_options.metrics = metrics;
+
   auto start = std::chrono::steady_clock::now();
-  Result<TupeloResult> result = system.Discover(options);
+  Result<TupeloResult> result = system.Discover(run_options);
   auto end = std::chrono::steady_clock::now();
 
   RunResult out;
@@ -33,6 +38,9 @@ RunResult Measure(const Database& source, const Database& target,
   out.found = result->found;
   out.cutoff = result->budget_exhausted;
   out.states = result->stats.states_examined;
+  out.states_generated = result->stats.states_generated;
+  out.iterations = result->stats.iterations;
+  out.peak_memory_nodes = result->stats.peak_memory_nodes;
   out.depth = result->stats.solution_cost;
   return out;
 }
@@ -65,11 +73,86 @@ BenchArgs ParseBenchArgs(int argc, char** argv,
     } else if (arg.rfind("--seed=", 0) == 0) {
       args.seed =
           std::strtoull(argv[i] + std::strlen("--seed="), nullptr, 10);
+    } else if (arg.rfind("--json=", 0) == 0) {
+      args.json_path = std::string(arg.substr(std::strlen("--json=")));
     } else if (arg == "--quick") {
       args.quick = true;
     }
   }
   return args;
+}
+
+std::string GitSha() {
+  FILE* pipe = ::popen("git rev-parse HEAD 2>/dev/null", "r");
+  if (pipe == nullptr) return "unknown";
+  char buf[64] = {0};
+  std::string sha;
+  if (std::fgets(buf, sizeof(buf), pipe) != nullptr) {
+    sha = buf;
+    while (!sha.empty() && (sha.back() == '\n' || sha.back() == '\r')) {
+      sha.pop_back();
+    }
+  }
+  ::pclose(pipe);
+  return sha.size() == 40 ? sha : "unknown";
+}
+
+BenchReport::BenchReport(std::string harness, const BenchArgs& args)
+    : enabled_(!args.json_path.empty()), path_(args.json_path) {
+  if (!enabled_) return;
+  root_ = obs::JsonValue::Object();
+  root_["schema_version"] = 1;
+  root_["harness"] = std::move(harness);
+  root_["git_sha"] = GitSha();
+  root_["seed"] = args.seed;
+  root_["quick"] = args.quick;
+  root_["budget"] = args.budget;
+  root_["panels"] = obs::JsonValue::Array();
+}
+
+void BenchReport::BeginPanel(const std::string& name) {
+  if (!enabled_) return;
+  obs::JsonValue panel = obs::JsonValue::Object();
+  panel["name"] = name;
+  panel["runs"] = obs::JsonValue::Array();
+  root_["panels"].Append(std::move(panel));
+}
+
+obs::JsonValue BenchReport::MakeRun(const RunResult& r) {
+  obs::JsonValue run = obs::JsonValue::Object();
+  run["found"] = r.found;
+  run["cutoff"] = r.cutoff;
+  run["states_examined"] = r.states;
+  run["states_generated"] = r.states_generated;
+  run["iterations"] = r.iterations;
+  run["peak_memory_nodes"] = r.peak_memory_nodes;
+  run["solution_cost"] = r.depth;
+  run["wall_millis"] = r.millis;
+  return run;
+}
+
+void BenchReport::AddRun(obs::JsonValue run) {
+  if (!enabled_) return;
+  obs::JsonValue& panels = root_["panels"];
+  if (panels.size() == 0) BeginPanel("default");
+  panels.elements().back()["runs"].Append(std::move(run));
+}
+
+bool BenchReport::Write() const {
+  if (!enabled_) return true;
+  FILE* f = std::fopen(path_.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write JSON report to %s\n", path_.c_str());
+    return false;
+  }
+  std::string text = root_.Dump(2);
+  text += "\n";
+  bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size();
+  ok = std::fclose(f) == 0 && ok;
+  if (!ok) {
+    std::fprintf(stderr, "short write for JSON report %s\n", path_.c_str());
+  }
+  return ok;
 }
 
 }  // namespace tupelo::bench

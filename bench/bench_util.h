@@ -6,6 +6,8 @@
 #include <vector>
 
 #include "core/tupelo.h"
+#include "obs/json_writer.h"
+#include "obs/metrics.h"
 #include "relational/database.h"
 
 namespace tupelo::bench {
@@ -15,15 +17,21 @@ struct RunResult {
   bool found = false;
   bool cutoff = false;  // budget exhausted before success
   uint64_t states = 0;  // states examined (the paper's measure)
+  uint64_t states_generated = 0;
+  uint64_t iterations = 0;
+  uint64_t peak_memory_nodes = 0;
   int depth = -1;
   double millis = 0.0;
 };
 
-// Runs TUPELO once and measures it.
+// Runs TUPELO once and measures it. With a non-null `metrics`, the run
+// populates the registry (search.*, heuristic.*, executor.*, phase.*) for
+// inclusion in a JSON run report.
 RunResult Measure(const Database& source, const Database& target,
                   const TupeloOptions& options,
                   const FunctionRegistry* registry = nullptr,
-                  const std::vector<SemanticCorrespondence>& corrs = {});
+                  const std::vector<SemanticCorrespondence>& corrs = {},
+                  obs::MetricRegistry* metrics = nullptr);
 
 // "123", or ">250000*" when the run hit the state budget.
 std::string FormatStates(const RunResult& r, uint64_t budget);
@@ -31,16 +39,57 @@ std::string FormatStates(const RunResult& r, uint64_t budget);
 // Prints a row of cells padded to `width`.
 void PrintRow(const std::vector<std::string>& cells, int width = 12);
 
-// Parses "--budget=N" / "--quick" style flags shared by the harnesses.
+// Parses "--budget=N" / "--quick" / "--json=path" style flags shared by
+// the harnesses.
 struct BenchArgs {
   uint64_t budget = 250000;
   bool quick = false;  // smaller sweeps for smoke runs
   uint64_t seed = 2006;
+  std::string json_path;  // empty: no JSON report
 };
 // `default_budget` applies when no --budget flag is given; figure
 // harnesses pick defaults matched to their paper axis ranges.
 BenchArgs ParseBenchArgs(int argc, char** argv,
                          uint64_t default_budget = 250000);
+
+// The current git commit SHA, or "unknown" outside a work tree.
+std::string GitSha();
+
+// Accumulates a machine-readable run report and writes it to the --json
+// path on Write(). Layout (schema_version 1):
+//
+//   {"schema_version":1, "harness":..., "git_sha":..., "seed":...,
+//    "quick":..., "budget":...,
+//    "panels":[{"name":..., "runs":[{...axis fields..., "found":...,
+//               "cutoff":..., "states_examined":..., "wall_millis":...,
+//               "metrics":{...MetricRegistry::ToJson()...}}, ...]}]}
+//
+// All methods are no-ops when constructed with an empty json_path, so
+// harnesses call them unconditionally.
+class BenchReport {
+ public:
+  BenchReport(std::string harness, const BenchArgs& args);
+
+  bool enabled() const { return enabled_; }
+
+  // Starts a new panel; subsequent AddRun calls attach to it.
+  void BeginPanel(const std::string& name);
+
+  // The standard per-run fields from a RunResult; callers add axis fields
+  // (e.g. "depth", "relations") and a "metrics" object on top.
+  static obs::JsonValue MakeRun(const RunResult& r);
+
+  void AddRun(obs::JsonValue run);
+
+  // Writes the report file; returns false (with a stderr note) on I/O
+  // failure. No-op (true) when disabled.
+  bool Write() const;
+
+ private:
+  bool enabled_ = false;
+  std::string path_;
+  obs::JsonValue root_;
+};
 
 }  // namespace tupelo::bench
 

@@ -25,10 +25,13 @@ int main(int argc, char** argv) {
                                       HeuristicKind::kCosine,
                                       HeuristicKind::kPairs};
 
+  BenchReport report("extension_pairs", args);
+
+  // `axis` carries the per-row axis fields copied into every JSON run.
   auto run = [&](const Database& source, const Database& target,
                  const FunctionRegistry* registry,
                  const std::vector<SemanticCorrespondence>& corrs,
-                 int max_depth) {
+                 int max_depth, const obs::JsonValue& axis) {
     std::vector<std::string> cells;
     for (HeuristicKind kind : kinds) {
       TupeloOptions options;
@@ -36,28 +39,43 @@ int main(int argc, char** argv) {
       options.heuristic = kind;
       options.limits.max_states = args.budget;
       options.limits.max_depth = max_depth;
-      RunResult r = Measure(source, target, options, registry, corrs);
+      obs::MetricRegistry registry_obs;
+      RunResult r = Measure(source, target, options, registry, corrs,
+                            report.enabled() ? &registry_obs : nullptr);
+      if (report.enabled()) {
+        obs::JsonValue json_run = BenchReport::MakeRun(r);
+        for (const auto& [key, value] : axis.members()) {
+          json_run[key] = value;
+        }
+        json_run["heuristic"] = std::string(HeuristicKindName(kind));
+        json_run["metrics"] = registry_obs.ToJson();
+        report.AddRun(std::move(json_run));
+      }
       cells.push_back(FormatStates(r, args.budget));
     }
     return cells;
   };
 
   std::printf("## Experiment 1: synthetic schema matching\n");
+  report.BeginPanel("synthetic");
   PrintRow({"n", "h1", "cosine", "pairs"});
   std::vector<size_t> sizes = {2, 4, 8, 16, 32};
   if (args.quick) sizes = {2, 8};
   for (size_t n : sizes) {
     SyntheticMatchingPair pair = MakeSyntheticMatchingPair(n);
     std::vector<std::string> row = {std::to_string(n)};
+    obs::JsonValue axis = obs::JsonValue::Object();
+    axis["n"] = static_cast<uint64_t>(n);
     for (std::string& cell :
          run(pair.source, pair.target, nullptr, {},
-             static_cast<int>(n) + 4)) {
+             static_cast<int>(n) + 4, axis)) {
       row.push_back(std::move(cell));
     }
     PrintRow(row);
   }
 
   std::printf("\n## Experiment 2: BAMM (average per domain)\n");
+  report.BeginPanel("bamm");
   PrintRow({"domain", "h1", "cosine", "pairs"});
   for (BammDomain domain : AllBammDomains()) {
     BammWorkload w = MakeBammWorkload(domain, args.seed);
@@ -71,7 +89,17 @@ int main(int argc, char** argv) {
         options.heuristic = kinds[k];
         options.limits.max_states = args.budget;
         options.limits.max_depth = 12;
-        RunResult r = Measure(w.source, w.targets[i], options);
+        obs::MetricRegistry registry;
+        RunResult r = Measure(w.source, w.targets[i], options, nullptr, {},
+                              report.enabled() ? &registry : nullptr);
+        if (report.enabled()) {
+          obs::JsonValue json_run = BenchReport::MakeRun(r);
+          json_run["domain"] = std::string(BammDomainName(domain));
+          json_run["target_index"] = static_cast<uint64_t>(i);
+          json_run["heuristic"] = std::string(HeuristicKindName(kinds[k]));
+          json_run["metrics"] = registry.ToJson();
+          report.AddRun(std::move(json_run));
+        }
         totals[k] += r.found ? static_cast<double>(r.states)
                              : static_cast<double>(args.budget);
       }
@@ -88,17 +116,21 @@ int main(int argc, char** argv) {
   }
 
   std::printf("\n## Experiment 3: Inventory complex mapping\n");
+  report.BeginPanel("semantic");
   PrintRow({"#fns", "h1", "cosine", "pairs"});
   size_t max_fns = args.quick ? 4 : 8;
   for (size_t k = 1; k <= max_fns; ++k) {
     SemanticWorkload w = MakeSemanticWorkload(SemanticDomain::kInventory, k);
     std::vector<std::string> row = {std::to_string(k)};
+    obs::JsonValue axis = obs::JsonValue::Object();
+    axis["functions"] = static_cast<uint64_t>(k);
     for (std::string& cell :
          run(w.source, w.target, &w.registry, w.correspondences,
-             static_cast<int>(k) + 6)) {
+             static_cast<int>(k) + 6, axis)) {
       row.push_back(std::move(cell));
     }
     PrintRow(row);
   }
+  report.Write();
   return 0;
 }

@@ -32,8 +32,11 @@ int main(int argc, char** argv) {
   std::vector<Shape> shapes = {{2, 2}, {2, 3}, {3, 3}, {3, 4}};
   if (args.quick) shapes = {{2, 2}, {2, 3}};
 
+  BenchReport report("fig1_restructuring", args);
+
   for (const char* direction : {"flat->wide", "wide->flat", "flat->split"}) {
     std::printf("## %s\n", direction);
+    report.BeginPanel(direction);
     std::vector<std::string> header = {"carriers", "routes"};
     for (HeuristicKind kind : kinds) {
       header.emplace_back(HeuristicKindName(kind));
@@ -66,12 +69,23 @@ int main(int argc, char** argv) {
         options.limits.max_states = args.budget;
         options.limits.max_depth =
             static_cast<int>(shape.routes + shape.carriers) + 8;
-        RunResult r = Measure(*source, *target, options, registry, corrs);
+        obs::MetricRegistry reg;
+        RunResult r = Measure(*source, *target, options, registry, corrs,
+                              report.enabled() ? &reg : nullptr);
         row.push_back(FormatStates(r, args.budget));
+        if (report.enabled()) {
+          obs::JsonValue run = BenchReport::MakeRun(r);
+          run["carriers"] = static_cast<uint64_t>(shape.carriers);
+          run["routes"] = static_cast<uint64_t>(shape.routes);
+          run["heuristic"] = std::string(HeuristicKindName(kinds[i]));
+          run["metrics"] = reg.ToJson();
+          report.AddRun(std::move(run));
+        }
       }
       PrintRow(row);
     }
     std::printf("\n");
   }
+  report.Write();
   return 0;
 }

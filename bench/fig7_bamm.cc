@@ -18,7 +18,8 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(args.budget),
       static_cast<unsigned long long>(args.seed));
 
-  BammTable table = RunBammExperiment(args);
+  BenchReport report("fig7_bamm", args);
+  BammTable table = RunBammExperiment(args, &report);
 
   for (SearchAlgorithm algo :
        {SearchAlgorithm::kIda, SearchAlgorithm::kRbfs}) {
@@ -39,5 +40,6 @@ int main(int argc, char** argv) {
     }
     std::printf("\n");
   }
+  report.Write();
   return 0;
 }

@@ -15,7 +15,8 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(args.budget),
               static_cast<unsigned long long>(args.seed));
 
-  BammTable table = RunBammExperiment(args);
+  BenchReport report("fig8_bamm_overall", args);
+  BammTable table = RunBammExperiment(args, &report);
 
   std::vector<std::string> header = {"method"};
   for (HeuristicKind kind : AllHeuristicKinds()) {
@@ -46,5 +47,6 @@ int main(int argc, char** argv) {
     }
     PrintRow(row);
   }
+  report.Write();
   return 0;
 }

@@ -29,6 +29,8 @@ int main(int argc, char** argv) {
   std::printf("# measure: states examined; budget=%llu\n\n",
               static_cast<unsigned long long>(args.budget));
 
+  BenchReport report("fig9_semantic", args);
+
   for (SemanticDomain domain : domains) {
     for (SearchAlgorithm algo :
          {SearchAlgorithm::kIda, SearchAlgorithm::kRbfs}) {
@@ -36,6 +38,8 @@ int main(int argc, char** argv) {
                   algo == SearchAlgorithm::kIda ? "a" : "b",
                   std::string(SemanticDomainName(domain)).c_str(),
                   std::string(SearchAlgorithmName(algo)).c_str());
+      report.BeginPanel(std::string(SemanticDomainName(domain)) + "." +
+                        std::string(SearchAlgorithmName(algo)));
       std::vector<std::string> header = {"#fns"};
       for (HeuristicKind kind : AllHeuristicKinds()) {
         header.emplace_back(HeuristicKindName(kind));
@@ -57,9 +61,19 @@ int main(int argc, char** argv) {
           options.heuristic = AllHeuristicKinds()[i];
           options.limits.max_states = args.budget;
           options.limits.max_depth = static_cast<int>(k) + 6;
+          obs::MetricRegistry registry;
           RunResult r = Measure(w.source, w.target, options, &w.registry,
-                                w.correspondences);
+                                w.correspondences,
+                                report.enabled() ? &registry : nullptr);
           row.push_back(FormatStates(r, args.budget));
+          if (report.enabled()) {
+            obs::JsonValue run = BenchReport::MakeRun(r);
+            run["functions"] = static_cast<uint64_t>(k);
+            run["heuristic"] =
+                std::string(HeuristicKindName(AllHeuristicKinds()[i]));
+            run["metrics"] = registry.ToJson();
+            report.AddRun(std::move(run));
+          }
           if (!r.found) dead[i] = true;
         }
         PrintRow(row);
@@ -67,5 +81,6 @@ int main(int argc, char** argv) {
       std::printf("\n");
     }
   }
+  report.Write();
   return 0;
 }

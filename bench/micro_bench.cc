@@ -33,6 +33,20 @@ void BM_ApplyPromote(benchmark::State& state) {
 }
 BENCHMARK(BM_ApplyPromote);
 
+// Same operator with per-operator metrics attached: the executor's
+// instrumented path (count + ScopedTimer + failure tracking). Compare to
+// BM_ApplyPromote to bound the observability overhead; with metrics null
+// (BM_ApplyPromote) the instrumented code is bypassed entirely.
+void BM_ApplyPromoteWithMetrics(benchmark::State& state) {
+  Database db = MakeFlightsB();
+  PromoteOp op{"Prices", "Route", "Cost"};
+  obs::MetricRegistry registry;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ApplyOp(op, db, nullptr, &registry));
+  }
+}
+BENCHMARK(BM_ApplyPromoteWithMetrics);
+
 void BM_ApplyDemote(benchmark::State& state) {
   Database db = MakeFlightsB();
   DemoteOp op{"Prices"};

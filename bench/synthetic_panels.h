@@ -29,8 +29,14 @@ inline void RunSyntheticPanels(SearchAlgorithm algo, const BenchArgs& args) {
   std::printf("# measure: states examined; budget=%llu states\n\n",
               static_cast<unsigned long long>(args.budget));
 
-  auto run_panel = [&](const std::vector<HeuristicKind>& kinds,
+  std::string harness = algo == SearchAlgorithm::kIda ? "fig5_synthetic_ida"
+                                                      : "fig6_synthetic_rbfs";
+  BenchReport report(harness, args);
+
+  auto run_panel = [&](const std::string& panel_name,
+                       const std::vector<HeuristicKind>& kinds,
                        const std::vector<size_t>& sizes) {
+    report.BeginPanel(panel_name);
     std::vector<std::string> header = {"n"};
     for (HeuristicKind kind : kinds) {
       header.emplace_back(HeuristicKindName(kind));
@@ -51,8 +57,17 @@ inline void RunSyntheticPanels(SearchAlgorithm algo, const BenchArgs& args) {
         options.heuristic = kinds[i];
         options.limits.max_states = args.budget;
         options.limits.max_depth = static_cast<int>(n) + 4;
-        RunResult r = Measure(pair.source, pair.target, options);
+        obs::MetricRegistry registry;
+        RunResult r = Measure(pair.source, pair.target, options, nullptr, {},
+                              report.enabled() ? &registry : nullptr);
         row.push_back(FormatStates(r, args.budget));
+        if (report.enabled()) {
+          obs::JsonValue run = BenchReport::MakeRun(r);
+          run["n"] = static_cast<uint64_t>(n);
+          run["heuristic"] = std::string(HeuristicKindName(kinds[i]));
+          run["metrics"] = registry.ToJson();
+          report.AddRun(std::move(run));
+        }
         if (!r.found) dead[i] = true;
       }
       PrintRow(row);
@@ -64,7 +79,8 @@ inline void RunSyntheticPanels(SearchAlgorithm algo, const BenchArgs& args) {
               algo == SearchAlgorithm::kIda ? "5" : "6");
   std::vector<size_t> big_sizes = {2, 3, 4, 5, 6, 8, 10, 12, 16, 20, 24, 32};
   if (args.quick) big_sizes = {2, 4, 8, 16};
-  run_panel({HeuristicKind::kH0, HeuristicKind::kH1, HeuristicKind::kH2,
+  run_panel("set_based",
+            {HeuristicKind::kH0, HeuristicKind::kH1, HeuristicKind::kH2,
              HeuristicKind::kH3},
             big_sizes);
 
@@ -72,9 +88,12 @@ inline void RunSyntheticPanels(SearchAlgorithm algo, const BenchArgs& args) {
               algo == SearchAlgorithm::kIda ? "5" : "6");
   std::vector<size_t> small_sizes = {1, 2, 3, 4, 5, 6, 7, 8};
   if (args.quick) small_sizes = {1, 2, 4, 8};
-  run_panel({HeuristicKind::kEuclidean, HeuristicKind::kEuclideanNorm,
+  run_panel("vector_string",
+            {HeuristicKind::kEuclidean, HeuristicKind::kEuclideanNorm,
              HeuristicKind::kCosine, HeuristicKind::kLevenshtein},
             small_sizes);
+
+  report.Write();
 }
 
 }  // namespace tupelo::bench

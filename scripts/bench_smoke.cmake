@@ -1,0 +1,41 @@
+# Smoke test for the machine-readable bench output: run one figure harness
+# with --quick --json, then validate the report against the schema checker.
+#
+# Expected -D variables:
+#   HARNESS   - path to the fig5_synthetic_ida binary
+#   VALIDATOR - path to scripts/check_bench_json.py
+#   PYTHON    - python3 interpreter
+#   OUT_JSON  - where to write the report
+
+foreach(var HARNESS VALIDATOR PYTHON OUT_JSON)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "bench_smoke: missing -D${var}")
+  endif()
+endforeach()
+
+execute_process(
+  COMMAND "${HARNESS}" --quick --budget=20000 "--json=${OUT_JSON}"
+  RESULT_VARIABLE harness_rc
+  OUTPUT_VARIABLE harness_out
+  ERROR_VARIABLE harness_err
+)
+if(NOT harness_rc EQUAL 0)
+  message(FATAL_ERROR
+          "bench_smoke: harness failed (${harness_rc}):\n${harness_err}")
+endif()
+
+if(NOT EXISTS "${OUT_JSON}")
+  message(FATAL_ERROR "bench_smoke: harness did not write ${OUT_JSON}")
+endif()
+
+execute_process(
+  COMMAND "${PYTHON}" "${VALIDATOR}" "${OUT_JSON}"
+  RESULT_VARIABLE validator_rc
+  OUTPUT_VARIABLE validator_out
+  ERROR_VARIABLE validator_err
+)
+if(NOT validator_rc EQUAL 0)
+  message(FATAL_ERROR
+          "bench_smoke: report failed validation:\n${validator_err}")
+endif()
+message(STATUS "bench_smoke: ${validator_out}")

@@ -1,0 +1,123 @@
+#!/usr/bin/env python3
+"""Validates a BENCH_*.json run report produced by a --json= harness run.
+
+Usage: check_bench_json.py REPORT.json [REPORT2.json ...]
+
+Checks the schema documented in docs/OBSERVABILITY.md (schema_version 1):
+required top-level fields with the right types, a non-empty panels list,
+and per-run presence of the standard measurement fields. Exits non-zero
+with a line per violation, so it works as a ctest command.
+"""
+
+import json
+import sys
+
+REQUIRED_TOP = {
+    "schema_version": int,
+    "harness": str,
+    "git_sha": str,
+    "seed": int,
+    "quick": bool,
+    "budget": int,
+    "panels": list,
+}
+
+REQUIRED_RUN = {
+    "found": bool,
+    "cutoff": bool,
+    "states_examined": int,
+    "states_generated": int,
+    "iterations": int,
+    "peak_memory_nodes": int,
+    "solution_cost": int,
+    "wall_millis": (int, float),
+}
+
+
+def check(path):
+    errors = []
+
+    def err(msg):
+        errors.append("%s: %s" % (path, msg))
+
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        return ["%s: unreadable or invalid JSON: %s" % (path, e)]
+
+    if not isinstance(doc, dict):
+        return ["%s: top level is not an object" % path]
+
+    for key, want in REQUIRED_TOP.items():
+        if key not in doc:
+            err("missing top-level field %r" % key)
+        elif not isinstance(doc[key], want) or (
+            want is int and isinstance(doc[key], bool)
+        ):
+            err("top-level field %r has type %s, want %s"
+                % (key, type(doc[key]).__name__, want.__name__))
+
+    if doc.get("schema_version") != 1:
+        err("schema_version is %r, want 1" % doc.get("schema_version"))
+    sha = doc.get("git_sha", "")
+    if isinstance(sha, str) and sha != "unknown" and (
+        len(sha) != 40 or not all(c in "0123456789abcdef" for c in sha)
+    ):
+        err("git_sha %r is neither a 40-hex SHA nor 'unknown'" % sha)
+
+    panels = doc.get("panels")
+    if isinstance(panels, list):
+        if not panels:
+            err("panels list is empty")
+        for pi, panel in enumerate(panels):
+            if not isinstance(panel, dict):
+                err("panel %d is not an object" % pi)
+                continue
+            if not isinstance(panel.get("name"), str) or not panel["name"]:
+                err("panel %d has no name" % pi)
+            runs = panel.get("runs")
+            if not isinstance(runs, list) or not runs:
+                err("panel %d (%s) has no runs" % (pi, panel.get("name")))
+                continue
+            for ri, run in enumerate(runs):
+                where = "panel %d (%s) run %d" % (pi, panel.get("name"), ri)
+                if not isinstance(run, dict):
+                    err("%s is not an object" % where)
+                    continue
+                for key, want in REQUIRED_RUN.items():
+                    if key not in run:
+                        err("%s missing field %r" % (where, key))
+                    elif not isinstance(run[key], want) or (
+                        want is int and isinstance(run[key], bool)
+                    ) or (want is bool and not isinstance(run[key], bool)):
+                        err("%s field %r has type %s"
+                            % (where, key, type(run[key]).__name__))
+                if run.get("wall_millis", 0) < 0:
+                    err("%s has negative wall_millis" % where)
+                metrics = run.get("metrics")
+                if metrics is not None:
+                    if not isinstance(metrics, dict):
+                        err("%s metrics is not an object" % where)
+                    elif not isinstance(metrics.get("counters"), dict):
+                        err("%s metrics has no counters object" % where)
+    return errors
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    all_errors = []
+    for path in argv[1:]:
+        all_errors.extend(check(path))
+    for e in all_errors:
+        print(e, file=sys.stderr)
+    if not all_errors:
+        for path in argv[1:]:
+            print("%s: OK" % path)
+    return 1 if all_errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -39,6 +39,22 @@ MappingProblem::MappingProblem(
       correspondences_(std::move(correspondences)),
       config_(config) {}
 
+void MappingProblem::set_metrics(obs::MetricRegistry* metrics) {
+  metrics_ = metrics;
+  if (metrics == nullptr) {
+    heuristic_evals_ = nullptr;
+    heuristic_nanos_ = nullptr;
+    heuristic_cache_hits_ = nullptr;
+    successor_nanos_ = nullptr;
+    return;
+  }
+  std::string name(heuristic_->name());
+  heuristic_evals_ = &metrics->GetCounter("heuristic." + name + ".evals");
+  heuristic_nanos_ = &metrics->GetCounter("heuristic." + name + ".nanos");
+  heuristic_cache_hits_ = &metrics->GetCounter("heuristic.cache_hits");
+  successor_nanos_ = &metrics->GetCounter("phase.successors.nanos");
+}
+
 std::vector<Op> MappingProblem::CandidateOps(const Database& state) const {
   std::vector<Op> ops;
   const bool prune = config_.prune;
@@ -223,12 +239,13 @@ std::vector<Op> MappingProblem::CandidateOps(const Database& state) const {
 
 std::vector<MappingProblem::SuccessorT> MappingProblem::Expand(
     const Database& state) const {
+  obs::ScopedTimer timer(successor_nanos_);
   std::vector<SuccessorT> successors;
   std::unordered_set<uint64_t> seen;
   seen.insert(state.Fingerprint());
 
   for (Op& op : CandidateOps(state)) {
-    Result<Database> next = ApplyOp(op, state, registry_);
+    Result<Database> next = ApplyOp(op, state, registry_, metrics_);
     if (!next.ok()) continue;  // inapplicable in this state
     uint64_t key = next->Fingerprint();
     if (!seen.insert(key).second) continue;  // duplicate successor / no-op

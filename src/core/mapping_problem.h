@@ -12,6 +12,7 @@
 #include "fira/operators.h"
 #include "heuristics/heuristic.h"
 #include "heuristics/set_based.h"
+#include "obs/metrics.h"
 #include "relational/database.h"
 
 namespace tupelo {
@@ -65,6 +66,13 @@ class MappingProblem {
                  std::vector<SemanticCorrespondence> correspondences = {},
                  SuccessorConfig config = SuccessorConfig());
 
+  // Attaches a metric registry (nullable; default off). Resolves the
+  // per-heuristic instruments heuristic.<name>.{evals,nanos} and
+  // heuristic.cache_hits once, and threads the registry into ApplyOp so
+  // the executor's per-operator instruments populate during search.
+  // Successor-generation time accumulates in phase.successors.nanos.
+  void set_metrics(obs::MetricRegistry* metrics);
+
   const Database& initial_state() const { return source_; }
   const Database& target() const { return target_; }
 
@@ -82,8 +90,16 @@ class MappingProblem {
   int EstimateCost(const Database& state) const {
     uint64_t key = state.Fingerprint();
     auto it = estimate_cache_.find(key);
-    if (it != estimate_cache_.end()) return it->second;
-    int estimate = heuristic_->Estimate(state);
+    if (it != estimate_cache_.end()) {
+      if (heuristic_cache_hits_ != nullptr) heuristic_cache_hits_->Increment();
+      return it->second;
+    }
+    int estimate;
+    {
+      obs::ScopedTimer timer(heuristic_nanos_);
+      estimate = heuristic_->Estimate(state);
+    }
+    if (heuristic_evals_ != nullptr) heuristic_evals_->Increment();
     estimate_cache_.emplace(key, estimate);
     return estimate;
   }
@@ -105,6 +121,13 @@ class MappingProblem {
   std::vector<SemanticCorrespondence> correspondences_;
   SuccessorConfig config_;
   mutable std::unordered_map<uint64_t, int> estimate_cache_;
+
+  // Observability (all null when metrics are off).
+  obs::MetricRegistry* metrics_ = nullptr;
+  obs::Counter* heuristic_evals_ = nullptr;
+  obs::Counter* heuristic_nanos_ = nullptr;
+  obs::Counter* heuristic_cache_hits_ = nullptr;
+  obs::Counter* successor_nanos_ = nullptr;
 };
 
 }  // namespace tupelo

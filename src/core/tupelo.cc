@@ -1,5 +1,7 @@
 #include "core/tupelo.h"
 
+#include <chrono>
+#include <cstdio>
 #include <memory>
 #include <utility>
 
@@ -11,6 +13,26 @@
 #include "search/rbfs.h"
 
 namespace tupelo {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double MillisSince(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+std::string RunReport::ToString() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "search=%.2fms (successors=%.2fms) verify=%.2fms "
+                "simplify=%.2fms",
+                search_millis, successor_millis, verify_millis,
+                simplify_millis);
+  return buf;
+}
 
 Result<TupeloResult> Tupelo::Discover(const TupeloOptions& options) const {
   if (!correspondences_.empty() && registry_ == nullptr) {
@@ -44,37 +66,63 @@ Result<TupeloResult> Tupelo::Discover(const TupeloOptions& options) const {
 
   MappingProblem problem(source_, target_, std::move(heuristic), registry_,
                          correspondences_, options.successors);
-
-  SearchOutcome<Op> outcome;
-  switch (options.algorithm) {
-    case SearchAlgorithm::kIda:
-      outcome = IdaStarSearch(problem, options.limits);
-      break;
-    case SearchAlgorithm::kRbfs:
-      outcome = RbfsSearch(problem, options.limits);
-      break;
-    case SearchAlgorithm::kAStar:
-      outcome = AStarSearch(problem, options.limits);
-      break;
-    case SearchAlgorithm::kGreedy:
-      outcome = GreedySearch(problem, options.limits);
-      break;
-    case SearchAlgorithm::kBeam:
-      outcome = BeamSearch(problem, options.beam_width, options.limits);
-      break;
-  }
+  problem.set_metrics(options.metrics);
 
   TupeloResult result;
+  SearchOutcome<Op> outcome;
+  Clock::time_point search_start = Clock::now();
+  switch (options.algorithm) {
+    case SearchAlgorithm::kIda:
+      outcome =
+          IdaStarSearch(problem, options.limits, nullptr, options.metrics);
+      break;
+    case SearchAlgorithm::kRbfs:
+      outcome = RbfsSearch(problem, options.limits, nullptr, options.metrics);
+      break;
+    case SearchAlgorithm::kAStar:
+      outcome = AStarSearch(problem, options.limits, nullptr, options.metrics);
+      break;
+    case SearchAlgorithm::kGreedy:
+      outcome = GreedySearch(problem, options.limits, nullptr, options.metrics);
+      break;
+    case SearchAlgorithm::kBeam:
+      outcome = BeamSearch(problem, options.beam_width, options.limits,
+                           nullptr, options.metrics);
+      break;
+  }
+  result.report.search_millis = MillisSince(search_start);
+
   result.found = outcome.found;
   result.budget_exhausted = outcome.budget_exhausted;
   result.stats = outcome.stats;
   if (outcome.found) {
     result.mapping = MappingExpression(std::move(outcome.path));
     if (options.simplify) {
+      Clock::time_point simplify_start = Clock::now();
       result.mapping = Simplify(result.mapping);
+      result.report.simplify_millis = MillisSince(simplify_start);
     }
+    Clock::time_point verify_start = Clock::now();
     Result<Database> replay = result.mapping.Apply(source_, registry_);
     result.verified = replay.ok() && replay->Contains(target_);
+    result.report.verify_millis = MillisSince(verify_start);
+  }
+
+  if (options.metrics != nullptr) {
+    // Successor time accumulated in phase.successors.nanos during search.
+    result.report.successor_millis =
+        static_cast<double>(
+            options.metrics->CounterValue("phase.successors.nanos")) /
+        1e6;
+    // Mirror the driver-level phase timers into the registry so exported
+    // reports carry the full breakdown.
+    options.metrics->GetCounter("phase.search.nanos")
+        .Increment(static_cast<uint64_t>(result.report.search_millis * 1e6));
+    options.metrics->GetCounter("phase.verify.nanos")
+        .Increment(static_cast<uint64_t>(result.report.verify_millis * 1e6));
+    options.metrics->GetCounter("phase.simplify.nanos")
+        .Increment(
+            static_cast<uint64_t>(result.report.simplify_millis * 1e6));
   }
   return result;
 }

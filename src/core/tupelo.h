@@ -30,6 +30,24 @@ struct TupeloOptions {
   // expression; the raw search path is replaced by the simplified,
   // re-verified equivalent.
   bool simplify = false;
+  // Optional metric registry (nullable; default off). When set, the run
+  // populates search.*, heuristic.*, executor.* and phase.* instruments —
+  // see docs/OBSERVABILITY.md for the catalog. Must outlive the call.
+  obs::MetricRegistry* metrics = nullptr;
+};
+
+// Wall-clock breakdown of one Discover call, always populated (phase
+// timing does not require a metric registry). Phases overlap: successor
+// generation and heuristic evaluation happen inside the search phase.
+struct RunReport {
+  double search_millis = 0.0;     // the search-algorithm call itself
+  double successor_millis = 0.0;  // Expand time inside search (needs
+                                  // options.metrics; 0 otherwise)
+  double verify_millis = 0.0;     // replaying the mapping on the source
+  double simplify_millis = 0.0;   // peephole optimizer (0 unless enabled)
+
+  // One-line human-readable summary.
+  std::string ToString() const;
 };
 
 // The outcome of a discovery run.
@@ -44,6 +62,8 @@ struct TupeloResult {
   // containing the target instance (sanity re-check of the search result).
   bool verified = false;
   SearchStats stats;
+  // Phase timing for this run (see RunReport).
+  RunReport report;
 };
 
 // TUPELO: example-driven discovery of data-mapping expressions.

@@ -310,8 +310,21 @@ struct OpApplier {
 }  // namespace
 
 Result<Database> ApplyOp(const Op& op, const Database& input,
-                         const FunctionRegistry* registry) {
-  return std::visit(OpApplier{input, registry}, op);
+                         const FunctionRegistry* registry,
+                         obs::MetricRegistry* metrics) {
+  if (metrics == nullptr) {
+    return std::visit(OpApplier{input, registry}, op);
+  }
+  const std::string name = OpName(op);
+  metrics->GetCounter("executor." + name + ".count").Increment();
+  Result<Database> result = [&] {
+    obs::ScopedTimer timer(&metrics->GetCounter("executor." + name + ".nanos"));
+    return std::visit(OpApplier{input, registry}, op);
+  }();
+  if (!result.ok()) {
+    metrics->GetCounter("executor." + name + ".failures").Increment();
+  }
+  return result;
 }
 
 }  // namespace tupelo

@@ -4,6 +4,7 @@
 #include "common/result.h"
 #include "fira/function_registry.h"
 #include "fira/operators.h"
+#include "obs/metrics.h"
 #include "relational/database.h"
 
 namespace tupelo {
@@ -12,8 +13,14 @@ namespace tupelo {
 // state. The input is untouched. `registry` may be null when `op` is not an
 // ApplyFunctionOp. Fails (never crashes) on inapplicable operators:
 // missing relations/attributes, name collisions, unknown functions.
+//
+// With a non-null `metrics`, each call updates the per-operator
+// instruments executor.<op>.{count,nanos,failures} (op in script-name
+// form: "promote", "demote", "partition", ...). A null registry skips
+// instrumentation entirely — no clock reads, no lookups.
 Result<Database> ApplyOp(const Op& op, const Database& input,
-                         const FunctionRegistry* registry = nullptr);
+                         const FunctionRegistry* registry = nullptr,
+                         obs::MetricRegistry* metrics = nullptr);
 
 }  // namespace tupelo
 

@@ -1,0 +1,105 @@
+#ifndef TUPELO_OBS_JSON_WRITER_H_
+#define TUPELO_OBS_JSON_WRITER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+
+namespace tupelo::obs {
+
+// A minimal JSON document model used by the observability layer to emit
+// stable, machine-readable run reports (BENCH_*.json, metric snapshots).
+// Zero dependencies beyond common/. Objects preserve insertion order so a
+// report's key order is deterministic across runs — diffs of two reports
+// line up field by field.
+//
+// Numbers are kept in three lanes (int64, uint64, double) so counters
+// close to 2^63 and fractional milliseconds both survive a round trip.
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kInt, kUint, kDouble, kString, kArray, kObject };
+
+  JsonValue() : kind_(Kind::kNull) {}
+  JsonValue(bool b) : kind_(Kind::kBool), bool_(b) {}            // NOLINT
+  JsonValue(int i) : kind_(Kind::kInt), int_(i) {}               // NOLINT
+  JsonValue(int64_t i) : kind_(Kind::kInt), int_(i) {}           // NOLINT
+  JsonValue(uint64_t u) : kind_(Kind::kUint), uint_(u) {}        // NOLINT
+  JsonValue(double d) : kind_(Kind::kDouble), double_(d) {}      // NOLINT
+  JsonValue(std::string s) : kind_(Kind::kString), string_(std::move(s)) {}  // NOLINT
+  JsonValue(const char* s) : kind_(Kind::kString), string_(s) {}  // NOLINT
+
+  static JsonValue Object() {
+    JsonValue v;
+    v.kind_ = Kind::kObject;
+    return v;
+  }
+  static JsonValue Array() {
+    JsonValue v;
+    v.kind_ = Kind::kArray;
+    return v;
+  }
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_number() const {
+    return kind_ == Kind::kInt || kind_ == Kind::kUint || kind_ == Kind::kDouble;
+  }
+
+  bool as_bool() const { return bool_; }
+  // Numeric accessors convert between the three lanes.
+  int64_t as_int() const;
+  uint64_t as_uint() const;
+  double as_double() const;
+  const std::string& as_string() const { return string_; }
+
+  // Object access. operator[] inserts a null member on a missing key (and
+  // turns a null value into an object, so building nested docs is terse).
+  JsonValue& operator[](std::string_view key);
+  const JsonValue* Find(std::string_view key) const;
+  const std::vector<std::pair<std::string, JsonValue>>& members() const {
+    return members_;
+  }
+
+  // Array access. Append turns a null value into an array.
+  void Append(JsonValue element);
+  const std::vector<JsonValue>& elements() const { return elements_; }
+  std::vector<JsonValue>& elements() { return elements_; }
+
+  size_t size() const {
+    return kind_ == Kind::kObject ? members_.size() : elements_.size();
+  }
+
+  // Serializes. indent < 0 emits compact one-line JSON; indent >= 0 pretty
+  // prints with that many spaces per level. Doubles use %.17g so a
+  // dump/parse cycle is lossless.
+  std::string Dump(int indent = -1) const;
+
+  // Strict parser for the subset Dump emits (standard JSON; \uXXXX escapes
+  // outside the BMP surrogate range are decoded to UTF-8).
+  static Result<JsonValue> Parse(std::string_view text);
+
+ private:
+  void DumpTo(std::string& out, int indent, int depth) const;
+
+  Kind kind_;
+  bool bool_ = false;
+  int64_t int_ = 0;
+  uint64_t uint_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+  std::vector<JsonValue> elements_;
+};
+
+// Escapes `s` as a JSON string literal, including the quotes.
+std::string JsonEscape(std::string_view s);
+
+}  // namespace tupelo::obs
+
+#endif  // TUPELO_OBS_JSON_WRITER_H_

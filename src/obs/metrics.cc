@@ -1,0 +1,178 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+
+namespace tupelo::obs {
+
+Histogram::Histogram(std::vector<int64_t> bounds)
+    : bounds_(std::move(bounds)),
+      buckets_(new std::atomic<uint64_t>[bounds_.size() + 1]) {
+  assert(!bounds_.empty());
+  assert(std::is_sorted(bounds_.begin(), bounds_.end()));
+  for (size_t i = 0; i <= bounds_.size(); ++i) buckets_[i] = 0;
+}
+
+std::vector<int64_t> ExponentialBounds(int64_t start, int64_t factor,
+                                       size_t count) {
+  std::vector<int64_t> bounds;
+  bounds.reserve(count);
+  int64_t v = start;
+  for (size_t i = 0; i < count; ++i) {
+    bounds.push_back(v);
+    v *= factor;
+  }
+  return bounds;
+}
+
+const std::vector<int64_t>& DefaultLatencyBounds() {
+  static const std::vector<int64_t> kBounds =
+      ExponentialBounds(1'000, 4, 11);  // 1µs .. ~4s
+  return kBounds;
+}
+
+Counter& MetricRegistry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricRegistry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& MetricRegistry::GetHistogram(std::string_view name,
+                                        const std::vector<int64_t>& bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name), std::make_unique<Histogram>(bounds))
+             .first;
+  }
+  return *it->second;
+}
+
+const Counter* MetricRegistry::FindCounter(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  return it == counters_.end() ? nullptr : it->second.get();
+}
+
+const Gauge* MetricRegistry::FindGauge(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  return it == gauges_.end() ? nullptr : it->second.get();
+}
+
+const Histogram* MetricRegistry::FindHistogram(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : it->second.get();
+}
+
+uint64_t MetricRegistry::CounterValue(std::string_view name) const {
+  const Counter* c = FindCounter(name);
+  return c == nullptr ? 0 : c->value();
+}
+
+std::string MetricRegistry::ToString() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  char buf[64];
+  if (!counters_.empty()) {
+    out += "counters:\n";
+    for (const auto& [name, c] : counters_) {
+      std::snprintf(buf, sizeof(buf), "%20llu",
+                    static_cast<unsigned long long>(c->value()));
+      out += "  " + name;
+      if (name.size() < 44) out += std::string(44 - name.size(), ' ');
+      out += buf;
+      out += "\n";
+    }
+  }
+  if (!gauges_.empty()) {
+    out += "gauges:\n";
+    for (const auto& [name, g] : gauges_) {
+      std::snprintf(buf, sizeof(buf), "%20lld",
+                    static_cast<long long>(g->value()));
+      out += "  " + name;
+      if (name.size() < 44) out += std::string(44 - name.size(), ' ');
+      out += buf;
+      out += "\n";
+    }
+  }
+  if (!histograms_.empty()) {
+    out += "histograms:\n";
+    for (const auto& [name, h] : histograms_) {
+      std::snprintf(buf, sizeof(buf), " count=%llu sum=%lld",
+                    static_cast<unsigned long long>(h->count()),
+                    static_cast<long long>(h->sum()));
+      out += "  " + name + buf + " [";
+      for (size_t i = 0; i <= h->bounds().size(); ++i) {
+        uint64_t n = h->bucket_count(i);
+        if (n == 0) continue;
+        if (out.back() != '[') out += ' ';
+        if (i < h->bounds().size()) {
+          std::snprintf(buf, sizeof(buf), "le%lld:%llu",
+                        static_cast<long long>(h->bounds()[i]),
+                        static_cast<unsigned long long>(n));
+        } else {
+          std::snprintf(buf, sizeof(buf), "inf:%llu",
+                        static_cast<unsigned long long>(n));
+        }
+        out += buf;
+      }
+      out += "]\n";
+    }
+  }
+  return out;
+}
+
+JsonValue MetricRegistry::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  JsonValue doc = JsonValue::Object();
+  JsonValue& counters = doc["counters"];
+  counters = JsonValue::Object();
+  for (const auto& [name, c] : counters_) {
+    counters[name] = c->value();
+  }
+  JsonValue& gauges = doc["gauges"];
+  gauges = JsonValue::Object();
+  for (const auto& [name, g] : gauges_) {
+    gauges[name] = g->value();
+  }
+  JsonValue& histograms = doc["histograms"];
+  histograms = JsonValue::Object();
+  for (const auto& [name, h] : histograms_) {
+    JsonValue entry = JsonValue::Object();
+    entry["count"] = h->count();
+    entry["sum"] = h->sum();
+    JsonValue buckets = JsonValue::Array();
+    for (size_t i = 0; i <= h->bounds().size(); ++i) {
+      JsonValue bucket = JsonValue::Object();
+      if (i < h->bounds().size()) {
+        bucket["le"] = h->bounds()[i];
+      } else {
+        bucket["le"] = "+inf";
+      }
+      bucket["count"] = h->bucket_count(i);
+      buckets.Append(std::move(bucket));
+    }
+    entry["buckets"] = std::move(buckets);
+    histograms[name] = std::move(entry);
+  }
+  return doc;
+}
+
+}  // namespace tupelo::obs

@@ -1,0 +1,176 @@
+#ifndef TUPELO_OBS_METRICS_H_
+#define TUPELO_OBS_METRICS_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/json_writer.h"
+
+namespace tupelo::obs {
+
+// Lightweight, zero-dependency metrics for the discovery pipeline.
+//
+// A MetricRegistry holds named counters, gauges, and fixed-bucket
+// histograms. Instrumented code takes a nullable MetricRegistry* (default
+// off); the convention throughout the codebase is to resolve instrument
+// pointers once up front and guard every hot-path update with a null
+// check, so a disabled run pays one predictable branch per event and no
+// allocation. All instruments use relaxed atomics: the future parallel
+// search can hammer one registry from many threads without locks on the
+// update path (only instrument *creation* takes the registry mutex).
+//
+// Totals read while other threads are still writing are per-instrument
+// consistent but not cross-instrument atomic — fine for progress
+// reporting; exact reports are read after the run completes.
+
+// Monotonically increasing event count (states examined, operator
+// applications, cumulative nanoseconds, ...).
+class Counter {
+ public:
+  void Increment(uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+// Point-in-time level (peak memory, frontier size). Set overwrites;
+// UpdateMax raises the value monotonically (lock-free CAS).
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void UpdateMax(int64_t v) {
+    int64_t cur = value_.load(std::memory_order_relaxed);
+    while (cur < v && !value_.compare_exchange_weak(
+                          cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+// Fixed-bucket histogram over int64 observations (latencies in
+// nanoseconds, per-iteration f-bounds, ...). Bucket i counts observations
+// v with v <= bounds[i] (and > bounds[i-1]); one implicit overflow bucket
+// catches everything above the last bound. Bounds are fixed at creation,
+// so Observe is two relaxed adds plus a small branchless-ish scan.
+class Histogram {
+ public:
+  // `bounds` must be non-empty and strictly increasing.
+  explicit Histogram(std::vector<int64_t> bounds);
+
+  void Observe(int64_t v) {
+    size_t i = 0;
+    while (i < bounds_.size() && v > bounds_[i]) ++i;
+    buckets_[i].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+  }
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  int64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  const std::vector<int64_t>& bounds() const { return bounds_; }
+  // i in [0, bounds().size()]; the last index is the overflow bucket.
+  uint64_t bucket_count(size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::vector<int64_t> bounds_;
+  std::unique_ptr<std::atomic<uint64_t>[]> buckets_;
+  std::atomic<uint64_t> count_{0};
+  std::atomic<int64_t> sum_{0};
+};
+
+// {start, start*factor, start*factor^2, ...}, `count` entries.
+std::vector<int64_t> ExponentialBounds(int64_t start, int64_t factor,
+                                       size_t count);
+
+// 1µs .. 1s in powers of 4, in nanoseconds — the default latency buckets.
+const std::vector<int64_t>& DefaultLatencyBounds();
+
+// Named instrument store. Instruments are created on first use and live as
+// long as the registry; returned references stay valid across later Get*
+// calls (node-stable storage). Names are sorted in every export, so two
+// runs of the same workload produce byte-comparable reports.
+class MetricRegistry {
+ public:
+  MetricRegistry() = default;
+  MetricRegistry(const MetricRegistry&) = delete;
+  MetricRegistry& operator=(const MetricRegistry&) = delete;
+
+  Counter& GetCounter(std::string_view name);
+  Gauge& GetGauge(std::string_view name);
+  // `bounds` applies only when the histogram does not exist yet.
+  Histogram& GetHistogram(std::string_view name,
+                          const std::vector<int64_t>& bounds =
+                              DefaultLatencyBounds());
+
+  // Lookup without creation; nullptr when absent.
+  const Counter* FindCounter(std::string_view name) const;
+  const Gauge* FindGauge(std::string_view name) const;
+  const Histogram* FindHistogram(std::string_view name) const;
+
+  // Convenience for tests and report code: 0 when the counter is absent.
+  uint64_t CounterValue(std::string_view name) const;
+
+  // Human-readable aligned table, instruments sorted by name.
+  std::string ToString() const;
+
+  // Stable JSON document:
+  //   {"counters": {...}, "gauges": {...},
+  //    "histograms": {name: {"count": c, "sum": s,
+  //                          "buckets": [{"le": bound, "count": n}, ...,
+  //                                      {"le": "+inf", "count": n}]}}}
+  JsonValue ToJson() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+// RAII wall-clock timer. On destruction adds the elapsed nanoseconds to
+// `nanos` (a cumulative counter) and/or observes them into `histogram`.
+// With both targets null the clock is never read — a ScopedTimer over a
+// disabled registry costs two null checks.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Counter* nanos, Histogram* histogram = nullptr)
+      : nanos_(nanos), histogram_(histogram) {
+    if (nanos_ != nullptr || histogram_ != nullptr) {
+      start_ = std::chrono::steady_clock::now();
+    }
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+  ~ScopedTimer() {
+    if (nanos_ == nullptr && histogram_ == nullptr) return;
+    int64_t ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                     std::chrono::steady_clock::now() - start_)
+                     .count();
+    if (nanos_ != nullptr) nanos_->Increment(static_cast<uint64_t>(ns));
+    if (histogram_ != nullptr) histogram_->Observe(ns);
+  }
+
+ private:
+  Counter* nanos_;
+  Histogram* histogram_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace tupelo::obs
+
+#endif  // TUPELO_OBS_METRICS_H_

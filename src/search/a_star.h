@@ -9,6 +9,7 @@
 #include <utility>
 #include <vector>
 
+#include "search/instrumentation.h"
 #include "search/search_types.h"
 #include "search/trace.h"
 
@@ -21,11 +22,12 @@ namespace tupelo {
 template <typename P>
 SearchOutcome<typename P::Action> AStarSearch(
     const P& problem, const SearchLimits& limits = SearchLimits(),
-    SearchTracer* tracer = nullptr) {
+    SearchTracer* tracer = nullptr, obs::MetricRegistry* metrics = nullptr) {
   using Action = typename P::Action;
   using State = typename P::State;
 
   SearchOutcome<Action> outcome;
+  SearchInstrumentation instr(metrics);
 
   struct Node {
     State state;
@@ -63,9 +65,10 @@ SearchOutcome<typename P::Action> AStarSearch(
   open.push(QueueEntry{problem.EstimateCost(root_state), 0, seq++, root});
 
   auto track_memory = [&] {
+    uint64_t nodes = static_cast<uint64_t>(open.size() + best_g.size());
     outcome.stats.peak_memory_nodes =
-        std::max(outcome.stats.peak_memory_nodes,
-                 static_cast<uint64_t>(open.size() + best_g.size()));
+        std::max(outcome.stats.peak_memory_nodes, nodes);
+    instr.OnPeakMemory(nodes);
   };
 
   while (!open.empty()) {
@@ -83,6 +86,7 @@ SearchOutcome<typename P::Action> AStarSearch(
       return outcome;
     }
     ++outcome.stats.states_examined;
+    instr.OnVisit(node->key);
     if (tracer != nullptr) {
       tracer->Record(TraceEvent{TraceEventKind::kVisit, node->key,
                                 static_cast<int>(node->g), entry.f});
@@ -107,12 +111,16 @@ SearchOutcome<typename P::Action> AStarSearch(
 
     auto successors = problem.Expand(node->state);
     outcome.stats.states_generated += successors.size();
+    instr.OnExpand(successors.size());
     for (auto& succ : successors) {
       uint64_t key = problem.StateKey(succ.state);
       int64_t g = node->g + 1;
       auto [git, inserted] = best_g.try_emplace(key, g);
       if (!inserted) {
-        if (git->second <= g) continue;
+        if (git->second <= g) {
+          instr.OnDuplicateHit();
+          continue;
+        }
         git->second = g;
       }
       int64_t f = g + problem.EstimateCost(succ.state);

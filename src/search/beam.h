@@ -7,6 +7,7 @@
 #include <utility>
 #include <vector>
 
+#include "search/instrumentation.h"
 #include "search/search_types.h"
 #include "search/trace.h"
 
@@ -18,15 +19,20 @@ namespace tupelo {
 // *incomplete*: if every goal path leaves the beam, the search fails even
 // though a mapping exists. Useful as a recall benchmark for heuristics
 // (a heuristic whose beam-8 recall is high is trustworthy greedily).
+//
+// Tracing: each depth level opens with a kIteration event whose value is
+// the smallest h in the frontier — the beam's analog of IDA*'s f-bound,
+// and the easiest way to see a beam stall (the best h stops falling).
 template <typename P>
 SearchOutcome<typename P::Action> BeamSearch(
     const P& problem, size_t beam_width,
     const SearchLimits& limits = SearchLimits(),
-    SearchTracer* tracer = nullptr) {
+    SearchTracer* tracer = nullptr, obs::MetricRegistry* metrics = nullptr) {
   using Action = typename P::Action;
   using State = typename P::State;
 
   SearchOutcome<Action> outcome;
+  SearchInstrumentation instr(metrics);
   if (beam_width == 0) return outcome;
 
   struct Node {
@@ -42,9 +48,15 @@ SearchOutcome<typename P::Action> BeamSearch(
   frontier.push_back(Node{root, {}, problem.EstimateCost(root)});
 
   for (int depth = 0; depth <= limits.max_depth; ++depth) {
+    uint64_t nodes = static_cast<uint64_t>(frontier.size() + seen.size());
     outcome.stats.peak_memory_nodes =
-        std::max(outcome.stats.peak_memory_nodes,
-                 static_cast<uint64_t>(frontier.size() + seen.size()));
+        std::max(outcome.stats.peak_memory_nodes, nodes);
+    instr.OnPeakMemory(nodes);
+    if (tracer != nullptr) {
+      int64_t best_h = frontier.front().h;
+      for (const Node& node : frontier) best_h = std::min(best_h, node.h);
+      tracer->Record(TraceEvent{TraceEventKind::kIteration, 0, depth, best_h});
+    }
 
     std::vector<Node> next_level;
     for (Node& node : frontier) {
@@ -53,6 +65,7 @@ SearchOutcome<typename P::Action> BeamSearch(
         return outcome;
       }
       ++outcome.stats.states_examined;
+      instr.OnVisit(problem.StateKey(node.state));
       if (tracer != nullptr) {
         tracer->Record(TraceEvent{TraceEventKind::kVisit,
                                   problem.StateKey(node.state), depth,
@@ -73,9 +86,13 @@ SearchOutcome<typename P::Action> BeamSearch(
 
       auto successors = problem.Expand(node.state);
       outcome.stats.states_generated += successors.size();
+      instr.OnExpand(successors.size());
       for (auto& succ : successors) {
         uint64_t key = problem.StateKey(succ.state);
-        if (!seen.insert(key).second) continue;
+        if (!seen.insert(key).second) {
+          instr.OnDuplicateHit();
+          continue;
+        }
         std::vector<Action> path = node.path;
         path.push_back(std::move(succ.action));
         int64_t h = problem.EstimateCost(succ.state);

@@ -9,6 +9,7 @@
 #include <utility>
 #include <vector>
 
+#include "search/instrumentation.h"
 #include "search/search_types.h"
 #include "search/trace.h"
 
@@ -27,11 +28,12 @@ namespace tupelo {
 template <typename P>
 SearchOutcome<typename P::Action> GreedySearch(
     const P& problem, const SearchLimits& limits = SearchLimits(),
-    SearchTracer* tracer = nullptr) {
+    SearchTracer* tracer = nullptr, obs::MetricRegistry* metrics = nullptr) {
   using Action = typename P::Action;
   using State = typename P::State;
 
   SearchOutcome<Action> outcome;
+  SearchInstrumentation instr(metrics);
 
   struct Node {
     State state;
@@ -63,9 +65,10 @@ SearchOutcome<typename P::Action> GreedySearch(
   open.push(QueueEntry{problem.EstimateCost(root_state), seq++, root});
 
   while (!open.empty()) {
+    uint64_t nodes = static_cast<uint64_t>(open.size() + seen.size());
     outcome.stats.peak_memory_nodes =
-        std::max(outcome.stats.peak_memory_nodes,
-                 static_cast<uint64_t>(open.size() + seen.size()));
+        std::max(outcome.stats.peak_memory_nodes, nodes);
+    instr.OnPeakMemory(nodes);
     QueueEntry entry = open.top();
     open.pop();
     const NodePtr& node = entry.node;
@@ -76,6 +79,7 @@ SearchOutcome<typename P::Action> GreedySearch(
       return outcome;
     }
     ++outcome.stats.states_examined;
+    instr.OnVisit(problem.StateKey(node->state));
     if (tracer != nullptr) {
       tracer->Record(TraceEvent{TraceEventKind::kVisit,
                                 problem.StateKey(node->state),
@@ -102,9 +106,13 @@ SearchOutcome<typename P::Action> GreedySearch(
 
     auto successors = problem.Expand(node->state);
     outcome.stats.states_generated += successors.size();
+    instr.OnExpand(successors.size());
     for (auto& succ : successors) {
       uint64_t key = problem.StateKey(succ.state);
-      if (!seen.insert(key).second) continue;
+      if (!seen.insert(key).second) {
+        instr.OnDuplicateHit();
+        continue;
+      }
       int64_t h = problem.EstimateCost(succ.state);
       NodePtr child(new Node{std::move(succ.state), node->g + 1, node,
                              std::move(succ.action)});

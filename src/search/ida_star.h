@@ -5,6 +5,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "search/instrumentation.h"
 #include "search/search_types.h"
 #include "search/trace.h"
 
@@ -18,20 +19,25 @@ namespace tupelo {
 //
 // Cycle avoidance: successors whose StateKey already occurs on the current
 // path are skipped (they can never shorten a unit-cost path).
+//
+// `metrics` (nullable, default off) feeds the search.* instruments of
+// search/instrumentation.h.
 template <typename P>
 SearchOutcome<typename P::Action> IdaStarSearch(
     const P& problem, const SearchLimits& limits = SearchLimits(),
-    SearchTracer* tracer = nullptr) {
+    SearchTracer* tracer = nullptr, obs::MetricRegistry* metrics = nullptr) {
   using Action = typename P::Action;
   using State = typename P::State;
 
   SearchOutcome<Action> outcome;
+  SearchInstrumentation instr(metrics);
 
   struct Dfs {
     const P& problem;
     const SearchLimits& limits;
     SearchOutcome<Action>& out;
     SearchTracer* tracer;
+    SearchInstrumentation& instr;
     std::vector<Action> path_actions;
     std::unordered_set<uint64_t> path_keys;
     int64_t next_bound = kSearchInfinity;
@@ -48,6 +54,8 @@ SearchOutcome<typename P::Action> IdaStarSearch(
       ++out.stats.states_examined;
       out.stats.peak_memory_nodes = std::max(
           out.stats.peak_memory_nodes, static_cast<uint64_t>(g) + 1);
+      instr.OnVisit(problem.StateKey(state));
+      instr.OnPeakMemory(static_cast<uint64_t>(g) + 1);
 
       int64_t f = g + problem.EstimateCost(state);
       if (tracer != nullptr) {
@@ -72,9 +80,13 @@ SearchOutcome<typename P::Action> IdaStarSearch(
       }
       auto successors = problem.Expand(state);
       out.stats.states_generated += successors.size();
+      instr.OnExpand(successors.size());
       for (auto& succ : successors) {
         uint64_t key = problem.StateKey(succ.state);
-        if (path_keys.contains(key)) continue;
+        if (path_keys.contains(key)) {
+          instr.OnDuplicateHit();
+          continue;
+        }
         path_keys.insert(key);
         path_actions.push_back(succ.action);
         Verdict v = Visit(succ.state, g + 1, bound);
@@ -86,7 +98,8 @@ SearchOutcome<typename P::Action> IdaStarSearch(
     }
   };
 
-  Dfs dfs{problem, limits, outcome, tracer, {}, {}, kSearchInfinity, false};
+  Dfs dfs{problem, limits, outcome, tracer, instr,
+          {},      {},     kSearchInfinity, false};
 
   const State& root = problem.initial_state();
   uint64_t root_key = problem.StateKey(root);
@@ -96,6 +109,7 @@ SearchOutcome<typename P::Action> IdaStarSearch(
     if (tracer != nullptr) {
       tracer->Record(TraceEvent{TraceEventKind::kIteration, 0, 0, bound});
     }
+    instr.OnIteration(bound);
     dfs.next_bound = kSearchInfinity;
     dfs.path_keys = {root_key};
     dfs.path_actions.clear();

@@ -1,0 +1,94 @@
+#ifndef TUPELO_SEARCH_INSTRUMENTATION_H_
+#define TUPELO_SEARCH_INSTRUMENTATION_H_
+
+#include <cstdint>
+#include <unordered_set>
+
+#include "obs/metrics.h"
+
+namespace tupelo {
+
+// Shared metric plumbing for the search algorithms. Constructed once per
+// search from a nullable MetricRegistry; with a null registry every hook
+// is a single branch on a cached bool, so uninstrumented searches pay no
+// measurable overhead (the acceptance bar for this layer).
+//
+// Metric names (see docs/OBSERVABILITY.md for the full catalog):
+//   search.states_examined   counter, mirrors SearchStats::states_examined
+//   search.states_generated  counter, successors produced by Expand
+//   search.expansions        counter, calls to Problem::Expand
+//   search.re_expansions     counter, visits of a state key seen earlier in
+//                            this search (IDA* re-iterations, RBFS
+//                            re-descents, A* re-openings)
+//   search.duplicate_hits    counter, successors skipped by cycle/closed/
+//                            best-g checks
+//   search.iterations        counter, completed IDA* iterations
+//   search.f_bound           histogram, the f-bound of each IDA* iteration
+//   search.peak_memory_nodes max gauge, mirrors SearchStats peak memory
+class SearchInstrumentation {
+ public:
+  explicit SearchInstrumentation(obs::MetricRegistry* registry) {
+    if (registry == nullptr) return;
+    enabled_ = true;
+    examined_ = &registry->GetCounter("search.states_examined");
+    generated_ = &registry->GetCounter("search.states_generated");
+    expansions_ = &registry->GetCounter("search.expansions");
+    re_expansions_ = &registry->GetCounter("search.re_expansions");
+    duplicate_hits_ = &registry->GetCounter("search.duplicate_hits");
+    iterations_ = &registry->GetCounter("search.iterations");
+    f_bound_ = &registry->GetHistogram("search.f_bound",
+                                       obs::ExponentialBounds(1, 2, 16));
+    peak_memory_ = &registry->GetGauge("search.peak_memory_nodes");
+  }
+
+  bool enabled() const { return enabled_; }
+
+  // A state was examined. Tracks the set of visited keys (only when
+  // enabled) to attribute repeat visits to search.re_expansions.
+  void OnVisit(uint64_t state_key) {
+    if (!enabled_) return;
+    examined_->Increment();
+    if (!visited_keys_.insert(state_key).second) {
+      re_expansions_->Increment();
+    }
+  }
+
+  // Problem::Expand returned `generated` successors.
+  void OnExpand(size_t generated) {
+    if (!enabled_) return;
+    expansions_->Increment();
+    generated_->Increment(generated);
+  }
+
+  // A successor was discarded by duplicate detection.
+  void OnDuplicateHit() {
+    if (enabled_) duplicate_hits_->Increment();
+  }
+
+  // An IDA* iteration began with the given f-bound.
+  void OnIteration(int64_t f_bound) {
+    if (!enabled_) return;
+    iterations_->Increment();
+    f_bound_->Observe(f_bound);
+  }
+
+  void OnPeakMemory(uint64_t nodes) {
+    if (enabled_) peak_memory_->UpdateMax(static_cast<int64_t>(nodes));
+  }
+
+ private:
+  bool enabled_ = false;
+  obs::Counter* examined_ = nullptr;
+  obs::Counter* generated_ = nullptr;
+  obs::Counter* expansions_ = nullptr;
+  obs::Counter* re_expansions_ = nullptr;
+  obs::Counter* duplicate_hits_ = nullptr;
+  obs::Counter* iterations_ = nullptr;
+  obs::Histogram* f_bound_ = nullptr;
+  obs::Gauge* peak_memory_ = nullptr;
+  std::unordered_set<uint64_t> visited_keys_;
+};
+
+}  // namespace tupelo
+
+#endif  // TUPELO_SEARCH_INSTRUMENTATION_H_

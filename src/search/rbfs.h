@@ -6,6 +6,7 @@
 #include <utility>
 #include <vector>
 
+#include "search/instrumentation.h"
 #include "search/search_types.h"
 #include "search/trace.h"
 
@@ -26,11 +27,12 @@ namespace tupelo {
 template <typename P>
 SearchOutcome<typename P::Action> RbfsSearch(
     const P& problem, const SearchLimits& limits = SearchLimits(),
-    SearchTracer* tracer = nullptr) {
+    SearchTracer* tracer = nullptr, obs::MetricRegistry* metrics = nullptr) {
   using Action = typename P::Action;
   using State = typename P::State;
 
   SearchOutcome<Action> outcome;
+  SearchInstrumentation instr(metrics);
 
   struct Child {
     Action action;
@@ -45,6 +47,7 @@ SearchOutcome<typename P::Action> RbfsSearch(
     const SearchLimits& limits;
     SearchOutcome<Action>& out;
     SearchTracer* tracer;
+    SearchInstrumentation& instr;
     std::vector<Action> path_actions;
     std::unordered_set<uint64_t> path_keys;
     bool aborted = false;
@@ -62,6 +65,8 @@ SearchOutcome<typename P::Action> RbfsSearch(
       ++out.stats.states_examined;
       out.stats.peak_memory_nodes = std::max(
           out.stats.peak_memory_nodes, static_cast<uint64_t>(g) + 1);
+      instr.OnVisit(problem.StateKey(state));
+      instr.OnPeakMemory(static_cast<uint64_t>(g) + 1);
       if (tracer != nullptr) {
         tracer->Record(TraceEvent{TraceEventKind::kVisit,
                                   problem.StateKey(state),
@@ -82,11 +87,15 @@ SearchOutcome<typename P::Action> RbfsSearch(
 
       auto successors = problem.Expand(state);
       out.stats.states_generated += successors.size();
+      instr.OnExpand(successors.size());
       std::vector<Child> children;
       children.reserve(successors.size());
       for (auto& succ : successors) {
         uint64_t key = problem.StateKey(succ.state);
-        if (path_keys.contains(key)) continue;
+        if (path_keys.contains(key)) {
+          instr.OnDuplicateHit();
+          continue;
+        }
         int64_t f = g + 1 + problem.EstimateCost(succ.state);
         // Korf's inheritance: when this node has been explored before
         // (its stored value exceeds its static value), its children's
@@ -128,7 +137,7 @@ SearchOutcome<typename P::Action> RbfsSearch(
     }
   };
 
-  Rec rec{problem, limits, outcome, tracer, {}, {}, false};
+  Rec rec{problem, limits, outcome, tracer, instr, {}, {}, false};
   const State& root = problem.initial_state();
   rec.path_keys.insert(problem.StateKey(root));
   int64_t root_f = problem.EstimateCost(root);

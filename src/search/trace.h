@@ -17,13 +17,14 @@ namespace tupelo {
 enum class TraceEventKind {
   kVisit,      // a state was examined; f = g + h at that state
   kGoal,       // the goal test succeeded at this state
-  kIteration,  // IDA* started a new iteration; value = the new f-bound
+  kIteration,  // IDA*: a new iteration began, value = the new f-bound;
+               // beam: a new level began, depth = level, value = best h
 };
 
 struct TraceEvent {
   TraceEventKind kind;
   uint64_t state_key = 0;  // 0 for kIteration
-  int depth = 0;           // g (0 for kIteration)
+  int depth = 0;           // g (beam level for its kIteration, else 0)
   int64_t value = 0;       // f for visits, bound for iterations
 
   friend bool operator==(const TraceEvent&, const TraceEvent&) = default;
@@ -37,15 +38,17 @@ class SearchTracer {
     if (events_.size() < capacity_) {
       events_.push_back(event);
     } else {
-      truncated_ = true;
+      ++dropped_;
     }
   }
 
   const std::vector<TraceEvent>& events() const { return events_; }
-  bool truncated() const { return truncated_; }
+  bool truncated() const { return dropped_ > 0; }
+  // Events discarded after capacity was reached.
+  uint64_t dropped() const { return dropped_; }
   void Clear() {
     events_.clear();
-    truncated_ = false;
+    dropped_ = 0;
   }
 
   // Human-readable dump, one event per line.
@@ -67,14 +70,16 @@ class SearchTracer {
           break;
       }
     }
-    if (truncated_) out += "(truncated)\n";
+    if (dropped_ > 0) {
+      out += "(truncated: " + std::to_string(dropped_) + " events dropped)\n";
+    }
     return out;
   }
 
  private:
   size_t capacity_;
   std::vector<TraceEvent> events_;
-  bool truncated_ = false;
+  uint64_t dropped_ = 0;
 };
 
 }  // namespace tupelo

@@ -2,8 +2,10 @@
 
 #include <cstdlib>
 #include <map>
+#include <string>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "search/a_star.h"
 #include "search/beam.h"
 #include "search/greedy.h"
@@ -444,6 +446,132 @@ TEST(TraceTest, ToStringMentionsEveryKind) {
   EXPECT_NE(dump.find("iteration bound=3"), std::string::npos);
   EXPECT_NE(dump.find("visit g=1 f=5"), std::string::npos);
   EXPECT_NE(dump.find("goal  g=2"), std::string::npos);
+}
+
+TEST(TraceTest, ToStringReportsDropCount) {
+  SearchTracer tracer(2);
+  for (int i = 0; i < 5; ++i) {
+    tracer.Record(TraceEvent{TraceEventKind::kVisit, 1, 0, 0});
+  }
+  EXPECT_TRUE(tracer.truncated());
+  EXPECT_EQ(tracer.dropped(), 3u);
+  EXPECT_NE(tracer.ToString().find("truncated: 3 events dropped"),
+            std::string::npos);
+}
+
+TEST(TraceTest, BeamRecordsLevelEvents) {
+  NumberLineProblem p;
+  p.goal = 10;
+  SearchLimits limits;
+  limits.max_depth = 20;
+  SearchTracer tracer;
+  auto out = BeamSearch(p, 4, limits, &tracer);
+  ASSERT_TRUE(out.found);
+  int last_level = -1;
+  size_t levels = 0;
+  size_t visits = 0;
+  for (const TraceEvent& e : tracer.events()) {
+    if (e.kind == TraceEventKind::kIteration) {
+      EXPECT_EQ(e.depth, last_level + 1);  // consecutive levels
+      last_level = e.depth;
+      ++levels;
+    } else if (e.kind == TraceEventKind::kVisit) {
+      ++visits;
+    }
+  }
+  EXPECT_GE(levels, 1u);
+  EXPECT_EQ(visits, out.stats.states_examined);
+}
+
+// ---------------------------------------------------------------------------
+// Metrics
+// ---------------------------------------------------------------------------
+
+// The shared toy problem for metric-consistency checks: a diamond with a
+// back edge to the start, so duplicate detection fires on every algorithm
+// (path-cycle checks in IDA*/RBFS, closed/best-g checks in A*/greedy).
+GraphProblem MetricsProblem() {
+  GraphProblem p;
+  p.edges = {{0, {1, 2}}, {1, {0, 3}}, {2, {3}}, {3, {4}}};
+  p.goal = 4;
+  return p;
+}
+
+TEST(SearchMetricsTest, CountersMatchStatsAcrossAlgorithms) {
+  GraphProblem p = MetricsProblem();
+  for (Algo algo : {Algo::kIda, Algo::kRbfs, Algo::kAStar, Algo::kGreedy}) {
+    obs::MetricRegistry registry;
+    SearchOutcome<int> out;
+    switch (algo) {
+      case Algo::kIda:
+        out = IdaStarSearch(p, SearchLimits(), nullptr, &registry);
+        break;
+      case Algo::kRbfs:
+        out = RbfsSearch(p, SearchLimits(), nullptr, &registry);
+        break;
+      case Algo::kAStar:
+        out = AStarSearch(p, SearchLimits(), nullptr, &registry);
+        break;
+      case Algo::kGreedy:
+        out = GreedySearch(p, SearchLimits(), nullptr, &registry);
+        break;
+    }
+    int which = static_cast<int>(algo);
+    ASSERT_TRUE(out.found) << which;
+    EXPECT_EQ(registry.CounterValue("search.states_examined"),
+              out.stats.states_examined)
+        << which;
+    EXPECT_EQ(registry.CounterValue("search.states_generated"),
+              out.stats.states_generated)
+        << which;
+    EXPECT_GE(registry.CounterValue("search.expansions"), 1u) << which;
+    const obs::Gauge* peak = registry.FindGauge("search.peak_memory_nodes");
+    ASSERT_NE(peak, nullptr) << which;
+    EXPECT_EQ(static_cast<uint64_t>(peak->value()),
+              out.stats.peak_memory_nodes)
+        << which;
+    // The diamond generates node 3 twice: duplicate detection must fire.
+    EXPECT_GE(registry.CounterValue("search.duplicate_hits"), 1u) << which;
+  }
+}
+
+TEST(SearchMetricsTest, RegistryDoesNotChangeTheOutcome) {
+  GraphProblem p = MetricsProblem();
+  obs::MetricRegistry registry;
+  auto plain = IdaStarSearch(p);
+  auto metered = IdaStarSearch(p, SearchLimits(), nullptr, &registry);
+  EXPECT_EQ(plain.found, metered.found);
+  EXPECT_EQ(plain.path, metered.path);
+  EXPECT_EQ(plain.stats.states_examined, metered.stats.states_examined);
+  EXPECT_EQ(plain.stats.iterations, metered.stats.iterations);
+}
+
+TEST(SearchMetricsTest, IdaIterationCounterAndFBoundHistogram) {
+  // h = 0: one iteration per depth level, bounds 0..4.
+  GraphProblem p;
+  p.edges = {{0, {1}}, {1, {2}}, {2, {3}}, {3, {4}}};
+  p.goal = 4;
+  obs::MetricRegistry registry;
+  auto out = IdaStarSearch(p, SearchLimits(), nullptr, &registry);
+  ASSERT_TRUE(out.found);
+  EXPECT_EQ(registry.CounterValue("search.iterations"),
+            static_cast<uint64_t>(out.stats.iterations));
+  const obs::Histogram* f_bound = registry.FindHistogram("search.f_bound");
+  ASSERT_NE(f_bound, nullptr);
+  EXPECT_EQ(f_bound->count(), static_cast<uint64_t>(out.stats.iterations));
+  // Re-visits of shallow states across iterations count as re-expansions.
+  EXPECT_GT(registry.CounterValue("search.re_expansions"), 0u);
+}
+
+TEST(SearchMetricsTest, SingleIterationHasNoReExpansions) {
+  GraphProblem p;
+  p.edges = {{0, {1}}, {1, {2}}};
+  p.goal = 2;
+  p.h = {{0, 2}, {1, 1}, {2, 0}};  // perfect heuristic: one iteration
+  obs::MetricRegistry registry;
+  auto out = IdaStarSearch(p, SearchLimits(), nullptr, &registry);
+  ASSERT_TRUE(out.found);
+  EXPECT_EQ(registry.CounterValue("search.re_expansions"), 0u);
 }
 
 TEST(AStarTest, DeterministicTieBreaking) {
