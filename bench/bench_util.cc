@@ -37,6 +37,12 @@ RunResult Measure(const Database& source, const Database& target,
   }
   out.found = result->found;
   out.cutoff = result->budget_exhausted;
+  out.stop_reason = std::string(StopReasonName(result->stop_reason));
+  out.verified = result->verified;
+  if (!result->verify_status.ok()) {
+    out.verify_error = result->verify_status.ToString();
+  }
+  out.deadline_millis = run_options.limits.deadline_millis;
   out.states = result->stats.states_examined;
   out.states_generated = result->stats.states_generated;
   out.iterations = result->stats.iterations;
@@ -101,7 +107,7 @@ BenchReport::BenchReport(std::string harness, const BenchArgs& args)
     : enabled_(!args.json_path.empty()), path_(args.json_path) {
   if (!enabled_) return;
   root_ = obs::JsonValue::Object();
-  root_["schema_version"] = 1;
+  root_["schema_version"] = 2;
   root_["harness"] = std::move(harness);
   root_["git_sha"] = GitSha();
   root_["seed"] = args.seed;
@@ -122,6 +128,10 @@ obs::JsonValue BenchReport::MakeRun(const RunResult& r) {
   obs::JsonValue run = obs::JsonValue::Object();
   run["found"] = r.found;
   run["cutoff"] = r.cutoff;
+  run["stop_reason"] = r.stop_reason;
+  run["verified"] = r.verified;
+  run["verify_error"] = r.verify_error;
+  run["deadline_millis"] = r.deadline_millis;
   run["states_examined"] = r.states;
   run["states_generated"] = r.states_generated;
   run["iterations"] = r.iterations;

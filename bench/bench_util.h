@@ -16,6 +16,10 @@ namespace tupelo::bench {
 struct RunResult {
   bool found = false;
   bool cutoff = false;  // budget exhausted before success
+  std::string stop_reason = "exhausted";  // StopReasonName of the outcome
+  bool verified = false;       // replay re-check passed (found runs only)
+  std::string verify_error;    // verify_status text when the re-check failed
+  int64_t deadline_millis = 0;  // the run's wall-clock budget (0: none)
   uint64_t states = 0;  // states examined (the paper's measure)
   uint64_t states_generated = 0;
   uint64_t iterations = 0;
@@ -56,12 +60,14 @@ BenchArgs ParseBenchArgs(int argc, char** argv,
 std::string GitSha();
 
 // Accumulates a machine-readable run report and writes it to the --json
-// path on Write(). Layout (schema_version 1):
+// path on Write(). Layout (schema_version 2):
 //
-//   {"schema_version":1, "harness":..., "git_sha":..., "seed":...,
+//   {"schema_version":2, "harness":..., "git_sha":..., "seed":...,
 //    "quick":..., "budget":...,
 //    "panels":[{"name":..., "runs":[{...axis fields..., "found":...,
-//               "cutoff":..., "states_examined":..., "wall_millis":...,
+//               "cutoff":..., "stop_reason":..., "verified":...,
+//               "verify_error":..., "deadline_millis":...,
+//               "states_examined":..., "wall_millis":...,
 //               "metrics":{...MetricRegistry::ToJson()...}}, ...]}]}
 //
 // All methods are no-ops when constructed with an empty json_path, so

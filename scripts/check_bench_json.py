@@ -3,14 +3,23 @@
 
 Usage: check_bench_json.py REPORT.json [REPORT2.json ...]
 
-Checks the schema documented in docs/OBSERVABILITY.md (schema_version 1):
+Checks the schema documented in docs/OBSERVABILITY.md (schema_version 2):
 required top-level fields with the right types, a non-empty panels list,
-and per-run presence of the standard measurement fields. Exits non-zero
-with a line per violation, so it works as a ctest command.
+and per-run presence of the standard measurement fields — including the
+resource-governance fields (stop_reason, verified, verify_error,
+deadline_millis) added in schema_version 2. Exits non-zero with a line
+per violation, so it works as a ctest command.
 """
 
 import json
 import sys
+
+SCHEMA_VERSION = 2
+
+STOP_REASONS = {
+    "found", "exhausted", "states", "depth", "memory", "deadline",
+    "cancelled",
+}
 
 REQUIRED_TOP = {
     "schema_version": int,
@@ -25,6 +34,10 @@ REQUIRED_TOP = {
 REQUIRED_RUN = {
     "found": bool,
     "cutoff": bool,
+    "stop_reason": str,
+    "verified": bool,
+    "verify_error": str,
+    "deadline_millis": int,
     "states_examined": int,
     "states_generated": int,
     "iterations": int,
@@ -58,8 +71,9 @@ def check(path):
             err("top-level field %r has type %s, want %s"
                 % (key, type(doc[key]).__name__, want.__name__))
 
-    if doc.get("schema_version") != 1:
-        err("schema_version is %r, want 1" % doc.get("schema_version"))
+    if doc.get("schema_version") != SCHEMA_VERSION:
+        err("schema_version is %r, want %d"
+            % (doc.get("schema_version"), SCHEMA_VERSION))
     sha = doc.get("git_sha", "")
     if isinstance(sha, str) and sha != "unknown" and (
         len(sha) != 40 or not all(c in "0123456789abcdef" for c in sha)
@@ -95,6 +109,14 @@ def check(path):
                             % (where, key, type(run[key]).__name__))
                 if run.get("wall_millis", 0) < 0:
                     err("%s has negative wall_millis" % where)
+                reason = run.get("stop_reason")
+                if isinstance(reason, str) and reason not in STOP_REASONS:
+                    err("%s has unknown stop_reason %r" % (where, reason))
+                if run.get("found") is True and reason not in (None, "found"):
+                    err("%s found=true but stop_reason is %r"
+                        % (where, reason))
+                if run.get("deadline_millis", 0) < 0:
+                    err("%s has negative deadline_millis" % where)
                 metrics = run.get("metrics")
                 if metrics is not None:
                     if not isinstance(metrics, dict):

@@ -23,6 +23,9 @@ struct SchemaMatch {
   std::vector<std::pair<std::string, std::string>> relation_matches;
 
   bool found = false;
+  // Why the underlying discovery stopped (see search/search_types.h);
+  // budget_exhausted mirrors IsResourceStop(stop_reason).
+  StopReason stop_reason = StopReason::kExhausted;
   bool budget_exhausted = false;
   MappingExpression mapping;
   SearchStats stats;

@@ -1,8 +1,10 @@
 #include "core/tupelo.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <memory>
+#include <string>
 #include <utility>
 
 #include "fira/optimizer.h"
@@ -22,7 +24,21 @@ double MillisSince(Clock::time_point start) {
       .count();
 }
 
+// Splits `remaining` by `share` for a non-final rung; the last rung takes
+// everything left. Never returns 0 for a positive remainder, so a rung
+// always gets a sliver of budget rather than tripping instantly.
+uint64_t RungSlice(uint64_t remaining, double share, bool last) {
+  if (last || share >= 1.0) return remaining;
+  if (share <= 0.0) share = 1.0;
+  uint64_t slice = static_cast<uint64_t>(static_cast<double>(remaining) * share);
+  return slice == 0 && remaining > 0 ? 1 : slice;
+}
+
 }  // namespace
+
+std::vector<DegradationRung> DefaultLadder() {
+  return {{SearchAlgorithm::kIda, 0.6}, {SearchAlgorithm::kBeam, 1.0}};
+}
 
 std::string RunReport::ToString() const {
   char buf[160];
@@ -58,45 +74,149 @@ Result<TupeloResult> Tupelo::Discover(const TupeloOptions& options) const {
     }
   }
 
-  std::unique_ptr<Heuristic> heuristic = MakeHeuristic(
-      options.heuristic, target_, options.algorithm, options.scale_k);
-  if (heuristic == nullptr) {
+  // Validate the heuristic kind once up front (rungs only vary the
+  // algorithm, which can never make MakeHeuristic fail).
+  if (MakeHeuristic(options.heuristic, target_, options.algorithm,
+                    options.scale_k) == nullptr) {
     return Status::InvalidArgument("unknown heuristic kind");
   }
 
-  MappingProblem problem(source_, target_, std::move(heuristic), registry_,
-                         correspondences_, options.successors);
-  problem.set_metrics(options.metrics);
+  // The rung sequence: the ladder when configured, else one rung running
+  // the configured algorithm on the full budget.
+  std::vector<DegradationRung> ladder = options.ladder;
+  if (ladder.empty()) {
+    ladder.push_back(DegradationRung{options.algorithm, 1.0});
+  }
 
+  obs::MetricRegistry* metrics = options.metrics;
   TupeloResult result;
-  SearchOutcome<Op> outcome;
+  SearchOutcome<Op> found_outcome;
   Clock::time_point search_start = Clock::now();
-  switch (options.algorithm) {
-    case SearchAlgorithm::kIda:
-      outcome =
-          IdaStarSearch(problem, options.limits, nullptr, options.metrics);
+  int64_t deadline_total = options.limits.deadline_millis;
+  uint64_t states_left = options.limits.max_states;
+  // The heuristically closest state seen across rungs (anytime result).
+  std::vector<Op> best_partial;
+  int best_partial_h = -1;
+
+  for (size_t i = 0; i < ladder.size(); ++i) {
+    const bool last = i + 1 == ladder.size();
+    if (i > 0 && metrics != nullptr) {
+      metrics->GetCounter("governor.fallback_activations").Increment();
+    }
+
+    SearchLimits rung_limits = options.limits;
+    rung_limits.max_states = RungSlice(states_left, ladder[i].budget_share,
+                                       last);
+    if (deadline_total > 0) {
+      int64_t remaining =
+          deadline_total - static_cast<int64_t>(MillisSince(search_start));
+      if (remaining <= 0) {
+        // The overall deadline expired between rungs: record the skipped
+        // rung as an immediate deadline trip so the report shows it.
+        result.rungs.push_back(
+            RungAttempt{ladder[i].algorithm, StopReason::kDeadline, 0, 0.0});
+        result.stop_reason = StopReason::kDeadline;
+        if (metrics != nullptr) {
+          metrics->GetCounter("governor.deadline_trips").Increment();
+        }
+        break;
+      }
+      rung_limits.deadline_millis = static_cast<int64_t>(RungSlice(
+          static_cast<uint64_t>(remaining), ladder[i].budget_share, last));
+    }
+
+    std::unique_ptr<Heuristic> heuristic =
+        MakeHeuristic(options.heuristic, target_, ladder[i].algorithm,
+                      options.scale_k);
+    MappingProblem problem(source_, target_, std::move(heuristic), registry_,
+                           correspondences_, options.successors);
+    problem.set_metrics(metrics);
+
+    SearchOutcome<Op> outcome;
+    Clock::time_point rung_start = Clock::now();
+    switch (ladder[i].algorithm) {
+      case SearchAlgorithm::kIda:
+        outcome = IdaStarSearch(problem, rung_limits, nullptr, metrics);
+        break;
+      case SearchAlgorithm::kRbfs:
+        outcome = RbfsSearch(problem, rung_limits, nullptr, metrics);
+        break;
+      case SearchAlgorithm::kAStar:
+        outcome = AStarSearch(problem, rung_limits, nullptr, metrics);
+        break;
+      case SearchAlgorithm::kGreedy:
+        outcome = GreedySearch(problem, rung_limits, nullptr, metrics);
+        break;
+      case SearchAlgorithm::kBeam:
+        outcome = BeamSearch(problem, options.beam_width, rung_limits,
+                             nullptr, metrics);
+        break;
+    }
+    double rung_millis = MillisSince(rung_start);
+
+    result.rungs.push_back(RungAttempt{ladder[i].algorithm, outcome.stop,
+                                       outcome.stats.states_examined,
+                                       rung_millis});
+    if (metrics != nullptr) {
+      metrics->GetCounter("governor.rungs_attempted").Increment();
+      metrics
+          ->GetCounter(std::string("governor.rung.") +
+                       std::string(SearchAlgorithmName(ladder[i].algorithm)) +
+                       ".nanos")
+          .Increment(static_cast<uint64_t>(rung_millis * 1e6));
+      switch (outcome.stop) {
+        case StopReason::kDeadline:
+          metrics->GetCounter("governor.deadline_trips").Increment();
+          break;
+        case StopReason::kCancelled:
+          metrics->GetCounter("governor.cancellations").Increment();
+          break;
+        case StopReason::kMemory:
+          metrics->GetCounter("governor.memory_trips").Increment();
+          break;
+        default:
+          break;
+      }
+    }
+
+    result.stats.states_examined += outcome.stats.states_examined;
+    result.stats.states_generated += outcome.stats.states_generated;
+    result.stats.iterations += outcome.stats.iterations;
+    result.stats.peak_memory_nodes = std::max(
+        result.stats.peak_memory_nodes, outcome.stats.peak_memory_nodes);
+    states_left -= std::min(states_left, outcome.stats.states_examined);
+    if (outcome.best_h >= 0 &&
+        (best_partial_h < 0 || outcome.best_h < best_partial_h)) {
+      best_partial_h = outcome.best_h;
+      best_partial = outcome.best_path;
+    }
+    result.stop_reason = outcome.stop;
+
+    if (outcome.found) {
+      result.found = true;
+      result.stats.solution_cost = outcome.stats.solution_cost;
+      found_outcome = std::move(outcome);
       break;
-    case SearchAlgorithm::kRbfs:
-      outcome = RbfsSearch(problem, options.limits, nullptr, options.metrics);
+    }
+    // kExhausted on a complete algorithm is conclusive, but later rungs
+    // are cheap and the sweep may have been cut by the per-rung slice on
+    // a previous rung, so the ladder only stops early when the caller
+    // cancelled (retrying cannot help) or this was the last rung.
+    if (outcome.stop == StopReason::kCancelled) break;
+    if (options.limits.cancel != nullptr &&
+        options.limits.cancel->cancelled()) {
+      result.stop_reason = StopReason::kCancelled;
       break;
-    case SearchAlgorithm::kAStar:
-      outcome = AStarSearch(problem, options.limits, nullptr, options.metrics);
-      break;
-    case SearchAlgorithm::kGreedy:
-      outcome = GreedySearch(problem, options.limits, nullptr, options.metrics);
-      break;
-    case SearchAlgorithm::kBeam:
-      outcome = BeamSearch(problem, options.beam_width, options.limits,
-                           nullptr, options.metrics);
-      break;
+    }
   }
   result.report.search_millis = MillisSince(search_start);
 
-  result.found = outcome.found;
-  result.budget_exhausted = outcome.budget_exhausted;
-  result.stats = outcome.stats;
-  if (outcome.found) {
-    result.mapping = MappingExpression(std::move(outcome.path));
+  result.budget_exhausted = IsResourceStop(result.stop_reason);
+  result.partial_mapping = MappingExpression(std::move(best_partial));
+  result.partial_h = best_partial_h;
+  if (result.found) {
+    result.stop_reason = StopReason::kFound;
+    result.mapping = MappingExpression(std::move(found_outcome.path));
     if (options.simplify) {
       Clock::time_point simplify_start = Clock::now();
       result.mapping = Simplify(result.mapping);
@@ -104,7 +224,16 @@ Result<TupeloResult> Tupelo::Discover(const TupeloOptions& options) const {
     }
     Clock::time_point verify_start = Clock::now();
     Result<Database> replay = result.mapping.Apply(source_, registry_);
-    result.verified = replay.ok() && replay->Contains(target_);
+    if (!replay.ok()) {
+      result.verified = false;
+      result.verify_status = replay.status();
+    } else if (!replay->Contains(target_)) {
+      result.verified = false;
+      result.verify_status = Status::Internal(
+          "replayed mapping does not contain the target instance");
+    } else {
+      result.verified = true;
+    }
     result.report.verify_millis = MillisSince(verify_start);
   }
 

@@ -14,6 +14,19 @@
 
 namespace tupelo {
 
+// One rung of the graceful-degradation ladder: which algorithm to try and
+// how much of the *remaining* deadline/state budget it may consume before
+// Discover falls through to the next rung. The last rung always receives
+// everything left, whatever its share says.
+struct DegradationRung {
+  SearchAlgorithm algorithm = SearchAlgorithm::kBeam;
+  double budget_share = 1.0;  // clamped to (0, 1]
+};
+
+// The default ladder: a complete, optimal search first, then the cheap
+// incomplete beam sweep as the degraded best-effort answer.
+std::vector<DegradationRung> DefaultLadder();
+
 // End-to-end configuration for one mapping-discovery run.
 struct TupeloOptions {
   SearchAlgorithm algorithm = SearchAlgorithm::kRbfs;
@@ -21,18 +34,28 @@ struct TupeloOptions {
   // Scaling constant for the scaled heuristics; ≤ 0 selects the paper's
   // per-algorithm default (heuristics/heuristic_factory.h).
   double scale_k = 0.0;
+  // Resource budget shared by the whole Discover call. deadline_millis,
+  // max_memory_nodes and cancel govern every rung; with a ladder the
+  // deadline and state budgets are split across rungs by budget_share.
   SearchLimits limits;
   SuccessorConfig successors;
   // Frontier width for SearchAlgorithm::kBeam (ignored otherwise). Beam
   // search is incomplete: found=false does not prove no mapping exists.
   size_t beam_width = 8;
+  // Graceful degradation: when non-empty, Discover runs these rungs in
+  // order instead of `algorithm`, falling through whenever a rung stops on
+  // a resource limit without finding a mapping (see DefaultLadder()).
+  // Per-rung attempts are recorded in TupeloResult::rungs and the
+  // governor.* metrics.
+  std::vector<DegradationRung> ladder;
   // Run the peephole optimizer (fira/optimizer.h) on the discovered
   // expression; the raw search path is replaced by the simplified,
   // re-verified equivalent.
   bool simplify = false;
   // Optional metric registry (nullable; default off). When set, the run
-  // populates search.*, heuristic.*, executor.* and phase.* instruments —
-  // see docs/OBSERVABILITY.md for the catalog. Must outlive the call.
+  // populates search.*, heuristic.*, executor.*, phase.* and governor.*
+  // instruments — see docs/OBSERVABILITY.md for the catalog. Must outlive
+  // the call.
   obs::MetricRegistry* metrics = nullptr;
 };
 
@@ -50,18 +73,45 @@ struct RunReport {
   std::string ToString() const;
 };
 
+// One attempted rung of a Discover call (a single rung for plain runs,
+// one entry per ladder rung tried for degraded runs).
+struct RungAttempt {
+  SearchAlgorithm algorithm = SearchAlgorithm::kRbfs;
+  StopReason stop = StopReason::kExhausted;
+  uint64_t states_examined = 0;
+  double millis = 0.0;
+};
+
 // The outcome of a discovery run.
 struct TupeloResult {
   // A mapping was found within the budget.
   bool found = false;
-  // The search stopped on a SearchLimits bound.
+  // Why discovery stopped. kFound when found; otherwise the final rung's
+  // stop reason (kExhausted is conclusive, everything else means the
+  // resource governor cut the run short).
+  StopReason stop_reason = StopReason::kExhausted;
+  // Compatibility mirror of IsResourceStop(stop_reason).
   bool budget_exhausted = false;
   // The discovered executable mapping expression (empty unless found).
   MappingExpression mapping;
+  // Anytime result: the prefix expression reaching the heuristically
+  // closest state any rung examined, and that state's remaining heuristic
+  // distance (0 when found, -1 if nothing was examined). On a resource
+  // stop this is the best-effort partial mapping.
+  MappingExpression partial_mapping;
+  int partial_h = -1;
   // True if re-executing `mapping` on the source instance produced a state
   // containing the target instance (sanity re-check of the search result).
   bool verified = false;
+  // Why verification failed: the replay error, or an Internal status when
+  // the replay succeeded but its result does not contain the target. OK
+  // when verified (or when nothing was found to verify).
+  Status verify_status;
+  // Aggregate over all rungs (states/generated/iterations summed, peak
+  // memory maxed; solution_cost from the successful rung).
   SearchStats stats;
+  // Per-rung attempts, in execution order.
+  std::vector<RungAttempt> rungs;
   // Phase timing for this run (see RunReport).
   RunReport report;
 };

@@ -1,11 +1,62 @@
 #include "fira/executor.h"
 
+#include <atomic>
 #include <map>
 #include <optional>
 #include <utility>
 #include <vector>
 
 namespace tupelo {
+namespace {
+
+std::atomic<FaultInjector*> g_fault_injector{nullptr};
+
+}  // namespace
+
+void FaultInjector::Arm(std::string op_name, Status status, uint64_t skip) {
+  std::lock_guard<std::mutex> lock(mu_);
+  armed_ = true;
+  op_name_ = std::move(op_name);
+  status_ = std::move(status);
+  skip_ = skip;
+  consults_ = 0;
+  injected_ = 0;
+}
+
+void FaultInjector::Disarm() {
+  std::lock_guard<std::mutex> lock(mu_);
+  armed_ = false;
+}
+
+uint64_t FaultInjector::consults() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return consults_;
+}
+
+uint64_t FaultInjector::injected() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return injected_;
+}
+
+bool FaultInjector::ShouldFail(std::string_view op_name, Status* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!armed_) return false;
+  if (op_name_ != "*" && op_name_ != op_name) return false;
+  uint64_t index = consults_++;
+  if (index < skip_) return false;
+  ++injected_;
+  *out = status_;
+  return true;
+}
+
+void SetFaultInjector(FaultInjector* injector) {
+  g_fault_injector.store(injector, std::memory_order_release);
+}
+
+FaultInjector* GetFaultInjector() {
+  return g_fault_injector.load(std::memory_order_acquire);
+}
+
 namespace {
 
 struct OpApplier {
@@ -312,6 +363,17 @@ struct OpApplier {
 Result<Database> ApplyOp(const Op& op, const Database& input,
                          const FunctionRegistry* registry,
                          obs::MetricRegistry* metrics) {
+  if (FaultInjector* injector = GetFaultInjector(); injector != nullptr) {
+    Status injected;
+    if (injector->ShouldFail(OpName(op), &injected)) {
+      if (metrics != nullptr) {
+        const std::string name = OpName(op);
+        metrics->GetCounter("executor." + name + ".count").Increment();
+        metrics->GetCounter("executor." + name + ".failures").Increment();
+      }
+      return injected;
+    }
+  }
   if (metrics == nullptr) {
     return std::visit(OpApplier{input, registry}, op);
   }

@@ -1,6 +1,11 @@
 #ifndef TUPELO_FIRA_EXECUTOR_H_
 #define TUPELO_FIRA_EXECUTOR_H_
 
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+
 #include "common/result.h"
 #include "fira/function_registry.h"
 #include "fira/operators.h"
@@ -8,6 +13,47 @@
 #include "relational/database.h"
 
 namespace tupelo {
+
+// Fault-injection seam for tests: when installed (SetFaultInjector),
+// ApplyOp consults the injector before executing each operator and returns
+// the injected error Status instead of running it. This is how tests prove
+// that operator failures propagate as Status (not crashes) through search,
+// verification, and the degradation ladder. Disarmed and uninstalled
+// injectors cost one relaxed atomic load per ApplyOp.
+class FaultInjector {
+ public:
+  // Arms the injector: applications of `op_name` (script-name form —
+  // "promote", "rename_att", ...; "*" matches every operator) fail with
+  // `status` after `skip` matching applications have been allowed through.
+  // Re-arming replaces the previous configuration and resets counters.
+  void Arm(std::string op_name, Status status, uint64_t skip = 0);
+  void Disarm();
+
+  // Matching applications consulted so far (allowed + failed) since the
+  // last Arm. Lets tests position `skip` deterministically, e.g. at the
+  // first verification replay after a search.
+  uint64_t consults() const;
+  // Applications actually failed since the last Arm.
+  uint64_t injected() const;
+
+  // Consulted by ApplyOp; returns true and fills `out` when this
+  // application must fail.
+  bool ShouldFail(std::string_view op_name, Status* out);
+
+ private:
+  mutable std::mutex mu_;
+  bool armed_ = false;
+  std::string op_name_;
+  Status status_;
+  uint64_t skip_ = 0;
+  uint64_t consults_ = 0;
+  uint64_t injected_ = 0;
+};
+
+// Installs the process-wide injector consulted by ApplyOp (nullptr to
+// uninstall). The injector must outlive its installation. Test-only seam.
+void SetFaultInjector(FaultInjector* injector);
+FaultInjector* GetFaultInjector();
 
 // Applies one operator of L to a database state, producing the successor
 // state. The input is untouched. `registry` may be null when `op` is not an

@@ -69,10 +69,23 @@ SearchOutcome<typename P::Action> AStarSearch(
     outcome.stats.peak_memory_nodes =
         std::max(outcome.stats.peak_memory_nodes, nodes);
     instr.OnPeakMemory(nodes);
+    return nodes;
   };
 
+  auto reconstruct = [](const Node* n) {
+    std::vector<Action> path;
+    for (; n->parent != nullptr; n = n->parent.get()) {
+      path.push_back(n->action_from_parent);
+    }
+    std::reverse(path.begin(), path.end());
+    return path;
+  };
+
+  BudgetGuard guard(limits);
+  NodePtr best_node;  // anytime: lowest-h state examined so far
+
   while (!open.empty()) {
-    track_memory();
+    uint64_t memory_nodes = track_memory();
     QueueEntry entry = open.top();
     open.pop();
     const NodePtr& node = entry.node;
@@ -80,13 +93,20 @@ SearchOutcome<typename P::Action> AStarSearch(
     auto it = best_g.find(node->key);
     if (it != best_g.end() && it->second < node->g) continue;
 
-    if (outcome.stats.states_examined >= limits.max_states ||
-        node->g > limits.max_depth) {
-      outcome.budget_exhausted = true;
+    if (std::optional<StopReason> stop = guard.Check(
+            outcome.stats.states_examined, node->g, memory_nodes)) {
+      outcome.stop = *stop;
+      outcome.budget_exhausted = IsResourceStop(*stop);
+      if (best_node != nullptr) outcome.best_path = reconstruct(best_node.get());
       return outcome;
     }
     ++outcome.stats.states_examined;
     instr.OnVisit(node->key);
+    int h = static_cast<int>(entry.f - node->g);
+    if (outcome.best_h < 0 || h < outcome.best_h) {
+      outcome.best_h = h;
+      best_node = node;
+    }
     if (tracer != nullptr) {
       tracer->Record(TraceEvent{TraceEventKind::kVisit, node->key,
                                 static_cast<int>(node->g), entry.f});
@@ -98,14 +118,11 @@ SearchOutcome<typename P::Action> AStarSearch(
                                   static_cast<int>(node->g), entry.f});
       }
       outcome.found = true;
+      outcome.stop = StopReason::kFound;
       outcome.stats.solution_cost = static_cast<int>(node->g);
-      std::vector<Action> path;
-      for (const Node* n = node.get(); n->parent != nullptr;
-           n = n->parent.get()) {
-        path.push_back(n->action_from_parent);
-      }
-      std::reverse(path.begin(), path.end());
-      outcome.path = std::move(path);
+      outcome.path = reconstruct(node.get());
+      outcome.best_path = outcome.path;
+      outcome.best_h = 0;
       return outcome;
     }
 
@@ -129,6 +146,7 @@ SearchOutcome<typename P::Action> AStarSearch(
       open.push(QueueEntry{f, g, seq++, std::move(child)});
     }
   }
+  if (best_node != nullptr) outcome.best_path = reconstruct(best_node.get());
   return outcome;
 }
 

@@ -47,6 +47,8 @@ SearchOutcome<typename P::Action> BeamSearch(
   seen.insert(problem.StateKey(root));
   frontier.push_back(Node{root, {}, problem.EstimateCost(root)});
 
+  BudgetGuard guard(limits);
+
   for (int depth = 0; depth <= limits.max_depth; ++depth) {
     uint64_t nodes = static_cast<uint64_t>(frontier.size() + seen.size());
     outcome.stats.peak_memory_nodes =
@@ -60,12 +62,20 @@ SearchOutcome<typename P::Action> BeamSearch(
 
     std::vector<Node> next_level;
     for (Node& node : frontier) {
-      if (outcome.stats.states_examined >= limits.max_states) {
-        outcome.budget_exhausted = true;
+      // Depth is bounded by the level loop itself; pass 0 so the guard
+      // only trips states/memory/deadline/cancel here.
+      if (std::optional<StopReason> stop =
+              guard.Check(outcome.stats.states_examined, 0, nodes)) {
+        outcome.stop = *stop;
+        outcome.budget_exhausted = IsResourceStop(*stop);
         return outcome;
       }
       ++outcome.stats.states_examined;
       instr.OnVisit(problem.StateKey(node.state));
+      if (outcome.best_h < 0 || node.h < outcome.best_h) {
+        outcome.best_h = static_cast<int>(node.h);
+        outcome.best_path = node.path;
+      }
       if (tracer != nullptr) {
         tracer->Record(TraceEvent{TraceEventKind::kVisit,
                                   problem.StateKey(node.state), depth,
@@ -79,8 +89,11 @@ SearchOutcome<typename P::Action> BeamSearch(
                                     node.h});
         }
         outcome.found = true;
+        outcome.stop = StopReason::kFound;
         outcome.stats.solution_cost = static_cast<int>(node.path.size());
         outcome.path = std::move(node.path);
+        outcome.best_path = outcome.path;
+        outcome.best_h = 0;
         return outcome;
       }
 
@@ -110,7 +123,8 @@ SearchOutcome<typename P::Action> BeamSearch(
     }
     frontier = std::move(next_level);
   }
-  outcome.budget_exhausted = true;  // depth bound reached
+  outcome.stop = StopReason::kDepth;  // level loop ran out of depth budget
+  outcome.budget_exhausted = true;
   return outcome;
 }
 

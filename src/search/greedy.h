@@ -64,6 +64,18 @@ SearchOutcome<typename P::Action> GreedySearch(
   seen.insert(problem.StateKey(root_state));
   open.push(QueueEntry{problem.EstimateCost(root_state), seq++, root});
 
+  auto reconstruct = [](const Node* n) {
+    std::vector<Action> path;
+    for (; n->parent != nullptr; n = n->parent.get()) {
+      path.push_back(n->action_from_parent);
+    }
+    std::reverse(path.begin(), path.end());
+    return path;
+  };
+
+  BudgetGuard guard(limits);
+  NodePtr best_node;  // anytime: lowest-h state examined so far
+
   while (!open.empty()) {
     uint64_t nodes = static_cast<uint64_t>(open.size() + seen.size());
     outcome.stats.peak_memory_nodes =
@@ -73,13 +85,19 @@ SearchOutcome<typename P::Action> GreedySearch(
     open.pop();
     const NodePtr& node = entry.node;
 
-    if (outcome.stats.states_examined >= limits.max_states ||
-        node->g > limits.max_depth) {
-      outcome.budget_exhausted = true;
+    if (std::optional<StopReason> stop =
+            guard.Check(outcome.stats.states_examined, node->g, nodes)) {
+      outcome.stop = *stop;
+      outcome.budget_exhausted = IsResourceStop(*stop);
+      if (best_node != nullptr) outcome.best_path = reconstruct(best_node.get());
       return outcome;
     }
     ++outcome.stats.states_examined;
     instr.OnVisit(problem.StateKey(node->state));
+    if (outcome.best_h < 0 || entry.h < outcome.best_h) {
+      outcome.best_h = static_cast<int>(entry.h);
+      best_node = node;
+    }
     if (tracer != nullptr) {
       tracer->Record(TraceEvent{TraceEventKind::kVisit,
                                 problem.StateKey(node->state),
@@ -93,14 +111,11 @@ SearchOutcome<typename P::Action> GreedySearch(
                                   static_cast<int>(node->g), entry.h});
       }
       outcome.found = true;
+      outcome.stop = StopReason::kFound;
       outcome.stats.solution_cost = static_cast<int>(node->g);
-      std::vector<Action> path;
-      for (const Node* n = node.get(); n->parent != nullptr;
-           n = n->parent.get()) {
-        path.push_back(n->action_from_parent);
-      }
-      std::reverse(path.begin(), path.end());
-      outcome.path = std::move(path);
+      outcome.path = reconstruct(node.get());
+      outcome.best_path = outcome.path;
+      outcome.best_h = 0;
       return outcome;
     }
 
@@ -119,6 +134,7 @@ SearchOutcome<typename P::Action> GreedySearch(
       open.push(QueueEntry{h, seq++, std::move(child)});
     }
   }
+  if (best_node != nullptr) outcome.best_path = reconstruct(best_node.get());
   return outcome;
 }
 

@@ -38,17 +38,20 @@ SearchOutcome<typename P::Action> IdaStarSearch(
     SearchOutcome<Action>& out;
     SearchTracer* tracer;
     SearchInstrumentation& instr;
+    BudgetGuard& guard;
     std::vector<Action> path_actions;
     std::unordered_set<uint64_t> path_keys;
     int64_t next_bound = kSearchInfinity;
+    StopReason abort_reason = StopReason::kExhausted;
     bool aborted = false;
 
     enum class Verdict { kFound, kNotFound };
 
     Verdict Visit(const State& state, int64_t g, int64_t bound) {
-      if (out.stats.states_examined >= limits.max_states ||
-          g > limits.max_depth) {
+      if (std::optional<StopReason> stop = guard.Check(
+              out.stats.states_examined, g, static_cast<uint64_t>(g) + 1)) {
         aborted = true;
+        abort_reason = *stop;
         return Verdict::kNotFound;
       }
       ++out.stats.states_examined;
@@ -58,6 +61,10 @@ SearchOutcome<typename P::Action> IdaStarSearch(
       instr.OnPeakMemory(static_cast<uint64_t>(g) + 1);
 
       int64_t f = g + problem.EstimateCost(state);
+      if (int h = static_cast<int>(f - g); out.best_h < 0 || h < out.best_h) {
+        out.best_h = h;
+        out.best_path = path_actions;
+      }
       if (tracer != nullptr) {
         tracer->Record(TraceEvent{TraceEventKind::kVisit,
                                   problem.StateKey(state),
@@ -74,7 +81,10 @@ SearchOutcome<typename P::Action> IdaStarSearch(
                                     static_cast<int>(g), f});
         }
         out.found = true;
+        out.stop = StopReason::kFound;
         out.path = path_actions;
+        out.best_path = path_actions;
+        out.best_h = 0;
         out.stats.solution_cost = static_cast<int>(g);
         return Verdict::kFound;
       }
@@ -98,8 +108,10 @@ SearchOutcome<typename P::Action> IdaStarSearch(
     }
   };
 
-  Dfs dfs{problem, limits, outcome, tracer, instr,
-          {},      {},     kSearchInfinity, false};
+  BudgetGuard guard(limits);
+  Dfs dfs{problem, limits, outcome, tracer,
+          instr,   guard,  {},      {},
+          kSearchInfinity, StopReason::kExhausted, false};
 
   const State& root = problem.initial_state();
   uint64_t root_key = problem.StateKey(root);
@@ -117,7 +129,8 @@ SearchOutcome<typename P::Action> IdaStarSearch(
     ++outcome.stats.iterations;
     if (v == Dfs::Verdict::kFound) return outcome;
     if (dfs.aborted) {
-      outcome.budget_exhausted = true;
+      outcome.stop = dfs.abort_reason;
+      outcome.budget_exhausted = IsResourceStop(dfs.abort_reason);
       return outcome;
     }
     if (dfs.next_bound >= kSearchInfinity) return outcome;  // space exhausted

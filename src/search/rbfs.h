@@ -48,8 +48,10 @@ SearchOutcome<typename P::Action> RbfsSearch(
     SearchOutcome<Action>& out;
     SearchTracer* tracer;
     SearchInstrumentation& instr;
+    BudgetGuard& guard;
     std::vector<Action> path_actions;
     std::unordered_set<uint64_t> path_keys;
+    StopReason abort_reason = StopReason::kExhausted;
     bool aborted = false;
 
     // Returns (found, backed-up f-value). `static_f` is g + h of `state`;
@@ -57,9 +59,10 @@ SearchOutcome<typename P::Action> RbfsSearch(
     std::pair<bool, int64_t> Visit(const State& state, int64_t g,
                                    int64_t static_f, int64_t stored_f,
                                    int64_t f_limit) {
-      if (out.stats.states_examined >= limits.max_states ||
-          g > limits.max_depth) {
+      if (std::optional<StopReason> stop = guard.Check(
+              out.stats.states_examined, g, static_cast<uint64_t>(g) + 1)) {
         aborted = true;
+        abort_reason = *stop;
         return {false, kSearchInfinity};
       }
       ++out.stats.states_examined;
@@ -67,6 +70,11 @@ SearchOutcome<typename P::Action> RbfsSearch(
           out.stats.peak_memory_nodes, static_cast<uint64_t>(g) + 1);
       instr.OnVisit(problem.StateKey(state));
       instr.OnPeakMemory(static_cast<uint64_t>(g) + 1);
+      if (int h = static_cast<int>(static_f - g);
+          out.best_h < 0 || h < out.best_h) {
+        out.best_h = h;
+        out.best_path = path_actions;
+      }
       if (tracer != nullptr) {
         tracer->Record(TraceEvent{TraceEventKind::kVisit,
                                   problem.StateKey(state),
@@ -80,7 +88,10 @@ SearchOutcome<typename P::Action> RbfsSearch(
                                     static_cast<int>(g), static_f});
         }
         out.found = true;
+        out.stop = StopReason::kFound;
         out.path = path_actions;
+        out.best_path = path_actions;
+        out.best_h = 0;
         out.stats.solution_cost = static_cast<int>(g);
         return {true, stored_f};
       }
@@ -137,7 +148,9 @@ SearchOutcome<typename P::Action> RbfsSearch(
     }
   };
 
-  Rec rec{problem, limits, outcome, tracer, instr, {}, {}, false};
+  BudgetGuard guard(limits);
+  Rec rec{problem, limits, outcome, tracer, instr, guard,
+          {},      {},     StopReason::kExhausted, false};
   const State& root = problem.initial_state();
   rec.path_keys.insert(problem.StateKey(root));
   int64_t root_f = problem.EstimateCost(root);
@@ -145,7 +158,10 @@ SearchOutcome<typename P::Action> RbfsSearch(
       rec.Visit(root, 0, root_f, root_f, kSearchInfinity);
   (void)found;
   (void)backed_up;
-  if (rec.aborted) outcome.budget_exhausted = true;
+  if (rec.aborted) {
+    outcome.stop = rec.abort_reason;
+    outcome.budget_exhausted = IsResourceStop(rec.abort_reason);
+  }
   return outcome;
 }
 

@@ -1,8 +1,12 @@
 #ifndef TUPELO_SEARCH_SEARCH_TYPES_H_
 #define TUPELO_SEARCH_SEARCH_TYPES_H_
 
+#include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <limits>
+#include <optional>
+#include <string_view>
 #include <vector>
 
 namespace tupelo {
@@ -28,14 +32,134 @@ namespace tupelo {
 inline constexpr int64_t kSearchInfinity =
     std::numeric_limits<int64_t>::max() / 4;
 
-// Budget knobs. Searches abort (found=false, budget_exhausted=true) when a
-// limit trips.
+// Why a search stopped. kFound and kExhausted are conclusive (goal reached
+// / finite space swept without one); everything else is a resource trip,
+// i.e. failure is inconclusive and the anytime fields of SearchOutcome
+// carry the best progress made.
+enum class StopReason {
+  kFound,      // goal reached
+  kExhausted,  // reachable space swept without reaching a goal
+  kStates,     // SearchLimits::max_states tripped
+  kDepth,      // SearchLimits::max_depth tripped
+  kMemory,     // SearchLimits::max_memory_nodes tripped
+  kDeadline,   // SearchLimits::deadline_millis tripped
+  kCancelled,  // CancelToken fired
+};
+
+// "found", "exhausted", "states", "depth", "memory", "deadline",
+// "cancelled" — stable names for reports and logs.
+inline std::string_view StopReasonName(StopReason reason) {
+  switch (reason) {
+    case StopReason::kFound:
+      return "found";
+    case StopReason::kExhausted:
+      return "exhausted";
+    case StopReason::kStates:
+      return "states";
+    case StopReason::kDepth:
+      return "depth";
+    case StopReason::kMemory:
+      return "memory";
+    case StopReason::kDeadline:
+      return "deadline";
+    case StopReason::kCancelled:
+      return "cancelled";
+  }
+  return "unknown";
+}
+
+// True for the inconclusive stops (a resource bound or caller intervention
+// cut the search short).
+inline bool IsResourceStop(StopReason reason) {
+  return reason != StopReason::kFound && reason != StopReason::kExhausted;
+}
+
+// Cooperative cancellation flag. Cancel() may be called from any thread
+// while a search is running; the search observes it at its next
+// deadline/cancel poll (every SearchLimits::check_interval visits) and
+// stops with StopReason::kCancelled. The token is reusable across
+// searches via Reset().
+class CancelToken {
+ public:
+  void Cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+  void Reset() { cancelled_.store(false, std::memory_order_relaxed); }
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+// Budget knobs. Searches stop (found=false, a resource StopReason) when a
+// limit trips; zero-valued optional bounds are unlimited.
 struct SearchLimits {
   // Upper bound on states examined (nodes visited, counting IDA/RBFS
   // re-visits, matching the paper's performance measure).
   uint64_t max_states = 10'000'000;
   // Upper bound on solution depth / recursion depth.
   int max_depth = 64;
+  // Wall-clock budget for the search call, in milliseconds; 0 = unbounded.
+  int64_t deadline_millis = 0;
+  // Approximate bound on the algorithm's memory proxy (open+closed size
+  // for A*/greedy, frontier+seen for beam, recursion depth for IDA*/RBFS
+  // — the same quantity as SearchStats::peak_memory_nodes); 0 = unbounded.
+  uint64_t max_memory_nodes = 0;
+  // Cooperative cancellation (not owned, may be null). Flip from another
+  // thread to stop a running search with StopReason::kCancelled.
+  CancelToken* cancel = nullptr;
+  // Deadline/cancel polls are amortized: the clock and the token are read
+  // once every `check_interval` visits (the counting bounds above are
+  // checked on every visit regardless).
+  uint32_t check_interval = 16;
+};
+
+// Shared limit-tripping logic for the search algorithms: one object per
+// search call, consulted once per visited state. Centralizes the
+// states/depth/memory comparisons the five algorithms used to re-implement
+// and owns the amortized deadline/cancel poll.
+class BudgetGuard {
+ public:
+  explicit BudgetGuard(const SearchLimits& limits)
+      : limits_(limits),
+        poll_(limits.cancel != nullptr || limits.deadline_millis > 0) {
+    if (limits_.deadline_millis > 0) {
+      deadline_ = std::chrono::steady_clock::now() +
+                  std::chrono::milliseconds(limits_.deadline_millis);
+    }
+  }
+
+  // Returns the reason to stop, or nullopt to keep searching. `depth` is
+  // the g-value of the state about to be examined; `memory_nodes` the
+  // algorithm's current memory proxy. The first call always polls
+  // deadline/cancel, so an expired deadline or pre-cancelled token trips
+  // immediately.
+  std::optional<StopReason> Check(uint64_t states_examined, int64_t depth,
+                                  uint64_t memory_nodes) {
+    if (states_examined >= limits_.max_states) return StopReason::kStates;
+    if (depth > limits_.max_depth) return StopReason::kDepth;
+    if (limits_.max_memory_nodes > 0 &&
+        memory_nodes > limits_.max_memory_nodes) {
+      return StopReason::kMemory;
+    }
+    if (poll_ && ticks_left_-- == 0) {
+      ticks_left_ = limits_.check_interval;
+      if (limits_.cancel != nullptr && limits_.cancel->cancelled()) {
+        return StopReason::kCancelled;
+      }
+      if (limits_.deadline_millis > 0 &&
+          std::chrono::steady_clock::now() >= deadline_) {
+        return StopReason::kDeadline;
+      }
+    }
+    return std::nullopt;
+  }
+
+ private:
+  const SearchLimits& limits_;
+  bool poll_;
+  uint32_t ticks_left_ = 0;  // 0 so the very first Check polls
+  std::chrono::steady_clock::time_point deadline_;
 };
 
 struct SearchStats {
@@ -56,10 +180,20 @@ struct SearchStats {
 template <typename Action>
 struct SearchOutcome {
   bool found = false;
-  // True when the search stopped because a SearchLimits bound tripped
-  // (i.e. failure is inconclusive).
+  // Why the search returned. kExhausted until something else happens, so
+  // an empty-space search reports conclusively.
+  StopReason stop = StopReason::kExhausted;
+  // Compatibility mirror of IsResourceStop(stop): the search stopped
+  // because a SearchLimits bound (or cancellation) tripped, i.e. failure
+  // is inconclusive.
   bool budget_exhausted = false;
   std::vector<Action> path;
+  // Anytime result: the path to the lowest-h state examined so far (the
+  // goal path when found) and its remaining heuristic distance. best_h is
+  // -1 until the first state is examined. On a resource stop this is the
+  // best partial mapping the caller can act on.
+  std::vector<Action> best_path;
+  int best_h = -1;
   SearchStats stats;
 };
 

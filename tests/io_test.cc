@@ -107,6 +107,36 @@ TEST(TdbParseTest, DuplicateRelationNameRejected) {
   EXPECT_FALSE(ParseTdb("relation R (A) { } relation R (B) { }").ok());
 }
 
+TEST(TdbParseTest, EveryTruncationFailsCleanly) {
+  // Chopping a valid file at any byte must produce a clean Status or a
+  // (shorter) valid database — never a crash or hang.
+  const std::string text =
+      "# header\n"
+      "relation R (A, \"B x\") {\n"
+      "  (1, \"two\\n\")\n"
+      "  (null, 4)\n"
+      "}\n"
+      "relation S (C) { (ok) }\n";
+  for (size_t len = 0; len < text.size(); ++len) {
+    Result<Database> r = ParseTdb(text.substr(0, len));
+    if (!r.ok()) {
+      EXPECT_FALSE(r.status().message().empty()) << "cut at " << len;
+    }
+  }
+  // A cut inside the tuple list specifically must be an error, not a
+  // silently truncated relation.
+  EXPECT_FALSE(ParseTdb(text.substr(0, text.find("(null")) ).ok());
+}
+
+TEST(TdbParseTest, GarbageBytesFailCleanly) {
+  const std::string garbage1("\x00\xff\xfe relation", 12);
+  EXPECT_FALSE(ParseTdb(garbage1).ok());
+  EXPECT_FALSE(ParseTdb("relation R (,) { }").ok());
+  EXPECT_FALSE(ParseTdb("{}{}((()))").ok());
+  EXPECT_FALSE(ParseTdb(std::string(64, '(')).ok());
+  EXPECT_FALSE(ParseTdb("relation R (A) { (\x01\x02\x03 }").ok());
+}
+
 // ---------------------------------------------------------------------------
 // .tdb writing / round trips
 // ---------------------------------------------------------------------------
@@ -197,6 +227,31 @@ TEST(CsvTest, Rejections) {
   EXPECT_FALSE(ParseCsvRelation("R", "A,A\n1,2\n").ok()); // dup attrs
 }
 
+TEST(CsvTest, EveryTruncationFailsCleanlyOrParses) {
+  const std::string csv = "A,B,C\n1,\"x,y\",3\n\"say \"\"hi\"\"\",,z\n";
+  for (size_t len = 0; len < csv.size(); ++len) {
+    Result<Relation> r = ParseCsvRelation("R", csv.substr(0, len));
+    if (!r.ok()) {
+      EXPECT_FALSE(r.status().message().empty()) << "cut at " << len;
+    }
+  }
+  // A cut inside a quoted field must be an open-quote error, not a
+  // silently shortened value.
+  EXPECT_FALSE(ParseCsvRelation("R", "A\n\"trunc").ok());
+}
+
+TEST(CsvTest, GarbageBytesFailCleanly) {
+  const std::string nul_header("\x00,B\n1,2\n", 8);
+  // A NUL byte is data, not structure: parsing must not crash on it, and
+  // field-count errors must still be detected afterwards.
+  Result<Relation> nul = ParseCsvRelation("R", nul_header);
+  if (nul.ok()) {
+    EXPECT_EQ(nul->arity(), 2u);
+  }
+  EXPECT_FALSE(ParseCsvRelation("R", "A,B\n\"\x01\n").ok());
+  EXPECT_FALSE(ParseCsvRelation("R", "A,B\n1,2,3\n").ok());
+}
+
 TEST(CsvTest, WriteRoundTrip) {
   Database db = MakeFlightsB();
   const Relation* rel = db.GetRelation("Prices").value();
@@ -237,6 +292,36 @@ TEST(FileTest, SaveAndLoad) {
 TEST(FileTest, LoadMissingFileFails) {
   EXPECT_EQ(LoadTdbFile("/nonexistent/nowhere.tdb").status().code(),
             StatusCode::kNotFound);
+}
+
+TEST(FileTest, LoadTruncatedFileFailsCleanly) {
+  // Simulates a partially-written database file (crash mid-save).
+  std::string path = testing::TempDir() + "/tupelo_io_truncated.tdb";
+  std::string full = WriteTdb(MakeFlightsA());
+  // Cut just inside the first relation body: the closing brace is gone, so
+  // the parse must fail however the rest of the file was laid out.
+  ASSERT_NE(full.find('{'), std::string::npos);
+  std::string truncated = full.substr(0, full.find('{') + 2);
+  FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(std::fwrite(truncated.data(), 1, truncated.size(), f),
+            truncated.size());
+  std::fclose(f);
+  Result<Database> r = LoadTdbFile(path);
+  EXPECT_FALSE(r.ok());
+  EXPECT_FALSE(r.status().message().empty());
+  std::remove(path.c_str());
+}
+
+TEST(FileTest, LoadGarbageFileFailsCleanly) {
+  std::string path = testing::TempDir() + "/tupelo_io_garbage.tdb";
+  const char bytes[] = "\x7f\x45\x4c\x46\x02\x01\x01\x00 not a tdb file";
+  FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fwrite(bytes, 1, sizeof(bytes) - 1, f);
+  std::fclose(f);
+  EXPECT_FALSE(LoadTdbFile(path).ok());
+  std::remove(path.c_str());
 }
 
 }  // namespace

@@ -1,8 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstdlib>
 #include <map>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "obs/metrics.h"
@@ -159,6 +161,7 @@ TEST_P(AllAlgorithms, UnreachableGoalExhaustsSpace) {
   auto out = RunSearch(GetParam(), p);
   EXPECT_FALSE(out.found);
   EXPECT_FALSE(out.budget_exhausted);  // space exhausted, not budget
+  EXPECT_EQ(out.stop, StopReason::kExhausted);
 }
 
 TEST_P(AllAlgorithms, CyclesDoNotTrapSearch) {
@@ -181,7 +184,15 @@ TEST_P(AllAlgorithms, StateBudgetAborts) {
   auto out = RunSearch(GetParam(), p, limits);
   EXPECT_FALSE(out.found);
   EXPECT_TRUE(out.budget_exhausted);
+  EXPECT_EQ(out.stop, StopReason::kStates);
   EXPECT_LE(out.stats.states_examined, 50u);
+  // Anytime contract: the best partial path and its remaining heuristic
+  // distance survive the trip. Any useful prefix moves toward the goal,
+  // and a path of length L cannot end closer than 1000 − L.
+  EXPECT_FALSE(out.best_path.empty());
+  EXPECT_GT(out.best_h, 0);
+  EXPECT_LT(out.best_h, 1000);
+  EXPECT_GE(out.best_h + static_cast<int>(out.best_path.size()), 1000);
 }
 
 TEST_P(AllAlgorithms, DepthLimitAborts) {
@@ -192,6 +203,7 @@ TEST_P(AllAlgorithms, DepthLimitAborts) {
   auto out = RunSearch(GetParam(), p, limits);
   EXPECT_FALSE(out.found);
   EXPECT_TRUE(out.budget_exhausted);
+  EXPECT_EQ(out.stop, StopReason::kDepth);
 }
 
 TEST_P(AllAlgorithms, GuidedNumberLineIsNearLinear) {
@@ -361,6 +373,226 @@ TEST(BeamTest, GoalAtRoot) {
   auto out = BeamSearch(p, 2);
   EXPECT_TRUE(out.found);
   EXPECT_EQ(out.stats.solution_cost, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Resource governance: deadlines, cancellation, memory bounds, anytime
+// results (see docs/ROBUSTNESS.md)
+// ---------------------------------------------------------------------------
+
+// An infinite problem whose Expand sleeps, so wall-clock limits trip long
+// before any counting limit can.
+struct SlowProblem {
+  using State = int;
+  using Action = int;
+  struct SuccessorT {
+    Action action;
+    State state;
+  };
+
+  std::chrono::microseconds delay{200};
+
+  const State& initial_state() const {
+    static const int kStart = 0;
+    return kStart;
+  }
+  bool IsGoal(const State&) const { return false; }
+  std::vector<SuccessorT> Expand(const State& s) const {
+    std::this_thread::sleep_for(delay);
+    return {SuccessorT{-1, s - 1}, SuccessorT{+1, s + 1}};
+  }
+  int EstimateCost(const State& s) const { return std::abs(1'000'000 - s); }
+  uint64_t StateKey(const State& s) const {
+    return static_cast<uint64_t>(static_cast<int64_t>(s) + (1LL << 32));
+  }
+};
+
+TEST_P(AllAlgorithms, FoundSetsStopAndAnytimeFields) {
+  GraphProblem p;
+  p.edges = {{0, {1}}, {1, {2}}, {2, {3}}};
+  p.start = 0;
+  p.goal = 3;
+  auto out = RunSearch(GetParam(), p);
+  ASSERT_TRUE(out.found);
+  EXPECT_EQ(out.stop, StopReason::kFound);
+  EXPECT_FALSE(out.budget_exhausted);
+  EXPECT_EQ(out.best_path, out.path);
+  EXPECT_EQ(out.best_h, 0);
+}
+
+TEST_P(AllAlgorithms, DeadlineAborts) {
+  SlowProblem p;
+  SearchLimits limits;
+  limits.max_states = 20000;  // backstop if the deadline never fires
+  limits.max_depth = 1'000'000;
+  limits.deadline_millis = 30;
+  limits.check_interval = 1;
+  auto start = std::chrono::steady_clock::now();
+  auto out = RunSearch(GetParam(), p, limits);
+  auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - start);
+  EXPECT_FALSE(out.found);
+  EXPECT_EQ(out.stop, StopReason::kDeadline);
+  EXPECT_TRUE(out.budget_exhausted);
+  // Generous CI-safe bound: orders of magnitude below the states backstop,
+  // proving the wall clock (not a counter) stopped the search.
+  EXPECT_LT(elapsed.count(), 3000);
+}
+
+TEST_P(AllAlgorithms, MemoryLimitAborts) {
+  NumberLineProblem p;
+  p.goal = 1000;
+  SearchLimits limits;
+  limits.max_depth = 2000;
+  limits.max_memory_nodes = 50;
+  auto out = RunSearch(GetParam(), p, limits);
+  EXPECT_FALSE(out.found);
+  EXPECT_EQ(out.stop, StopReason::kMemory);
+  EXPECT_TRUE(out.budget_exhausted);
+  EXPECT_FALSE(out.best_path.empty());
+  EXPECT_GT(out.best_h, 0);
+}
+
+TEST_P(AllAlgorithms, PreCancelledTokenTripsBeforeAnyVisit) {
+  NumberLineProblem p;
+  p.goal = 1000;
+  CancelToken token;
+  token.Cancel();
+  SearchLimits limits;
+  limits.max_depth = 2000;
+  limits.cancel = &token;
+  auto out = RunSearch(GetParam(), p, limits);
+  EXPECT_FALSE(out.found);
+  EXPECT_EQ(out.stop, StopReason::kCancelled);
+  EXPECT_TRUE(out.budget_exhausted);
+  EXPECT_EQ(out.stats.states_examined, 0u);
+  // Reset makes the token reusable.
+  token.Reset();
+  EXPECT_FALSE(token.cancelled());
+}
+
+TEST_P(AllAlgorithms, ConcurrentCancelStopsRunningSearch) {
+  SlowProblem p;
+  CancelToken token;
+  SearchLimits limits;
+  limits.max_states = 20000;  // backstop if cancellation never lands
+  limits.max_depth = 1'000'000;
+  limits.cancel = &token;
+  limits.check_interval = 1;
+  SearchOutcome<int> out;
+  Algo algo = GetParam();
+  std::thread worker(
+      [&] { out = RunSearch(algo, p, limits); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  token.Cancel();
+  worker.join();
+  EXPECT_FALSE(out.found);
+  EXPECT_EQ(out.stop, StopReason::kCancelled);
+  EXPECT_TRUE(out.budget_exhausted);
+  EXPECT_LT(out.stats.states_examined, 20000u);
+}
+
+TEST(BeamTest, StopReasonsAcrossLimits) {
+  NumberLineProblem p;
+  p.goal = 1000;
+
+  SearchLimits states;
+  states.max_states = 20;
+  states.max_depth = 2000;
+  EXPECT_EQ(BeamSearch(p, 8, states).stop, StopReason::kStates);
+
+  SearchLimits depth;
+  depth.max_depth = 10;
+  auto out = BeamSearch(p, 8, depth);
+  EXPECT_EQ(out.stop, StopReason::kDepth);
+  EXPECT_TRUE(out.budget_exhausted);
+
+  SearchLimits memory;
+  memory.max_depth = 2000;
+  memory.max_memory_nodes = 30;
+  EXPECT_EQ(BeamSearch(p, 8, memory).stop, StopReason::kMemory);
+
+  CancelToken token;
+  token.Cancel();
+  SearchLimits cancel;
+  cancel.max_depth = 2000;
+  cancel.cancel = &token;
+  EXPECT_EQ(BeamSearch(p, 8, cancel).stop, StopReason::kCancelled);
+}
+
+TEST(BeamTest, AnytimeBestPathSurvivesStatesTrip) {
+  NumberLineProblem p;
+  p.goal = 1000;
+  SearchLimits limits;
+  limits.max_states = 40;
+  limits.max_depth = 2000;
+  auto out = BeamSearch(p, 4, limits);
+  ASSERT_FALSE(out.found);
+  EXPECT_FALSE(out.best_path.empty());
+  EXPECT_GT(out.best_h, 0);
+  EXPECT_LT(out.best_h, 1000);
+}
+
+TEST(BeamTest, RanDryIsExhaustedNotResourceStop) {
+  GraphProblem p;
+  p.edges = {{0, {1}}, {1, {}}};
+  p.goal = 9;
+  auto out = BeamSearch(p, 4, SearchLimits());
+  EXPECT_FALSE(out.found);
+  EXPECT_EQ(out.stop, StopReason::kExhausted);
+  EXPECT_FALSE(out.budget_exhausted);
+}
+
+TEST(BudgetGuardTest, CountingLimitsCheckedEveryCall) {
+  SearchLimits limits;
+  limits.max_states = 10;
+  BudgetGuard guard(limits);
+  EXPECT_EQ(guard.Check(9, 0, 0), std::nullopt);
+  EXPECT_EQ(guard.Check(10, 0, 0), StopReason::kStates);
+}
+
+TEST(BudgetGuardTest, CancelPollIsAmortized) {
+  CancelToken token;
+  SearchLimits limits;
+  limits.cancel = &token;
+  limits.check_interval = 4;
+  BudgetGuard guard(limits);
+  // First call always polls (token not yet cancelled).
+  EXPECT_EQ(guard.Check(0, 0, 0), std::nullopt);
+  token.Cancel();
+  // The next poll happens check_interval+1 calls later; the intermediate
+  // calls must not observe the token.
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(guard.Check(0, 0, 0), std::nullopt) << i;
+  }
+  EXPECT_EQ(guard.Check(0, 0, 0), StopReason::kCancelled);
+}
+
+TEST(BudgetGuardTest, NoPollingCostWithoutDeadlineOrToken) {
+  // With neither a deadline nor a token, Check never reads the clock and
+  // never trips a poll-based reason, however many calls happen.
+  SearchLimits limits;
+  BudgetGuard guard(limits);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(guard.Check(0, 0, 0), std::nullopt);
+  }
+}
+
+TEST(StopReasonTest, NamesAndClassification) {
+  EXPECT_EQ(StopReasonName(StopReason::kFound), "found");
+  EXPECT_EQ(StopReasonName(StopReason::kExhausted), "exhausted");
+  EXPECT_EQ(StopReasonName(StopReason::kStates), "states");
+  EXPECT_EQ(StopReasonName(StopReason::kDepth), "depth");
+  EXPECT_EQ(StopReasonName(StopReason::kMemory), "memory");
+  EXPECT_EQ(StopReasonName(StopReason::kDeadline), "deadline");
+  EXPECT_EQ(StopReasonName(StopReason::kCancelled), "cancelled");
+  EXPECT_FALSE(IsResourceStop(StopReason::kFound));
+  EXPECT_FALSE(IsResourceStop(StopReason::kExhausted));
+  for (StopReason r : {StopReason::kStates, StopReason::kDepth,
+                       StopReason::kMemory, StopReason::kDeadline,
+                       StopReason::kCancelled}) {
+    EXPECT_TRUE(IsResourceStop(r)) << StopReasonName(r);
+  }
 }
 
 // ---------------------------------------------------------------------------
