@@ -42,7 +42,7 @@ int main(int argc, char** argv) {
     size_t limit = args.quick ? 8 : w.targets.size();
     for (size_t i = 0; i < limit && i < w.targets.size(); ++i) {
       const Database& target = w.targets[i];
-      size_t arity = target.relations().begin()->second.arity();
+      size_t arity = target.relations().begin()->second->arity();
       for (HeuristicKind kind : kinds) {
         TupeloOptions options;
         options.algorithm = SearchAlgorithm::kRbfs;

@@ -60,15 +60,20 @@ BenchArgs ParseBenchArgs(int argc, char** argv,
 std::string GitSha();
 
 // Accumulates a machine-readable run report and writes it to the --json
-// path on Write(). Layout (schema_version 2):
+// path on Write(). Layout (schema_version 3):
 //
-//   {"schema_version":2, "harness":..., "git_sha":..., "seed":...,
+//   {"schema_version":3, "harness":..., "git_sha":..., "seed":...,
 //    "quick":..., "budget":...,
 //    "panels":[{"name":..., "runs":[{...axis fields..., "found":...,
 //               "cutoff":..., "stop_reason":..., "verified":...,
 //               "verify_error":..., "deadline_millis":...,
 //               "states_examined":..., "wall_millis":...,
 //               "metrics":{...MetricRegistry::ToJson()...}}, ...]}]}
+//
+// Schema 3 additions: run metrics may carry the state-substrate counters
+// (state.cow_copies, state.relations_shared, expand.cache_hits/misses/
+// evictions), and micro_bench --json runs carry *_ns per-substrate
+// timing fields (see check_bench_json.py).
 //
 // All methods are no-ops when constructed with an empty json_path, so
 // harnesses call them unconditionally.

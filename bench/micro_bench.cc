@@ -2,11 +2,27 @@
 // application, TNF encoding, state fingerprinting, heuristic evaluation,
 // and successor expansion. These are per-state costs — the multipliers
 // behind every "states examined" number in the figure harnesses.
+//
+// Two modes. Without --json=, the usual google-benchmark CLI. With
+// --json=PATH (plus the shared --quick/--budget/--seed flags), a fixed
+// deterministic measurement suite runs instead and writes a schema-3
+// BenchReport: per-size discovery runs whose metrics carry the
+// state.*/expand.* counters, each annotated with *_ns timings of the
+// per-state substrates (fingerprinting, COW successor construction,
+// cached and uncached expansion). The perf_smoke ctest target runs this
+// mode and validates the report.
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
 #include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
 
+#include "bench_util.h"
 #include "core/mapping_problem.h"
 #include "core/tupelo.h"
 #include "fira/executor.h"
@@ -22,6 +38,21 @@ namespace {
 
 Database WideDatabase(size_t n) {
   return MakeSyntheticMatchingPair(n).source;
+}
+
+// `k` copies of the n-attribute synthetic relation under distinct names.
+// Exercises the case COW is for: a successor mutates one relation and
+// shares the other k-1 with its parent.
+Database MultiRelationDatabase(size_t k, size_t n) {
+  Database db;
+  Database wide = WideDatabase(n);
+  const Relation& base = *wide.relations().begin()->second;
+  for (size_t i = 0; i < k; ++i) {
+    Relation rel = base;
+    rel.set_name("R" + std::to_string(i + 1));
+    db.PutRelation(std::move(rel));
+  }
+  return db;
 }
 
 void BM_ApplyPromote(benchmark::State& state) {
@@ -94,6 +125,42 @@ void BM_Fingerprint(benchmark::State& state) {
 }
 BENCHMARK(BM_Fingerprint)->Arg(4)->Arg(16)->Arg(32);
 
+// Re-inserts the relation each iteration, so the database fingerprint is
+// recomputed from the relation's cached fingerprint (the incremental
+// subtract/add path). Before the incremental scheme this walked every
+// tuple of every relation through a string canonicalization.
+void BM_FingerprintCold(benchmark::State& state) {
+  Database db = WideDatabase(static_cast<size_t>(state.range(0)));
+  std::string name = db.relations().begin()->first;
+  for (auto _ : state) {
+    Relation copy = *db.GetRelation(name).value();
+    db.PutRelation(std::move(copy));
+    benchmark::DoNotOptimize(db.Fingerprint());
+  }
+}
+BENCHMARK(BM_FingerprintCold)->Arg(4)->Arg(16)->Arg(32);
+
+// COW successor construction. Cold: a single wide relation, which the
+// successor must clone anyway — no sharing to exploit. Shared: 32
+// relations of which the successor mutates one and shares 31.
+void BM_SuccessorCowCold(benchmark::State& state) {
+  Database db = WideDatabase(32);
+  RenameAttrOp op{"R", "A01", "ZZ"};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ApplyOp(op, db));
+  }
+}
+BENCHMARK(BM_SuccessorCowCold);
+
+void BM_SuccessorCowShared(benchmark::State& state) {
+  Database db = MultiRelationDatabase(32, 4);
+  RenameAttrOp op{"R1", "A1", "ZZ"};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ApplyOp(op, db));
+  }
+}
+BENCHMARK(BM_SuccessorCowShared);
+
 void BM_Containment(benchmark::State& state) {
   SyntheticMatchingPair pair =
       MakeSyntheticMatchingPair(static_cast<size_t>(state.range(0)));
@@ -130,6 +197,9 @@ void BM_Levenshtein(benchmark::State& state) {
 }
 BENCHMARK(BM_Levenshtein)->Arg(32)->Arg(256)->Arg(1024);
 
+// With the default config this measures the transposition-cache hit path
+// (the first iteration populates it); BM_ExpandUncached disables the
+// cache to measure true successor generation.
 void BM_Expand(benchmark::State& state) {
   SyntheticMatchingPair pair =
       MakeSyntheticMatchingPair(static_cast<size_t>(state.range(0)));
@@ -141,6 +211,21 @@ void BM_Expand(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Expand)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_ExpandUncached(benchmark::State& state) {
+  SyntheticMatchingPair pair =
+      MakeSyntheticMatchingPair(static_cast<size_t>(state.range(0)));
+  SuccessorConfig config;
+  config.expand_cache_capacity = 0;
+  MappingProblem problem(
+      pair.source, pair.target,
+      MakeHeuristic(HeuristicKind::kH1, pair.target, SearchAlgorithm::kRbfs),
+      nullptr, {}, config);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(problem.Expand(pair.source));
+  }
+}
+BENCHMARK(BM_ExpandUncached)->Arg(2)->Arg(4)->Arg(8);
 
 void BM_DiscoverSyntheticRbfsH1(benchmark::State& state) {
   SyntheticMatchingPair pair =
@@ -156,7 +241,125 @@ void BM_DiscoverSyntheticRbfsH1(benchmark::State& state) {
 }
 BENCHMARK(BM_DiscoverSyntheticRbfsH1)->Arg(2)->Arg(4)->Arg(8);
 
+// ---------------------------------------------------------------------
+// Deterministic --json mode (schema 3), for perf_smoke and BENCH_micro.
+
+// Mean nanoseconds per call of `body` over `iters` calls.
+template <typename Body>
+double NanosPer(int iters, Body body) {
+  auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < iters; ++i) body();
+  auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(end - start)
+             .count() /
+         static_cast<double>(iters);
+}
+
+int RunJsonSuite(int argc, char** argv) {
+  bench::BenchArgs args = bench::ParseBenchArgs(argc, argv, 50000);
+  bench::BenchReport report("micro", args);
+  std::printf("# micro_bench substrates; budget=%llu states\n",
+              static_cast<unsigned long long>(args.budget));
+  bench::PrintRow({"n", "fp_cold", "fp_cached", "succ_cold", "succ_shared",
+                   "exp_uncached", "exp_cached", "states"});
+
+  report.BeginPanel("substrates");
+  std::vector<size_t> sizes = {2, 4, 8};
+  if (args.quick) sizes = {2, 4};
+  const int iters = args.quick ? 2000 : 20000;
+  const int expand_iters = args.quick ? 50 : 200;
+
+  for (size_t n : sizes) {
+    SyntheticMatchingPair pair = MakeSyntheticMatchingPair(n);
+
+    Database fp_db = pair.source;
+    const std::string rname = fp_db.relations().begin()->first;
+    double fp_cold = NanosPer(iters, [&] {
+      Relation copy = *fp_db.GetRelation(rname).value();
+      fp_db.PutRelation(std::move(copy));
+      benchmark::DoNotOptimize(fp_db.Fingerprint());
+    });
+    double fp_cached = NanosPer(iters, [&] {
+      benchmark::DoNotOptimize(fp_db.Fingerprint());
+    });
+
+    Database wide = WideDatabase(32);
+    RenameAttrOp cold_op{"R", "A01", "ZZ"};
+    double succ_cold = NanosPer(iters, [&] {
+      benchmark::DoNotOptimize(ApplyOp(cold_op, wide));
+    });
+    Database multi = MultiRelationDatabase(32, 4);
+    RenameAttrOp shared_op{"R1", "A1", "ZZ"};
+    double succ_shared = NanosPer(iters, [&] {
+      benchmark::DoNotOptimize(ApplyOp(shared_op, multi));
+    });
+
+    SuccessorConfig uncached_config;
+    uncached_config.expand_cache_capacity = 0;
+    MappingProblem uncached(
+        pair.source, pair.target,
+        MakeHeuristic(HeuristicKind::kH1, pair.target, SearchAlgorithm::kRbfs),
+        nullptr, {}, uncached_config);
+    double expand_uncached = NanosPer(expand_iters, [&] {
+      benchmark::DoNotOptimize(uncached.Expand(pair.source));
+    });
+    MappingProblem cached(
+        pair.source, pair.target,
+        MakeHeuristic(HeuristicKind::kH1, pair.target, SearchAlgorithm::kRbfs));
+    double expand_cached = NanosPer(expand_iters, [&] {
+      benchmark::DoNotOptimize(cached.Expand(pair.source));
+    });
+
+    // One real discovery run so the report's metrics carry the live
+    // state.*/expand.* counters alongside the substrate timings.
+    TupeloOptions options;
+    options.algorithm = SearchAlgorithm::kRbfs;
+    options.heuristic = HeuristicKind::kH1;
+    options.limits.max_states = args.budget;
+    options.limits.max_depth = static_cast<int>(n) + 4;
+    obs::MetricRegistry registry;
+    bench::RunResult r = bench::Measure(pair.source, pair.target, options,
+                                        nullptr, {},
+                                        report.enabled() ? &registry : nullptr);
+
+    char buf[32];
+    auto ns = [&buf](double v) {
+      std::snprintf(buf, sizeof(buf), "%.1f", v);
+      return std::string(buf);
+    };
+    bench::PrintRow({std::to_string(n), ns(fp_cold), ns(fp_cached),
+                     ns(succ_cold), ns(succ_shared), ns(expand_uncached),
+                     ns(expand_cached), bench::FormatStates(r, args.budget)});
+
+    if (report.enabled()) {
+      obs::JsonValue run = bench::BenchReport::MakeRun(r);
+      run["n"] = static_cast<uint64_t>(n);
+      run["heuristic"] = std::string("h1");
+      run["fingerprint_cold_ns"] = fp_cold;
+      run["fingerprint_cached_ns"] = fp_cached;
+      run["successor_cold_ns"] = succ_cold;
+      run["successor_shared_ns"] = succ_shared;
+      run["expand_uncached_ns"] = expand_uncached;
+      run["expand_cached_ns"] = expand_cached;
+      run["metrics"] = registry.ToJson();
+      report.AddRun(std::move(run));
+    }
+  }
+  return report.Write() ? 0 : 1;
+}
+
 }  // namespace
 }  // namespace tupelo
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]).rfind("--json=", 0) == 0) {
+      return tupelo::RunJsonSuite(argc, argv);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

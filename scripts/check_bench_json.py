@@ -3,18 +3,23 @@
 
 Usage: check_bench_json.py REPORT.json [REPORT2.json ...]
 
-Checks the schema documented in docs/OBSERVABILITY.md (schema_version 2):
+Checks the schema documented in docs/OBSERVABILITY.md (schema_version 3):
 required top-level fields with the right types, a non-empty panels list,
 and per-run presence of the standard measurement fields — including the
 resource-governance fields (stop_reason, verified, verify_error,
-deadline_millis) added in schema_version 2. Exits non-zero with a line
-per violation, so it works as a ctest command.
+deadline_millis) added in schema_version 2. Schema_version 3 adds the
+state-substrate counters (state.cow_copies, state.relations_shared,
+expand.cache_hits/misses/evictions — validated as non-negative ints
+when a run carries metrics) and the micro_bench *_ns substrate timing
+fields (required for the "micro" harness, validated as non-negative
+numbers wherever present). Exits non-zero with a line per violation, so
+it works as a ctest command.
 """
 
 import json
 import sys
 
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 
 STOP_REASONS = {
     "found", "exhausted", "states", "depth", "memory", "deadline",
@@ -45,6 +50,22 @@ REQUIRED_RUN = {
     "solution_cost": int,
     "wall_millis": (int, float),
 }
+
+# Schema 3: per-substrate timings emitted by micro_bench --json. Required
+# in every run of the "micro" harness; optional (but type-checked)
+# elsewhere.
+MICRO_NS_FIELDS = (
+    "fingerprint_cold_ns",
+    "fingerprint_cached_ns",
+    "successor_cold_ns",
+    "successor_shared_ns",
+    "expand_uncached_ns",
+    "expand_cached_ns",
+)
+
+# Schema 3: counter namespaces for the copy-on-write state substrate and
+# the Expand transposition cache. Validated wherever a run has metrics.
+SUBSTRATE_COUNTER_PREFIXES = ("state.cow", "state.relations", "expand.cache")
 
 
 def check(path):
@@ -117,12 +138,36 @@ def check(path):
                         % (where, reason))
                 if run.get("deadline_millis", 0) < 0:
                     err("%s has negative deadline_millis" % where)
+                for key in MICRO_NS_FIELDS:
+                    if key in run:
+                        value = run[key]
+                        if not isinstance(value, (int, float)) or isinstance(
+                            value, bool
+                        ):
+                            err("%s field %r has type %s"
+                                % (where, key, type(value).__name__))
+                        elif value < 0:
+                            err("%s has negative %s" % (where, key))
+                    elif doc.get("harness") == "micro":
+                        err("%s missing micro field %r" % (where, key))
                 metrics = run.get("metrics")
                 if metrics is not None:
                     if not isinstance(metrics, dict):
                         err("%s metrics is not an object" % where)
                     elif not isinstance(metrics.get("counters"), dict):
                         err("%s metrics has no counters object" % where)
+                    else:
+                        counters = metrics["counters"]
+                        for name, value in counters.items():
+                            if not name.startswith(
+                                SUBSTRATE_COUNTER_PREFIXES
+                            ):
+                                continue
+                            if not isinstance(value, int) or isinstance(
+                                value, bool
+                            ) or value < 0:
+                                err("%s counter %r is %r, want a "
+                                    "non-negative int" % (where, name, value))
     return errors
 
 

@@ -43,9 +43,9 @@ Result<CriticalInstancePair> ExtractCriticalInstances(
   };
   std::vector<SourceTuple> source_tuples;
   for (const auto& [name, rel] : source_full.relations()) {
-    for (size_t i = 0; i < rel.size(); ++i) {
+    for (size_t i = 0; i < rel->size(); ++i) {
       source_tuples.push_back(
-          SourceTuple{&rel, i, TupleAtoms(rel.tuples()[i])});
+          SourceTuple{rel.get(), i, TupleAtoms(rel->tuples()[i])});
     }
   }
 
@@ -63,15 +63,15 @@ Result<CriticalInstancePair> ExtractCriticalInstances(
 
   for (const auto& [tname, trel] : target_full.relations()) {
     std::vector<Link> candidates;
-    for (size_t ti = 0; ti < trel.size(); ++ti) {
-      std::set<std::string> tatoms = TupleAtoms(trel.tuples()[ti]);
+    for (size_t ti = 0; ti < trel->size(); ++ti) {
+      std::set<std::string> tatoms = TupleAtoms(trel->tuples()[ti]);
       size_t best_score = 0;
       for (const SourceTuple& st : source_tuples) {
         best_score = std::max(best_score, SharedAtoms(tatoms, st.atoms));
       }
       if (best_score >= options.min_shared_atoms) {
         candidates.push_back(
-            Link{&trel, ti, std::move(tatoms), best_score});
+            Link{trel.get(), ti, std::move(tatoms), best_score});
       }
     }
     std::stable_sort(candidates.begin(), candidates.end(),
@@ -114,27 +114,27 @@ Result<CriticalInstancePair> ExtractCriticalInstances(
 
   for (const auto& [name, rel] : target_full.relations()) {
     TUPELO_ASSIGN_OR_RETURN(Relation trimmed,
-                            Relation::Create(name, rel.attributes()));
+                            Relation::Create(name, rel->attributes()));
     auto it = keep_target.find(name);
     if (it != keep_target.end()) {
       for (size_t idx : it->second) {
-        TUPELO_RETURN_IF_ERROR(trimmed.AddTuple(rel.tuples()[idx]));
+        TUPELO_RETURN_IF_ERROR(trimmed.AddTuple(rel->tuples()[idx]));
       }
     }
     TUPELO_RETURN_IF_ERROR(out.target.AddRelation(std::move(trimmed)));
   }
   for (const auto& [name, rel] : source_full.relations()) {
     TUPELO_ASSIGN_OR_RETURN(Relation trimmed,
-                            Relation::Create(name, rel.attributes()));
+                            Relation::Create(name, rel->attributes()));
     auto it = keep_source.find(name);
     if (it != keep_source.end()) {
       for (size_t idx : it->second) {
-        TUPELO_RETURN_IF_ERROR(trimmed.AddTuple(rel.tuples()[idx]));
+        TUPELO_RETURN_IF_ERROR(trimmed.AddTuple(rel->tuples()[idx]));
       }
-    } else if (!rel.empty()) {
+    } else if (!rel->empty()) {
       // Unlinked source relation: keep one tuple so its schema (and a data
       // sample) stays visible to the search.
-      TUPELO_RETURN_IF_ERROR(trimmed.AddTuple(rel.tuples()[0]));
+      TUPELO_RETURN_IF_ERROR(trimmed.AddTuple(rel->tuples()[0]));
     }
     TUPELO_RETURN_IF_ERROR(out.source.AddRelation(std::move(trimmed)));
   }

@@ -46,6 +46,11 @@ void MappingProblem::set_metrics(obs::MetricRegistry* metrics) {
     heuristic_nanos_ = nullptr;
     heuristic_cache_hits_ = nullptr;
     successor_nanos_ = nullptr;
+    expand_cache_hits_ = nullptr;
+    expand_cache_misses_ = nullptr;
+    expand_cache_evictions_ = nullptr;
+    cow_copies_ = nullptr;
+    relations_shared_ = nullptr;
     return;
   }
   std::string name(heuristic_->name());
@@ -53,6 +58,11 @@ void MappingProblem::set_metrics(obs::MetricRegistry* metrics) {
   heuristic_nanos_ = &metrics->GetCounter("heuristic." + name + ".nanos");
   heuristic_cache_hits_ = &metrics->GetCounter("heuristic.cache_hits");
   successor_nanos_ = &metrics->GetCounter("phase.successors.nanos");
+  expand_cache_hits_ = &metrics->GetCounter("expand.cache_hits");
+  expand_cache_misses_ = &metrics->GetCounter("expand.cache_misses");
+  expand_cache_evictions_ = &metrics->GetCounter("expand.cache_evictions");
+  cow_copies_ = &metrics->GetCounter("state.cow_copies");
+  relations_shared_ = &metrics->GetCounter("state.relations_shared");
 }
 
 std::vector<Op> MappingProblem::CandidateOps(const Database& state) const {
@@ -83,7 +93,8 @@ std::vector<Op> MappingProblem::CandidateOps(const Database& state) const {
     }
   }
 
-  for (const auto& [rname, rel] : state.relations()) {
+  for (const auto& [rname, relp] : state.relations()) {
+    const Relation& rel = *relp;
     // ρrel: rename this relation to a missing target relation name.
     if (!prune || any_rel_missing) {
       for (const std::string& to : ts.rels) {
@@ -204,8 +215,8 @@ std::vector<Op> MappingProblem::CandidateOps(const Database& state) const {
     const auto& rels = state.relations();
     for (auto li = rels.begin(); li != rels.end(); ++li) {
       for (auto ri = std::next(li); ri != rels.end(); ++ri) {
-        const Relation& left = li->second;
-        const Relation& right = ri->second;
+        const Relation& left = *li->second;
+        const Relation& right = *ri->second;
         ProductOp op{left.name(), right.name()};
         if (state.HasRelation(ProductResultName(op))) continue;
         if (prune) {
@@ -215,7 +226,7 @@ std::vector<Op> MappingProblem::CandidateOps(const Database& state) const {
             bool uses_right = false;
             bool contained_left = true;
             bool contained_right = true;
-            for (const std::string& a : trel.attributes()) {
+            for (const std::string& a : trel->attributes()) {
               if (left.HasAttribute(a)) uses_left = true;
               else contained_left = false;
               if (right.HasAttribute(a)) uses_right = true;
@@ -240,16 +251,55 @@ std::vector<Op> MappingProblem::CandidateOps(const Database& state) const {
 std::vector<MappingProblem::SuccessorT> MappingProblem::Expand(
     const Database& state) const {
   obs::ScopedTimer timer(successor_nanos_);
+  const Fp128 state_key = state.Fingerprint128();
+  const bool cache_on = config_.expand_cache_capacity > 0;
+
+  if (cache_on) {
+    auto hit = expand_cache_index_.find(state_key);
+    if (hit != expand_cache_index_.end()) {
+      expand_cache_.splice(expand_cache_.begin(), expand_cache_, hit->second);
+      if (expand_cache_hits_ != nullptr) expand_cache_hits_->Increment();
+      return hit->second->successors;
+    }
+    if (expand_cache_misses_ != nullptr) expand_cache_misses_->Increment();
+  }
+
+  const Database::CowStats cow_before = Database::GlobalCowStats();
+
   std::vector<SuccessorT> successors;
-  std::unordered_set<uint64_t> seen;
-  seen.insert(state.Fingerprint());
+  // Dedup on the full 128-bit fingerprint: distinct successors colliding
+  // on a 64-bit key would silently drop a reachable state.
+  std::unordered_set<Fp128, Fp128Hash> seen;
+  seen.insert(state_key);
 
   for (Op& op : CandidateOps(state)) {
     Result<Database> next = ApplyOp(op, state, registry_, metrics_);
     if (!next.ok()) continue;  // inapplicable in this state
-    uint64_t key = next->Fingerprint();
+    Fp128 key = next->Fingerprint128();
     if (!seen.insert(key).second) continue;  // duplicate successor / no-op
     successors.push_back(SuccessorT{std::move(op), std::move(next).value()});
+  }
+
+  if (cow_copies_ != nullptr) {
+    const Database::CowStats cow_after = Database::GlobalCowStats();
+    cow_copies_->Increment(cow_after.cow_copies - cow_before.cow_copies);
+    relations_shared_->Increment(cow_after.relations_shared -
+                                 cow_before.relations_shared);
+  }
+
+  if (cache_on) {
+    expand_cache_.push_front(ExpandCacheEntry{state_key, successors});
+    expand_cache_index_.emplace(state_key, expand_cache_.begin());
+    expand_cache_states_ += successors.size();
+    while (expand_cache_.size() > config_.expand_cache_capacity) {
+      ExpandCacheEntry& victim = expand_cache_.back();
+      expand_cache_states_ -= victim.successors.size();
+      expand_cache_index_.erase(victim.key);
+      expand_cache_.pop_back();
+      if (expand_cache_evictions_ != nullptr) {
+        expand_cache_evictions_->Increment();
+      }
+    }
   }
   return successors;
 }

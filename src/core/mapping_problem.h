@@ -2,11 +2,13 @@
 #define TUPELO_CORE_MAPPING_PROBLEM_H_
 
 #include <cstdint>
+#include <list>
 #include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/hash.h"
 #include "fira/executor.h"
 #include "fira/function_registry.h"
 #include "fira/operators.h"
@@ -43,6 +45,13 @@ struct SuccessorConfig {
   // workloads known not to need them.
   bool enable_dereference = true;
   bool enable_product = true;
+  // Capacity (in states, LRU-evicted) of the transposition cache that
+  // memoizes Expand results. IDA* re-visits every shallow state once per
+  // iteration and RBFS re-descends abandoned branches, so the same states
+  // are expanded many times over; the cache turns those re-expansions into
+  // a lookup. 0 disables it. Cached successor states are reported via
+  // AuxMemoryNodes() and count toward SearchLimits::max_memory_nodes.
+  size_t expand_cache_capacity = 256;
 };
 
 // The TUPELO search problem (§2.3): states are database instances, actions
@@ -79,16 +88,20 @@ class MappingProblem {
   bool IsGoal(const Database& state) const { return state.Contains(target_); }
 
   // Applies every candidate operator to `state`; failures and duplicate
-  // resulting states are dropped. Deterministic order.
+  // resulting states are dropped. Deterministic order. Results are
+  // memoized in a bounded LRU transposition cache keyed by the state's
+  // 128-bit fingerprint (see SuccessorConfig::expand_cache_capacity).
   std::vector<SuccessorT> Expand(const Database& state) const;
 
   // Heuristic estimates are cached by state fingerprint: IDA* re-visits
   // shallow states once per iteration and RBFS re-descends abandoned
   // branches, so the same states are estimated many times over a search.
   // The cache trades memory (bounded by distinct states visited) for the
-  // dominant per-state cost of the string/vector heuristics.
+  // dominant per-state cost of the string/vector heuristics. Keys are the
+  // full 128-bit fingerprint: with a 64-bit key, two distinct states
+  // colliding would silently serve one another's estimates.
   int EstimateCost(const Database& state) const {
-    uint64_t key = state.Fingerprint();
+    Fp128 key = state.Fingerprint128();
     auto it = estimate_cache_.find(key);
     if (it != estimate_cache_.end()) {
       if (heuristic_cache_hits_ != nullptr) heuristic_cache_hits_->Increment();
@@ -108,11 +121,22 @@ class MappingProblem {
     return state.Fingerprint();
   }
 
+  // States held by the problem's own caches, for the search layer's memory
+  // proxy: cached Expand successors are full states and must count toward
+  // SearchLimits::max_memory_nodes like open/closed-list nodes do.
+  size_t AuxMemoryNodes() const { return expand_cache_states_; }
+
   // The candidate operators Expand would try on `state`, before execution
   // and duplicate-state filtering. Exposed for tests and ablations.
   std::vector<Op> CandidateOps(const Database& state) const;
 
  private:
+  struct ExpandCacheEntry {
+    Fp128 key;
+    std::vector<SuccessorT> successors;
+  };
+  using ExpandCacheList = std::list<ExpandCacheEntry>;
+
   Database source_;
   Database target_;
   SymbolSets target_symbols_;
@@ -120,7 +144,15 @@ class MappingProblem {
   const FunctionRegistry* registry_;
   std::vector<SemanticCorrespondence> correspondences_;
   SuccessorConfig config_;
-  mutable std::unordered_map<uint64_t, int> estimate_cache_;
+  mutable std::unordered_map<Fp128, int, Fp128Hash> estimate_cache_;
+
+  // Transposition cache: most-recently-used at the front; index maps a
+  // state fingerprint to its list node. expand_cache_states_ tracks the
+  // total successor states stored (the unit of the memory proxy).
+  mutable ExpandCacheList expand_cache_;
+  mutable std::unordered_map<Fp128, ExpandCacheList::iterator, Fp128Hash>
+      expand_cache_index_;
+  mutable size_t expand_cache_states_ = 0;
 
   // Observability (all null when metrics are off).
   obs::MetricRegistry* metrics_ = nullptr;
@@ -128,6 +160,11 @@ class MappingProblem {
   obs::Counter* heuristic_nanos_ = nullptr;
   obs::Counter* heuristic_cache_hits_ = nullptr;
   obs::Counter* successor_nanos_ = nullptr;
+  obs::Counter* expand_cache_hits_ = nullptr;
+  obs::Counter* expand_cache_misses_ = nullptr;
+  obs::Counter* expand_cache_evictions_ = nullptr;
+  obs::Counter* cow_copies_ = nullptr;
+  obs::Counter* relations_shared_ = nullptr;
 };
 
 }  // namespace tupelo

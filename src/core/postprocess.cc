@@ -14,7 +14,7 @@ Result<Database> ConformToSchema(const Database& mapped,
     TUPELO_ASSIGN_OR_RETURN(const Relation* mapped_rel,
                             mapped.GetRelation(name));
     TUPELO_ASSIGN_OR_RETURN(Relation projected,
-                            Project(*mapped_rel, target_rel.attributes()));
+                            Project(*mapped_rel, target_rel->attributes()));
     if (options.drop_null_tuples) {
       projected = Select(projected, [](const Relation&, const Tuple& t) {
         for (const Value& v : t.values()) {

@@ -96,7 +96,9 @@ struct OpApplier {
 
   Result<Database> operator()(const PromoteOp& op) const {
     Database db = input;
-    TUPELO_ASSIGN_OR_RETURN(Relation * rel, db.GetMutableRelation(op.rel));
+    // Read-only access: the rebuilt relation replaces it via PutRelation,
+    // so a copy-on-write clone here would be pure waste.
+    TUPELO_ASSIGN_OR_RETURN(const Relation* rel, db.GetRelation(op.rel));
     std::optional<size_t> name_idx = rel->AttributeIndex(op.name_attr);
     if (!name_idx.has_value()) {
       return Status::NotFound("promote: attribute '" + op.name_attr +
@@ -241,7 +243,8 @@ struct OpApplier {
 
   Result<Database> operator()(const MergeOp& op) const {
     Database db = input;
-    TUPELO_ASSIGN_OR_RETURN(Relation * rel, db.GetMutableRelation(op.rel));
+    // Read-only access: the merged relation replaces it via PutRelation.
+    TUPELO_ASSIGN_OR_RETURN(const Relation* rel, db.GetRelation(op.rel));
     std::optional<size_t> idx = rel->AttributeIndex(op.attr);
     if (!idx.has_value()) {
       return Status::NotFound("merge: attribute '" + op.attr + "' not in " +

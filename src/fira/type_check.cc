@@ -13,7 +13,7 @@ bool RelationSchema::HasAttribute(const std::string& attr) const {
 DatabaseSchema DatabaseSchema::Of(const Database& db) {
   DatabaseSchema out;
   for (const auto& [name, rel] : db.relations()) {
-    out.relations[name] = RelationSchema{rel.attributes(), false};
+    out.relations[name] = RelationSchema{rel->attributes(), false};
   }
   return out;
 }

@@ -31,7 +31,8 @@ int IntersectionSize(const std::set<std::string>& a,
 
 SymbolSets SymbolSets::FromDatabase(const Database& db) {
   SymbolSets out;
-  for (const auto& [rname, rel] : db.relations()) {
+  for (const auto& [rname, relp] : db.relations()) {
+    const Relation& rel = *relp;
     out.rels.insert(rname);
     for (const std::string& attr : rel.attributes()) out.atts.insert(attr);
     for (const Tuple& t : rel.tuples()) {
@@ -77,7 +78,8 @@ std::string PairKey(const std::string& att, const std::string& value) {
 void CollectPairs(const Database& db, std::set<std::string>* pairs,
                   std::set<std::string>* atts_with_values,
                   std::set<std::string>* all_atts) {
-  for (const auto& [rname, rel] : db.relations()) {
+  for (const auto& [rname, relp] : db.relations()) {
+    const Relation& rel = *relp;
     for (size_t i = 0; i < rel.arity(); ++i) {
       all_atts->insert(rel.attributes()[i]);
       for (const Tuple& t : rel.tuples()) {

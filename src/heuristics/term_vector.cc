@@ -22,7 +22,8 @@ std::string TripleKey(const std::string& rel, const std::string& att,
 
 TermVector TermVector::FromDatabase(const Database& db) {
   TermVector tv;
-  for (const auto& [rname, rel] : db.relations()) {
+  for (const auto& [rname, relp] : db.relations()) {
+    const Relation& rel = *relp;
     for (const Tuple& t : rel.tuples()) {
       for (size_t i = 0; i < rel.arity(); ++i) {
         tv.counts_[TripleKey(rname, rel.attributes()[i], t[i])] += 1.0;
@@ -137,7 +138,8 @@ double TermVector::JaccardSimilarity(const TermVector& x,
 
 std::string DatabaseToTnfString(const Database& db) {
   std::vector<std::string> rows;
-  for (const auto& [rname, rel] : db.relations()) {
+  for (const auto& [rname, relp] : db.relations()) {
+    const Relation& rel = *relp;
     for (const Tuple& t : rel.tuples()) {
       for (size_t i = 0; i < rel.arity(); ++i) {
         std::string row = rname;

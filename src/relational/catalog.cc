@@ -26,8 +26,8 @@ Relation BuildAttributeCatalog(const Database& db) {
       Relation::Create(kCatalogAttributes, {kTnfRel, kTnfAtt, "POS"});
   Relation out = std::move(created).value();
   for (const auto& [name, rel] : db.relations()) {
-    for (size_t i = 0; i < rel.arity(); ++i) {
-      (void)out.AddRow({name, rel.attributes()[i], std::to_string(i)});
+    for (size_t i = 0; i < rel->arity(); ++i) {
+      (void)out.AddRow({name, rel->attributes()[i], std::to_string(i)});
     }
   }
   return out;

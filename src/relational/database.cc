@@ -1,43 +1,88 @@
 #include "relational/database.h"
 
+#include <atomic>
 #include <utility>
-
-#include "common/hash.h"
 
 namespace tupelo {
 
+namespace {
+
+// Process-wide COW telemetry. Relaxed: these are statistics, not
+// synchronization; the search itself is single-threaded per problem.
+std::atomic<uint64_t> g_cow_copies{0};
+std::atomic<uint64_t> g_relations_shared{0};
+
+}  // namespace
+
+Database::CowStats Database::GlobalCowStats() {
+  CowStats out;
+  out.cow_copies = g_cow_copies.load(std::memory_order_relaxed);
+  out.relations_shared = g_relations_shared.load(std::memory_order_relaxed);
+  return out;
+}
+
+Database::Database(const Database& other)
+    : relations_(other.relations_), fingerprint_(other.fingerprint_) {
+  g_relations_shared.fetch_add(relations_.size(), std::memory_order_relaxed);
+}
+
+Database& Database::operator=(const Database& other) {
+  if (this != &other) {
+    relations_ = other.relations_;
+    fingerprint_ = other.fingerprint_;
+    g_relations_shared.fetch_add(relations_.size(),
+                                 std::memory_order_relaxed);
+  }
+  return *this;
+}
+
 Status Database::AddRelation(Relation relation) {
-  fingerprint_.reset();
   std::string name = relation.name();
   if (name.empty()) {
     return Status::InvalidArgument("relation name must be non-empty");
   }
-  auto [it, inserted] = relations_.emplace(name, std::move(relation));
-  (void)it;
-  if (!inserted) {
+  if (relations_.contains(name)) {
     return Status::AlreadyExists("relation '" + name + "' already exists");
   }
+  RelationPtr ptr = std::make_shared<Relation>(std::move(relation));
+  if (fingerprint_.has_value()) fingerprint_->Add(ptr->Fingerprint());
+  relations_.emplace(std::move(name), std::move(ptr));
   return Status::OK();
 }
 
 void Database::PutRelation(Relation relation) {
-  fingerprint_.reset();
-  std::string name = relation.name();
-  relations_.insert_or_assign(std::move(name), std::move(relation));
+  PutRelation(std::make_shared<Relation>(std::move(relation)));
+}
+
+void Database::PutRelation(RelationPtr relation) {
+  std::string name = relation->name();
+  auto it = relations_.find(name);
+  if (fingerprint_.has_value()) {
+    if (it != relations_.end()) {
+      fingerprint_->Subtract(it->second->Fingerprint());
+    }
+    fingerprint_->Add(relation->Fingerprint());
+  }
+  if (it != relations_.end()) {
+    it->second = std::move(relation);
+  } else {
+    relations_.emplace(std::move(name), std::move(relation));
+  }
 }
 
 Status Database::RemoveRelation(std::string_view name) {
-  fingerprint_.reset();
   auto it = relations_.find(std::string(name));
   if (it == relations_.end()) {
     return Status::NotFound("relation '" + std::string(name) + "' not found");
+  }
+  if (fingerprint_.has_value()) {
+    fingerprint_->Subtract(it->second->Fingerprint());
   }
   relations_.erase(it);
   return Status::OK();
 }
 
 Status Database::RenameRelation(std::string_view from, const std::string& to) {
-  fingerprint_.reset();
   if (to.empty()) {
     return Status::InvalidArgument("relation name must be non-empty");
   }
@@ -48,9 +93,20 @@ Status Database::RenameRelation(std::string_view from, const std::string& to) {
   if (relations_.contains(to)) {
     return Status::AlreadyExists("relation '" + to + "' already exists");
   }
-  Relation r = std::move(it->second);
+  RelationPtr r = std::move(it->second);
+  if (fingerprint_.has_value()) fingerprint_->Subtract(r->Fingerprint());
   relations_.erase(it);
-  r.set_name(to);
+  if (r.use_count() == 1) {
+    // Sole owner: rename in place. Safe because every Relation is created
+    // non-const via make_shared<Relation>.
+    const_cast<Relation*>(r.get())->set_name(to);
+  } else {
+    auto clone = std::make_shared<Relation>(*r);
+    clone->set_name(to);
+    r = std::move(clone);
+    g_cow_copies.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (fingerprint_.has_value()) fingerprint_->Add(r->Fingerprint());
   relations_.emplace(to, std::move(r));
   return Status::OK();
 }
@@ -64,16 +120,22 @@ Result<const Relation*> Database::GetRelation(std::string_view name) const {
   if (it == relations_.end()) {
     return Status::NotFound("relation '" + std::string(name) + "' not found");
   }
-  return &it->second;
+  return it->second.get();
 }
 
 Result<Relation*> Database::GetMutableRelation(std::string_view name) {
-  fingerprint_.reset();
   auto it = relations_.find(std::string(name));
   if (it == relations_.end()) {
     return Status::NotFound("relation '" + std::string(name) + "' not found");
   }
-  return &it->second;
+  // The caller may mutate through the pointer at any later time, so the
+  // cached fingerprint cannot be maintained incrementally here.
+  fingerprint_.reset();
+  if (it->second.use_count() != 1) {
+    it->second = std::make_shared<Relation>(*it->second);
+    g_cow_copies.fetch_add(1, std::memory_order_relaxed);
+  }
+  return const_cast<Relation*>(it->second.get());
 }
 
 std::vector<std::string> Database::RelationNames() const {
@@ -85,7 +147,7 @@ std::vector<std::string> Database::RelationNames() const {
 
 size_t Database::TupleCount() const {
   size_t n = 0;
-  for (const auto& [name, rel] : relations_) n += rel.size();
+  for (const auto& [name, rel] : relations_) n += rel->size();
   return n;
 }
 
@@ -93,16 +155,16 @@ bool Database::Contains(const Database& target) const {
   for (const auto& [name, trel] : target.relations_) {
     auto it = relations_.find(name);
     if (it == relations_.end()) return false;
-    const Relation& srel = it->second;
+    const Relation& srel = *it->second;
     // Target attributes must all be present here.
-    for (const std::string& attr : trel.attributes()) {
+    for (const std::string& attr : trel->attributes()) {
       if (!srel.HasAttribute(attr)) return false;
     }
     Result<std::vector<Tuple>> projected =
-        srel.ProjectTuples(trel.attributes());
+        srel.ProjectTuples(trel->attributes());
     if (!projected.ok()) return false;
     // Every target tuple must match some projected tuple.
-    for (const Tuple& want : trel.tuples()) {
+    for (const Tuple& want : trel->tuples()) {
       bool found = false;
       for (const Tuple& have : projected.value()) {
         if (have == want) {
@@ -119,14 +181,18 @@ bool Database::Contains(const Database& target) const {
 std::string Database::CanonicalKey() const {
   std::string key;
   for (const auto& [name, rel] : relations_) {
-    key += rel.CanonicalKey();
+    key += rel->CanonicalKey();
     key += ";";
   }
   return key;
 }
 
-uint64_t Database::Fingerprint() const {
-  if (!fingerprint_.has_value()) fingerprint_ = Fnv1a(CanonicalKey());
+Fp128 Database::Fingerprint128() const {
+  if (!fingerprint_.has_value()) {
+    Fp128 fp;
+    for (const auto& [name, rel] : relations_) fp.Add(rel->Fingerprint());
+    fingerprint_ = fp;
+  }
   return *fingerprint_;
 }
 
@@ -136,7 +202,7 @@ std::string Database::ToString() const {
   for (const auto& [name, rel] : relations_) {
     if (!first) out += "\n";
     first = false;
-    out += rel.ToString();
+    out += rel->ToString();
   }
   return out;
 }

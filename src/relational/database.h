@@ -3,11 +3,13 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "common/hash.h"
 #include "common/result.h"
 #include "common/status.h"
 #include "relational/relation.h"
@@ -16,16 +18,38 @@ namespace tupelo {
 
 // A database instance: a set of relations keyed by name. Database values
 // are the states of TUPELO's search space; they are value types (copied
-// freely) with a stable canonical fingerprint for duplicate detection.
+// freely) with a stable structural fingerprint for duplicate detection.
+//
+// Relations are held by shared_ptr-to-const with copy-on-write semantics:
+// copying a Database shares every relation with the original, and only a
+// relation actually mutated through GetMutableRelation is cloned (and only
+// when still shared). A successor state produced by a FIRA operator
+// therefore materializes exactly the one relation the operator touched.
 class Database {
  public:
+  using RelationPtr = std::shared_ptr<const Relation>;
+
+  // Process-wide copy-on-write telemetry, read by the search layer to feed
+  // the state.cow_copies / state.relations_shared instruments.
+  struct CowStats {
+    uint64_t cow_copies = 0;        // relations cloned by mutable access
+    uint64_t relations_shared = 0;  // relation pointers shared by copies
+  };
+  static CowStats GlobalCowStats();
+
   Database() = default;
+  Database(const Database& other);
+  Database& operator=(const Database& other);
+  Database(Database&&) = default;
+  Database& operator=(Database&&) = default;
 
   // Adds a relation; fails if one with the same name exists.
   Status AddRelation(Relation relation);
 
-  // Replaces or inserts.
+  // Replaces or inserts. The shared_ptr overload shares the relation
+  // without copying it (the caller promises not to mutate it afterwards).
   void PutRelation(Relation relation);
+  void PutRelation(RelationPtr relation);
 
   Status RemoveRelation(std::string_view name);
 
@@ -36,13 +60,17 @@ class Database {
 
   // Fails with NotFound if absent.
   Result<const Relation*> GetRelation(std::string_view name) const;
+
+  // Mutable access with copy-on-write: clones the relation first when it
+  // is still shared with other Database copies, so the mutation never
+  // leaks into them.
   Result<Relation*> GetMutableRelation(std::string_view name);
 
   // Relation names in sorted order.
   std::vector<std::string> RelationNames() const;
 
   // Relations in name-sorted order.
-  const std::map<std::string, Relation>& relations() const {
+  const std::map<std::string, RelationPtr>& relations() const {
     return relations_;
   }
 
@@ -62,20 +90,27 @@ class Database {
   // joined in name order); equal keys <=> equal instances.
   std::string CanonicalKey() const;
 
-  // 64-bit stable fingerprint of CanonicalKey(). Cached: search states are
-  // written once and fingerprinted many times. Mutating methods (including
-  // GetMutableRelation) invalidate the cache.
-  uint64_t Fingerprint() const;
+  // 128-bit structural fingerprint: the commutative combine of the
+  // per-relation fingerprints (names are unique, so the bag of relation
+  // fingerprints identifies the instance). Cached, and maintained
+  // incrementally across PutRelation/RemoveRelation so a successor that
+  // replaced one relation re-hashes only that relation.
+  Fp128 Fingerprint128() const;
+
+  // 64-bit stable fingerprint (the low lane of Fingerprint128), kept for
+  // the search-layer StateKey contract.
+  uint64_t Fingerprint() const { return Fingerprint128().lo; }
 
   bool ContentsEqual(const Database& other) const {
+    if (!(Fingerprint128() == other.Fingerprint128())) return false;
     return CanonicalKey() == other.CanonicalKey();
   }
 
   std::string ToString() const;
 
  private:
-  std::map<std::string, Relation> relations_;
-  mutable std::optional<uint64_t> fingerprint_;
+  std::map<std::string, RelationPtr> relations_;
+  mutable std::optional<Fp128> fingerprint_;
 };
 
 }  // namespace tupelo

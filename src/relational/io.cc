@@ -261,7 +261,8 @@ Result<Database> ParseTdb(std::string_view text) {
 
 std::string WriteTdb(const Database& db) {
   std::string out;
-  for (const auto& [name, rel] : db.relations()) {
+  for (const auto& [name, relp] : db.relations()) {
+    const Relation& rel = *relp;
     out += "relation " + FormatAtom(name) + " (";
     for (size_t i = 0; i < rel.attributes().size(); ++i) {
       if (i > 0) out += ", ";

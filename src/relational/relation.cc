@@ -45,6 +45,7 @@ Status Relation::AddTuple(Tuple tuple) {
         std::to_string(attributes_.size()) + " in " + name_);
   }
   tuples_.push_back(std::move(tuple));
+  fingerprint_.reset();
   return Status::OK();
 }
 
@@ -62,6 +63,7 @@ Status Relation::AddAttribute(const std::string& attr, const Value& fill) {
   }
   attributes_.push_back(attr);
   for (Tuple& t : tuples_) t.Append(fill);
+  fingerprint_.reset();
   return Status::OK();
 }
 
@@ -73,6 +75,7 @@ Status Relation::DropAttribute(std::string_view attr) {
   }
   attributes_.erase(attributes_.begin() + static_cast<ptrdiff_t>(*idx));
   for (Tuple& t : tuples_) t.Erase(*idx);
+  fingerprint_.reset();
   return Status::OK();
 }
 
@@ -89,6 +92,7 @@ Status Relation::RenameAttribute(std::string_view from, const std::string& to) {
     return Status::AlreadyExists("attribute '" + to + "' already in " + name_);
   }
   attributes_[*idx] = to;
+  fingerprint_.reset();
   return Status::OK();
 }
 
@@ -131,12 +135,17 @@ Result<std::vector<Tuple>> Relation::ProjectTuples(
   return out;
 }
 
-Relation Relation::Canonical() const {
+std::vector<size_t> Relation::CanonicalOrder() const {
   std::vector<size_t> order(attributes_.size());
   std::iota(order.begin(), order.end(), 0);
   std::sort(order.begin(), order.end(), [this](size_t a, size_t b) {
     return attributes_[a] < attributes_[b];
   });
+  return order;
+}
+
+Relation Relation::Canonical() const {
+  std::vector<size_t> order = CanonicalOrder();
 
   Relation out;
   out.name_ = name_;
@@ -154,23 +163,87 @@ Relation Relation::Canonical() const {
 }
 
 std::string Relation::CanonicalKey() const {
-  Relation c = Canonical();
-  std::string key = Quote(c.name_) + "[";
-  for (size_t i = 0; i < c.attributes_.size(); ++i) {
+  std::vector<size_t> order = CanonicalOrder();
+
+  // Tuple rows in canonical order: compare columns through the attribute
+  // permutation instead of materializing permuted tuples.
+  std::vector<size_t> rows(tuples_.size());
+  std::iota(rows.begin(), rows.end(), 0);
+  std::sort(rows.begin(), rows.end(), [&](size_t a, size_t b) {
+    const Tuple& ta = tuples_[a];
+    const Tuple& tb = tuples_[b];
+    for (size_t i : order) {
+      auto cmp = ta[i] <=> tb[i];
+      if (cmp != 0) return cmp < 0;
+    }
+    return false;
+  });
+
+  std::string key = Quote(name_) + "[";
+  for (size_t i = 0; i < order.size(); ++i) {
     if (i > 0) key += ",";
-    key += Quote(c.attributes_[i]);
+    key += Quote(attributes_[order[i]]);
   }
   key += "]{";
-  for (const Tuple& t : c.tuples_) {
+  for (size_t r : rows) {
+    const Tuple& t = tuples_[r];
     key += "(";
-    for (size_t i = 0; i < t.size(); ++i) {
+    for (size_t i = 0; i < order.size(); ++i) {
       if (i > 0) key += ",";
-      key += t[i].is_null() ? std::string("@null") : Quote(t[i].atom());
+      const Value& v = t[order[i]];
+      key += v.is_null() ? std::string("@null") : Quote(v.atom());
     }
     key += ")";
   }
   key += "}";
   return key;
+}
+
+namespace {
+
+// Per-cell hash for one fingerprint lane; a tagged constant keeps null
+// distinct from every atom (including "").
+uint64_t HashCell(const Value& v, uint64_t seed) {
+  if (v.is_null()) return Mix64(seed ^ 0x6e756c6cULL);
+  return Fnv1aSeeded(v.atom(), seed);
+}
+
+}  // namespace
+
+Fp128 Relation::Fingerprint() const {
+  if (fingerprint_.has_value()) return *fingerprint_;
+  std::vector<size_t> order = CanonicalOrder();
+
+  // Header: name then attributes in canonical order, chained sequentially
+  // (the order is already canonical, so sequence-sensitivity is fine and
+  // keeps attribute positions from commuting with each other).
+  uint64_t lo = Fnv1aSeeded(name_, kFpSeedLo);
+  uint64_t hi = Fnv1aSeeded(name_, kFpSeedHi);
+  for (size_t i : order) {
+    lo = HashChain(lo, Fnv1aSeeded(attributes_[i], kFpSeedLo));
+    hi = HashChain(hi, Fnv1aSeeded(attributes_[i], kFpSeedHi));
+  }
+
+  // Body: per-tuple hashes over the canonical column permutation, folded
+  // with a wrapping sum so the tuple bag hashes the same in any order.
+  uint64_t bag_lo = 0;
+  uint64_t bag_hi = 0;
+  for (const Tuple& t : tuples_) {
+    uint64_t tlo = kFpSeedLo;
+    uint64_t thi = kFpSeedHi;
+    for (size_t i : order) {
+      tlo = HashChain(tlo, HashCell(t[i], kFpSeedLo));
+      thi = HashChain(thi, HashCell(t[i], kFpSeedHi));
+    }
+    bag_lo += Mix64(tlo);
+    bag_hi += Mix64(thi);
+  }
+
+  Fp128 fp;
+  fp.lo = HashChain(HashChain(lo, bag_lo), tuples_.size());
+  fp.hi = HashChain(HashChain(hi, bag_hi), tuples_.size());
+  fingerprint_ = fp;
+  return fp;
 }
 
 std::string Relation::ToString() const {

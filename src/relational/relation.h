@@ -2,11 +2,13 @@
 #define TUPELO_RELATIONAL_RELATION_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "common/hash.h"
 #include "common/result.h"
 #include "common/status.h"
 #include "relational/tuple.h"
@@ -27,7 +29,10 @@ class Relation {
                                  std::vector<std::string> attributes);
 
   const std::string& name() const { return name_; }
-  void set_name(std::string name) { name_ = std::move(name); }
+  void set_name(std::string name) {
+    name_ = std::move(name);
+    fingerprint_.reset();
+  }
 
   const std::vector<std::string>& attributes() const { return attributes_; }
   size_t arity() const { return attributes_.size(); }
@@ -73,7 +78,17 @@ class Relation {
   Relation Canonical() const;
 
   // Stable text fingerprint of the canonical form, used for state hashing.
+  // Computed via index permutations over the live representation; no
+  // canonical copy of the relation is materialized.
   std::string CanonicalKey() const;
+
+  // 128-bit structural fingerprint of the canonical form (name, schema as
+  // a set, tuple bag), hashed directly from schema and tuples: attributes
+  // contribute in sorted order and tuples through a commutative combine,
+  // so presentation order never matters and no string is materialized.
+  // Cached until the next mutation; relations shared immutably between
+  // databases therefore pay the O(arity * tuples) cost once, ever.
+  Fp128 Fingerprint() const;
 
   // Multi-line display: header then one tuple per line.
   std::string ToString() const;
@@ -82,13 +97,19 @@ class Relation {
   // bag). operator== is intentionally not provided: column/tuple order is
   // presentation detail and an accidental ordered comparison is a bug trap.
   bool ContentsEqual(const Relation& other) const {
+    if (!(Fingerprint() == other.Fingerprint())) return false;
     return CanonicalKey() == other.CanonicalKey();
   }
 
  private:
+  // Attribute indices in name-sorted order: the column permutation behind
+  // CanonicalKey and Fingerprint.
+  std::vector<size_t> CanonicalOrder() const;
+
   std::string name_;
   std::vector<std::string> attributes_;
   std::vector<Tuple> tuples_;
+  mutable std::optional<Fp128> fingerprint_;
 };
 
 }  // namespace tupelo

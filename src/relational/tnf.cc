@@ -11,7 +11,8 @@ Relation EncodeTnf(const Database& db) {
       kTnfRelationName, {kTnfTid, kTnfRel, kTnfAtt, kTnfValue});
   Relation tnf = std::move(created).value();
   size_t next_tid = 1;
-  for (const auto& [rname, rel] : db.relations()) {
+  for (const auto& [rname, relp] : db.relations()) {
+    const Relation& rel = *relp;
     for (const Tuple& t : rel.tuples()) {
       std::string tid = "t" + std::to_string(next_tid++);
       for (size_t i = 0; i < rel.arity(); ++i) {

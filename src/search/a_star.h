@@ -65,7 +65,8 @@ SearchOutcome<typename P::Action> AStarSearch(
   open.push(QueueEntry{problem.EstimateCost(root_state), 0, seq++, root});
 
   auto track_memory = [&] {
-    uint64_t nodes = static_cast<uint64_t>(open.size() + best_g.size());
+    uint64_t nodes = static_cast<uint64_t>(open.size() + best_g.size()) +
+                     AuxMemoryNodes(problem);
     outcome.stats.peak_memory_nodes =
         std::max(outcome.stats.peak_memory_nodes, nodes);
     instr.OnPeakMemory(nodes);

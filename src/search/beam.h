@@ -50,7 +50,8 @@ SearchOutcome<typename P::Action> BeamSearch(
   BudgetGuard guard(limits);
 
   for (int depth = 0; depth <= limits.max_depth; ++depth) {
-    uint64_t nodes = static_cast<uint64_t>(frontier.size() + seen.size());
+    uint64_t nodes = static_cast<uint64_t>(frontier.size() + seen.size()) +
+                     AuxMemoryNodes(problem);
     outcome.stats.peak_memory_nodes =
         std::max(outcome.stats.peak_memory_nodes, nodes);
     instr.OnPeakMemory(nodes);

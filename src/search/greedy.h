@@ -77,7 +77,8 @@ SearchOutcome<typename P::Action> GreedySearch(
   NodePtr best_node;  // anytime: lowest-h state examined so far
 
   while (!open.empty()) {
-    uint64_t nodes = static_cast<uint64_t>(open.size() + seen.size());
+    uint64_t nodes = static_cast<uint64_t>(open.size() + seen.size()) +
+                     AuxMemoryNodes(problem);
     outcome.stats.peak_memory_nodes =
         std::max(outcome.stats.peak_memory_nodes, nodes);
     instr.OnPeakMemory(nodes);

@@ -48,17 +48,19 @@ SearchOutcome<typename P::Action> IdaStarSearch(
     enum class Verdict { kFound, kNotFound };
 
     Verdict Visit(const State& state, int64_t g, int64_t bound) {
+      uint64_t memory_nodes =
+          static_cast<uint64_t>(g) + 1 + AuxMemoryNodes(problem);
       if (std::optional<StopReason> stop = guard.Check(
-              out.stats.states_examined, g, static_cast<uint64_t>(g) + 1)) {
+              out.stats.states_examined, g, memory_nodes)) {
         aborted = true;
         abort_reason = *stop;
         return Verdict::kNotFound;
       }
       ++out.stats.states_examined;
-      out.stats.peak_memory_nodes = std::max(
-          out.stats.peak_memory_nodes, static_cast<uint64_t>(g) + 1);
+      out.stats.peak_memory_nodes =
+          std::max(out.stats.peak_memory_nodes, memory_nodes);
       instr.OnVisit(problem.StateKey(state));
-      instr.OnPeakMemory(static_cast<uint64_t>(g) + 1);
+      instr.OnPeakMemory(memory_nodes);
 
       int64_t f = g + problem.EstimateCost(state);
       if (int h = static_cast<int>(f - g); out.best_h < 0 || h < out.best_h) {

@@ -59,17 +59,19 @@ SearchOutcome<typename P::Action> RbfsSearch(
     std::pair<bool, int64_t> Visit(const State& state, int64_t g,
                                    int64_t static_f, int64_t stored_f,
                                    int64_t f_limit) {
+      uint64_t memory_nodes =
+          static_cast<uint64_t>(g) + 1 + AuxMemoryNodes(problem);
       if (std::optional<StopReason> stop = guard.Check(
-              out.stats.states_examined, g, static_cast<uint64_t>(g) + 1)) {
+              out.stats.states_examined, g, memory_nodes)) {
         aborted = true;
         abort_reason = *stop;
         return {false, kSearchInfinity};
       }
       ++out.stats.states_examined;
-      out.stats.peak_memory_nodes = std::max(
-          out.stats.peak_memory_nodes, static_cast<uint64_t>(g) + 1);
+      out.stats.peak_memory_nodes =
+          std::max(out.stats.peak_memory_nodes, memory_nodes);
       instr.OnVisit(problem.StateKey(state));
-      instr.OnPeakMemory(static_cast<uint64_t>(g) + 1);
+      instr.OnPeakMemory(memory_nodes);
       if (int h = static_cast<int>(static_f - g);
           out.best_h < 0 || h < out.best_h) {
         out.best_h = h;

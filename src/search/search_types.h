@@ -27,10 +27,31 @@ namespace tupelo {
 //   // Stable fingerprint for duplicate/cycle detection.
 //   uint64_t StateKey(const State& s) const;
 //
+// Optionally, a problem may also provide
+//
+//   size_t AuxMemoryNodes() const;
+//
+// reporting states the *problem* retains (e.g. a transposition cache of
+// Expand results). The algorithms add it to their own memory proxy, so
+// problem-side caches count toward SearchLimits::max_memory_nodes.
+//
 // MappingProblem (src/core) is the real instance; tests use toy problems.
 
 inline constexpr int64_t kSearchInfinity =
     std::numeric_limits<int64_t>::max() / 4;
+
+// States retained by the problem itself (caches of Expand results and the
+// like), to be folded into an algorithm's memory proxy. Zero for problems
+// that do not declare AuxMemoryNodes(), which keeps the duck type small
+// for toy problems.
+template <typename Problem>
+uint64_t AuxMemoryNodes(const Problem& problem) {
+  if constexpr (requires { problem.AuxMemoryNodes(); }) {
+    return static_cast<uint64_t>(problem.AuxMemoryNodes());
+  } else {
+    return 0;
+  }
+}
 
 // Why a search stopped. kFound and kExhausted are conclusive (goal reached
 // / finite space swept without one); everything else is a resource trip,

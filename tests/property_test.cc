@@ -97,7 +97,7 @@ TEST_P(SeededProperty, TnfRoundTripForNonEmptyRelations) {
     // TNF cannot represent empty relations; drop them first.
     Database trimmed;
     for (const auto& [name, rel] : db.relations()) {
-      if (!rel.empty()) trimmed.PutRelation(rel);
+      if (!rel->empty()) trimmed.PutRelation(rel);
     }
     Result<Database> back = DecodeTnf(EncodeTnf(trimmed));
     ASSERT_TRUE(back.ok()) << back.status();
@@ -109,7 +109,8 @@ TEST_P(SeededProperty, CanonicalKeyInvariantUnderPresentationOrder) {
   Rng rng(GetParam() ^ 0xc0ffee);
   Database db;
   RandomDatabase(rng, &db);
-  for (const auto& [name, rel] : db.relations()) {
+  for (const auto& [name, relp] : db.relations()) {
+    const Relation& rel = *relp;
     if (rel.arity() < 2) continue;
     // Permute columns: rebuild with attributes reversed.
     std::vector<std::string> attrs = rel.attributes();
@@ -134,7 +135,8 @@ TEST_P(SeededProperty, ExecutorNeverMutatesInput) {
   std::string before = db.CanonicalKey();
   // Try a batch of arbitrary ops (most will fail; none may mutate input).
   std::vector<Op> ops;
-  for (const auto& [name, rel] : db.relations()) {
+  for (const auto& [name, relp] : db.relations()) {
+    const Relation& rel = *relp;
     ops.push_back(DemoteOp{name});
     if (!rel.attributes().empty()) {
       const std::string& a = rel.attributes()[0];
@@ -191,7 +193,8 @@ TEST_P(SeededProperty, DemoteAfterPromoteContainsOriginal) {
   Rng rng(GetParam() ^ 0x1234);
   Database db;
   RandomDatabase(rng, &db);
-  for (const auto& [name, rel] : db.relations()) {
+  for (const auto& [name, relp] : db.relations()) {
+    const Relation& rel = *relp;
     if (rel.arity() < 2 || rel.empty()) continue;
     PromoteOp promote{name, rel.attributes()[0], rel.attributes()[1]};
     Result<Database> promoted = ApplyOp(promote, db, nullptr);
@@ -208,7 +211,8 @@ TEST_P(SeededProperty, MergeIsIdempotent) {
   Rng rng(GetParam() ^ 0x4321);
   Database db;
   RandomDatabase(rng, &db);
-  for (const auto& [name, rel] : db.relations()) {
+  for (const auto& [name, relp] : db.relations()) {
+    const Relation& rel = *relp;
     if (rel.arity() == 0) continue;
     MergeOp merge{name, rel.attributes()[0]};
     Result<Database> once = ApplyOp(merge, db, nullptr);
@@ -223,7 +227,8 @@ TEST_P(SeededProperty, PartitionsCoverNonNullKeyedTuples) {
   Rng rng(GetParam() ^ 0x9999);
   Database db;
   RandomDatabase(rng, &db);
-  const auto& [name, rel] = *db.relations().begin();
+  const auto& [name, relp] = *db.relations().begin();
+  const Relation& rel = *relp;
   if (rel.arity() == 0) return;
   const std::string& attr = rel.attributes()[0];
   Result<Database> out = ApplyOp(PartitionOp{name, attr}, db, nullptr);
@@ -232,9 +237,9 @@ TEST_P(SeededProperty, PartitionsCoverNonNullKeyedTuples) {
   size_t covered = 0;
   for (const auto& [pname, part] : out->relations()) {
     if (pname == name || db.HasRelation(pname)) continue;
-    covered += part.size();
+    covered += part->size();
     // Every tuple in the partition keys exactly its relation's name.
-    for (const Tuple& t : part.tuples()) {
+    for (const Tuple& t : part->tuples()) {
       ASSERT_FALSE(t[idx].is_null());
       EXPECT_EQ(t[idx].atom(), pname);
     }
@@ -250,7 +255,8 @@ TEST_P(SeededProperty, RenameIsInvertible) {
   Rng rng(GetParam() ^ 0x7777);
   Database db;
   RandomDatabase(rng, &db);
-  const auto& [name, rel] = *db.relations().begin();
+  const auto& [name, relp] = *db.relations().begin();
+  const Relation& rel = *relp;
   if (rel.arity() == 0) return;
   const std::string& attr = rel.attributes()[0];
   Result<Database> there =
@@ -350,8 +356,8 @@ TEST_P(SeededProperty, SimplifyPreservesSemantics) {
     int want = len(rng);
     int guard = 0;
     while (expr.size() < static_cast<size_t>(want) && guard++ < 60) {
-      const Relation* r = state.relations().begin()->second.arity() > 0
-                              ? &state.relations().begin()->second
+      const Relation* r = state.relations().begin()->second->arity() > 0
+                              ? state.relations().begin()->second.get()
                               : nullptr;
       if (r == nullptr || r->arity() == 0) break;
       std::uniform_int_distribution<size_t> attr_pick(0, r->arity() - 1);

@@ -118,7 +118,7 @@ TEST(BammTest, WorkloadHasFixedSourcePlusTargets) {
 TEST(BammTest, TargetsHaveOneToEightAttributes) {
   BammWorkload w = MakeBammWorkload(BammDomain::kBooks, 7);
   for (const Database& target : w.targets) {
-    const Relation& rel = target.relations().begin()->second;
+    const Relation& rel = *target.relations().begin()->second;
     EXPECT_GE(rel.arity(), 1u);
     EXPECT_LE(rel.arity(), 8u);
     EXPECT_EQ(rel.size(), 1u);  // one critical tuple
@@ -144,12 +144,12 @@ TEST(BammTest, TargetValuesComeFromSourceEntity) {
   // Rosetta Stone: every target value appears in the source instance.
   BammWorkload w = MakeBammWorkload(BammDomain::kMovies, 11);
   std::set<std::string> source_values;
-  const Relation& src = w.source.relations().begin()->second;
+  const Relation& src = *w.source.relations().begin()->second;
   for (const Value& v : src.tuples()[0].values()) {
     source_values.insert(v.atom());
   }
   for (const Database& target : w.targets) {
-    const Relation& rel = target.relations().begin()->second;
+    const Relation& rel = *target.relations().begin()->second;
     for (const Value& v : rel.tuples()[0].values()) {
       EXPECT_TRUE(source_values.contains(v.atom())) << v.atom();
     }
@@ -163,7 +163,7 @@ TEST(BammTest, SynonymVocabulariesNeverCollideAcrossAttributes) {
   for (BammDomain domain : AllBammDomains()) {
     BammWorkload w = MakeBammWorkload(domain, 3);
     for (const Database& target : w.targets) {
-      const Relation& rel = target.relations().begin()->second;
+      const Relation& rel = *target.relations().begin()->second;
       std::set<std::string> seen;
       for (const std::string& attr : rel.attributes()) {
         EXPECT_TRUE(seen.insert(attr).second)
@@ -188,7 +188,7 @@ TEST(SemanticTest, WorkloadShape) {
   EXPECT_EQ(w.source.relation_count(), 1u);
   EXPECT_EQ(w.target.relation_count(), 1u);
   // Target: 2 renamed base attrs + k outputs.
-  const Relation& trel = w.target.relations().begin()->second;
+  const Relation& trel = *w.target.relations().begin()->second;
   EXPECT_EQ(trel.arity(), 2u + 4u);
 }
 
@@ -200,7 +200,7 @@ TEST(SemanticTest, ClampsFunctionCount) {
 TEST(SemanticTest, TargetOutputsComputedByFunctions) {
   SemanticWorkload w = MakeSemanticWorkload(SemanticDomain::kInventory, 1);
   // First correspondence: total = add(price, tax); prices 100+8 and 40+3.
-  const Relation& trel = w.target.relations().begin()->second;
+  const Relation& trel = *w.target.relations().begin()->second;
   std::optional<size_t> idx = trel.AttributeIndex("total");
   ASSERT_TRUE(idx.has_value());
   EXPECT_EQ(trel.tuples()[0][*idx], Value("108"));
@@ -261,14 +261,14 @@ TEST(BammTest, GroundTruthDescribesTargets) {
   BammWorkload w = MakeBammWorkload(BammDomain::kBooks, 2006);
   ASSERT_EQ(w.ground_truth.size(), w.targets.size());
   for (size_t i = 0; i < w.targets.size(); ++i) {
-    const Relation& rel = w.targets[i].relations().begin()->second;
+    const Relation& rel = *w.targets[i].relations().begin()->second;
     const BammGroundTruth& truth = w.ground_truth[i];
     // Every recorded rename's target label really appears in the target
     // schema, and its canonical source label does not.
     for (const auto& [canonical, label] : truth.attribute_renames) {
       EXPECT_TRUE(rel.HasAttribute(label)) << label;
       EXPECT_FALSE(rel.HasAttribute(canonical)) << canonical;
-      EXPECT_TRUE(w.source.relations().begin()->second.HasAttribute(
+      EXPECT_TRUE(w.source.relations().begin()->second->HasAttribute(
           canonical))
           << canonical;
     }
@@ -320,7 +320,7 @@ TEST(RestructuringTest, AllThreeViewsCarrySameInformation) {
 TEST(RestructuringTest, SplitTotalsAreCostPlusFee) {
   RestructuringWorkload w = MakeRestructuringWorkload(2, 3);
   for (const auto& [name, rel] : w.split.relations()) {
-    for (const Tuple& t : rel.tuples()) {
+    for (const Tuple& t : rel->tuples()) {
       int base = std::stoi(t[1].atom());
       int total = std::stoi(t[2].atom());
       EXPECT_GT(total, base);
