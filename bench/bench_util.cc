@@ -81,6 +81,12 @@ BenchArgs ParseBenchArgs(int argc, char** argv,
           std::strtoull(argv[i] + std::strlen("--seed="), nullptr, 10);
     } else if (arg.rfind("--json=", 0) == 0) {
       args.json_path = std::string(arg.substr(std::strlen("--json=")));
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      args.threads = std::strtoull(argv[i] + std::strlen("--threads="),
+                                   nullptr, 10);
+      if (args.threads == 0) args.threads = 1;
+    } else if (arg.rfind("--algo=", 0) == 0) {
+      args.algo = std::string(arg.substr(std::strlen("--algo=")));
     } else if (arg == "--quick") {
       args.quick = true;
     }
@@ -107,12 +113,13 @@ BenchReport::BenchReport(std::string harness, const BenchArgs& args)
     : enabled_(!args.json_path.empty()), path_(args.json_path) {
   if (!enabled_) return;
   root_ = obs::JsonValue::Object();
-  root_["schema_version"] = 3;
+  root_["schema_version"] = 4;
   root_["harness"] = std::move(harness);
   root_["git_sha"] = GitSha();
   root_["seed"] = args.seed;
   root_["quick"] = args.quick;
   root_["budget"] = args.budget;
+  root_["threads"] = args.threads;
   root_["panels"] = obs::JsonValue::Array();
 }
 

@@ -50,6 +50,12 @@ struct BenchArgs {
   bool quick = false;  // smaller sweeps for smoke runs
   uint64_t seed = 2006;
   std::string json_path;  // empty: no JSON report
+  // Worker threads for the parallel runtime (TupeloOptions::threads);
+  // recorded at the report root so before/after records are comparable.
+  uint64_t threads = 1;
+  // Optional algorithm override ("--algo=beam" runs a figure harness's
+  // panels under beam instead of its default algorithm); unset when empty.
+  std::string algo;
 };
 // `default_budget` applies when no --budget flag is given; figure
 // harnesses pick defaults matched to their paper axis ranges.
@@ -60,10 +66,10 @@ BenchArgs ParseBenchArgs(int argc, char** argv,
 std::string GitSha();
 
 // Accumulates a machine-readable run report and writes it to the --json
-// path on Write(). Layout (schema_version 3):
+// path on Write(). Layout (schema_version 4):
 //
-//   {"schema_version":3, "harness":..., "git_sha":..., "seed":...,
-//    "quick":..., "budget":...,
+//   {"schema_version":4, "harness":..., "git_sha":..., "seed":...,
+//    "quick":..., "budget":..., "threads":...,
 //    "panels":[{"name":..., "runs":[{...axis fields..., "found":...,
 //               "cutoff":..., "stop_reason":..., "verified":...,
 //               "verify_error":..., "deadline_millis":...,
@@ -74,6 +80,10 @@ std::string GitSha();
 // (state.cow_copies, state.relations_shared, expand.cache_hits/misses/
 // evictions), and micro_bench --json runs carry *_ns per-substrate
 // timing fields (see check_bench_json.py).
+//
+// Schema 4 additions: a root "threads" field (the --threads worker count
+// the harness ran with), and run metrics may carry the parallel-runtime
+// instruments (runtime.threads, beam.parallel.levels/tasks).
 //
 // All methods are no-ops when constructed with an empty json_path, so
 // harnesses call them unconditionally.

@@ -313,8 +313,12 @@ int RunJsonSuite(int argc, char** argv) {
     // One real discovery run so the report's metrics carry the live
     // state.*/expand.* counters alongside the substrate timings.
     TupeloOptions options;
-    options.algorithm = SearchAlgorithm::kRbfs;
+    options.algorithm = args.algo.empty()
+                            ? SearchAlgorithm::kRbfs
+                            : ParseSearchAlgorithm(args.algo).value_or(
+                                  SearchAlgorithm::kRbfs);
     options.heuristic = HeuristicKind::kH1;
+    options.threads = args.threads;
     options.limits.max_states = args.budget;
     options.limits.max_depth = static_cast<int>(n) + 4;
     obs::MetricRegistry registry;

@@ -24,13 +24,20 @@
 namespace tupelo::bench {
 
 inline void RunSyntheticPanels(SearchAlgorithm algo, const BenchArgs& args) {
-  std::printf("# Experiment 1 (synthetic schema matching), %s\n",
-              std::string(SearchAlgorithmName(algo)).c_str());
+  // --algo= overrides the harness's default algorithm (e.g. to measure the
+  // fig5 panels under the parallel beam); the report keeps the harness
+  // name so records stay attributable to the figure axes.
+  std::string harness = algo == SearchAlgorithm::kIda ? "fig5_synthetic_ida"
+                                                      : "fig6_synthetic_rbfs";
+  if (!args.algo.empty()) {
+    if (auto parsed = ParseSearchAlgorithm(args.algo)) algo = *parsed;
+  }
+  std::printf("# Experiment 1 (synthetic schema matching), %s, threads=%llu\n",
+              std::string(SearchAlgorithmName(algo)).c_str(),
+              static_cast<unsigned long long>(args.threads));
   std::printf("# measure: states examined; budget=%llu states\n\n",
               static_cast<unsigned long long>(args.budget));
 
-  std::string harness = algo == SearchAlgorithm::kIda ? "fig5_synthetic_ida"
-                                                      : "fig6_synthetic_rbfs";
   BenchReport report(harness, args);
 
   auto run_panel = [&](const std::string& panel_name,
@@ -55,6 +62,7 @@ inline void RunSyntheticPanels(SearchAlgorithm algo, const BenchArgs& args) {
         TupeloOptions options;
         options.algorithm = algo;
         options.heuristic = kinds[i];
+        options.threads = args.threads;
         options.limits.max_states = args.budget;
         options.limits.max_depth = static_cast<int>(n) + 4;
         obs::MetricRegistry registry;

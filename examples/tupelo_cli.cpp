@@ -40,6 +40,10 @@ int Usage() {
          "jaccard|pairs]\n"
          "  [--k=<scale>] [--max-states=N] [--max-depth=N] [--no-prune]\n"
          "  [--beam-width=N]          frontier width for --algo=beam\n"
+         "  [--threads=N]             worker threads (beam levels expand in "
+         "parallel)\n"
+         "  [--portfolio]             run the degradation ladder as a "
+         "concurrent portfolio\n"
          "  [--apply]                 execute the mapping and print the "
          "result\n"
          "  [--simplify]              run the peephole optimizer on the "
@@ -98,6 +102,11 @@ int main(int argc, char** argv) {
       options.limits.max_depth = std::stoi(value_of("--max-depth="));
     } else if (arg.starts_with("--beam-width=")) {
       options.beam_width = std::stoull(value_of("--beam-width="));
+    } else if (arg.starts_with("--threads=")) {
+      options.threads = std::stoull(value_of("--threads="));
+    } else if (arg == "--portfolio") {
+      options.portfolio = true;
+      if (options.ladder.empty()) options.ladder = tupelo::DefaultLadder();
     } else if (arg == "--no-prune") {
       options.successors.prune = false;
     } else if (arg == "--apply") {

@@ -3,7 +3,7 @@
 
 Usage: check_bench_json.py REPORT.json [REPORT2.json ...]
 
-Checks the schema documented in docs/OBSERVABILITY.md (schema_version 3):
+Checks the schema documented in docs/OBSERVABILITY.md (schema_version 4):
 required top-level fields with the right types, a non-empty panels list,
 and per-run presence of the standard measurement fields — including the
 resource-governance fields (stop_reason, verified, verify_error,
@@ -12,14 +12,17 @@ state-substrate counters (state.cow_copies, state.relations_shared,
 expand.cache_hits/misses/evictions — validated as non-negative ints
 when a run carries metrics) and the micro_bench *_ns substrate timing
 fields (required for the "micro" harness, validated as non-negative
-numbers wherever present). Exits non-zero with a line per violation, so
-it works as a ctest command.
+numbers wherever present). Schema_version 4 adds a root "threads"
+field (the --threads worker count, a positive int) and the parallel
+runtime counters (beam.parallel.levels/tasks, runtime.portfolio.* —
+validated like the substrate counters). Exits non-zero with a line per
+violation, so it works as a ctest command.
 """
 
 import json
 import sys
 
-SCHEMA_VERSION = 3
+SCHEMA_VERSION = 4
 
 STOP_REASONS = {
     "found", "exhausted", "states", "depth", "memory", "deadline",
@@ -33,6 +36,7 @@ REQUIRED_TOP = {
     "seed": int,
     "quick": bool,
     "budget": int,
+    "threads": int,
     "panels": list,
 }
 
@@ -64,8 +68,10 @@ MICRO_NS_FIELDS = (
 )
 
 # Schema 3: counter namespaces for the copy-on-write state substrate and
-# the Expand transposition cache. Validated wherever a run has metrics.
-SUBSTRATE_COUNTER_PREFIXES = ("state.cow", "state.relations", "expand.cache")
+# the Expand transposition cache. Schema 4 adds the parallel-runtime
+# counters. Validated wherever a run has metrics.
+SUBSTRATE_COUNTER_PREFIXES = ("state.cow", "state.relations", "expand.cache",
+                              "beam.parallel", "runtime.")
 
 
 def check(path):
@@ -95,6 +101,10 @@ def check(path):
     if doc.get("schema_version") != SCHEMA_VERSION:
         err("schema_version is %r, want %d"
             % (doc.get("schema_version"), SCHEMA_VERSION))
+    threads = doc.get("threads")
+    if isinstance(threads, int) and not isinstance(threads, bool):
+        if threads < 1:
+            err("threads is %d, want >= 1" % threads)
     sha = doc.get("git_sha", "")
     if isinstance(sha, str) and sha != "unknown" and (
         len(sha) != 40 or not all(c in "0123456789abcdef" for c in sha)

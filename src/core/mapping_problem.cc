@@ -37,7 +37,14 @@ MappingProblem::MappingProblem(
       heuristic_(std::move(heuristic)),
       registry_(registry),
       correspondences_(std::move(correspondences)),
-      config_(config) {}
+      config_(config) {
+  // Prewarm the lazy fingerprint caches while the problem is still
+  // single-threaded: initial_state() hands out a reference to source_, so
+  // several search threads may fingerprint the same Database object, and
+  // Database's cache (unlike Relation's) is not atomic.
+  source_.Fingerprint128();
+  target_.Fingerprint128();
+}
 
 void MappingProblem::set_metrics(obs::MetricRegistry* metrics) {
   metrics_ = metrics;
@@ -255,16 +262,23 @@ std::vector<MappingProblem::SuccessorT> MappingProblem::Expand(
   const bool cache_on = config_.expand_cache_capacity > 0;
 
   if (cache_on) {
+    std::lock_guard<std::mutex> lock(expand_mu_);
     auto hit = expand_cache_index_.find(state_key);
     if (hit != expand_cache_index_.end()) {
       expand_cache_.splice(expand_cache_.begin(), expand_cache_, hit->second);
       if (expand_cache_hits_ != nullptr) expand_cache_hits_->Increment();
-      return hit->second->successors;
+      return hit->second->successors;  // copied out while still locked
     }
     if (expand_cache_misses_ != nullptr) expand_cache_misses_->Increment();
   }
 
-  const Database::CowStats cow_before = Database::GlobalCowStats();
+  // Successor generation runs unlocked; two threads missing on the same
+  // state both compute (identical) successor lists and the second insert
+  // below is dropped. COW telemetry is attributed per problem by diffing
+  // the calling thread's counters — all ApplyOp work is synchronous on
+  // this thread, so the delta is exactly this expansion's, even with
+  // other searches running concurrently in the process.
+  const Database::CowStats cow_before = Database::ThreadCowStats();
 
   std::vector<SuccessorT> successors;
   // Dedup on the full 128-bit fingerprint: distinct successors colliding
@@ -281,23 +295,28 @@ std::vector<MappingProblem::SuccessorT> MappingProblem::Expand(
   }
 
   if (cow_copies_ != nullptr) {
-    const Database::CowStats cow_after = Database::GlobalCowStats();
+    const Database::CowStats cow_after = Database::ThreadCowStats();
     cow_copies_->Increment(cow_after.cow_copies - cow_before.cow_copies);
     relations_shared_->Increment(cow_after.relations_shared -
                                  cow_before.relations_shared);
   }
 
   if (cache_on) {
-    expand_cache_.push_front(ExpandCacheEntry{state_key, successors});
-    expand_cache_index_.emplace(state_key, expand_cache_.begin());
-    expand_cache_states_ += successors.size();
-    while (expand_cache_.size() > config_.expand_cache_capacity) {
-      ExpandCacheEntry& victim = expand_cache_.back();
-      expand_cache_states_ -= victim.successors.size();
-      expand_cache_index_.erase(victim.key);
-      expand_cache_.pop_back();
-      if (expand_cache_evictions_ != nullptr) {
-        expand_cache_evictions_->Increment();
+    std::lock_guard<std::mutex> lock(expand_mu_);
+    if (!expand_cache_index_.contains(state_key)) {
+      expand_cache_.push_front(ExpandCacheEntry{state_key, successors});
+      expand_cache_index_.emplace(state_key, expand_cache_.begin());
+      expand_cache_states_.fetch_add(successors.size(),
+                                     std::memory_order_relaxed);
+      while (expand_cache_.size() > config_.expand_cache_capacity) {
+        ExpandCacheEntry& victim = expand_cache_.back();
+        expand_cache_states_.fetch_sub(victim.successors.size(),
+                                       std::memory_order_relaxed);
+        expand_cache_index_.erase(victim.key);
+        expand_cache_.pop_back();
+        if (expand_cache_evictions_ != nullptr) {
+          expand_cache_evictions_->Increment();
+        }
       }
     }
   }

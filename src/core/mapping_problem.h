@@ -1,9 +1,12 @@
 #ifndef TUPELO_CORE_MAPPING_PROBLEM_H_
 #define TUPELO_CORE_MAPPING_PROBLEM_H_
 
+#include <array>
+#include <atomic>
 #include <cstdint>
 #include <list>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -58,6 +61,15 @@ struct SuccessorConfig {
 // are L operators, the initial state is the source critical instance, and
 // a state is a goal when it contains the target critical instance.
 // Satisfies the search Problem duck type of search/search_types.h.
+//
+// Thread safety: the const query surface (IsGoal/Expand/EstimateCost/
+// StateKey/StateKey128/AuxMemoryNodes) may be called from several threads
+// at once — the parallel beam fans Expand+EstimateCost out across a pool,
+// and concurrent portfolio rungs each drive their own problem. The
+// heuristic itself is stateless; the estimate cache is sharded by key and
+// the expand transposition cache sits under one mutex (successor
+// generation happens outside it). The problem owns mutexes, so it is
+// neither copyable nor movable.
 class MappingProblem {
  public:
   using State = Database;
@@ -74,6 +86,9 @@ class MappingProblem {
                  const FunctionRegistry* registry = nullptr,
                  std::vector<SemanticCorrespondence> correspondences = {},
                  SuccessorConfig config = SuccessorConfig());
+
+  MappingProblem(const MappingProblem&) = delete;
+  MappingProblem& operator=(const MappingProblem&) = delete;
 
   // Attaches a metric registry (nullable; default off). Resolves the
   // per-heuristic instruments heuristic.<name>.{evals,nanos} and
@@ -100,12 +115,23 @@ class MappingProblem {
   // dominant per-state cost of the string/vector heuristics. Keys are the
   // full 128-bit fingerprint: with a 64-bit key, two distinct states
   // colliding would silently serve one another's estimates.
+  //
+  // The cache is sharded by key so parallel beam workers estimating
+  // different states rarely contend; the heuristic runs outside the lock
+  // (two threads may race to compute the same state's estimate — both get
+  // the same value, and the second emplace is a no-op).
   int EstimateCost(const Database& state) const {
     Fp128 key = state.Fingerprint128();
-    auto it = estimate_cache_.find(key);
-    if (it != estimate_cache_.end()) {
-      if (heuristic_cache_hits_ != nullptr) heuristic_cache_hits_->Increment();
-      return it->second;
+    EstimateShard& shard = estimate_shards_[ShardIndex(key)];
+    {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      auto it = shard.cache.find(key);
+      if (it != shard.cache.end()) {
+        if (heuristic_cache_hits_ != nullptr) {
+          heuristic_cache_hits_->Increment();
+        }
+        return it->second;
+      }
     }
     int estimate;
     {
@@ -113,7 +139,10 @@ class MappingProblem {
       estimate = heuristic_->Estimate(state);
     }
     if (heuristic_evals_ != nullptr) heuristic_evals_->Increment();
-    estimate_cache_.emplace(key, estimate);
+    {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      shard.cache.emplace(key, estimate);
+    }
     return estimate;
   }
 
@@ -121,10 +150,19 @@ class MappingProblem {
     return state.Fingerprint();
   }
 
+  // Full 128-bit state identity; the search layer's dedup/cycle sets key
+  // on this (via StateFingerprint) so a 64-bit collision cannot alias two
+  // distinct database instances.
+  Fp128 StateKey128(const Database& state) const {
+    return state.Fingerprint128();
+  }
+
   // States held by the problem's own caches, for the search layer's memory
   // proxy: cached Expand successors are full states and must count toward
   // SearchLimits::max_memory_nodes like open/closed-list nodes do.
-  size_t AuxMemoryNodes() const { return expand_cache_states_; }
+  size_t AuxMemoryNodes() const {
+    return expand_cache_states_.load(std::memory_order_relaxed);
+  }
 
   // The candidate operators Expand would try on `state`, before execution
   // and duplicate-state filtering. Exposed for tests and ablations.
@@ -137,6 +175,18 @@ class MappingProblem {
   };
   using ExpandCacheList = std::list<ExpandCacheEntry>;
 
+  // Estimate-cache shard count; a power of two so ShardIndex is a mask.
+  // Eight shards keeps contention negligible for the pool sizes the
+  // parallel beam runs (worker counts in the single digits).
+  static constexpr size_t kEstimateShards = 8;
+  struct EstimateShard {
+    std::mutex mu;
+    std::unordered_map<Fp128, int, Fp128Hash> cache;
+  };
+  static size_t ShardIndex(const Fp128& key) {
+    return static_cast<size_t>(key.hi) & (kEstimateShards - 1);
+  }
+
   Database source_;
   Database target_;
   SymbolSets target_symbols_;
@@ -144,15 +194,19 @@ class MappingProblem {
   const FunctionRegistry* registry_;
   std::vector<SemanticCorrespondence> correspondences_;
   SuccessorConfig config_;
-  mutable std::unordered_map<Fp128, int, Fp128Hash> estimate_cache_;
+  mutable std::array<EstimateShard, kEstimateShards> estimate_shards_;
 
   // Transposition cache: most-recently-used at the front; index maps a
   // state fingerprint to its list node. expand_cache_states_ tracks the
-  // total successor states stored (the unit of the memory proxy).
+  // total successor states stored (the unit of the memory proxy); it is
+  // atomic so AuxMemoryNodes can be read without taking expand_mu_.
+  // Lookups splice (mutate LRU order), so the whole structure sits under
+  // one mutex; successor generation runs outside it.
+  mutable std::mutex expand_mu_;
   mutable ExpandCacheList expand_cache_;
   mutable std::unordered_map<Fp128, ExpandCacheList::iterator, Fp128Hash>
       expand_cache_index_;
-  mutable size_t expand_cache_states_ = 0;
+  mutable std::atomic<size_t> expand_cache_states_{0};
 
   // Observability (all null when metrics are off).
   obs::MetricRegistry* metrics_ = nullptr;

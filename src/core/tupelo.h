@@ -48,6 +48,18 @@ struct TupeloOptions {
   // Per-rung attempts are recorded in TupeloResult::rungs and the
   // governor.* metrics.
   std::vector<DegradationRung> ladder;
+  // Worker threads for the parallel search runtime. With threads > 1,
+  // Discover owns a ThreadPool for the call and beam rungs run as
+  // ParallelBeamSearch over it (bit-identical results to threads == 1;
+  // see search/parallel_beam.h). 0 is treated as 1.
+  size_t threads = 1;
+  // Run the ladder as a concurrent portfolio instead of a fallback
+  // sequence: every rung starts at once on its own thread with the full
+  // budget, the first rung whose mapping verifies wins, and the rest are
+  // cancelled through per-rung tokens parented on limits.cancel. Per-rung
+  // budget_share is ignored (there is no fallback order to ration).
+  // Requires a ladder with at least two rungs to change anything.
+  bool portfolio = false;
   // Run the peephole optimizer (fira/optimizer.h) on the discovered
   // expression; the raw search path is replaced by the simplified,
   // re-verified equivalent.

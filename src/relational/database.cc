@@ -7,10 +7,25 @@ namespace tupelo {
 
 namespace {
 
-// Process-wide COW telemetry. Relaxed: these are statistics, not
-// synchronization; the search itself is single-threaded per problem.
+// Process-wide COW telemetry (relaxed: statistics, not synchronization)
+// plus thread-local mirrors. Every event bumps both, so GlobalCowStats
+// stays a whole-process gauge while ThreadCowStats supports per-search
+// attribution under concurrency.
 std::atomic<uint64_t> g_cow_copies{0};
 std::atomic<uint64_t> g_relations_shared{0};
+thread_local uint64_t tl_cow_copies = 0;
+thread_local uint64_t tl_relations_shared = 0;
+
+void NoteCowCopy() {
+  g_cow_copies.fetch_add(1, std::memory_order_relaxed);
+  ++tl_cow_copies;
+}
+
+void NoteRelationsShared(uint64_t count) {
+  if (count == 0) return;  // don't touch the shared line for empty copies
+  g_relations_shared.fetch_add(count, std::memory_order_relaxed);
+  tl_relations_shared += count;
+}
 
 }  // namespace
 
@@ -21,17 +36,32 @@ Database::CowStats Database::GlobalCowStats() {
   return out;
 }
 
+Database::CowStats Database::ThreadCowStats() {
+  CowStats out;
+  out.cow_copies = tl_cow_copies;
+  out.relations_shared = tl_relations_shared;
+  return out;
+}
+
 Database::Database(const Database& other)
     : relations_(other.relations_), fingerprint_(other.fingerprint_) {
-  g_relations_shared.fetch_add(relations_.size(), std::memory_order_relaxed);
+  NoteRelationsShared(relations_.size());
 }
 
 Database& Database::operator=(const Database& other) {
   if (this != &other) {
+    // Count only pointers this assignment newly shares: a pointer already
+    // held under the same name (repeated `a = b`) was counted when it was
+    // first shared, and the relations dropped by the assignment must not
+    // inflate the tally either.
+    uint64_t newly_shared = 0;
+    for (const auto& [name, rel] : other.relations_) {
+      auto it = relations_.find(name);
+      if (it == relations_.end() || it->second != rel) ++newly_shared;
+    }
     relations_ = other.relations_;
     fingerprint_ = other.fingerprint_;
-    g_relations_shared.fetch_add(relations_.size(),
-                                 std::memory_order_relaxed);
+    NoteRelationsShared(newly_shared);
   }
   return *this;
 }
@@ -104,7 +134,7 @@ Status Database::RenameRelation(std::string_view from, const std::string& to) {
     auto clone = std::make_shared<Relation>(*r);
     clone->set_name(to);
     r = std::move(clone);
-    g_cow_copies.fetch_add(1, std::memory_order_relaxed);
+    NoteCowCopy();
   }
   if (fingerprint_.has_value()) fingerprint_->Add(r->Fingerprint());
   relations_.emplace(to, std::move(r));
@@ -133,7 +163,7 @@ Result<Relation*> Database::GetMutableRelation(std::string_view name) {
   fingerprint_.reset();
   if (it->second.use_count() != 1) {
     it->second = std::make_shared<Relation>(*it->second);
-    g_cow_copies.fetch_add(1, std::memory_order_relaxed);
+    NoteCowCopy();
   }
   return const_cast<Relation*>(it->second.get());
 }

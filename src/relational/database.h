@@ -29,13 +29,19 @@ class Database {
  public:
   using RelationPtr = std::shared_ptr<const Relation>;
 
-  // Process-wide copy-on-write telemetry, read by the search layer to feed
-  // the state.cow_copies / state.relations_shared instruments.
+  // Copy-on-write telemetry. GlobalCowStats is the process-wide view (a
+  // gauge across every live search); ThreadCowStats counts only events
+  // performed by the calling thread. Per-search attribution must diff
+  // ThreadCowStats: all COW work happens synchronously on the thread
+  // applying the operator, so thread-local deltas stay correct when
+  // several searches (portfolio rungs, pool workers) run concurrently,
+  // where global deltas would interleave.
   struct CowStats {
     uint64_t cow_copies = 0;        // relations cloned by mutable access
-    uint64_t relations_shared = 0;  // relation pointers shared by copies
+    uint64_t relations_shared = 0;  // relation pointers newly shared by copies
   };
   static CowStats GlobalCowStats();
+  static CowStats ThreadCowStats();
 
   Database() = default;
   Database(const Database& other);

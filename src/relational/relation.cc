@@ -45,7 +45,7 @@ Status Relation::AddTuple(Tuple tuple) {
         std::to_string(attributes_.size()) + " in " + name_);
   }
   tuples_.push_back(std::move(tuple));
-  fingerprint_.reset();
+  InvalidateFingerprint();
   return Status::OK();
 }
 
@@ -63,7 +63,7 @@ Status Relation::AddAttribute(const std::string& attr, const Value& fill) {
   }
   attributes_.push_back(attr);
   for (Tuple& t : tuples_) t.Append(fill);
-  fingerprint_.reset();
+  InvalidateFingerprint();
   return Status::OK();
 }
 
@@ -75,7 +75,7 @@ Status Relation::DropAttribute(std::string_view attr) {
   }
   attributes_.erase(attributes_.begin() + static_cast<ptrdiff_t>(*idx));
   for (Tuple& t : tuples_) t.Erase(*idx);
-  fingerprint_.reset();
+  InvalidateFingerprint();
   return Status::OK();
 }
 
@@ -92,7 +92,7 @@ Status Relation::RenameAttribute(std::string_view from, const std::string& to) {
     return Status::AlreadyExists("attribute '" + to + "' already in " + name_);
   }
   attributes_[*idx] = to;
-  fingerprint_.reset();
+  InvalidateFingerprint();
   return Status::OK();
 }
 
@@ -211,7 +211,10 @@ uint64_t HashCell(const Value& v, uint64_t seed) {
 }  // namespace
 
 Fp128 Relation::Fingerprint() const {
-  if (fingerprint_.has_value()) return *fingerprint_;
+  if (fp_valid_.load(std::memory_order_acquire)) {
+    return Fp128{fp_lo_.load(std::memory_order_relaxed),
+                 fp_hi_.load(std::memory_order_relaxed)};
+  }
   std::vector<size_t> order = CanonicalOrder();
 
   // Header: name then attributes in canonical order, chained sequentially
@@ -242,7 +245,9 @@ Fp128 Relation::Fingerprint() const {
   Fp128 fp;
   fp.lo = HashChain(HashChain(lo, bag_lo), tuples_.size());
   fp.hi = HashChain(HashChain(hi, bag_hi), tuples_.size());
-  fingerprint_ = fp;
+  fp_lo_.store(fp.lo, std::memory_order_relaxed);
+  fp_hi_.store(fp.hi, std::memory_order_relaxed);
+  fp_valid_.store(true, std::memory_order_release);
   return fp;
 }
 

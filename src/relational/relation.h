@@ -1,11 +1,13 @@
 #ifndef TUPELO_RELATIONAL_RELATION_H_
 #define TUPELO_RELATIONAL_RELATION_H_
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <optional>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "common/hash.h"
@@ -23,6 +25,39 @@ class Relation {
  public:
   Relation() = default;
 
+  // The fingerprint cache lives in atomics (see below), so the compiler
+  // cannot generate these.
+  Relation(const Relation& other)
+      : name_(other.name_),
+        attributes_(other.attributes_),
+        tuples_(other.tuples_) {
+    CopyFingerprintCache(other);
+  }
+  Relation& operator=(const Relation& other) {
+    if (this != &other) {
+      name_ = other.name_;
+      attributes_ = other.attributes_;
+      tuples_ = other.tuples_;
+      CopyFingerprintCache(other);
+    }
+    return *this;
+  }
+  Relation(Relation&& other) noexcept
+      : name_(std::move(other.name_)),
+        attributes_(std::move(other.attributes_)),
+        tuples_(std::move(other.tuples_)) {
+    CopyFingerprintCache(other);
+  }
+  Relation& operator=(Relation&& other) noexcept {
+    if (this != &other) {
+      name_ = std::move(other.name_);
+      attributes_ = std::move(other.attributes_);
+      tuples_ = std::move(other.tuples_);
+      CopyFingerprintCache(other);
+    }
+    return *this;
+  }
+
   // Builds an empty relation, validating that `name` is non-empty and the
   // attribute names are non-empty and pairwise distinct.
   static Result<Relation> Create(std::string name,
@@ -31,7 +66,7 @@ class Relation {
   const std::string& name() const { return name_; }
   void set_name(std::string name) {
     name_ = std::move(name);
-    fingerprint_.reset();
+    InvalidateFingerprint();
   }
 
   const std::vector<std::string>& attributes() const { return attributes_; }
@@ -106,10 +141,35 @@ class Relation {
   // CanonicalKey and Fingerprint.
   std::vector<size_t> CanonicalOrder() const;
 
+  void CopyFingerprintCache(const Relation& other) {
+    if (other.fp_valid_.load(std::memory_order_acquire)) {
+      fp_lo_.store(other.fp_lo_.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+      fp_hi_.store(other.fp_hi_.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+      fp_valid_.store(true, std::memory_order_release);
+    } else {
+      fp_valid_.store(false, std::memory_order_relaxed);
+    }
+  }
+
+  void InvalidateFingerprint() {
+    fp_valid_.store(false, std::memory_order_relaxed);
+  }
+
   std::string name_;
   std::vector<std::string> attributes_;
   std::vector<Tuple> tuples_;
-  mutable std::optional<Fp128> fingerprint_;
+  // Lazy fingerprint cache. A Relation is shared immutably across Database
+  // copies — and, under the parallel runtime, across threads — so the lazy
+  // fill must be race-free without a mutex: the writer stores both lanes
+  // relaxed and publishes with a release store of fp_valid_; readers pair
+  // it with an acquire load. Concurrent first computations store identical
+  // values (the fingerprint is a pure function of the immutable contents).
+  // Mutators require exclusive ownership and just drop validity.
+  mutable std::atomic<uint64_t> fp_lo_{0};
+  mutable std::atomic<uint64_t> fp_hi_{0};
+  mutable std::atomic<bool> fp_valid_{false};
 };
 
 }  // namespace tupelo

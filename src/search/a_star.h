@@ -31,7 +31,7 @@ SearchOutcome<typename P::Action> AStarSearch(
 
   struct Node {
     State state;
-    uint64_t key;
+    Fp128 key;  // full 128-bit identity; key.lo feeds traces/instruments
     int64_t g;
     // Parent chain for path reconstruction.
     std::shared_ptr<const Node> parent;
@@ -54,13 +54,15 @@ SearchOutcome<typename P::Action> AStarSearch(
   };
 
   std::priority_queue<QueueEntry, std::vector<QueueEntry>, Worse> open;
-  // Best g seen per state key.
-  std::unordered_map<uint64_t, int64_t> best_g;
+  // Best g seen per state, keyed on the full 128-bit identity: a 64-bit
+  // collision would alias two distinct states' g-values and silently
+  // prune one of them.
+  std::unordered_map<Fp128, int64_t, Fp128Hash> best_g;
   uint64_t seq = 0;
 
   const State& root_state = problem.initial_state();
-  NodePtr root(new Node{root_state, problem.StateKey(root_state), 0, nullptr,
-                        Action{}});
+  NodePtr root(new Node{root_state, StateFingerprint(problem, root_state), 0,
+                        nullptr, Action{}});
   best_g[root->key] = 0;
   open.push(QueueEntry{problem.EstimateCost(root_state), 0, seq++, root});
 
@@ -102,20 +104,20 @@ SearchOutcome<typename P::Action> AStarSearch(
       return outcome;
     }
     ++outcome.stats.states_examined;
-    instr.OnVisit(node->key);
+    instr.OnVisit(node->key.lo);
     int h = static_cast<int>(entry.f - node->g);
     if (outcome.best_h < 0 || h < outcome.best_h) {
       outcome.best_h = h;
       best_node = node;
     }
     if (tracer != nullptr) {
-      tracer->Record(TraceEvent{TraceEventKind::kVisit, node->key,
+      tracer->Record(TraceEvent{TraceEventKind::kVisit, node->key.lo,
                                 static_cast<int>(node->g), entry.f});
     }
 
     if (problem.IsGoal(node->state)) {
       if (tracer != nullptr) {
-        tracer->Record(TraceEvent{TraceEventKind::kGoal, node->key,
+        tracer->Record(TraceEvent{TraceEventKind::kGoal, node->key.lo,
                                   static_cast<int>(node->g), entry.f});
       }
       outcome.found = true;
@@ -131,7 +133,7 @@ SearchOutcome<typename P::Action> AStarSearch(
     outcome.stats.states_generated += successors.size();
     instr.OnExpand(successors.size());
     for (auto& succ : successors) {
-      uint64_t key = problem.StateKey(succ.state);
+      Fp128 key = StateFingerprint(problem, succ.state);
       int64_t g = node->g + 1;
       auto [git, inserted] = best_g.try_emplace(key, g);
       if (!inserted) {

@@ -41,10 +41,13 @@ SearchOutcome<typename P::Action> BeamSearch(
     int64_t h;
   };
 
-  std::unordered_set<uint64_t> seen;
+  // Dedup on the full 128-bit identity: a 64-bit collision here would
+  // silently drop a distinct reachable state from the (already
+  // incomplete) beam.
+  std::unordered_set<Fp128, Fp128Hash> seen;
   std::vector<Node> frontier;
   const State& root = problem.initial_state();
-  seen.insert(problem.StateKey(root));
+  seen.insert(StateFingerprint(problem, root));
   frontier.push_back(Node{root, {}, problem.EstimateCost(root)});
 
   BudgetGuard guard(limits);
@@ -102,7 +105,7 @@ SearchOutcome<typename P::Action> BeamSearch(
       outcome.stats.states_generated += successors.size();
       instr.OnExpand(successors.size());
       for (auto& succ : successors) {
-        uint64_t key = problem.StateKey(succ.state);
+        Fp128 key = StateFingerprint(problem, succ.state);
         if (!seen.insert(key).second) {
           instr.OnDuplicateHit();
           continue;

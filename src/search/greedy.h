@@ -56,12 +56,14 @@ SearchOutcome<typename P::Action> GreedySearch(
   };
 
   std::priority_queue<QueueEntry, std::vector<QueueEntry>, Worse> open;
-  std::unordered_set<uint64_t> seen;
+  // Closed set keyed on the full 128-bit identity: a 64-bit collision
+  // would silently discard a distinct reachable state.
+  std::unordered_set<Fp128, Fp128Hash> seen;
   uint64_t seq = 0;
 
   const State& root_state = problem.initial_state();
   NodePtr root(new Node{root_state, 0, nullptr, Action{}});
-  seen.insert(problem.StateKey(root_state));
+  seen.insert(StateFingerprint(problem, root_state));
   open.push(QueueEntry{problem.EstimateCost(root_state), seq++, root});
 
   auto reconstruct = [](const Node* n) {
@@ -124,7 +126,7 @@ SearchOutcome<typename P::Action> GreedySearch(
     outcome.stats.states_generated += successors.size();
     instr.OnExpand(successors.size());
     for (auto& succ : successors) {
-      uint64_t key = problem.StateKey(succ.state);
+      Fp128 key = StateFingerprint(problem, succ.state);
       if (!seen.insert(key).second) {
         instr.OnDuplicateHit();
         continue;

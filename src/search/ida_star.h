@@ -17,8 +17,10 @@ namespace tupelo {
 // linear in the search depth; states are re-examined across iterations and
 // each re-visit counts toward stats.states_examined (the paper's measure).
 //
-// Cycle avoidance: successors whose StateKey already occurs on the current
-// path are skipped (they can never shorten a unit-cost path).
+// Cycle avoidance: successors whose full 128-bit identity already occurs
+// on the current path are skipped (they can never shorten a unit-cost
+// path). Keying on the 64-bit StateKey would let a collision alias two
+// distinct path states and wrongly prune a reachable successor.
 //
 // `metrics` (nullable, default off) feeds the search.* instruments of
 // search/instrumentation.h.
@@ -40,7 +42,7 @@ SearchOutcome<typename P::Action> IdaStarSearch(
     SearchInstrumentation& instr;
     BudgetGuard& guard;
     std::vector<Action> path_actions;
-    std::unordered_set<uint64_t> path_keys;
+    std::unordered_set<Fp128, Fp128Hash> path_keys;
     int64_t next_bound = kSearchInfinity;
     StopReason abort_reason = StopReason::kExhausted;
     bool aborted = false;
@@ -94,7 +96,7 @@ SearchOutcome<typename P::Action> IdaStarSearch(
       out.stats.states_generated += successors.size();
       instr.OnExpand(successors.size());
       for (auto& succ : successors) {
-        uint64_t key = problem.StateKey(succ.state);
+        Fp128 key = StateFingerprint(problem, succ.state);
         if (path_keys.contains(key)) {
           instr.OnDuplicateHit();
           continue;
@@ -116,7 +118,7 @@ SearchOutcome<typename P::Action> IdaStarSearch(
           kSearchInfinity, StopReason::kExhausted, false};
 
   const State& root = problem.initial_state();
-  uint64_t root_key = problem.StateKey(root);
+  Fp128 root_key = StateFingerprint(problem, root);
   int64_t bound = problem.EstimateCost(root);
 
   while (true) {

@@ -1,0 +1,212 @@
+#ifndef TUPELO_SEARCH_PARALLEL_BEAM_H_
+#define TUPELO_SEARCH_PARALLEL_BEAM_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "search/beam.h"
+#include "search/instrumentation.h"
+#include "search/search_types.h"
+#include "search/trace.h"
+
+namespace tupelo {
+
+// Parallel level-synchronous beam search. Each depth level runs in two
+// phases:
+//
+//   Phase A (parallel): every frontier node's goal test, expansion, and
+//   per-successor fingerprint + heuristic estimate fan out across `pool`,
+//   one task per node. Workers touch only their own Prepared slot and the
+//   problem's const surface (which MappingProblem makes thread-safe);
+//   instrumentation, tracing, and the dedup set are never touched here.
+//
+//   Phase B (sequential): the calling thread merges results in frontier
+//   index order, replaying the exact control flow of BeamSearch —
+//   budget-guard check, examined count, best-h update, goal test, then
+//   successor dedup against `seen` in generation order.
+//
+// Because the dedup set, the budget guard, and every stats update are
+// driven in the same order as the sequential algorithm, the returned
+// SearchOutcome is bit-identical to BeamSearch on the same problem and
+// limits (the only divergence channel is the expand transposition cache's
+// LRU order, which can shift AuxMemoryNodes after an eviction; see
+// docs/PERFORMANCE.md). A worker that observes the CancelToken skips its
+// expansion; the merge phase recomputes such slots inline, so even a
+// cancellation race cannot change the result — it only costs parallelism.
+//
+// Falls back to BeamSearch when `pool` is null or has a single worker.
+//
+// Instruments (beyond search.*): beam.parallel.levels counts level
+// barriers, beam.parallel.tasks the node-expansion tasks fanned out.
+template <typename P>
+SearchOutcome<typename P::Action> ParallelBeamSearch(
+    const P& problem, size_t beam_width, ThreadPool* pool,
+    const SearchLimits& limits = SearchLimits(),
+    SearchTracer* tracer = nullptr, obs::MetricRegistry* metrics = nullptr) {
+  using Action = typename P::Action;
+  using State = typename P::State;
+
+  if (pool == nullptr || pool->size() <= 1) {
+    return BeamSearch(problem, beam_width, limits, tracer, metrics);
+  }
+
+  SearchOutcome<Action> outcome;
+  SearchInstrumentation instr(metrics);
+  if (beam_width == 0) return outcome;
+
+  obs::Counter* levels = nullptr;
+  obs::Counter* tasks = nullptr;
+  if (metrics != nullptr) {
+    levels = &metrics->GetCounter("beam.parallel.levels");
+    tasks = &metrics->GetCounter("beam.parallel.tasks");
+  }
+
+  struct Node {
+    State state;
+    std::vector<Action> path;
+    int64_t h;
+  };
+
+  using SuccList = decltype(problem.Expand(problem.initial_state()));
+
+  // One slot per frontier node, written by exactly one worker task and
+  // read by the merge phase after the WaitGroup barrier (which provides
+  // the happens-before edge). `ready` is false only when the worker bowed
+  // out on a cancelled token.
+  struct Prepared {
+    bool ready = false;
+    bool is_goal = false;
+    SuccList successors;
+    std::vector<Fp128> keys;
+    std::vector<int64_t> hs;
+  };
+
+  auto prepare = [&problem](const Node& node, Prepared& slot) {
+    if (problem.IsGoal(node.state)) {
+      slot.is_goal = true;
+      slot.ready = true;
+      return;
+    }
+    slot.successors = problem.Expand(node.state);
+    slot.keys.reserve(slot.successors.size());
+    slot.hs.reserve(slot.successors.size());
+    for (const auto& succ : slot.successors) {
+      slot.keys.push_back(StateFingerprint(problem, succ.state));
+      slot.hs.push_back(problem.EstimateCost(succ.state));
+    }
+    slot.ready = true;
+  };
+
+  std::unordered_set<Fp128, Fp128Hash> seen;
+  std::vector<Node> frontier;
+  const State& root = problem.initial_state();
+  seen.insert(StateFingerprint(problem, root));
+  frontier.push_back(Node{root, {}, problem.EstimateCost(root)});
+
+  BudgetGuard guard(limits);
+  WaitGroup wg;
+
+  for (int depth = 0; depth <= limits.max_depth; ++depth) {
+    // The memory proxy is computed before the fan-out, like the sequential
+    // loop computes it before any of the level's expansions.
+    uint64_t nodes = static_cast<uint64_t>(frontier.size() + seen.size()) +
+                     AuxMemoryNodes(problem);
+    outcome.stats.peak_memory_nodes =
+        std::max(outcome.stats.peak_memory_nodes, nodes);
+    instr.OnPeakMemory(nodes);
+    if (tracer != nullptr) {
+      int64_t best_h = frontier.front().h;
+      for (const Node& node : frontier) best_h = std::min(best_h, node.h);
+      tracer->Record(TraceEvent{TraceEventKind::kIteration, 0, depth, best_h});
+    }
+    if (levels != nullptr) levels->Increment();
+
+    // Phase A: fan the frontier out across the pool.
+    std::vector<Prepared> prepared(frontier.size());
+    wg.Add(frontier.size());
+    for (size_t i = 0; i < frontier.size(); ++i) {
+      pool->Submit([&frontier, &prepared, &prepare, &limits, &wg, i] {
+        if (limits.cancel == nullptr || !limits.cancel->cancelled()) {
+          prepare(frontier[i], prepared[i]);
+        }
+        wg.Done();
+      });
+    }
+    if (tasks != nullptr) tasks->Increment(frontier.size());
+    wg.Wait();
+
+    // Phase B: sequential merge in frontier order.
+    std::vector<Node> next_level;
+    for (size_t i = 0; i < frontier.size(); ++i) {
+      Node& node = frontier[i];
+      if (std::optional<StopReason> stop =
+              guard.Check(outcome.stats.states_examined, 0, nodes)) {
+        outcome.stop = *stop;
+        outcome.budget_exhausted = IsResourceStop(*stop);
+        return outcome;
+      }
+      ++outcome.stats.states_examined;
+      instr.OnVisit(problem.StateKey(node.state));
+      if (outcome.best_h < 0 || node.h < outcome.best_h) {
+        outcome.best_h = static_cast<int>(node.h);
+        outcome.best_path = node.path;
+      }
+      if (tracer != nullptr) {
+        tracer->Record(TraceEvent{TraceEventKind::kVisit,
+                                  problem.StateKey(node.state), depth,
+                                  node.h});
+      }
+
+      Prepared& prep = prepared[i];
+      if (!prep.ready) prepare(node, prep);  // worker skipped on cancel
+
+      if (prep.is_goal) {
+        if (tracer != nullptr) {
+          tracer->Record(TraceEvent{TraceEventKind::kGoal,
+                                    problem.StateKey(node.state), depth,
+                                    node.h});
+        }
+        outcome.found = true;
+        outcome.stop = StopReason::kFound;
+        outcome.stats.solution_cost = static_cast<int>(node.path.size());
+        outcome.path = std::move(node.path);
+        outcome.best_path = outcome.path;
+        outcome.best_h = 0;
+        return outcome;
+      }
+
+      outcome.stats.states_generated += prep.successors.size();
+      instr.OnExpand(prep.successors.size());
+      for (size_t s = 0; s < prep.successors.size(); ++s) {
+        if (!seen.insert(prep.keys[s]).second) {
+          instr.OnDuplicateHit();
+          continue;
+        }
+        std::vector<Action> path = node.path;
+        path.push_back(std::move(prep.successors[s].action));
+        next_level.push_back(Node{std::move(prep.successors[s].state),
+                                  std::move(path), prep.hs[s]});
+      }
+    }
+    if (next_level.empty()) return outcome;  // beam ran dry
+
+    // Keep the beam_width best by h (stable within ties).
+    if (next_level.size() > beam_width) {
+      std::stable_sort(next_level.begin(), next_level.end(),
+                       [](const Node& a, const Node& b) { return a.h < b.h; });
+      next_level.resize(beam_width);
+    }
+    frontier = std::move(next_level);
+  }
+  outcome.stop = StopReason::kDepth;  // level loop ran out of depth budget
+  outcome.budget_exhausted = true;
+  return outcome;
+}
+
+}  // namespace tupelo
+
+#endif  // TUPELO_SEARCH_PARALLEL_BEAM_H_

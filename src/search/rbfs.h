@@ -37,7 +37,7 @@ SearchOutcome<typename P::Action> RbfsSearch(
   struct Child {
     Action action;
     State state;
-    uint64_t key;
+    Fp128 key;  // full 128-bit identity for cycle detection
     int64_t static_f;  // g + h, fixed
     int64_t stored_f;  // backed-up value, monotonically raised
   };
@@ -50,7 +50,7 @@ SearchOutcome<typename P::Action> RbfsSearch(
     SearchInstrumentation& instr;
     BudgetGuard& guard;
     std::vector<Action> path_actions;
-    std::unordered_set<uint64_t> path_keys;
+    std::unordered_set<Fp128, Fp128Hash> path_keys;
     StopReason abort_reason = StopReason::kExhausted;
     bool aborted = false;
 
@@ -104,7 +104,7 @@ SearchOutcome<typename P::Action> RbfsSearch(
       std::vector<Child> children;
       children.reserve(successors.size());
       for (auto& succ : successors) {
-        uint64_t key = problem.StateKey(succ.state);
+        Fp128 key = StateFingerprint(problem, succ.state);
         if (path_keys.contains(key)) {
           instr.OnDuplicateHit();
           continue;
@@ -154,7 +154,7 @@ SearchOutcome<typename P::Action> RbfsSearch(
   Rec rec{problem, limits, outcome, tracer, instr, guard,
           {},      {},     StopReason::kExhausted, false};
   const State& root = problem.initial_state();
-  rec.path_keys.insert(problem.StateKey(root));
+  rec.path_keys.insert(StateFingerprint(problem, root));
   int64_t root_f = problem.EstimateCost(root);
   auto [found, backed_up] =
       rec.Visit(root, 0, root_f, root_f, kSearchInfinity);

@@ -9,6 +9,8 @@
 #include <string_view>
 #include <vector>
 
+#include "common/hash.h"
+
 namespace tupelo {
 
 // Generic state-space search (src/search) is written against a Problem
@@ -35,6 +37,16 @@ namespace tupelo {
 // Expand results). The algorithms add it to their own memory proxy, so
 // problem-side caches count toward SearchLimits::max_memory_nodes.
 //
+// A problem may also provide the full 128-bit identity
+//
+//   Fp128 StateKey128(const State& s) const;
+//
+// which the algorithms' duplicate/cycle-detection sets key on when
+// present (see StateFingerprint below). Problems with large reachable
+// spaces should: a 64-bit key collides at the birthday bound (~2^32
+// states), and a collision in a dedup set silently drops a distinct
+// reachable state.
+//
 // MappingProblem (src/core) is the real instance; tests use toy problems.
 
 inline constexpr int64_t kSearchInfinity =
@@ -50,6 +62,21 @@ uint64_t AuxMemoryNodes(const Problem& problem) {
     return static_cast<uint64_t>(problem.AuxMemoryNodes());
   } else {
     return 0;
+  }
+}
+
+// The state identity the dedup/cycle sets key on: the problem's full
+// 128-bit fingerprint when it provides one, else both lanes derived from
+// the 64-bit StateKey (Mix64 keeps the lanes distinct so Fp128Hash still
+// spreads well; a problem without StateKey128 keeps its original 64-bit
+// collision behavior, which is fine for the toy spaces that omit it).
+template <typename Problem, typename State>
+Fp128 StateFingerprint(const Problem& problem, const State& state) {
+  if constexpr (requires { problem.StateKey128(state); }) {
+    return problem.StateKey128(state);
+  } else {
+    uint64_t key = problem.StateKey(state);
+    return Fp128{key, Mix64(key)};
   }
 }
 
@@ -100,16 +127,27 @@ inline bool IsResourceStop(StopReason reason) {
 // deadline/cancel poll (every SearchLimits::check_interval visits) and
 // stops with StopReason::kCancelled. The token is reusable across
 // searches via Reset().
+//
+// Tokens chain: a token with a parent reports cancelled when either it
+// or the parent has fired. The concurrent portfolio runner hands each
+// rung a private token parented on the caller's, so the winner can
+// cancel the losers without consuming the caller's token, while a
+// caller-side Cancel still stops every rung.
 class CancelToken {
  public:
+  CancelToken() = default;
+  explicit CancelToken(const CancelToken* parent) : parent_(parent) {}
+
   void Cancel() { cancelled_.store(true, std::memory_order_relaxed); }
   void Reset() { cancelled_.store(false, std::memory_order_relaxed); }
   bool cancelled() const {
-    return cancelled_.load(std::memory_order_relaxed);
+    if (cancelled_.load(std::memory_order_relaxed)) return true;
+    return parent_ != nullptr && parent_->cancelled();
   }
 
  private:
   std::atomic<bool> cancelled_{false};
+  const CancelToken* parent_ = nullptr;  // not owned; may be null
 };
 
 // Budget knobs. Searches stop (found=false, a resource StopReason) when a

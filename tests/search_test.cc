@@ -252,6 +252,64 @@ TEST_P(AllAlgorithms, StatsAreCounted) {
 }
 
 // ---------------------------------------------------------------------------
+// 128-bit state identity
+// ---------------------------------------------------------------------------
+
+// Regression problem for the 64-bit dedup-collision bug: every state
+// reports the SAME 64-bit StateKey, but StateKey128 separates them in the
+// high lane. A dedup/cycle set keyed on the 64-bit value aliases all
+// states to one — A*/greedy/beam drop every successor as a "duplicate"
+// and IDA*/RBFS prune every successor as a "cycle", so the goal two steps
+// down a linear chain is unreachable. Keying on the full Fp128 (via
+// StateFingerprint) finds it.
+struct CollidingLowBitsProblem {
+  using State = int;
+  using Action = int;
+  struct SuccessorT {
+    Action action;
+    State state;
+  };
+
+  const State& initial_state() const {
+    static const int kStart = 0;
+    return kStart;
+  }
+  bool IsGoal(const State& s) const { return s == 2; }
+  std::vector<SuccessorT> Expand(const State& s) const {
+    if (s >= 2) return {};
+    return {SuccessorT{s + 1, s + 1}};  // 0 -> 1 -> 2
+  }
+  int EstimateCost(const State& s) const { return 2 - s; }
+  uint64_t StateKey(const State&) const { return 7; }  // total collision
+  Fp128 StateKey128(const State& s) const {
+    return Fp128{7, static_cast<uint64_t>(s) + 1};
+  }
+};
+
+TEST_P(AllAlgorithms, DistinctStatesSharingLow64BitsAreNotDeduped) {
+  CollidingLowBitsProblem p;
+  // Sanity: the two chain states really share the low 64 bits and only
+  // differ in the high lane StateFingerprint exposes.
+  Fp128 a = StateFingerprint(p, 1);
+  Fp128 b = StateFingerprint(p, 2);
+  ASSERT_EQ(a.lo, b.lo);
+  ASSERT_FALSE(a == b);
+
+  auto out = RunSearch(GetParam(), p);
+  ASSERT_TRUE(out.found);
+  EXPECT_EQ(out.stats.solution_cost, 2);
+  EXPECT_EQ(out.path, (std::vector<int>{1, 2}));
+}
+
+TEST(BeamTest, DistinctStatesSharingLow64BitsAreNotDeduped) {
+  CollidingLowBitsProblem p;
+  auto out = BeamSearch(p, 4);
+  ASSERT_TRUE(out.found);
+  EXPECT_EQ(out.stats.solution_cost, 2);
+  EXPECT_EQ(out.path, (std::vector<int>{1, 2}));
+}
+
+// ---------------------------------------------------------------------------
 // Algorithm-specific behavior
 // ---------------------------------------------------------------------------
 

@@ -226,6 +226,48 @@ TEST(CowTest, CowStatsCountSharingAndClones) {
   EXPECT_EQ(after_mut.cow_copies, after_copy.cow_copies + 1);
 }
 
+TEST(CowTest, AssignmentCountsOnlyNewlySharedRelations) {
+  Database parent;
+  Relation r = MakeRel("R", {"x"});
+  Relation s = MakeRel("S", {"y"});
+  ASSERT_TRUE(parent.AddRelation(r).ok());
+  ASSERT_TRUE(parent.AddRelation(s).ok());
+
+  Database child;
+  Database::CowStats before = Database::GlobalCowStats();
+  child = parent;  // both relations newly shared
+  EXPECT_EQ(Database::GlobalCowStats().relations_shared,
+            before.relations_shared + 2);
+
+  // Re-assigning the same source shares nothing new: child already holds
+  // the identical relation pointers. The old accounting re-counted size()
+  // on every assignment.
+  before = Database::GlobalCowStats();
+  child = parent;
+  EXPECT_EQ(Database::GlobalCowStats().relations_shared,
+            before.relations_shared);
+
+  // After one relation diverges, re-assignment re-shares exactly that one.
+  ASSERT_TRUE(child.GetMutableRelation("R").ok());
+  before = Database::GlobalCowStats();
+  child = parent;
+  EXPECT_EQ(Database::GlobalCowStats().relations_shared,
+            before.relations_shared + 1);
+}
+
+TEST(CowTest, EmptyDatabaseCopiesShareNothing) {
+  Database empty;
+  Database::CowStats before = Database::GlobalCowStats();
+  Database copy = empty;  // copy ctor: no relations, nothing shared
+  Database assigned;
+  assigned = empty;  // operator=: same invariant
+  EXPECT_EQ(Database::GlobalCowStats().relations_shared,
+            before.relations_shared);
+  EXPECT_EQ(Database::GlobalCowStats().cow_copies, before.cow_copies);
+  EXPECT_TRUE(copy.relations().empty());
+  EXPECT_TRUE(assigned.relations().empty());
+}
+
 TEST(CowTest, OperatorSuccessorNeverLeaksIntoParent) {
   SyntheticMatchingPair pair = MakeSyntheticMatchingPair(4);
   Database parent = pair.source;
