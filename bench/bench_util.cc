@@ -48,6 +48,8 @@ RunResult Measure(const Database& source, const Database& target,
   out.iterations = result->stats.iterations;
   out.peak_memory_nodes = result->stats.peak_memory_nodes;
   out.depth = result->stats.solution_cost;
+  out.resumed = result->resumed;
+  out.checkpoint_writes = result->checkpoint_writes;
   return out;
 }
 
@@ -113,7 +115,7 @@ BenchReport::BenchReport(std::string harness, const BenchArgs& args)
     : enabled_(!args.json_path.empty()), path_(args.json_path) {
   if (!enabled_) return;
   root_ = obs::JsonValue::Object();
-  root_["schema_version"] = 4;
+  root_["schema_version"] = 5;
   root_["harness"] = std::move(harness);
   root_["git_sha"] = GitSha();
   root_["seed"] = args.seed;
@@ -145,6 +147,8 @@ obs::JsonValue BenchReport::MakeRun(const RunResult& r) {
   run["peak_memory_nodes"] = r.peak_memory_nodes;
   run["solution_cost"] = r.depth;
   run["wall_millis"] = r.millis;
+  run["resumed"] = r.resumed;
+  run["checkpoint_writes"] = r.checkpoint_writes;
   return run;
 }
 

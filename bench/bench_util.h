@@ -26,6 +26,8 @@ struct RunResult {
   uint64_t peak_memory_nodes = 0;
   int depth = -1;
   double millis = 0.0;
+  bool resumed = false;           // run restarted from a checkpoint
+  uint64_t checkpoint_writes = 0;  // checkpoint files written during the run
 };
 
 // Runs TUPELO once and measures it. With a non-null `metrics`, the run
@@ -66,14 +68,15 @@ BenchArgs ParseBenchArgs(int argc, char** argv,
 std::string GitSha();
 
 // Accumulates a machine-readable run report and writes it to the --json
-// path on Write(). Layout (schema_version 4):
+// path on Write(). Layout (schema_version 5):
 //
-//   {"schema_version":4, "harness":..., "git_sha":..., "seed":...,
+//   {"schema_version":5, "harness":..., "git_sha":..., "seed":...,
 //    "quick":..., "budget":..., "threads":...,
 //    "panels":[{"name":..., "runs":[{...axis fields..., "found":...,
 //               "cutoff":..., "stop_reason":..., "verified":...,
 //               "verify_error":..., "deadline_millis":...,
 //               "states_examined":..., "wall_millis":...,
+//               "resumed":..., "checkpoint_writes":...,
 //               "metrics":{...MetricRegistry::ToJson()...}}, ...]}]}
 //
 // Schema 3 additions: run metrics may carry the state-substrate counters
@@ -84,6 +87,11 @@ std::string GitSha();
 // Schema 4 additions: a root "threads" field (the --threads worker count
 // the harness ran with), and run metrics may carry the parallel-runtime
 // instruments (runtime.threads, beam.parallel.levels/tasks).
+//
+// Schema 5 additions: per-run "resumed" and "checkpoint_writes" fields
+// (checkpoint/resume bookkeeping), and run metrics may carry the
+// checkpoint.* instruments (checkpoint.writes/bytes,
+// checkpoint.resume.rungs_skipped).
 //
 // All methods are no-ops when constructed with an empty json_path, so
 // harnesses call them unconditionally.

@@ -6,6 +6,7 @@
 //       [--algo=ida|rbfs|astar|greedy|beam] [--heuristic=h0|h1|h2|h3|
 //        levenshtein|euclid|euclid_norm|cosine|jaccard|pairs]
 //       [--k=<scale>] [--max-states=N]
+//       [--checkpoint=file.tck] [--resume]
 //       [--apply] [--simplify] [--check] [--conform]
 //       [--save=mapping.tmap] [--name=<id>]
 //       [--corr=function:in1+in2:out ...]
@@ -44,6 +45,10 @@ int Usage() {
          "parallel)\n"
          "  [--portfolio]             run the degradation ladder as a "
          "concurrent portfolio\n"
+         "  [--checkpoint=file.tck]   periodically snapshot discovery "
+         "progress (atomic, checksummed)\n"
+         "  [--resume]                with --checkpoint: restart from the "
+         "snapshot's rung + frontier\n"
          "  [--apply]                 execute the mapping and print the "
          "result\n"
          "  [--simplify]              run the peephole optimizer on the "
@@ -107,6 +112,10 @@ int main(int argc, char** argv) {
     } else if (arg == "--portfolio") {
       options.portfolio = true;
       if (options.ladder.empty()) options.ladder = tupelo::DefaultLadder();
+    } else if (arg.starts_with("--checkpoint=")) {
+      options.checkpoint_path = value_of("--checkpoint=");
+    } else if (arg == "--resume") {
+      options.resume = true;
     } else if (arg == "--no-prune") {
       options.successors.prune = false;
     } else if (arg == "--apply") {

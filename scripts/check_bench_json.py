@@ -3,7 +3,7 @@
 
 Usage: check_bench_json.py REPORT.json [REPORT2.json ...]
 
-Checks the schema documented in docs/OBSERVABILITY.md (schema_version 4):
+Checks the schema documented in docs/OBSERVABILITY.md (schema_version 5):
 required top-level fields with the right types, a non-empty panels list,
 and per-run presence of the standard measurement fields — including the
 resource-governance fields (stop_reason, verified, verify_error,
@@ -15,14 +15,18 @@ fields (required for the "micro" harness, validated as non-negative
 numbers wherever present). Schema_version 4 adds a root "threads"
 field (the --threads worker count, a positive int) and the parallel
 runtime counters (beam.parallel.levels/tasks, runtime.portfolio.* —
-validated like the substrate counters). Exits non-zero with a line per
-violation, so it works as a ctest command.
+validated like the substrate counters). Schema_version 5 adds per-run
+"resumed" (bool) and "checkpoint_writes" (non-negative int) fields and
+the checkpoint.* counters (checkpoint.writes/bytes,
+checkpoint.resume.rungs_skipped — validated like the substrate
+counters). Exits non-zero with a line per violation, so it works as a
+ctest command.
 """
 
 import json
 import sys
 
-SCHEMA_VERSION = 4
+SCHEMA_VERSION = 5
 
 STOP_REASONS = {
     "found", "exhausted", "states", "depth", "memory", "deadline",
@@ -53,6 +57,8 @@ REQUIRED_RUN = {
     "peak_memory_nodes": int,
     "solution_cost": int,
     "wall_millis": (int, float),
+    "resumed": bool,
+    "checkpoint_writes": int,
 }
 
 # Schema 3: per-substrate timings emitted by micro_bench --json. Required
@@ -71,7 +77,7 @@ MICRO_NS_FIELDS = (
 # the Expand transposition cache. Schema 4 adds the parallel-runtime
 # counters. Validated wherever a run has metrics.
 SUBSTRATE_COUNTER_PREFIXES = ("state.cow", "state.relations", "expand.cache",
-                              "beam.parallel", "runtime.")
+                              "beam.parallel", "runtime.", "checkpoint.")
 
 
 def check(path):
@@ -148,6 +154,9 @@ def check(path):
                         % (where, reason))
                 if run.get("deadline_millis", 0) < 0:
                     err("%s has negative deadline_millis" % where)
+                cw = run.get("checkpoint_writes")
+                if isinstance(cw, int) and not isinstance(cw, bool) and cw < 0:
+                    err("%s has negative checkpoint_writes" % where)
                 for key in MICRO_NS_FIELDS:
                     if key in run:
                         value = run[key]

@@ -10,6 +10,7 @@
 #include <utility>
 
 #include "common/thread_pool.h"
+#include "core/checkpoint.h"
 #include "fira/optimizer.h"
 #include "search/a_star.h"
 #include "search/beam.h"
@@ -39,26 +40,148 @@ uint64_t RungSlice(uint64_t remaining, double share, bool last) {
 }
 
 // Dispatches one rung's algorithm. Beam rungs go through the parallel
-// runner, which degrades to plain BeamSearch when `pool` is null.
+// runner, which degrades to plain BeamSearch when `pool` is null. `seed`
+// (nullable) resumes the algorithm from a checkpointed core.
 SearchOutcome<Op> RunRung(SearchAlgorithm algorithm,
                           const MappingProblem& problem, size_t beam_width,
                           ThreadPool* pool, const SearchLimits& limits,
-                          obs::MetricRegistry* metrics) {
+                          obs::MetricRegistry* metrics,
+                          const SearchSeed<Database, Op>* seed = nullptr) {
   switch (algorithm) {
     case SearchAlgorithm::kIda:
-      return IdaStarSearch(problem, limits, nullptr, metrics);
+      return IdaStarSearch(problem, limits, nullptr, metrics, seed);
     case SearchAlgorithm::kRbfs:
-      return RbfsSearch(problem, limits, nullptr, metrics);
+      return RbfsSearch(problem, limits, nullptr, metrics, seed);
     case SearchAlgorithm::kAStar:
-      return AStarSearch(problem, limits, nullptr, metrics);
+      return AStarSearch(problem, limits, nullptr, metrics, seed);
     case SearchAlgorithm::kGreedy:
-      return GreedySearch(problem, limits, nullptr, metrics);
+      return GreedySearch(problem, limits, nullptr, metrics, seed);
     case SearchAlgorithm::kBeam:
       return ParallelBeamSearch(problem, beam_width, pool, limits, nullptr,
-                                metrics);
+                                metrics, seed);
   }
   return {};
 }
+
+// Writes DiscoveryCheckpoint files from the snapshots the active rung's
+// search offers. One instance serves the whole Discover call; BeginRung
+// repoints it at each rung's position/budget context. When
+// `kill_after` > 0, the sink cancels `kill_token` right after that many
+// successful writes — the deterministic crash seam the fault campaign and
+// the crash-equivalence tests kill runs with.
+class FileCheckpointSink : public CheckpointSink<Database, Op> {
+ public:
+  FileCheckpointSink(std::string path, uint64_t interval_states,
+                     Fp128 source_fp, Fp128 target_fp, int ladder_size,
+                     int64_t deadline_total, Clock::time_point search_start,
+                     obs::MetricRegistry* metrics, CancelToken* kill_token,
+                     uint64_t kill_after)
+      : path_(std::move(path)),
+        interval_(interval_states == 0 ? 1 : interval_states),
+        source_fp_(source_fp),
+        target_fp_(target_fp),
+        ladder_size_(ladder_size),
+        deadline_total_(deadline_total),
+        search_start_(search_start),
+        metrics_(metrics),
+        kill_token_(kill_token),
+        kill_after_(kill_after) {}
+
+  // Repoints the sink at the rung about to run. `states_budget_left` is
+  // the whole-run state budget before this rung starts. Unless the rung is
+  // being resumed from a frontier (whose checkpoint must not be clobbered
+  // by an empty one), a rung-entry checkpoint is written immediately so a
+  // kill between snapshots restarts at this rung, not an earlier one.
+  void BeginRung(int rung_index, SearchAlgorithm algorithm,
+                 uint64_t states_budget_left, bool resumed_rung) {
+    rung_index_ = rung_index;
+    algorithm_ = std::string(SearchAlgorithmName(algorithm));
+    states_budget_left_ = states_budget_left;
+    next_due_ = interval_;
+    if (!resumed_rung) {
+      SearchSeed<Database, Op> empty;
+      WriteSnapshot(empty);
+    }
+  }
+
+  bool WantSnapshot(uint64_t states_examined) override {
+    return states_examined >= next_due_;
+  }
+
+  void OnSnapshot(SearchSeed<Database, Op> seed) override {
+    WriteSnapshot(seed);
+    next_due_ = seed.states_examined + interval_;
+  }
+
+  uint64_t writes() const { return writes_; }
+
+ private:
+  void WriteSnapshot(const SearchSeed<Database, Op>& seed) {
+    DiscoveryCheckpoint cp;
+    cp.source_fp = source_fp_;
+    cp.target_fp = target_fp_;
+    cp.algorithm = algorithm_;
+    cp.rung_index = rung_index_;
+    cp.ladder_size = ladder_size_;
+    cp.states_left = static_cast<int64_t>(
+        states_budget_left_ > seed.states_examined
+            ? states_budget_left_ - seed.states_examined
+            : 0);
+    if (deadline_total_ > 0) {
+      int64_t left =
+          deadline_total_ - static_cast<int64_t>(MillisSince(search_start_));
+      cp.deadline_left_millis = left > 0 ? left : 0;
+    }
+    cp.states_examined = seed.states_examined;
+    cp.best_path = seed.best_path;
+    cp.best_h = seed.best_h;
+    cp.ida_bound = seed.ida_bound;
+    cp.beam_depth = seed.beam_depth;
+    cp.frontier.reserve(seed.frontier.size());
+    for (const auto& node : seed.frontier) {
+      cp.frontier.push_back({node.state, node.path, node.h});
+    }
+    cp.open.reserve(seed.open.size());
+    for (const auto& node : seed.open) {
+      cp.open.push_back({node.path, node.key, node.seq});
+    }
+    cp.next_seq = seed.next_seq;
+    cp.closed = seed.closed;
+
+    std::string text = WriteCheckpoint(cp);
+    // A failed write is deliberately non-fatal: checkpointing must never
+    // take down the search it protects. The write counter only moves on
+    // success, so the kill seam still fires at real checkpoint boundaries.
+    if (AtomicWriteFile(path_, text).ok()) {
+      ++writes_;
+      if (metrics_ != nullptr) {
+        metrics_->GetCounter("checkpoint.writes").Increment();
+        metrics_->GetCounter("checkpoint.bytes").Increment(text.size());
+      }
+      if (kill_after_ > 0 && writes_ >= kill_after_ &&
+          kill_token_ != nullptr) {
+        kill_token_->Cancel();
+      }
+    }
+  }
+
+  const std::string path_;
+  const uint64_t interval_;
+  const Fp128 source_fp_;
+  const Fp128 target_fp_;
+  const int ladder_size_;
+  const int64_t deadline_total_;
+  const Clock::time_point search_start_;
+  obs::MetricRegistry* const metrics_;
+  CancelToken* const kill_token_;
+  const uint64_t kill_after_;
+
+  int rung_index_ = 0;
+  std::string algorithm_;
+  uint64_t states_budget_left_ = 0;
+  uint64_t next_due_ = 0;
+  uint64_t writes_ = 0;
+};
 
 }  // namespace
 
@@ -123,6 +246,90 @@ Result<TupeloResult> Tupelo::Discover(const TupeloOptions& options) const {
   // The heuristically closest state seen across rungs (anytime result).
   std::vector<Op> best_partial;
   int best_partial_h = -1;
+
+  // Checkpoint/resume plumbing (sequential ladder only: the portfolio has
+  // no single rung position to snapshot).
+  const bool checkpointing = !options.checkpoint_path.empty();
+  if ((checkpointing || options.resume) && options.portfolio &&
+      ladder.size() > 1) {
+    return Status::FailedPrecondition(
+        "checkpoint/resume is not supported with the concurrent portfolio");
+  }
+  if (options.resume && !checkpointing) {
+    return Status::InvalidArgument(
+        "TupeloOptions::resume requires checkpoint_path");
+  }
+
+  size_t first_rung = 0;
+  SearchSeed<Database, Op> resume_seed;
+  bool have_resume_seed = false;
+  if (options.resume) {
+    Result<DiscoveryCheckpoint> loaded =
+        LoadCheckpointFile(options.checkpoint_path);
+    if (!loaded.ok() && loaded.status().code() == StatusCode::kNotFound) {
+      // Killed before the first write: nothing to resume, fresh start.
+    } else if (!loaded.ok()) {
+      return loaded.status();
+    } else {
+      const DiscoveryCheckpoint& cp = *loaded;
+      if (!(cp.source_fp == source_.Fingerprint128()) ||
+          !(cp.target_fp == target_.Fingerprint128())) {
+        return Status::FailedPrecondition(
+            "checkpoint was written by a different workload");
+      }
+      if (cp.ladder_size != static_cast<int>(ladder.size()) ||
+          cp.rung_index >= static_cast<int>(ladder.size()) ||
+          cp.algorithm !=
+              SearchAlgorithmName(ladder[cp.rung_index].algorithm)) {
+        return Status::FailedPrecondition(
+            "checkpoint does not match this run's ladder");
+      }
+      first_rung = static_cast<size_t>(cp.rung_index);
+      states_left =
+          cp.states_left > 0 ? static_cast<uint64_t>(cp.states_left) : 0;
+      if (deadline_total > 0) deadline_total = cp.deadline_left_millis;
+      best_partial = cp.best_path;
+      best_partial_h = cp.best_h;
+      resume_seed.states_examined = cp.states_examined;
+      resume_seed.best_path = cp.best_path;
+      resume_seed.best_h = cp.best_h;
+      resume_seed.ida_bound = cp.ida_bound;
+      resume_seed.beam_depth = cp.beam_depth;
+      resume_seed.frontier.reserve(cp.frontier.size());
+      for (const CheckpointFrontierEntry& e : cp.frontier) {
+        resume_seed.frontier.push_back({e.state, e.path, e.h});
+      }
+      resume_seed.open.reserve(cp.open.size());
+      for (const CheckpointOpenEntry& e : cp.open) {
+        // Open-list states are not stored; replay them from their action
+        // paths (operators are deterministic).
+        TUPELO_ASSIGN_OR_RETURN(
+            Database state,
+            MappingExpression(e.path).Apply(source_, registry_));
+        resume_seed.open.push_back({std::move(state), e.path, e.key, e.seq});
+      }
+      resume_seed.next_seq = cp.next_seq;
+      resume_seed.closed = cp.closed;
+      have_resume_seed = true;
+      result.resumed = true;
+      result.resume_rungs_skipped = static_cast<int>(first_rung);
+      if (metrics != nullptr && first_rung > 0) {
+        metrics->GetCounter("checkpoint.resume.rungs_skipped")
+            .Increment(first_rung);
+      }
+    }
+  }
+
+  std::unique_ptr<CancelToken> kill_token;
+  std::unique_ptr<FileCheckpointSink> sink;
+  if (checkpointing) {
+    kill_token = std::make_unique<CancelToken>(options.limits.cancel);
+    sink = std::make_unique<FileCheckpointSink>(
+        options.checkpoint_path, options.checkpoint_interval_states,
+        source_.Fingerprint128(), target_.Fingerprint128(),
+        static_cast<int>(ladder.size()), deadline_total, search_start,
+        metrics, kill_token.get(), options.checkpoint_kill_after);
+  }
 
   // The parallel runtime: one pool per Discover call, joined before
   // return. Beam rungs fan their levels out over it.
@@ -273,9 +480,9 @@ Result<TupeloResult> Tupelo::Discover(const TupeloOptions& options) const {
       result.stop_reason = runs.back().outcome.stop;
     }
   } else
-  for (size_t i = 0; i < ladder.size(); ++i) {
+  for (size_t i = first_rung; i < ladder.size(); ++i) {
     const bool last = i + 1 == ladder.size();
-    if (i > 0 && metrics != nullptr) {
+    if (i > first_rung && metrics != nullptr) {
       metrics->GetCounter("governor.fallback_activations").Increment();
     }
 
@@ -307,10 +514,19 @@ Result<TupeloResult> Tupelo::Discover(const TupeloOptions& options) const {
                            correspondences_, options.successors);
     problem.set_metrics(metrics);
 
+    const bool resumed_rung = have_resume_seed && i == first_rung;
+    if (sink != nullptr) {
+      sink->BeginRung(static_cast<int>(i), ladder[i].algorithm, states_left,
+                      resumed_rung);
+      rung_limits.checkpoint_sink = sink.get();
+      rung_limits.cancel = kill_token.get();
+    }
+
     Clock::time_point rung_start = Clock::now();
     SearchOutcome<Op> outcome =
         RunRung(ladder[i].algorithm, problem, options.beam_width, pool.get(),
-                rung_limits, metrics);
+                rung_limits, metrics,
+                resumed_rung ? &resume_seed : nullptr);
     double rung_millis = MillisSince(rung_start);
 
     result.rungs.push_back(RungAttempt{ladder[i].algorithm, outcome.stop,
@@ -369,6 +585,7 @@ Result<TupeloResult> Tupelo::Discover(const TupeloOptions& options) const {
     }
   }
   result.report.search_millis = MillisSince(search_start);
+  if (sink != nullptr) result.checkpoint_writes = sink->writes();
 
   result.budget_exhausted = IsResourceStop(result.stop_reason);
   result.partial_mapping = MappingExpression(std::move(best_partial));

@@ -64,6 +64,24 @@ struct TupeloOptions {
   // expression; the raw search path is replaced by the simplified,
   // re-verified equivalent.
   bool simplify = false;
+  // Durable checkpoint/resume (see docs/ROBUSTNESS.md, "Checkpoint &
+  // resume contract"). With a non-empty checkpoint_path, sequential runs
+  // write an atomic, checksummed snapshot of the ladder position, the
+  // remaining budget, the best partial mapping, and the active rung's
+  // resumable search core (core/checkpoint.h) roughly every
+  // checkpoint_interval_states examined states. Not supported together
+  // with the concurrent portfolio (FailedPrecondition).
+  std::string checkpoint_path;
+  uint64_t checkpoint_interval_states = 1024;
+  // Load checkpoint_path before searching and restart at its rung +
+  // frontier. A missing file is a fresh start; a corrupt file, a wrong
+  // format version, or a checkpoint from a different workload is a typed
+  // error. Requires checkpoint_path.
+  bool resume = false;
+  // Test seam for crash simulation: when > 0, the run cancels itself
+  // (StopReason::kCancelled) right after the Nth successful checkpoint
+  // write — a deterministic process death at a checkpoint boundary.
+  uint64_t checkpoint_kill_after = 0;
   // Optional metric registry (nullable; default off). When set, the run
   // populates search.*, heuristic.*, executor.*, phase.* and governor.*
   // instruments — see docs/OBSERVABILITY.md for the catalog. Must outlive
@@ -126,6 +144,12 @@ struct TupeloResult {
   std::vector<RungAttempt> rungs;
   // Phase timing for this run (see RunReport).
   RunReport report;
+  // Checkpoint/resume bookkeeping: whether this run restarted from a
+  // checkpoint, how many ladder rungs the resume skipped, and how many
+  // checkpoint files the run wrote.
+  bool resumed = false;
+  int resume_rungs_skipped = 0;
+  uint64_t checkpoint_writes = 0;
 };
 
 // TUPELO: example-driven discovery of data-mapping expressions.

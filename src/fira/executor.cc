@@ -6,6 +6,8 @@
 #include <utility>
 #include <vector>
 
+#include "common/hash.h"
+
 namespace tupelo {
 namespace {
 
@@ -16,9 +18,36 @@ std::atomic<FaultInjector*> g_fault_injector{nullptr};
 void FaultInjector::Arm(std::string op_name, Status status, uint64_t skip) {
   std::lock_guard<std::mutex> lock(mu_);
   armed_ = true;
+  mode_ = Mode::kAfterSkip;
   op_name_ = std::move(op_name);
   status_ = std::move(status);
   skip_ = skip;
+  consults_ = 0;
+  injected_ = 0;
+}
+
+void FaultInjector::ArmProbabilistic(std::string op_name, Status status,
+                                     double probability, uint64_t seed) {
+  std::lock_guard<std::mutex> lock(mu_);
+  armed_ = true;
+  mode_ = Mode::kProbabilistic;
+  op_name_ = std::move(op_name);
+  status_ = std::move(status);
+  probability_ = probability < 0.0 ? 0.0 : (probability > 1.0 ? 1.0
+                                                              : probability);
+  seed_ = seed;
+  consults_ = 0;
+  injected_ = 0;
+}
+
+void FaultInjector::ArmEveryNth(std::string op_name, Status status,
+                                uint64_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  armed_ = true;
+  mode_ = Mode::kEveryNth;
+  op_name_ = std::move(op_name);
+  status_ = std::move(status);
+  every_n_ = n;
   consults_ = 0;
   injected_ = 0;
 }
@@ -43,7 +72,23 @@ bool FaultInjector::ShouldFail(std::string_view op_name, Status* out) {
   if (!armed_) return false;
   if (op_name_ != "*" && op_name_ != op_name) return false;
   uint64_t index = consults_++;
-  if (index < skip_) return false;
+  bool fire = false;
+  switch (mode_) {
+    case Mode::kAfterSkip:
+      fire = index >= skip_;
+      break;
+    case Mode::kProbabilistic: {
+      // Counter-keyed hash → uniform double in [0, 1): deterministic per
+      // (seed, index), so a campaign trial replays bit-for-bit.
+      uint64_t r = Mix64(seed_ ^ Mix64(index + 1));
+      fire = (static_cast<double>(r >> 11) * 0x1.0p-53) < probability_;
+      break;
+    }
+    case Mode::kEveryNth:
+      fire = every_n_ > 0 && (index + 1) % every_n_ == 0;
+      break;
+  }
+  if (!fire) return false;
   ++injected_;
   *out = status_;
   return true;

@@ -22,11 +22,32 @@ namespace tupelo {
 // injectors cost one relaxed atomic load per ApplyOp.
 class FaultInjector {
  public:
+  // Firing discipline of an armed injector. All modes share the same match
+  // rule (`op_name`, "*" for every operator) and counters; they differ only
+  // in which matching applications fail.
+  enum class Mode {
+    kAfterSkip,       // fail every application after the first `skip`
+    kProbabilistic,   // fail each application with probability p (seeded)
+    kEveryNth,        // fail every Nth matching application
+  };
+
   // Arms the injector: applications of `op_name` (script-name form —
   // "promote", "rename_att", ...; "*" matches every operator) fail with
   // `status` after `skip` matching applications have been allowed through.
   // Re-arming replaces the previous configuration and resets counters.
   void Arm(std::string op_name, Status status, uint64_t skip = 0);
+
+  // Arms seeded-probabilistic firing: each matching application fails with
+  // probability `probability` (clamped to [0, 1]), decided by a counter-
+  // keyed hash of `seed` — the fire pattern is a pure function of (seed,
+  // consult index), so campaigns replay exactly.
+  void ArmProbabilistic(std::string op_name, Status status,
+                        double probability, uint64_t seed);
+
+  // Arms every-Nth firing: matching applications numbered n, 2n, 3n, ...
+  // (1-based) fail. n == 0 never fires.
+  void ArmEveryNth(std::string op_name, Status status, uint64_t n);
+
   void Disarm();
 
   // Matching applications consulted so far (allowed + failed) since the
@@ -43,9 +64,13 @@ class FaultInjector {
  private:
   mutable std::mutex mu_;
   bool armed_ = false;
+  Mode mode_ = Mode::kAfterSkip;
   std::string op_name_;
   Status status_;
   uint64_t skip_ = 0;
+  double probability_ = 0.0;
+  uint64_t seed_ = 0;
+  uint64_t every_n_ = 0;
   uint64_t consults_ = 0;
   uint64_t injected_ = 0;
 };

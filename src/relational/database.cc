@@ -1,7 +1,10 @@
 #include "relational/database.h"
 
 #include <atomic>
+#include <unordered_set>
 #include <utility>
+
+#include "relational/tnf.h"
 
 namespace tupelo {
 
@@ -179,6 +182,54 @@ size_t Database::TupleCount() const {
   size_t n = 0;
   for (const auto& [name, rel] : relations_) n += rel->size();
   return n;
+}
+
+Status Database::Validate() const {
+  for (const auto& [key, rel] : relations_) {
+    if (rel == nullptr) {
+      return Status::Internal("relation '" + key + "' is null");
+    }
+    if (rel->name() != key) {
+      return Status::Internal("relation keyed '" + key + "' is named '" +
+                              rel->name() + "'");
+    }
+    if (rel->name().empty()) {
+      return Status::InvalidArgument("relation with empty name");
+    }
+    std::unordered_set<std::string_view> attr_names;
+    for (const std::string& attr : rel->attributes()) {
+      if (attr.empty()) {
+        return Status::InvalidArgument("relation '" + key +
+                                       "' has an empty attribute name");
+      }
+      if (!attr_names.insert(attr).second) {
+        return Status::InvalidArgument("relation '" + key +
+                                       "' has duplicate attribute '" + attr +
+                                       "'");
+      }
+    }
+    size_t arity = rel->arity();
+    for (const Tuple& tuple : rel->tuples()) {
+      if (tuple.size() != arity) {
+        return Status::InvalidArgument(
+            "relation '" + key + "' has a tuple of arity " +
+            std::to_string(tuple.size()) + " against a schema of arity " +
+            std::to_string(arity));
+      }
+    }
+    // A relation claiming to be the TNF encoding must actually decode.
+    if (rel->name() == kTnfRelationName && arity == 4 &&
+        rel->HasAttribute(kTnfTid) && rel->HasAttribute(kTnfRel) &&
+        rel->HasAttribute(kTnfAtt) && rel->HasAttribute(kTnfValue)) {
+      Result<Database> decoded = DecodeTnf(*rel);
+      if (!decoded.ok()) {
+        return Status::InvalidArgument("relation '" + key +
+                                       "' claims TNF but does not decode: " +
+                                       decoded.status().message());
+      }
+    }
+  }
+  return Status::OK();
 }
 
 bool Database::Contains(const Database& target) const {

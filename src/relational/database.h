@@ -86,6 +86,15 @@ class Database {
   // Total number of tuples across relations.
   size_t TupleCount() const;
 
+  // Structural integrity check, run on every .tdb/checkpoint load so a
+  // corrupted or hand-edited file fails with a descriptive Status instead
+  // of tripping undefined behavior later. Verifies: map keys agree with
+  // relation names, names are non-empty, attribute names are non-empty and
+  // pairwise distinct, every tuple's arity matches its schema, and a
+  // relation claiming to be TNF (named kTnfRelationName with exactly the
+  // four TNF attributes) actually decodes.
+  Status Validate() const;
+
   // True if this database "contains" `target` in the sense of TUPELO's
   // goal test (§2.3): every relation of `target` has a same-named relation
   // here whose attributes are a superset, and every target tuple equals the

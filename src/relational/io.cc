@@ -431,7 +431,11 @@ Result<Database> LoadTdbFile(const std::string& path) {
   if (!in) return Status::NotFound("cannot open file: " + path);
   std::ostringstream ss;
   ss << in.rdbuf();
-  return ParseTdb(ss.str());
+  TUPELO_ASSIGN_OR_RETURN(Database db, ParseTdb(ss.str()));
+  // Loaded bytes are untrusted: fail with a descriptive Status on any
+  // structural damage rather than letting it surface as UB mid-search.
+  TUPELO_RETURN_IF_ERROR(db.Validate());
+  return db;
 }
 
 Status SaveTdbFile(const Database& db, const std::string& path) {

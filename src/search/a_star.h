@@ -19,15 +19,24 @@ namespace tupelo {
 // paper's early TUPELO implementation used and abandoned: its memory use is
 // exponential in the search depth (tracked in stats.peak_memory_nodes),
 // which is what the linear-memory IDA*/RBFS implementations fix.
+//
+// Checkpointing: a snapshot serializes the live open list (each entry's
+// action path plus its original seq number) and the closed map. Resume
+// rebuilds the heap from those paths — g is the path length, f is
+// recomputed from the deterministic heuristic, and the preserved seq
+// keeps FIFO tiebreaks — so pops continue in exactly the order the
+// uninterrupted run would have used (the comparator is a total order).
 template <typename P>
 SearchOutcome<typename P::Action> AStarSearch(
     const P& problem, const SearchLimits& limits = SearchLimits(),
-    SearchTracer* tracer = nullptr, obs::MetricRegistry* metrics = nullptr) {
+    SearchTracer* tracer = nullptr, obs::MetricRegistry* metrics = nullptr,
+    const SearchSeed<typename P::State, typename P::Action>* seed = nullptr) {
   using Action = typename P::Action;
   using State = typename P::State;
 
   SearchOutcome<Action> outcome;
   SearchInstrumentation instr(metrics);
+  auto* sink = ResolveCheckpointSink<State, Action>(limits);
 
   struct Node {
     State state;
@@ -36,6 +45,9 @@ SearchOutcome<typename P::Action> AStarSearch(
     // Parent chain for path reconstruction.
     std::shared_ptr<const Node> parent;
     Action action_from_parent;  // undefined for the root
+    // Actions leading to this node when it is a chain root restored from
+    // a checkpoint (empty otherwise); reconstruct() prepends it.
+    std::vector<Action> prefix;
   };
   using NodePtr = std::shared_ptr<const Node>;
 
@@ -60,11 +72,36 @@ SearchOutcome<typename P::Action> AStarSearch(
   std::unordered_map<Fp128, int64_t, Fp128Hash> best_g;
   uint64_t seq = 0;
 
-  const State& root_state = problem.initial_state();
-  NodePtr root(new Node{root_state, StateFingerprint(problem, root_state), 0,
-                        nullptr, Action{}});
-  best_g[root->key] = 0;
-  open.push(QueueEntry{problem.EstimateCost(root_state), 0, seq++, root});
+  auto reconstruct = [](const Node* n) {
+    std::vector<Action> path;
+    for (; n->parent != nullptr; n = n->parent.get()) {
+      path.push_back(n->action_from_parent);
+    }
+    std::reverse(path.begin(), path.end());
+    path.insert(path.begin(), n->prefix.begin(), n->prefix.end());
+    return path;
+  };
+
+  if (seed != nullptr && !seed->open.empty()) {
+    // Resume: rebuild the open list from checkpointed paths. Each entry
+    // becomes its own chain root carrying its path as the prefix.
+    seq = seed->next_seq;
+    for (const auto& entry : seed->open) {
+      Fp128 key = StateFingerprint(problem, entry.state);
+      int64_t g = static_cast<int64_t>(entry.path.size());
+      NodePtr n(new Node{entry.state, key, g, nullptr, Action{}, entry.path});
+      int64_t f = g + problem.EstimateCost(entry.state);
+      open.push(QueueEntry{f, g, entry.seq, std::move(n)});
+    }
+    best_g.reserve(seed->closed.size());
+    for (const auto& [fp, g] : seed->closed) best_g[fp] = g;
+  } else {
+    const State& root_state = problem.initial_state();
+    NodePtr root(new Node{root_state, StateFingerprint(problem, root_state), 0,
+                          nullptr, Action{}, {}});
+    best_g[root->key] = 0;
+    open.push(QueueEntry{problem.EstimateCost(root_state), 0, seq++, root});
+  }
 
   auto track_memory = [&] {
     uint64_t nodes = static_cast<uint64_t>(open.size() + best_g.size()) +
@@ -75,20 +112,35 @@ SearchOutcome<typename P::Action> AStarSearch(
     return nodes;
   };
 
-  auto reconstruct = [](const Node* n) {
-    std::vector<Action> path;
-    for (; n->parent != nullptr; n = n->parent.get()) {
-      path.push_back(n->action_from_parent);
-    }
-    std::reverse(path.begin(), path.end());
-    return path;
-  };
-
   BudgetGuard guard(limits);
   NodePtr best_node;  // anytime: lowest-h state examined so far
 
   while (!open.empty()) {
     uint64_t memory_nodes = track_memory();
+    if (sink != nullptr && guard.checkpoint_due() &&
+        sink->WantSnapshot(outcome.stats.states_examined)) {
+      SearchSeed<State, Action> snap;
+      snap.states_examined = outcome.stats.states_examined;
+      if (best_node != nullptr) snap.best_path = reconstruct(best_node.get());
+      snap.best_h = outcome.best_h;
+      auto copy = open;  // heap copy; drained below in pop order
+      while (!copy.empty()) {
+        const QueueEntry& e = copy.top();
+        // Stale entries (superseded by a cheaper path) are never examined,
+        // so dropping them keeps the snapshot compact without changing
+        // the resumed run's behavior.
+        auto bit = best_g.find(e.node->key);
+        if (bit == best_g.end() || bit->second >= e.node->g) {
+          snap.open.push_back(
+              {e.node->state, reconstruct(e.node.get()), e.g, e.seq});
+        }
+        copy.pop();
+      }
+      snap.next_seq = seq;
+      snap.closed.reserve(best_g.size());
+      for (const auto& [fp, g] : best_g) snap.closed.emplace_back(fp, g);
+      sink->OnSnapshot(std::move(snap));
+    }
     QueueEntry entry = open.top();
     open.pop();
     const NodePtr& node = entry.node;
@@ -145,7 +197,7 @@ SearchOutcome<typename P::Action> AStarSearch(
       }
       int64_t f = g + problem.EstimateCost(succ.state);
       NodePtr child(new Node{std::move(succ.state), key, g, node,
-                             std::move(succ.action)});
+                             std::move(succ.action), {}});
       open.push(QueueEntry{f, g, seq++, std::move(child)});
     }
   }

@@ -23,17 +23,26 @@ namespace tupelo {
 // Tracing: each depth level opens with a kIteration event whose value is
 // the smallest h in the frontier — the beam's analog of IDA*'s f-bound,
 // and the easiest way to see a beam stall (the best h stops falling).
+//
+// Checkpointing: the level barrier is the beam's checkpoint boundary (the
+// only point where its state is a compact frontier). When a sink is
+// installed it is offered a snapshot — frontier, dedup set, level index —
+// at the top of each level; a `seed` carrying a frontier resumes the
+// level loop exactly where that snapshot was taken, with bit-identical
+// continuation.
 template <typename P>
 SearchOutcome<typename P::Action> BeamSearch(
     const P& problem, size_t beam_width,
     const SearchLimits& limits = SearchLimits(),
-    SearchTracer* tracer = nullptr, obs::MetricRegistry* metrics = nullptr) {
+    SearchTracer* tracer = nullptr, obs::MetricRegistry* metrics = nullptr,
+    const SearchSeed<typename P::State, typename P::Action>* seed = nullptr) {
   using Action = typename P::Action;
   using State = typename P::State;
 
   SearchOutcome<Action> outcome;
   SearchInstrumentation instr(metrics);
   if (beam_width == 0) return outcome;
+  auto* sink = ResolveCheckpointSink<State, Action>(limits);
 
   struct Node {
     State state;
@@ -46,18 +55,46 @@ SearchOutcome<typename P::Action> BeamSearch(
   // incomplete) beam.
   std::unordered_set<Fp128, Fp128Hash> seen;
   std::vector<Node> frontier;
-  const State& root = problem.initial_state();
-  seen.insert(StateFingerprint(problem, root));
-  frontier.push_back(Node{root, {}, problem.EstimateCost(root)});
+  int start_depth = 0;
+  if (seed != nullptr && !seed->frontier.empty()) {
+    // Resume from a checkpointed level barrier. h is recomputed (the
+    // heuristic is deterministic) rather than trusted from the seed.
+    for (const auto& entry : seed->frontier) {
+      frontier.push_back(
+          Node{entry.state, entry.path, problem.EstimateCost(entry.state)});
+    }
+    seen.reserve(seed->closed.size());
+    for (const auto& [fp, g] : seed->closed) seen.insert(fp);
+    start_depth = seed->beam_depth;
+  } else {
+    const State& root = problem.initial_state();
+    seen.insert(StateFingerprint(problem, root));
+    frontier.push_back(Node{root, {}, problem.EstimateCost(root)});
+  }
 
   BudgetGuard guard(limits);
 
-  for (int depth = 0; depth <= limits.max_depth; ++depth) {
+  for (int depth = start_depth; depth <= limits.max_depth; ++depth) {
     uint64_t nodes = static_cast<uint64_t>(frontier.size() + seen.size()) +
                      AuxMemoryNodes(problem);
     outcome.stats.peak_memory_nodes =
         std::max(outcome.stats.peak_memory_nodes, nodes);
     instr.OnPeakMemory(nodes);
+    if (sink != nullptr &&
+        sink->WantSnapshot(outcome.stats.states_examined)) {
+      SearchSeed<State, Action> snap;
+      snap.states_examined = outcome.stats.states_examined;
+      snap.best_path = outcome.best_path;
+      snap.best_h = outcome.best_h;
+      snap.beam_depth = depth;
+      snap.frontier.reserve(frontier.size());
+      for (const Node& node : frontier) {
+        snap.frontier.push_back({node.state, node.path, node.h});
+      }
+      snap.closed.reserve(seen.size());
+      for (const Fp128& fp : seen) snap.closed.emplace_back(fp, 0);
+      sink->OnSnapshot(std::move(snap));
+    }
     if (tracer != nullptr) {
       int64_t best_h = frontier.front().h;
       for (const Node& node : frontier) best_h = std::min(best_h, node.h);

@@ -25,21 +25,32 @@ namespace tupelo {
 //
 // Memory grows with the states retained (like A*); duplicates are pruned
 // via a closed set, so states are examined at most once.
+//
+// Checkpointing: like A*, a snapshot serializes the live open list (action
+// paths plus original seq numbers) and the closed set; resume rebuilds the
+// heap with h recomputed from the deterministic heuristic and the
+// preserved seq keeping FIFO tiebreaks, so pop order matches the
+// uninterrupted run exactly.
 template <typename P>
 SearchOutcome<typename P::Action> GreedySearch(
     const P& problem, const SearchLimits& limits = SearchLimits(),
-    SearchTracer* tracer = nullptr, obs::MetricRegistry* metrics = nullptr) {
+    SearchTracer* tracer = nullptr, obs::MetricRegistry* metrics = nullptr,
+    const SearchSeed<typename P::State, typename P::Action>* seed = nullptr) {
   using Action = typename P::Action;
   using State = typename P::State;
 
   SearchOutcome<Action> outcome;
   SearchInstrumentation instr(metrics);
+  auto* sink = ResolveCheckpointSink<State, Action>(limits);
 
   struct Node {
     State state;
     int64_t g;
     std::shared_ptr<const Node> parent;
     Action action_from_parent;  // undefined for the root
+    // Actions leading to this node when it is a chain root restored from
+    // a checkpoint (empty otherwise); reconstruct() prepends it.
+    std::vector<Action> prefix;
   };
   using NodePtr = std::shared_ptr<const Node>;
 
@@ -61,19 +72,34 @@ SearchOutcome<typename P::Action> GreedySearch(
   std::unordered_set<Fp128, Fp128Hash> seen;
   uint64_t seq = 0;
 
-  const State& root_state = problem.initial_state();
-  NodePtr root(new Node{root_state, 0, nullptr, Action{}});
-  seen.insert(StateFingerprint(problem, root_state));
-  open.push(QueueEntry{problem.EstimateCost(root_state), seq++, root});
-
   auto reconstruct = [](const Node* n) {
     std::vector<Action> path;
     for (; n->parent != nullptr; n = n->parent.get()) {
       path.push_back(n->action_from_parent);
     }
     std::reverse(path.begin(), path.end());
+    path.insert(path.begin(), n->prefix.begin(), n->prefix.end());
     return path;
   };
+
+  if (seed != nullptr && !seed->open.empty()) {
+    // Resume: rebuild the open list from checkpointed paths. Each entry
+    // becomes its own chain root carrying its path as the prefix.
+    seq = seed->next_seq;
+    for (const auto& entry : seed->open) {
+      int64_t g = static_cast<int64_t>(entry.path.size());
+      NodePtr n(new Node{entry.state, g, nullptr, Action{}, entry.path});
+      int64_t h = problem.EstimateCost(entry.state);
+      open.push(QueueEntry{h, entry.seq, std::move(n)});
+    }
+    seen.reserve(seed->closed.size());
+    for (const auto& [fp, g] : seed->closed) seen.insert(fp);
+  } else {
+    const State& root_state = problem.initial_state();
+    NodePtr root(new Node{root_state, 0, nullptr, Action{}, {}});
+    seen.insert(StateFingerprint(problem, root_state));
+    open.push(QueueEntry{problem.EstimateCost(root_state), seq++, root});
+  }
 
   BudgetGuard guard(limits);
   NodePtr best_node;  // anytime: lowest-h state examined so far
@@ -84,6 +110,24 @@ SearchOutcome<typename P::Action> GreedySearch(
     outcome.stats.peak_memory_nodes =
         std::max(outcome.stats.peak_memory_nodes, nodes);
     instr.OnPeakMemory(nodes);
+    if (sink != nullptr && guard.checkpoint_due() &&
+        sink->WantSnapshot(outcome.stats.states_examined)) {
+      SearchSeed<State, Action> snap;
+      snap.states_examined = outcome.stats.states_examined;
+      if (best_node != nullptr) snap.best_path = reconstruct(best_node.get());
+      snap.best_h = outcome.best_h;
+      auto copy = open;  // heap copy; drained below in pop order
+      while (!copy.empty()) {
+        const QueueEntry& e = copy.top();
+        snap.open.push_back(
+            {e.node->state, reconstruct(e.node.get()), e.h, e.seq});
+        copy.pop();
+      }
+      snap.next_seq = seq;
+      snap.closed.reserve(seen.size());
+      for (const Fp128& fp : seen) snap.closed.emplace_back(fp, 0);
+      sink->OnSnapshot(std::move(snap));
+    }
     QueueEntry entry = open.top();
     open.pop();
     const NodePtr& node = entry.node;
@@ -133,7 +177,7 @@ SearchOutcome<typename P::Action> GreedySearch(
       }
       int64_t h = problem.EstimateCost(succ.state);
       NodePtr child(new Node{std::move(succ.state), node->g + 1, node,
-                             std::move(succ.action)});
+                             std::move(succ.action), {}});
       open.push(QueueEntry{h, seq++, std::move(child)});
     }
   }

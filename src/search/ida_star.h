@@ -24,15 +24,23 @@ namespace tupelo {
 //
 // `metrics` (nullable, default off) feeds the search.* instruments of
 // search/instrumentation.h.
+//
+// Checkpointing: a snapshot carries only progress counters and the
+// current f-bound — the DFS stack is not serialized. Resume restarts the
+// probe at the checkpointed bound; because the DFS is deterministic, the
+// resumed run finds the same goal the uninterrupted run would (it merely
+// re-expands the prefix of the final iteration).
 template <typename P>
 SearchOutcome<typename P::Action> IdaStarSearch(
     const P& problem, const SearchLimits& limits = SearchLimits(),
-    SearchTracer* tracer = nullptr, obs::MetricRegistry* metrics = nullptr) {
+    SearchTracer* tracer = nullptr, obs::MetricRegistry* metrics = nullptr,
+    const SearchSeed<typename P::State, typename P::Action>* seed = nullptr) {
   using Action = typename P::Action;
   using State = typename P::State;
 
   SearchOutcome<Action> outcome;
   SearchInstrumentation instr(metrics);
+  auto* sink = ResolveCheckpointSink<State, Action>(limits);
 
   struct Dfs {
     const P& problem;
@@ -41,6 +49,7 @@ SearchOutcome<typename P::Action> IdaStarSearch(
     SearchTracer* tracer;
     SearchInstrumentation& instr;
     BudgetGuard& guard;
+    CheckpointSink<State, Action>* sink;
     std::vector<Action> path_actions;
     std::unordered_set<Fp128, Fp128Hash> path_keys;
     int64_t next_bound = kSearchInfinity;
@@ -57,6 +66,15 @@ SearchOutcome<typename P::Action> IdaStarSearch(
         aborted = true;
         abort_reason = *stop;
         return Verdict::kNotFound;
+      }
+      if (sink != nullptr && guard.checkpoint_due() &&
+          sink->WantSnapshot(out.stats.states_examined)) {
+        SearchSeed<State, Action> snap;
+        snap.states_examined = out.stats.states_examined;
+        snap.best_path = out.best_path;
+        snap.best_h = out.best_h;
+        snap.ida_bound = bound;
+        sink->OnSnapshot(std::move(snap));
       }
       ++out.stats.states_examined;
       out.stats.peak_memory_nodes =
@@ -114,12 +132,17 @@ SearchOutcome<typename P::Action> IdaStarSearch(
 
   BudgetGuard guard(limits);
   Dfs dfs{problem, limits, outcome, tracer,
-          instr,   guard,  {},      {},
+          instr,   guard,  sink,    {},      {},
           kSearchInfinity, StopReason::kExhausted, false};
 
   const State& root = problem.initial_state();
   Fp128 root_key = StateFingerprint(problem, root);
   int64_t bound = problem.EstimateCost(root);
+  if (seed != nullptr && seed->ida_bound >= 0) {
+    // Resume: skip the iterations below the checkpointed bound. Bounds
+    // only grow across iterations, so max() is the right merge.
+    bound = std::max(bound, seed->ida_bound);
+  }
 
   while (true) {
     if (tracer != nullptr) {

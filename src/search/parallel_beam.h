@@ -40,23 +40,30 @@ namespace tupelo {
 //
 // Falls back to BeamSearch when `pool` is null or has a single worker.
 //
+// Checkpointing mirrors BeamSearch exactly: snapshots are offered at the
+// level barrier (the sequential point between Phase B of one level and
+// Phase A of the next), and a frontier-carrying `seed` resumes the level
+// loop with bit-identical continuation.
+//
 // Instruments (beyond search.*): beam.parallel.levels counts level
 // barriers, beam.parallel.tasks the node-expansion tasks fanned out.
 template <typename P>
 SearchOutcome<typename P::Action> ParallelBeamSearch(
     const P& problem, size_t beam_width, ThreadPool* pool,
     const SearchLimits& limits = SearchLimits(),
-    SearchTracer* tracer = nullptr, obs::MetricRegistry* metrics = nullptr) {
+    SearchTracer* tracer = nullptr, obs::MetricRegistry* metrics = nullptr,
+    const SearchSeed<typename P::State, typename P::Action>* seed = nullptr) {
   using Action = typename P::Action;
   using State = typename P::State;
 
   if (pool == nullptr || pool->size() <= 1) {
-    return BeamSearch(problem, beam_width, limits, tracer, metrics);
+    return BeamSearch(problem, beam_width, limits, tracer, metrics, seed);
   }
 
   SearchOutcome<Action> outcome;
   SearchInstrumentation instr(metrics);
   if (beam_width == 0) return outcome;
+  auto* sink = ResolveCheckpointSink<State, Action>(limits);
 
   obs::Counter* levels = nullptr;
   obs::Counter* tasks = nullptr;
@@ -103,14 +110,27 @@ SearchOutcome<typename P::Action> ParallelBeamSearch(
 
   std::unordered_set<Fp128, Fp128Hash> seen;
   std::vector<Node> frontier;
-  const State& root = problem.initial_state();
-  seen.insert(StateFingerprint(problem, root));
-  frontier.push_back(Node{root, {}, problem.EstimateCost(root)});
+  int start_depth = 0;
+  if (seed != nullptr && !seed->frontier.empty()) {
+    // Resume from a checkpointed level barrier. h is recomputed (the
+    // heuristic is deterministic) rather than trusted from the seed.
+    for (const auto& entry : seed->frontier) {
+      frontier.push_back(
+          Node{entry.state, entry.path, problem.EstimateCost(entry.state)});
+    }
+    seen.reserve(seed->closed.size());
+    for (const auto& [fp, g] : seed->closed) seen.insert(fp);
+    start_depth = seed->beam_depth;
+  } else {
+    const State& root = problem.initial_state();
+    seen.insert(StateFingerprint(problem, root));
+    frontier.push_back(Node{root, {}, problem.EstimateCost(root)});
+  }
 
   BudgetGuard guard(limits);
   WaitGroup wg;
 
-  for (int depth = 0; depth <= limits.max_depth; ++depth) {
+  for (int depth = start_depth; depth <= limits.max_depth; ++depth) {
     // The memory proxy is computed before the fan-out, like the sequential
     // loop computes it before any of the level's expansions.
     uint64_t nodes = static_cast<uint64_t>(frontier.size() + seen.size()) +
@@ -118,6 +138,21 @@ SearchOutcome<typename P::Action> ParallelBeamSearch(
     outcome.stats.peak_memory_nodes =
         std::max(outcome.stats.peak_memory_nodes, nodes);
     instr.OnPeakMemory(nodes);
+    if (sink != nullptr &&
+        sink->WantSnapshot(outcome.stats.states_examined)) {
+      SearchSeed<State, Action> snap;
+      snap.states_examined = outcome.stats.states_examined;
+      snap.best_path = outcome.best_path;
+      snap.best_h = outcome.best_h;
+      snap.beam_depth = depth;
+      snap.frontier.reserve(frontier.size());
+      for (const Node& node : frontier) {
+        snap.frontier.push_back({node.state, node.path, node.h});
+      }
+      snap.closed.reserve(seen.size());
+      for (const Fp128& fp : seen) snap.closed.emplace_back(fp, 0);
+      sink->OnSnapshot(std::move(snap));
+    }
     if (tracer != nullptr) {
       int64_t best_h = frontier.front().h;
       for (const Node& node : frontier) best_h = std::min(best_h, node.h);

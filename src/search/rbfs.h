@@ -24,15 +24,24 @@ namespace tupelo {
 // explored and backed up before (Korf's condition). Inheriting
 // unconditionally would clamp all children of a node with an inflated
 // heuristic to one tie value and degenerate into a blind plateau sweep.
+//
+// Checkpointing: RBFS has no compact resumable core (its state is the
+// recursion stack's backed-up values), so snapshots carry progress
+// counters and the best partial path only, and `seed` never seeds the
+// search — resume restarts from the root. The algorithm is deterministic,
+// so the restarted run reaches the same result as an uninterrupted one.
 template <typename P>
 SearchOutcome<typename P::Action> RbfsSearch(
     const P& problem, const SearchLimits& limits = SearchLimits(),
-    SearchTracer* tracer = nullptr, obs::MetricRegistry* metrics = nullptr) {
+    SearchTracer* tracer = nullptr, obs::MetricRegistry* metrics = nullptr,
+    const SearchSeed<typename P::State, typename P::Action>* seed = nullptr) {
   using Action = typename P::Action;
   using State = typename P::State;
+  (void)seed;  // restart-from-root semantics; see header comment
 
   SearchOutcome<Action> outcome;
   SearchInstrumentation instr(metrics);
+  auto* sink = ResolveCheckpointSink<State, Action>(limits);
 
   struct Child {
     Action action;
@@ -49,6 +58,7 @@ SearchOutcome<typename P::Action> RbfsSearch(
     SearchTracer* tracer;
     SearchInstrumentation& instr;
     BudgetGuard& guard;
+    CheckpointSink<State, Action>* sink;
     std::vector<Action> path_actions;
     std::unordered_set<Fp128, Fp128Hash> path_keys;
     StopReason abort_reason = StopReason::kExhausted;
@@ -66,6 +76,14 @@ SearchOutcome<typename P::Action> RbfsSearch(
         aborted = true;
         abort_reason = *stop;
         return {false, kSearchInfinity};
+      }
+      if (sink != nullptr && guard.checkpoint_due() &&
+          sink->WantSnapshot(out.stats.states_examined)) {
+        SearchSeed<State, Action> snap;  // progress only; no resumable core
+        snap.states_examined = out.stats.states_examined;
+        snap.best_path = out.best_path;
+        snap.best_h = out.best_h;
+        sink->OnSnapshot(std::move(snap));
       }
       ++out.stats.states_examined;
       out.stats.peak_memory_nodes =
@@ -151,7 +169,7 @@ SearchOutcome<typename P::Action> RbfsSearch(
   };
 
   BudgetGuard guard(limits);
-  Rec rec{problem, limits, outcome, tracer, instr, guard,
+  Rec rec{problem, limits, outcome, tracer, instr, guard, sink,
           {},      {},     StopReason::kExhausted, false};
   const State& root = problem.initial_state();
   rec.path_keys.insert(StateFingerprint(problem, root));

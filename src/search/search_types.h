@@ -7,6 +7,7 @@
 #include <limits>
 #include <optional>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "common/hash.h"
@@ -150,6 +151,87 @@ class CancelToken {
   const CancelToken* parent_ = nullptr;  // not owned; may be null
 };
 
+// Type-erased base for CheckpointSink<State, Action> so SearchLimits can
+// carry a sink without being templated. The algorithms downcast with
+// ResolveCheckpointSink<State, Action>(); a sink instantiated for other
+// state/action types simply resolves to null (no checkpointing) instead
+// of misbehaving.
+class CheckpointSinkBase {
+ public:
+  virtual ~CheckpointSinkBase() = default;
+};
+
+// A resumable snapshot of one search call, captured at an algorithm's
+// checkpoint boundary and sufficient to continue the run after process
+// death (see docs/ROBUSTNESS.md, "Checkpoint & resume contract"):
+//
+//   * IDA*: `ida_bound`, the current iteration's f-bound. Resuming
+//     restarts iterative deepening at that bound; the completed shallower
+//     iterations are not repeated.
+//   * Beam / parallel beam: the whole frontier (states + paths + h) and
+//     the dedup set (`closed` fingerprints) at a level barrier, plus
+//     `beam_depth`. Resuming continues the level loop exactly where the
+//     snapshot was taken.
+//   * A* / greedy: the open list (paths, insertion sequence numbers) and
+//     the closed/best-g map. States and f/h values are reconstructed
+//     deterministically on resume, and preserved `seq` numbers keep the
+//     FIFO tiebreaks — continuation is order-identical.
+//   * RBFS: no per-algorithm seed (its backed-up-value recursion has no
+//     compact frontier); resuming restarts the rung from the root, which
+//     is result-equivalent because the search is deterministic.
+//
+// The common fields carry run progress for budget continuity and the
+// anytime best partial path.
+template <typename State, typename Action>
+struct SearchSeed {
+  // Progress at capture.
+  uint64_t states_examined = 0;
+  std::vector<Action> best_path;
+  int best_h = -1;
+
+  // IDA*: current iteration bound (-1 = none).
+  int64_t ida_bound = -1;
+
+  // Beam: frontier at a level barrier plus the level index.
+  struct FrontierNode {
+    State state;
+    std::vector<Action> path;
+    int64_t h = 0;
+  };
+  std::vector<FrontierNode> frontier;
+  int beam_depth = 0;
+
+  // A*/greedy: open list. `key` is informational (g for A*, h for greedy;
+  // both are recomputed on resume); `seq` is the original insertion number
+  // and must be preserved for identical tiebreaking.
+  struct OpenNode {
+    State state;
+    std::vector<Action> path;
+    int64_t key = 0;
+    uint64_t seq = 0;
+  };
+  std::vector<OpenNode> open;
+  uint64_t next_seq = 0;
+
+  // Dedup/closed map: fingerprint -> best g (A*); g is 0 and ignored for
+  // the membership-only sets of beam and greedy.
+  std::vector<std::pair<Fp128, int64_t>> closed;
+};
+
+// Consumer of search snapshots, polled on the BudgetGuard's amortized
+// tick (every SearchLimits::check_interval visits; beam polls at its
+// level barriers, the only points where its state is a compact frontier).
+// WantSnapshot is the cheap frequency gate — building a snapshot copies
+// the frontier/open list, so algorithms only build one when it returns
+// true. Implementations decide persistence (core/checkpoint.h's file
+// sink) or anything else (tests count and cancel).
+template <typename State, typename Action>
+class CheckpointSink : public CheckpointSinkBase {
+ public:
+  virtual bool WantSnapshot(uint64_t states_examined) = 0;
+  virtual void OnSnapshot(SearchSeed<State, Action> seed) = 0;
+};
+
 // Budget knobs. Searches stop (found=false, a resource StopReason) when a
 // limit trips; zero-valued optional bounds are unlimited.
 struct SearchLimits {
@@ -171,7 +253,21 @@ struct SearchLimits {
   // once every `check_interval` visits (the counting bounds above are
   // checked on every visit regardless).
   uint32_t check_interval = 16;
+  // Checkpoint consumer (not owned, may be null). Polled on the amortized
+  // tick above; must be a CheckpointSink<State, Action> instantiated for
+  // the problem's state/action types or it resolves to null and is
+  // ignored. See SearchSeed for what each algorithm captures.
+  CheckpointSinkBase* checkpoint_sink = nullptr;
 };
+
+// The concrete sink for a problem's state/action types, or null when no
+// sink is installed (or one of the wrong instantiation is). Resolved once
+// per search call.
+template <typename State, typename Action>
+CheckpointSink<State, Action>* ResolveCheckpointSink(
+    const SearchLimits& limits) {
+  return dynamic_cast<CheckpointSink<State, Action>*>(limits.checkpoint_sink);
+}
 
 // Shared limit-tripping logic for the search algorithms: one object per
 // search call, consulted once per visited state. Centralizes the
@@ -181,7 +277,8 @@ class BudgetGuard {
  public:
   explicit BudgetGuard(const SearchLimits& limits)
       : limits_(limits),
-        poll_(limits.cancel != nullptr || limits.deadline_millis > 0) {
+        poll_(limits.cancel != nullptr || limits.deadline_millis > 0 ||
+              limits.checkpoint_sink != nullptr) {
     if (limits_.deadline_millis > 0) {
       deadline_ = std::chrono::steady_clock::now() +
                   std::chrono::milliseconds(limits_.deadline_millis);
@@ -195,6 +292,7 @@ class BudgetGuard {
   // immediately.
   std::optional<StopReason> Check(uint64_t states_examined, int64_t depth,
                                   uint64_t memory_nodes) {
+    checkpoint_due_ = false;
     if (states_examined >= limits_.max_states) return StopReason::kStates;
     if (depth > limits_.max_depth) return StopReason::kDepth;
     if (limits_.max_memory_nodes > 0 &&
@@ -203,6 +301,7 @@ class BudgetGuard {
     }
     if (poll_ && ticks_left_-- == 0) {
       ticks_left_ = limits_.check_interval;
+      checkpoint_due_ = limits_.checkpoint_sink != nullptr;
       if (limits_.cancel != nullptr && limits_.cancel->cancelled()) {
         return StopReason::kCancelled;
       }
@@ -214,9 +313,15 @@ class BudgetGuard {
     return std::nullopt;
   }
 
+  // True when the most recent Check hit the amortized tick and a
+  // checkpoint sink is installed: the algorithm should offer the sink a
+  // snapshot at its next coherent boundary (subject to WantSnapshot).
+  bool checkpoint_due() const { return checkpoint_due_; }
+
  private:
   const SearchLimits& limits_;
   bool poll_;
+  bool checkpoint_due_ = false;
   uint32_t ticks_left_ = 0;  // 0 so the very first Check polls
   std::chrono::steady_clock::time_point deadline_;
 };

@@ -3,6 +3,7 @@
 // fault-injection seam (docs/ROBUSTNESS.md).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <chrono>
 #include <limits>
 #include <string>
@@ -283,6 +284,70 @@ TEST(GovernanceTest, InjectedFailureCountsInExecutorMetrics) {
   EXPECT_FALSE(ApplyOp(rename, db, nullptr, &metrics).ok());
   EXPECT_EQ(metrics.CounterValue("executor.rename_att.count"), 1u);
   EXPECT_EQ(metrics.CounterValue("executor.rename_att.failures"), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Fault-injector firing modes (campaign building blocks)
+// ---------------------------------------------------------------------------
+
+TEST(GovernanceTest, ProbabilisticInjectionRespectsEndpoints) {
+  Database db = Tdb("relation R (A) { (1) }");
+  Op rename = RenameAttrOp{"R", "A", "B"};
+
+  FaultInjector injector;
+  ScopedInjector installed(&injector);
+
+  // p = 1: every matching application fails.
+  injector.ArmProbabilistic("*", Status::Internal("injected"), 1.0, 42);
+  for (int i = 0; i < 8; ++i) EXPECT_FALSE(ApplyOp(rename, db).ok());
+  EXPECT_EQ(injector.injected(), 8u);
+
+  // p = 0: consulted but never fires.
+  injector.ArmProbabilistic("*", Status::Internal("injected"), 0.0, 42);
+  for (int i = 0; i < 8; ++i) EXPECT_TRUE(ApplyOp(rename, db).ok());
+  EXPECT_EQ(injector.consults(), 8u);
+  EXPECT_EQ(injector.injected(), 0u);
+}
+
+TEST(GovernanceTest, ProbabilisticInjectionIsSeedDeterministic) {
+  Database db = Tdb("relation R (A) { (1) }");
+  Op rename = RenameAttrOp{"R", "A", "B"};
+
+  FaultInjector injector;
+  ScopedInjector installed(&injector);
+
+  auto pattern = [&](uint64_t seed) {
+    injector.ArmProbabilistic("*", Status::Internal("injected"), 0.5, seed);
+    std::vector<bool> fired;
+    for (int i = 0; i < 64; ++i) fired.push_back(!ApplyOp(rename, db).ok());
+    return fired;
+  };
+  std::vector<bool> first = pattern(7);
+  std::vector<bool> second = pattern(7);
+  EXPECT_EQ(first, second);  // same seed ⇒ bit-identical campaign replay
+  // At p = 0.5 over 64 draws, both outcomes must occur.
+  EXPECT_NE(std::count(first.begin(), first.end(), true), 0);
+  EXPECT_NE(std::count(first.begin(), first.end(), false), 0);
+}
+
+TEST(GovernanceTest, EveryNthInjectionFiresOnSchedule) {
+  Database db = Tdb("relation R (A) { (1) }");
+  Op rename = RenameAttrOp{"R", "A", "B"};
+
+  FaultInjector injector;
+  ScopedInjector installed(&injector);
+  injector.ArmEveryNth("*", Status::ResourceExhausted("injected"), 3);
+
+  std::vector<bool> fired;
+  for (int i = 0; i < 6; ++i) fired.push_back(!ApplyOp(rename, db).ok());
+  EXPECT_EQ(fired, (std::vector<bool>{false, false, true,
+                                      false, false, true}));
+  EXPECT_EQ(injector.injected(), 2u);
+
+  // n = 0 is consulted but can never fire.
+  injector.ArmEveryNth("*", Status::Internal("injected"), 0);
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(ApplyOp(rename, db).ok());
+  EXPECT_EQ(injector.injected(), 0u);
 }
 
 // ---------------------------------------------------------------------------

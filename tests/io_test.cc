@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -321,6 +322,27 @@ TEST(FileTest, LoadGarbageFileFailsCleanly) {
   std::fwrite(bytes, 1, sizeof(bytes) - 1, f);
   std::fclose(f);
   EXPECT_FALSE(LoadTdbFile(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(FileTest, LoadRunsDatabaseValidate) {
+  // Syntactically valid .tdb whose TNF relation cannot decode (one TID
+  // repeats an attribute): LoadTdbFile must reject it with a descriptive
+  // typed error via Database::Validate, not hand corrupt data to search.
+  std::string path = testing::TempDir() + "/tupelo_io_bad_tnf.tdb";
+  const char* text =
+      "relation TNF (TID, REL, ATT, VALUE) {\n"
+      "  (t1, R, A, x)\n"
+      "  (t1, R, A, y)\n"
+      "}\n";
+  FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fwrite(text, 1, std::strlen(text), f);
+  std::fclose(f);
+  Result<Database> r = LoadTdbFile(path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(r.status().ToString().find("claims TNF"), std::string::npos);
   std::remove(path.c_str());
 }
 

@@ -410,5 +410,45 @@ TEST(ContainmentTest, EmptyTargetRelationNeedsNameAndAttrs) {
   EXPECT_FALSE(state.Contains(target2));
 }
 
+// ---------------------------------------------------------------------------
+// Database::Validate — the integrity gate for every .tdb/checkpoint load
+// ---------------------------------------------------------------------------
+
+TEST(DatabaseValidateTest, AcceptsWellFormedDatabase) {
+  Database db = OneRelation("R", {"A", "B"}, {{"1", "2"}, {"3", "4"}});
+  EXPECT_TRUE(db.AddRelation(MakeRel("S", {"X"})).ok());
+  EXPECT_TRUE(db.Validate().ok());
+  EXPECT_TRUE(Database().Validate().ok());
+}
+
+TEST(DatabaseValidateTest, AcceptsDecodableTnfClaim) {
+  Database db = OneRelation("TNF", {"TID", "REL", "ATT", "VALUE"},
+                            {{"t1", "R", "A", "x"},
+                             {"t1", "R", "B", "y"}});
+  EXPECT_TRUE(db.Validate().ok());
+}
+
+TEST(DatabaseValidateTest, RejectsUndecodableTnfClaim) {
+  // A TID repeating an attribute cannot come from any real encoding;
+  // Validate must surface the decode failure instead of letting the
+  // corrupt claim flow into search.
+  Database db = OneRelation("TNF", {"TID", "REL", "ATT", "VALUE"},
+                            {{"t1", "R", "A", "x"},
+                             {"t1", "R", "A", "y"}});
+  Status st = db.Validate();
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(st.ToString().find("claims TNF"), std::string::npos);
+}
+
+TEST(DatabaseValidateTest, SameRowsUnderAnotherNameAreFine) {
+  // The TNF well-formedness check applies only to relations claiming the
+  // reserved name + schema; the identical rows elsewhere are plain data.
+  Database db = OneRelation("LOG", {"TID", "REL", "ATT", "VALUE"},
+                            {{"t1", "R", "A", "x"},
+                             {"t1", "R", "A", "y"}});
+  EXPECT_TRUE(db.Validate().ok());
+}
+
 }  // namespace
 }  // namespace tupelo

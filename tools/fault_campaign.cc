@@ -1,0 +1,334 @@
+// fault_campaign: seeded robustness campaign over the fig5 --quick
+// workload. Each trial draws a workload size, a search algorithm, and a
+// fault scenario from a deterministic per-trial RNG, runs discovery, and
+// asserts the robustness invariants of docs/ROBUSTNESS.md:
+//
+//   - clean status propagation: no trial may crash or surface an
+//     unexpected error from Tupelo::Discover;
+//   - checkpoint integrity: every checkpoint file left behind by a trial
+//     must reload through LoadCheckpointFile (which validates every
+//     embedded database);
+//   - crash-equivalence: a run killed at a checkpoint boundary and
+//     resumed must reproduce the uninterrupted baseline's mapping,
+//     verification outcome, and stop reason.
+//
+// Trial families (cycled so every family gets coverage):
+//   0  kill-and-resume crash-equivalence (no operator faults)
+//   1  seeded-probabilistic operator faults ("*", p in [0.05, 0.35])
+//   2  every-Nth operator faults ("*", n in [2, 9])
+//   3  mixed: operator faults + kill at a checkpoint boundary + resume
+//      with faults cleared (invariants only; faults perturb the explored
+//      space, so equivalence with a clean baseline is not expected)
+//
+// Usage:
+//   fault_campaign [--trials=N] [--seed=S] [--quick] [--json=report.json]
+//
+// Exits non-zero if any invariant is violated; the --json report follows
+// the schema-5 bench layout (scripts/check_bench_json.py) with one run
+// per trial plus a "summary" panel.
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/hash.h"
+#include "core/checkpoint.h"
+#include "core/tupelo.h"
+#include "fira/executor.h"
+#include "workloads/synthetic.h"
+
+namespace tupelo {
+namespace {
+
+// Counter-keyed deterministic RNG: every draw is a pure function of
+// (seed, counter), so a campaign replays bit-for-bit from its seed.
+struct Rng {
+  uint64_t seed = 0;
+  uint64_t counter = 0;
+  uint64_t Next() { return Mix64(seed ^ Mix64(++counter)); }
+  uint64_t Below(uint64_t n) { return Next() % n; }
+  double Unit() { return static_cast<double>(Next() >> 11) * 0x1.0p-53; }
+};
+
+// One Discover call, measured. Unlike bench::Measure this never exits:
+// campaign trials must observe configuration errors as data.
+struct TrialRun {
+  bool ok = false;          // Discover returned a value (any outcome)
+  std::string error;        // status text when !ok
+  TupeloResult result;      // valid when ok
+  bench::RunResult rr;      // measurement fields for the JSON report
+};
+
+TrialRun RunOnce(const SyntheticMatchingPair& pair,
+                 const TupeloOptions& options) {
+  Tupelo system(pair.source, pair.target);
+  auto start = std::chrono::steady_clock::now();
+  Result<TupeloResult> r = system.Discover(options);
+  auto end = std::chrono::steady_clock::now();
+
+  TrialRun out;
+  out.rr.millis =
+      std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(
+          end - start)
+          .count();
+  if (!r.ok()) {
+    out.error = r.status().ToString();
+    return out;
+  }
+  out.ok = true;
+  out.result = *std::move(r);
+  out.rr.found = out.result.found;
+  out.rr.cutoff = out.result.budget_exhausted;
+  out.rr.stop_reason = std::string(StopReasonName(out.result.stop_reason));
+  out.rr.verified = out.result.verified;
+  if (!out.result.verify_status.ok()) {
+    out.rr.verify_error = out.result.verify_status.ToString();
+  }
+  out.rr.deadline_millis = options.limits.deadline_millis;
+  out.rr.states = out.result.stats.states_examined;
+  out.rr.states_generated = out.result.stats.states_generated;
+  out.rr.iterations = out.result.stats.iterations;
+  out.rr.peak_memory_nodes = out.result.stats.peak_memory_nodes;
+  out.rr.depth = out.result.stats.solution_cost;
+  out.rr.resumed = out.result.resumed;
+  out.rr.checkpoint_writes = out.result.checkpoint_writes;
+  return out;
+}
+
+struct Campaign {
+  uint64_t trials = 120;
+  uint64_t violations = 0;
+  uint64_t kills = 0;
+  uint64_t resumes = 0;
+  uint64_t faults_injected = 0;
+
+  void Violation(uint64_t trial, const std::string& what) {
+    ++violations;
+    std::fprintf(stderr, "VIOLATION trial %llu: %s\n",
+                 static_cast<unsigned long long>(trial), what.c_str());
+  }
+};
+
+constexpr SearchAlgorithm kAlgorithms[] = {
+    SearchAlgorithm::kIda, SearchAlgorithm::kRbfs, SearchAlgorithm::kAStar,
+    SearchAlgorithm::kGreedy, SearchAlgorithm::kBeam,
+};
+
+}  // namespace
+}  // namespace tupelo
+
+int main(int argc, char** argv) {
+  using namespace tupelo;
+
+  bench::BenchArgs args = bench::ParseBenchArgs(argc, argv, 10000);
+  Campaign campaign;
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (arg.rfind("--trials=", 0) == 0) {
+      campaign.trials = std::strtoull(argv[i] + std::strlen("--trials="),
+                                      nullptr, 10);
+    }
+  }
+
+  std::vector<size_t> sizes = args.quick ? std::vector<size_t>{2, 4}
+                                         : std::vector<size_t>{2, 4, 8};
+  std::vector<SyntheticMatchingPair> pairs;
+  pairs.reserve(sizes.size());
+  for (size_t n : sizes) pairs.push_back(MakeSyntheticMatchingPair(n));
+
+  FaultInjector injector;
+  SetFaultInjector(&injector);
+
+  bench::BenchReport report("fault_campaign", args);
+  report.BeginPanel("campaign");
+
+  for (uint64_t t = 0; t < campaign.trials; ++t) {
+    Rng rng{args.seed + t * 0x9e3779b97f4a7c15ULL};
+    const int family = static_cast<int>(t % 4);
+    const size_t which = rng.Below(pairs.size());
+    const SyntheticMatchingPair& pair = pairs[which];
+    const SearchAlgorithm algo = kAlgorithms[rng.Below(5)];
+
+    TupeloOptions base;
+    base.algorithm = algo;
+    base.heuristic = HeuristicKind::kH1;
+    base.limits.max_states = args.budget;
+
+    const std::string ckpt_path =
+        "fault_campaign_" + std::to_string(args.seed) + "_" +
+        std::to_string(t) + ".tck";
+
+    injector.Disarm();
+    TrialRun final_run;
+
+    if (family == 0) {
+      // Crash-equivalence: baseline, then kill at a checkpoint boundary,
+      // then resume; the resumed run must match the baseline exactly.
+      TrialRun baseline = RunOnce(pair, base);
+      if (!baseline.ok) {
+        campaign.Violation(t, "baseline error: " + baseline.error);
+        continue;
+      }
+      TupeloOptions inter = base;
+      inter.checkpoint_path = ckpt_path;
+      inter.checkpoint_interval_states = 1 + rng.Below(32);
+      inter.checkpoint_kill_after = 1 + rng.Below(3);
+      TrialRun interrupted = RunOnce(pair, inter);
+      if (!interrupted.ok) {
+        campaign.Violation(t, "interrupted run error: " + interrupted.error);
+        std::remove(ckpt_path.c_str());
+        continue;
+      }
+      if (interrupted.result.stop_reason == StopReason::kCancelled) {
+        ++campaign.kills;
+        TupeloOptions res = inter;
+        res.checkpoint_kill_after = 0;
+        res.resume = true;
+        final_run = RunOnce(pair, res);
+        if (!final_run.ok) {
+          campaign.Violation(t, "resume error: " + final_run.error);
+          std::remove(ckpt_path.c_str());
+          continue;
+        }
+        ++campaign.resumes;
+      } else {
+        // The search finished before the kill could take effect (tiny
+        // workloads can reach the goal before a cancellation poll); the
+        // completed run itself must match the baseline.
+        final_run = std::move(interrupted);
+      }
+      if (final_run.result.found != baseline.result.found ||
+          final_run.result.verified != baseline.result.verified ||
+          final_run.result.stop_reason != baseline.result.stop_reason ||
+          final_run.result.mapping.ToScript() !=
+              baseline.result.mapping.ToScript()) {
+        campaign.Violation(
+            t, "crash-equivalence failure (" +
+                   std::string(SearchAlgorithmName(algo)) + ", n=" +
+                   std::to_string(sizes[which]) + "): baseline " +
+                   std::string(StopReasonName(baseline.result.stop_reason)) +
+                   " vs resumed " +
+                   std::string(StopReasonName(final_run.result.stop_reason)));
+      }
+      std::remove(ckpt_path.c_str());
+    } else if (family == 1 || family == 2) {
+      // Operator faults only: discovery must degrade to a clean outcome
+      // (found with possibly-failed verification, or a conclusive /
+      // budget stop) — never crash, never a Discover-level error.
+      Status fault = rng.Below(2) == 0
+                         ? Status::Internal("campaign fault")
+                         : Status::ResourceExhausted("campaign fault");
+      if (family == 1) {
+        injector.ArmProbabilistic("*", std::move(fault),
+                                  0.05 + 0.3 * rng.Unit(), rng.Next());
+      } else {
+        injector.ArmEveryNth("*", std::move(fault), 2 + rng.Below(8));
+      }
+      final_run = RunOnce(pair, base);
+      campaign.faults_injected += injector.injected();
+      injector.Disarm();
+      if (!final_run.ok) {
+        campaign.Violation(t, "fault trial error: " + final_run.error);
+        continue;
+      }
+      if (final_run.result.found && final_run.result.verified &&
+          !final_run.result.verify_status.ok()) {
+        campaign.Violation(t, "verified=true with a failed verify_status");
+      }
+    } else {
+      // Mixed: operator faults while checkpointing with a kill, then a
+      // fault-free resume. Faults perturb the explored space, so only the
+      // invariants are asserted: clean statuses and checkpoint integrity.
+      Status fault = rng.Below(2) == 0
+                         ? Status::Internal("campaign fault")
+                         : Status::ResourceExhausted("campaign fault");
+      if (rng.Below(2) == 0) {
+        injector.ArmProbabilistic("*", std::move(fault),
+                                  0.05 + 0.3 * rng.Unit(), rng.Next());
+      } else {
+        injector.ArmEveryNth("*", std::move(fault), 2 + rng.Below(8));
+      }
+      TupeloOptions inter = base;
+      inter.checkpoint_path = ckpt_path;
+      inter.checkpoint_interval_states = 1 + rng.Below(32);
+      inter.checkpoint_kill_after = 1 + rng.Below(3);
+      TrialRun interrupted = RunOnce(pair, inter);
+      campaign.faults_injected += injector.injected();
+      injector.Disarm();
+      if (!interrupted.ok) {
+        campaign.Violation(t, "faulted interrupted run error: " +
+                                  interrupted.error);
+        std::remove(ckpt_path.c_str());
+        continue;
+      }
+      // Whatever the run left on disk must reload cleanly (checkpointing
+      // always writes at least the rung-entry snapshot).
+      Result<DiscoveryCheckpoint> reloaded = LoadCheckpointFile(ckpt_path);
+      if (!reloaded.ok()) {
+        campaign.Violation(t, "checkpoint integrity failure: " +
+                                  reloaded.status().ToString());
+        std::remove(ckpt_path.c_str());
+        continue;
+      }
+      if (interrupted.result.stop_reason == StopReason::kCancelled) {
+        ++campaign.kills;
+        TupeloOptions res = inter;
+        res.checkpoint_kill_after = 0;
+        res.resume = true;
+        final_run = RunOnce(pair, res);
+        if (!final_run.ok) {
+          campaign.Violation(t, "fault-free resume error: " +
+                                    final_run.error);
+          std::remove(ckpt_path.c_str());
+          continue;
+        }
+        ++campaign.resumes;
+      } else {
+        final_run = std::move(interrupted);
+      }
+      std::remove(ckpt_path.c_str());
+    }
+
+    if (report.enabled() && final_run.ok) {
+      obs::JsonValue run = bench::BenchReport::MakeRun(final_run.rr);
+      run["trial"] = t;
+      run["family"] = static_cast<uint64_t>(family);
+      run["relations_n"] = static_cast<uint64_t>(sizes[which]);
+      run["algorithm"] = std::string(SearchAlgorithmName(algo));
+      report.AddRun(std::move(run));
+    }
+  }
+  SetFaultInjector(nullptr);
+
+  std::printf(
+      "fault campaign: %llu trials, %llu kills, %llu resumes, "
+      "%llu faults injected, %llu violations\n",
+      static_cast<unsigned long long>(campaign.trials),
+      static_cast<unsigned long long>(campaign.kills),
+      static_cast<unsigned long long>(campaign.resumes),
+      static_cast<unsigned long long>(campaign.faults_injected),
+      static_cast<unsigned long long>(campaign.violations));
+
+  if (report.enabled()) {
+    report.BeginPanel("summary");
+    bench::RunResult summary;
+    summary.found = false;
+    summary.stop_reason = campaign.violations == 0 ? "exhausted" : "cancelled";
+    obs::JsonValue run = bench::BenchReport::MakeRun(summary);
+    run["trials"] = campaign.trials;
+    run["kills"] = campaign.kills;
+    run["resumes"] = campaign.resumes;
+    run["faults_injected"] = campaign.faults_injected;
+    run["violations"] = campaign.violations;
+    report.AddRun(std::move(run));
+    if (!report.Write()) return 1;
+  }
+  return campaign.violations == 0 ? 0 : 1;
+}
