@@ -31,6 +31,7 @@ int main(int argc, char** argv) {
   if (args.quick) sizes = {2, 4, 8};
 
   BenchReport report("ablation_astar", args);
+  BenchTrace trace(args);
   report.BeginPanel("memory_comparison");
 
   for (size_t n : sizes) {
@@ -44,6 +45,7 @@ int main(int argc, char** argv) {
       obs::MetricRegistry registry;
       obs::MetricRegistry* metrics = report.enabled() ? &registry : nullptr;
       problem.set_metrics(metrics);
+      problem.set_trace(trace.session());
       SearchLimits limits;
       limits.max_states = args.budget;
       limits.max_depth = static_cast<int>(n) + 4;
@@ -52,13 +54,16 @@ int main(int argc, char** argv) {
       SearchOutcome<Op> outcome;
       switch (algo) {
         case SearchAlgorithm::kAStar:
-          outcome = AStarSearch(problem, limits, nullptr, metrics);
+          outcome = AStarSearch(problem, limits, nullptr, metrics,
+                                nullptr, trace.session());
           break;
         case SearchAlgorithm::kIda:
-          outcome = IdaStarSearch(problem, limits, nullptr, metrics);
+          outcome = IdaStarSearch(problem, limits, nullptr, metrics,
+                                  nullptr, trace.session());
           break;
         case SearchAlgorithm::kRbfs:
-          outcome = RbfsSearch(problem, limits, nullptr, metrics);
+          outcome = RbfsSearch(problem, limits, nullptr, metrics,
+                               nullptr, trace.session());
           break;
         default:
           continue;  // memory comparison covers the three paper algorithms
@@ -80,6 +85,7 @@ int main(int argc, char** argv) {
         run["n"] = static_cast<uint64_t>(n);
         run["algo"] = std::string(SearchAlgorithmName(algo));
         run["metrics"] = registry.ToJson();
+        trace.AnnotateRun(run);
         report.AddRun(std::move(run));
       }
       PrintRow({std::to_string(n),
@@ -92,6 +98,7 @@ int main(int argc, char** argv) {
     }
   }
   report.Write();
+  trace.Write();
   std::printf(
       "\n# peak_memory: A* counts retained open+closed states; IDA*/RBFS "
       "count recursion depth.\n");

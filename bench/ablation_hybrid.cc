@@ -89,6 +89,7 @@ int main(int argc, char** argv) {
   PrintRow(header, 16);
 
   BenchReport report("ablation_hybrid", args);
+  BenchTrace trace(args);
   report.BeginPanel("hybrids");
 
   for (const Task& task : tasks) {
@@ -100,11 +101,14 @@ int main(int argc, char** argv) {
       obs::MetricRegistry reg;
       obs::MetricRegistry* metrics = report.enabled() ? &reg : nullptr;
       problem.set_metrics(metrics);
+      problem.set_trace(trace.session());
       SearchLimits limits;
       limits.max_states = args.budget;
       limits.max_depth = 16;
       auto start = std::chrono::steady_clock::now();
-      SearchOutcome<Op> outcome = RbfsSearch(problem, limits, nullptr, metrics);
+      SearchOutcome<Op> outcome = RbfsSearch(problem, limits, nullptr,
+                                              metrics, nullptr,
+                                              trace.session());
       RunResult r;
       r.found = outcome.found;
       r.cutoff = outcome.budget_exhausted;
@@ -121,6 +125,7 @@ int main(int argc, char** argv) {
         run["task"] = task.name;
         run["variant"] = which;
         run["metrics"] = reg.ToJson();
+        trace.AnnotateRun(run);
         report.AddRun(std::move(run));
       }
       row.push_back(FormatStates(r, args.budget));
@@ -128,5 +133,6 @@ int main(int argc, char** argv) {
     PrintRow(row, 16);
   }
   report.Write();
+  trace.Write();
   return 0;
 }

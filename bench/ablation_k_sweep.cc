@@ -40,6 +40,7 @@ int main(int argc, char** argv) {
   if (args.quick) ks = {1, 5, 11, 24};
 
   BenchReport report("ablation_k_sweep", args);
+  BenchTrace trace(args);
 
   for (HeuristicKind kind :
        {HeuristicKind::kEuclideanNorm, HeuristicKind::kCosine,
@@ -61,6 +62,7 @@ int main(int argc, char** argv) {
           options.scale_k = k;
           options.limits.max_states = args.budget;
           options.limits.max_depth = 14;
+          trace.Apply(options);
           obs::MetricRegistry registry;
           RunResult r = Measure(task.source, task.target, options, nullptr,
                                 {}, report.enabled() ? &registry : nullptr);
@@ -70,6 +72,7 @@ int main(int argc, char** argv) {
             run["algo"] = std::string(SearchAlgorithmName(algo));
             run["task_index"] = static_cast<uint64_t>(t);
             run["metrics"] = registry.ToJson();
+            trace.AnnotateRun(run);
             report.AddRun(std::move(run));
           }
           total += r.found ? r.states : args.budget;
@@ -83,5 +86,6 @@ int main(int argc, char** argv) {
   }
   std::printf("# '*' marks sweeps where at least one task hit the budget\n");
   report.Write();
+  trace.Write();
   return 0;
 }

@@ -41,6 +41,7 @@ int main(int argc, char** argv) {
   }
 
   BenchReport report("ablation_pruning", args);
+  BenchTrace trace(args);
   report.BeginPanel("pruning");
 
   auto record = [&](const Task& task, HeuristicKind kind, bool prune,
@@ -51,6 +52,7 @@ int main(int argc, char** argv) {
     run["heuristic"] = std::string(HeuristicKindName(kind));
     run["prune"] = prune;
     run["metrics"] = reg.ToJson();
+    trace.AnnotateRun(run);
     report.AddRun(std::move(run));
   };
 
@@ -62,6 +64,7 @@ int main(int argc, char** argv) {
       options.heuristic = kind;
       options.limits.max_states = args.budget;
       options.limits.max_depth = 16;
+      trace.Apply(options);
 
       obs::MetricRegistry pruned_reg;
       options.successors.prune = true;
@@ -90,5 +93,6 @@ int main(int argc, char** argv) {
     }
   }
   report.Write();
+  trace.Write();
   return 0;
 }

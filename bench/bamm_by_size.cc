@@ -35,6 +35,7 @@ int main(int argc, char** argv) {
   std::map<size_t, std::map<HeuristicKind, Bucket>> buckets;
 
   BenchReport report("bamm_by_size", args);
+  BenchTrace trace(args);
 
   for (BammDomain domain : AllBammDomains()) {
     BammWorkload w = MakeBammWorkload(domain, args.seed);
@@ -49,6 +50,7 @@ int main(int argc, char** argv) {
         options.heuristic = kind;
         options.limits.max_states = args.budget;
         options.limits.max_depth = 12;
+        trace.Apply(options);
         obs::MetricRegistry registry;
         RunResult r = Measure(w.source, target, options, nullptr, {},
                               report.enabled() ? &registry : nullptr);
@@ -58,6 +60,7 @@ int main(int argc, char** argv) {
           run["target_index"] = static_cast<uint64_t>(i);
           run["heuristic"] = std::string(HeuristicKindName(kind));
           run["metrics"] = registry.ToJson();
+          trace.AnnotateRun(run);
           report.AddRun(std::move(run));
         }
         Bucket& b = buckets[arity][kind];
@@ -94,5 +97,6 @@ int main(int argc, char** argv) {
     PrintRow(row);
   }
   report.Write();
+  trace.Write();
   return 0;
 }

@@ -31,9 +31,11 @@ using BammTable =
 
 // With a non-null enabled `report`, emits one panel per (domain, algo)
 // pair whose runs carry heuristic/target_index axis fields plus the full
-// per-run metric registry snapshot.
+// per-run metric registry snapshot. With a non-null `trace`, every run
+// records into its session (the caller writes the export).
 inline BammTable RunBammExperiment(const BenchArgs& args,
-                                   BenchReport* report = nullptr) {
+                                   BenchReport* report = nullptr,
+                                   BenchTrace* trace = nullptr) {
   bool record = report != nullptr && report->enabled();
   BammTable table;
   for (BammDomain domain : AllBammDomains()) {
@@ -54,6 +56,7 @@ inline BammTable RunBammExperiment(const BenchArgs& args,
           options.heuristic = kind;
           options.limits.max_states = args.budget;
           options.limits.max_depth = 12;
+          if (trace != nullptr) trace->Apply(options);
           obs::MetricRegistry registry;
           RunResult r =
               Measure(workload.source, workload.targets[i], options, nullptr,
@@ -63,6 +66,7 @@ inline BammTable RunBammExperiment(const BenchArgs& args,
             run["heuristic"] = std::string(HeuristicKindName(kind));
             run["target_index"] = static_cast<uint64_t>(i);
             run["metrics"] = registry.ToJson();
+            if (trace != nullptr) trace->AnnotateRun(run);
             report->AddRun(std::move(run));
           }
           total += r.found ? r.states : args.budget;

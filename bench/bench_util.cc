@@ -89,11 +89,54 @@ BenchArgs ParseBenchArgs(int argc, char** argv,
       if (args.threads == 0) args.threads = 1;
     } else if (arg.rfind("--algo=", 0) == 0) {
       args.algo = std::string(arg.substr(std::strlen("--algo=")));
+    } else if (arg.rfind("--trace-buffer-kb=", 0) == 0) {
+      args.trace_buffer_kb = std::strtoull(
+          argv[i] + std::strlen("--trace-buffer-kb="), nullptr, 10);
+      if (args.trace_buffer_kb == 0) args.trace_buffer_kb = 256;
+    } else if (arg.rfind("--trace=", 0) == 0) {
+      args.trace_path = std::string(arg.substr(std::strlen("--trace=")));
+    } else if (arg == "--flight-recorder") {
+      args.flight_recorder = true;
     } else if (arg == "--quick") {
       args.quick = true;
     }
   }
+  if (args.flight_recorder && args.trace_path.empty()) {
+    std::fprintf(stderr, "--flight-recorder requires --trace=path\n");
+    std::exit(2);
+  }
   return args;
+}
+
+BenchTrace::BenchTrace(const BenchArgs& args) : path_(args.trace_path) {
+  if (path_.empty()) return;
+  session_ = std::make_unique<obs::TraceSession>(
+      static_cast<size_t>(args.trace_buffer_kb));
+  if (args.flight_recorder) flight_path_ = path_ + ".flight";
+}
+
+BenchTrace::~BenchTrace() = default;
+
+void BenchTrace::Apply(TupeloOptions& options) {
+  if (session_ == nullptr) return;
+  options.trace = session_.get();
+  options.flight_recorder_path = flight_path_;
+}
+
+void BenchTrace::AnnotateRun(obs::JsonValue& run) {
+  if (session_ == nullptr) return;
+  const uint64_t recorded = session_->events_recorded();
+  const uint64_t dropped = session_->events_dropped();
+  run["trace_path"] = path_;
+  run["trace_events"] = recorded - last_recorded_;
+  run["trace_dropped"] = dropped - last_dropped_;
+  last_recorded_ = recorded;
+  last_dropped_ = dropped;
+}
+
+bool BenchTrace::Write() const {
+  if (session_ == nullptr) return true;
+  return session_->WriteChromeJson(path_);
 }
 
 std::string GitSha() {
@@ -115,7 +158,7 @@ BenchReport::BenchReport(std::string harness, const BenchArgs& args)
     : enabled_(!args.json_path.empty()), path_(args.json_path) {
   if (!enabled_) return;
   root_ = obs::JsonValue::Object();
-  root_["schema_version"] = 5;
+  root_["schema_version"] = 6;
   root_["harness"] = std::move(harness);
   root_["git_sha"] = GitSha();
   root_["seed"] = args.seed;

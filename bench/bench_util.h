@@ -2,12 +2,14 @@
 #define TUPELO_BENCH_BENCH_UTIL_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "core/tupelo.h"
 #include "obs/json_writer.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "relational/database.h"
 
 namespace tupelo::bench {
@@ -58,6 +60,16 @@ struct BenchArgs {
   // Optional algorithm override ("--algo=beam" runs a figure harness's
   // panels under beam instead of its default algorithm); unset when empty.
   std::string algo;
+  // --trace=path: record a Chrome trace-event JSON of the whole harness
+  // run (one TraceSession shared across every measured run; open the file
+  // in Perfetto). Empty: tracing off.
+  std::string trace_path;
+  // --trace-buffer-kb=N: per-thread trace ring size (obs/trace.h).
+  uint64_t trace_buffer_kb = 256;
+  // --flight-recorder: also arm TupeloOptions::flight_recorder_path at
+  // "<trace_path>.flight" so runs that end badly dump their last events.
+  // Requires --trace=.
+  bool flight_recorder = false;
 };
 // `default_budget` applies when no --budget flag is given; figure
 // harnesses pick defaults matched to their paper axis ranges.
@@ -67,8 +79,46 @@ BenchArgs ParseBenchArgs(int argc, char** argv,
 // The current git commit SHA, or "unknown" outside a work tree.
 std::string GitSha();
 
+// Trace wiring shared by the harnesses: owns the TraceSession named by
+// --trace=, threads it into each measured run's options, annotates the
+// per-run JSON with that run's event/drop deltas, and writes the Chrome
+// trace-event export at the end. Every method is a cheap no-op when
+// --trace= was not given, so harnesses call them unconditionally (same
+// convention as BenchReport).
+class BenchTrace {
+ public:
+  explicit BenchTrace(const BenchArgs& args);
+  ~BenchTrace();
+
+  BenchTrace(const BenchTrace&) = delete;
+  BenchTrace& operator=(const BenchTrace&) = delete;
+
+  bool enabled() const { return session_ != nullptr; }
+  obs::TraceSession* session() { return session_.get(); }
+
+  // Sets options.trace (and flight_recorder_path, under --flight-recorder)
+  // for one measured run.
+  void Apply(TupeloOptions& options);
+
+  // Adds the schema-6 per-run fields — "trace_path", "trace_events",
+  // "trace_dropped" (deltas since the previous AnnotateRun) — to a run
+  // object built by BenchReport::MakeRun.
+  void AnnotateRun(obs::JsonValue& run);
+
+  // Writes the Chrome trace JSON to the --trace= path; false (with a
+  // stderr note) on I/O failure. No-op (true) when disabled.
+  bool Write() const;
+
+ private:
+  std::string path_;
+  std::string flight_path_;
+  std::unique_ptr<obs::TraceSession> session_;
+  uint64_t last_recorded_ = 0;
+  uint64_t last_dropped_ = 0;
+};
+
 // Accumulates a machine-readable run report and writes it to the --json
-// path on Write(). Layout (schema_version 5):
+// path on Write(). Layout (schema_version 6):
 //
 //   {"schema_version":5, "harness":..., "git_sha":..., "seed":...,
 //    "quick":..., "budget":..., "threads":...,
@@ -92,6 +142,12 @@ std::string GitSha();
 // (checkpoint/resume bookkeeping), and run metrics may carry the
 // checkpoint.* instruments (checkpoint.writes/bytes,
 // checkpoint.resume.rungs_skipped).
+//
+// Schema 6 additions: traced runs (--trace=) carry per-run "trace_path"
+// (the harness-level Chrome trace file), "trace_events" and
+// "trace_dropped" (this run's recorded/dropped event deltas; see
+// BenchTrace::AnnotateRun), and run metrics may carry the trace.*
+// counters (trace.events_recorded/events_dropped).
 //
 // All methods are no-ops when constructed with an empty json_path, so
 // harnesses call them unconditionally.

@@ -26,6 +26,7 @@ int main(int argc, char** argv) {
                                       HeuristicKind::kPairs};
 
   BenchReport report("extension_pairs", args);
+  BenchTrace trace(args);
 
   // `axis` carries the per-row axis fields copied into every JSON run.
   auto run = [&](const Database& source, const Database& target,
@@ -39,6 +40,7 @@ int main(int argc, char** argv) {
       options.heuristic = kind;
       options.limits.max_states = args.budget;
       options.limits.max_depth = max_depth;
+      trace.Apply(options);
       obs::MetricRegistry registry_obs;
       RunResult r = Measure(source, target, options, registry, corrs,
                             report.enabled() ? &registry_obs : nullptr);
@@ -49,6 +51,7 @@ int main(int argc, char** argv) {
         }
         json_run["heuristic"] = std::string(HeuristicKindName(kind));
         json_run["metrics"] = registry_obs.ToJson();
+        trace.AnnotateRun(json_run);
         report.AddRun(std::move(json_run));
       }
       cells.push_back(FormatStates(r, args.budget));
@@ -89,6 +92,7 @@ int main(int argc, char** argv) {
         options.heuristic = kinds[k];
         options.limits.max_states = args.budget;
         options.limits.max_depth = 12;
+        trace.Apply(options);
         obs::MetricRegistry registry;
         RunResult r = Measure(w.source, w.targets[i], options, nullptr, {},
                               report.enabled() ? &registry : nullptr);
@@ -98,6 +102,7 @@ int main(int argc, char** argv) {
           json_run["target_index"] = static_cast<uint64_t>(i);
           json_run["heuristic"] = std::string(HeuristicKindName(kinds[k]));
           json_run["metrics"] = registry.ToJson();
+          trace.AnnotateRun(json_run);
           report.AddRun(std::move(json_run));
         }
         totals[k] += r.found ? static_cast<double>(r.states)
@@ -132,5 +137,6 @@ int main(int argc, char** argv) {
     PrintRow(row);
   }
   report.Write();
+  trace.Write();
   return 0;
 }

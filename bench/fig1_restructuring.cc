@@ -33,6 +33,7 @@ int main(int argc, char** argv) {
   if (args.quick) shapes = {{2, 2}, {2, 3}};
 
   BenchReport report("fig1_restructuring", args);
+  BenchTrace trace(args);
 
   for (const char* direction : {"flat->wide", "wide->flat", "flat->split"}) {
     std::printf("## %s\n", direction);
@@ -69,6 +70,7 @@ int main(int argc, char** argv) {
         options.limits.max_states = args.budget;
         options.limits.max_depth =
             static_cast<int>(shape.routes + shape.carriers) + 8;
+        trace.Apply(options);
         obs::MetricRegistry reg;
         RunResult r = Measure(*source, *target, options, registry, corrs,
                               report.enabled() ? &reg : nullptr);
@@ -79,6 +81,7 @@ int main(int argc, char** argv) {
           run["routes"] = static_cast<uint64_t>(shape.routes);
           run["heuristic"] = std::string(HeuristicKindName(kinds[i]));
           run["metrics"] = reg.ToJson();
+          trace.AnnotateRun(run);
           report.AddRun(std::move(run));
         }
       }
@@ -87,5 +90,6 @@ int main(int argc, char** argv) {
     std::printf("\n");
   }
   report.Write();
+  trace.Write();
   return 0;
 }

@@ -19,7 +19,8 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(args.seed));
 
   BenchReport report("fig7_bamm", args);
-  BammTable table = RunBammExperiment(args, &report);
+  BenchTrace trace(args);
+  BammTable table = RunBammExperiment(args, &report, &trace);
 
   for (SearchAlgorithm algo :
        {SearchAlgorithm::kIda, SearchAlgorithm::kRbfs}) {
@@ -41,5 +42,6 @@ int main(int argc, char** argv) {
     std::printf("\n");
   }
   report.Write();
+  trace.Write();
   return 0;
 }

@@ -16,7 +16,8 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(args.seed));
 
   BenchReport report("fig8_bamm_overall", args);
-  BammTable table = RunBammExperiment(args, &report);
+  BenchTrace trace(args);
+  BammTable table = RunBammExperiment(args, &report, &trace);
 
   std::vector<std::string> header = {"method"};
   for (HeuristicKind kind : AllHeuristicKinds()) {
@@ -48,5 +49,6 @@ int main(int argc, char** argv) {
     PrintRow(row);
   }
   report.Write();
+  trace.Write();
   return 0;
 }

@@ -30,6 +30,7 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(args.budget));
 
   BenchReport report("fig9_semantic", args);
+  BenchTrace trace(args);
 
   for (SemanticDomain domain : domains) {
     for (SearchAlgorithm algo :
@@ -61,6 +62,7 @@ int main(int argc, char** argv) {
           options.heuristic = AllHeuristicKinds()[i];
           options.limits.max_states = args.budget;
           options.limits.max_depth = static_cast<int>(k) + 6;
+          trace.Apply(options);
           obs::MetricRegistry registry;
           RunResult r = Measure(w.source, w.target, options, &w.registry,
                                 w.correspondences,
@@ -72,6 +74,7 @@ int main(int argc, char** argv) {
             run["heuristic"] =
                 std::string(HeuristicKindName(AllHeuristicKinds()[i]));
             run["metrics"] = registry.ToJson();
+            trace.AnnotateRun(run);
             report.AddRun(std::move(run));
           }
           if (!r.found) dead[i] = true;
@@ -82,5 +85,6 @@ int main(int argc, char** argv) {
     }
   }
   report.Write();
+  trace.Write();
   return 0;
 }

@@ -227,6 +227,38 @@ void BM_ExpandUncached(benchmark::State& state) {
 }
 BENCHMARK(BM_ExpandUncached)->Arg(2)->Arg(4)->Arg(8);
 
+// BM_ExpandUncached with a TraceSession attached: every Expand emits an
+// expand span plus one op.* span per candidate operator. Compare to
+// BM_ExpandUncached to bound the tracing overhead on the hottest path;
+// with trace null the emit branches are never taken.
+void BM_ExpandWithTrace(benchmark::State& state) {
+  SyntheticMatchingPair pair =
+      MakeSyntheticMatchingPair(static_cast<size_t>(state.range(0)));
+  SuccessorConfig config;
+  config.expand_cache_capacity = 0;
+  MappingProblem problem(
+      pair.source, pair.target,
+      MakeHeuristic(HeuristicKind::kH1, pair.target, SearchAlgorithm::kRbfs),
+      nullptr, {}, config);
+  obs::TraceSession session;
+  problem.set_trace(&session);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(problem.Expand(pair.source));
+  }
+}
+BENCHMARK(BM_ExpandWithTrace)->Arg(2)->Arg(4)->Arg(8);
+
+// The raw cost of one trace emit (ring store + steady-clock read),
+// steady state: the thread buffer is registered on the first iteration
+// and ring wraparound just overwrites.
+void BM_TraceEmit(benchmark::State& state) {
+  obs::TraceSession session;
+  for (auto _ : state) {
+    session.EmitInstant(obs::TraceCategory::kSearch, "bench.tick", "i", 1);
+  }
+}
+BENCHMARK(BM_TraceEmit);
+
 void BM_DiscoverSyntheticRbfsH1(benchmark::State& state) {
   SyntheticMatchingPair pair =
       MakeSyntheticMatchingPair(static_cast<size_t>(state.range(0)));
@@ -258,6 +290,7 @@ double NanosPer(int iters, Body body) {
 int RunJsonSuite(int argc, char** argv) {
   bench::BenchArgs args = bench::ParseBenchArgs(argc, argv, 50000);
   bench::BenchReport report("micro", args);
+  bench::BenchTrace trace(args);
   std::printf("# micro_bench substrates; budget=%llu states\n",
               static_cast<unsigned long long>(args.budget));
   bench::PrintRow({"n", "fp_cold", "fp_cached", "succ_cold", "succ_shared",
@@ -310,6 +343,22 @@ int RunJsonSuite(int argc, char** argv) {
       benchmark::DoNotOptimize(cached.Expand(pair.source));
     });
 
+    // Tracing overhead on the same uncached-expand path, plus the raw
+    // per-emit cost: compare expand_traced_ns to expand_uncached_ns.
+    obs::TraceSession traced_session;
+    MappingProblem traced(
+        pair.source, pair.target,
+        MakeHeuristic(HeuristicKind::kH1, pair.target, SearchAlgorithm::kRbfs),
+        nullptr, {}, uncached_config);
+    traced.set_trace(&traced_session);
+    double expand_traced = NanosPer(expand_iters, [&] {
+      benchmark::DoNotOptimize(traced.Expand(pair.source));
+    });
+    double trace_emit = NanosPer(iters, [&] {
+      traced_session.EmitInstant(obs::TraceCategory::kSearch, "bench.tick",
+                                 "i", 1);
+    });
+
     // One real discovery run so the report's metrics carry the live
     // state.*/expand.* counters alongside the substrate timings.
     TupeloOptions options;
@@ -321,6 +370,7 @@ int RunJsonSuite(int argc, char** argv) {
     options.threads = args.threads;
     options.limits.max_states = args.budget;
     options.limits.max_depth = static_cast<int>(n) + 4;
+    trace.Apply(options);
     obs::MetricRegistry registry;
     bench::RunResult r = bench::Measure(pair.source, pair.target, options,
                                         nullptr, {},
@@ -345,11 +395,16 @@ int RunJsonSuite(int argc, char** argv) {
       run["successor_shared_ns"] = succ_shared;
       run["expand_uncached_ns"] = expand_uncached;
       run["expand_cached_ns"] = expand_cached;
+      run["expand_traced_ns"] = expand_traced;
+      run["trace_emit_ns"] = trace_emit;
       run["metrics"] = registry.ToJson();
+      trace.AnnotateRun(run);
       report.AddRun(std::move(run));
     }
   }
-  return report.Write() ? 0 : 1;
+  bool ok = report.Write();
+  ok = trace.Write() && ok;
+  return ok ? 0 : 1;
 }
 
 }  // namespace

@@ -39,6 +39,7 @@ inline void RunSyntheticPanels(SearchAlgorithm algo, const BenchArgs& args) {
               static_cast<unsigned long long>(args.budget));
 
   BenchReport report(harness, args);
+  BenchTrace trace(args);
 
   auto run_panel = [&](const std::string& panel_name,
                        const std::vector<HeuristicKind>& kinds,
@@ -65,6 +66,7 @@ inline void RunSyntheticPanels(SearchAlgorithm algo, const BenchArgs& args) {
         options.threads = args.threads;
         options.limits.max_states = args.budget;
         options.limits.max_depth = static_cast<int>(n) + 4;
+        trace.Apply(options);
         obs::MetricRegistry registry;
         RunResult r = Measure(pair.source, pair.target, options, nullptr, {},
                               report.enabled() ? &registry : nullptr);
@@ -74,6 +76,7 @@ inline void RunSyntheticPanels(SearchAlgorithm algo, const BenchArgs& args) {
           run["n"] = static_cast<uint64_t>(n);
           run["heuristic"] = std::string(HeuristicKindName(kinds[i]));
           run["metrics"] = registry.ToJson();
+          trace.AnnotateRun(run);
           report.AddRun(std::move(run));
         }
         if (!r.found) dead[i] = true;
@@ -102,6 +105,7 @@ inline void RunSyntheticPanels(SearchAlgorithm algo, const BenchArgs& args) {
             small_sizes);
 
   report.Write();
+  trace.Write();
 }
 
 }  // namespace tupelo::bench

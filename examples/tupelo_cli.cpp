@@ -6,6 +6,7 @@
 //       [--algo=ida|rbfs|astar|greedy|beam] [--heuristic=h0|h1|h2|h3|
 //        levenshtein|euclid|euclid_norm|cosine|jaccard|pairs]
 //       [--k=<scale>] [--max-states=N]
+//       [--trace=file.json] [--trace-buffer-kb=N] [--flight-recorder]
 //       [--checkpoint=file.tck] [--resume]
 //       [--apply] [--simplify] [--check] [--conform]
 //       [--save=mapping.tmap] [--name=<id>]
@@ -19,6 +20,7 @@
 
 #include <cstdint>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -29,6 +31,7 @@
 #include "core/tupelo.h"
 #include "fira/type_check.h"
 #include "fira/builtin_functions.h"
+#include "obs/trace.h"
 #include "relational/io.h"
 
 namespace {
@@ -45,6 +48,12 @@ int Usage() {
          "parallel)\n"
          "  [--portfolio]             run the degradation ladder as a "
          "concurrent portfolio\n"
+         "  [--trace=file.json]       record a Chrome trace-event export "
+         "of the discovery run\n"
+         "  [--trace-buffer-kb=N]     per-thread trace ring size "
+         "(default 256)\n"
+         "  [--flight-recorder]       with --trace: dump the last events "
+         "to file.json.flight on a bad stop\n"
          "  [--checkpoint=file.tck]   periodically snapshot discovery "
          "progress (atomic, checksummed)\n"
          "  [--resume]                with --checkpoint: restart from the "
@@ -80,6 +89,9 @@ int main(int argc, char** argv) {
   bool validate = false;
   std::string save_path;
   std::string mapping_name = "mapping";
+  std::string trace_path;
+  uint64_t trace_buffer_kb = 256;
+  bool flight_recorder = false;
   std::vector<tupelo::SemanticCorrespondence> correspondences;
 
   for (int i = 1; i < argc; ++i) {
@@ -112,6 +124,13 @@ int main(int argc, char** argv) {
     } else if (arg == "--portfolio") {
       options.portfolio = true;
       if (options.ladder.empty()) options.ladder = tupelo::DefaultLadder();
+    } else if (arg.starts_with("--trace=")) {
+      trace_path = value_of("--trace=");
+    } else if (arg.starts_with("--trace-buffer-kb=")) {
+      trace_buffer_kb = std::stoull(value_of("--trace-buffer-kb="));
+      if (trace_buffer_kb == 0) trace_buffer_kb = 256;
+    } else if (arg == "--flight-recorder") {
+      flight_recorder = true;
     } else if (arg.starts_with("--checkpoint=")) {
       options.checkpoint_path = value_of("--checkpoint=");
     } else if (arg == "--resume") {
@@ -169,6 +188,20 @@ int main(int argc, char** argv) {
   }
 
   if (positional.size() != 2) return Usage();
+  if (flight_recorder && trace_path.empty()) {
+    std::cerr << "--flight-recorder requires --trace=\n";
+    return Usage();
+  }
+
+  std::unique_ptr<tupelo::obs::TraceSession> trace;
+  if (!trace_path.empty()) {
+    trace = std::make_unique<tupelo::obs::TraceSession>(
+        static_cast<size_t>(trace_buffer_kb));
+    options.trace = trace.get();
+    if (flight_recorder) {
+      options.flight_recorder_path = trace_path + ".flight";
+    }
+  }
 
   tupelo::Result<tupelo::Database> source =
       tupelo::LoadTdbFile(positional[0]);
@@ -197,6 +230,12 @@ int main(int argc, char** argv) {
   }
 
   tupelo::Result<tupelo::TupeloResult> result = system.Discover(options);
+  if (trace != nullptr) {
+    if (!trace->WriteChromeJson(trace_path)) return 1;
+    std::cerr << "# trace written to " << trace_path << " ("
+              << trace->events_recorded() << " events, "
+              << trace->events_dropped() << " dropped)\n";
+  }
   if (!result.ok()) {
     std::cerr << "error: " << result.status() << "\n";
     return 1;

@@ -19,6 +19,11 @@ validated like the substrate counters). Schema_version 5 adds per-run
 "resumed" (bool) and "checkpoint_writes" (non-negative int) fields and
 the checkpoint.* counters (checkpoint.writes/bytes,
 checkpoint.resume.rungs_skipped — validated like the substrate
+counters). Schema_version 6 adds the optional per-run tracing fields
+written by --trace= runs ("trace_path" string, "trace_events" /
+"trace_dropped" non-negative ints — the events this run added to its
+trace session and how many fell off the ring) and the trace.* counters
+(trace.events_recorded/events_dropped — validated like the substrate
 counters). Exits non-zero with a line per violation, so it works as a
 ctest command.
 """
@@ -26,7 +31,7 @@ ctest command.
 import json
 import sys
 
-SCHEMA_VERSION = 5
+SCHEMA_VERSION = 6
 
 STOP_REASONS = {
     "found", "exhausted", "states", "depth", "memory", "deadline",
@@ -63,7 +68,8 @@ REQUIRED_RUN = {
 
 # Schema 3: per-substrate timings emitted by micro_bench --json. Required
 # in every run of the "micro" harness; optional (but type-checked)
-# elsewhere.
+# elsewhere. Schema 6 adds the tracing-overhead pair (Expand with a live
+# trace session attached, and the raw per-emit cost).
 MICRO_NS_FIELDS = (
     "fingerprint_cold_ns",
     "fingerprint_cached_ns",
@@ -71,13 +77,25 @@ MICRO_NS_FIELDS = (
     "successor_shared_ns",
     "expand_uncached_ns",
     "expand_cached_ns",
+    "expand_traced_ns",
+    "trace_emit_ns",
 )
 
 # Schema 3: counter namespaces for the copy-on-write state substrate and
 # the Expand transposition cache. Schema 4 adds the parallel-runtime
-# counters. Validated wherever a run has metrics.
+# counters; schema 6 the tracing counters. Validated wherever a run has
+# metrics.
 SUBSTRATE_COUNTER_PREFIXES = ("state.cow", "state.relations", "expand.cache",
-                              "beam.parallel", "runtime.", "checkpoint.")
+                              "beam.parallel", "runtime.", "checkpoint.",
+                              "trace.")
+
+# Schema 6: optional per-run tracing fields, present when the harness ran
+# with --trace=. Type-checked wherever they appear.
+TRACE_RUN_FIELDS = {
+    "trace_path": str,
+    "trace_events": int,
+    "trace_dropped": int,
+}
 
 
 def check(path):
@@ -157,6 +175,19 @@ def check(path):
                 cw = run.get("checkpoint_writes")
                 if isinstance(cw, int) and not isinstance(cw, bool) and cw < 0:
                     err("%s has negative checkpoint_writes" % where)
+                for key, want in TRACE_RUN_FIELDS.items():
+                    if key not in run:
+                        continue
+                    value = run[key]
+                    if not isinstance(value, want) or (
+                        want is int and isinstance(value, bool)
+                    ):
+                        err("%s field %r has type %s"
+                            % (where, key, type(value).__name__))
+                    elif want is int and value < 0:
+                        err("%s has negative %s" % (where, key))
+                    elif want is str and not value:
+                        err("%s has empty %s" % (where, key))
                 for key in MICRO_NS_FIELDS:
                     if key in run:
                         value = run[key]

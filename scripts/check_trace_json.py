@@ -1,0 +1,145 @@
+#!/usr/bin/env python3
+"""Validates a Chrome trace-event JSON export written by --trace= runs.
+
+Usage: check_trace_json.py TRACE.json [TRACE2.json ...]
+
+Checks the contract documented in docs/OBSERVABILITY.md for
+TraceSession::WriteChromeJson:
+
+  - top level is an object with a non-empty "traceEvents" list;
+  - every event has a known phase ("B", "E", "i", "I", "X", "M"), an
+    integer pid and a non-negative integer tid, and (for non-metadata
+    phases) a non-negative numeric ts and a non-empty name;
+  - instant events carry a valid scope ("t", "p" or "g") when present;
+  - per (pid, tid) track, timestamps are non-decreasing in stream order;
+  - per (pid, tid) track, B/E events obey stack discipline with matching
+    names and every B is closed by the end of the stream (the exporter
+    reconciles pairs, so an unbalanced file means a broken writer);
+  - the file contains at least one completed span (a trace of a real run
+    is never span-free).
+
+Exits non-zero with a line per violation, so it works as a ctest command.
+"""
+
+import json
+import sys
+
+PHASES = {"B", "E", "i", "I", "X", "M"}
+INSTANT_SCOPES = {"t", "p", "g"}
+
+
+def check(path):
+    errors = []
+
+    def err(msg):
+        errors.append("%s: %s" % (path, msg))
+
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        return ["%s: unreadable or invalid JSON: %s" % (path, e)]
+
+    if not isinstance(doc, dict):
+        return ["%s: top level is not an object" % path]
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return ["%s: no traceEvents list" % path]
+    if not events:
+        err("traceEvents list is empty")
+
+    unit = doc.get("displayTimeUnit")
+    if unit is not None and unit not in ("ms", "ns"):
+        err("displayTimeUnit is %r, want 'ms' or 'ns'" % unit)
+
+    stacks = {}  # (pid, tid) -> [span names]
+    last_ts = {}  # (pid, tid) -> last timestamp seen
+    spans_closed = 0
+
+    for i, e in enumerate(events):
+        where = "event %d" % i
+        if not isinstance(e, dict):
+            err("%s is not an object" % where)
+            continue
+        ph = e.get("ph")
+        if ph not in PHASES:
+            err("%s has unknown phase %r" % (where, ph))
+            continue
+        pid = e.get("pid")
+        tid = e.get("tid")
+        if not isinstance(pid, int) or isinstance(pid, bool):
+            err("%s pid is %r, want an int" % (where, pid))
+            continue
+        if not isinstance(tid, int) or isinstance(tid, bool) or tid < 0:
+            err("%s tid is %r, want a non-negative int" % (where, tid))
+            continue
+        if ph == "M":
+            args = e.get("args")
+            if not isinstance(args, dict):
+                err("%s metadata has no args object" % where)
+            continue
+
+        name = e.get("name")
+        if not isinstance(name, str) or not name:
+            err("%s has no name" % where)
+            continue
+        ts = e.get("ts")
+        if not isinstance(ts, (int, float)) or isinstance(ts, bool) or ts < 0:
+            err("%s (%s) ts is %r, want a non-negative number"
+                % (where, name, ts))
+            continue
+        args = e.get("args")
+        if args is not None and not isinstance(args, dict):
+            err("%s (%s) args is not an object" % (where, name))
+
+        track = (pid, tid)
+        if ts < last_ts.get(track, 0):
+            err("%s (%s) ts %s goes backwards on track %r (last %s)"
+                % (where, name, ts, track, last_ts[track]))
+        last_ts[track] = ts
+
+        if ph == "B":
+            stacks.setdefault(track, []).append(name)
+        elif ph == "E":
+            stack = stacks.get(track, [])
+            if not stack:
+                err("%s: E %r on track %r with no open span"
+                    % (where, name, track))
+            elif stack[-1] != name:
+                err("%s: E %r on track %r but open span is %r"
+                    % (where, name, track, stack[-1]))
+                stack.pop()
+            else:
+                stack.pop()
+                spans_closed += 1
+        elif ph == "i":
+            scope = e.get("s")
+            if scope is not None and scope not in INSTANT_SCOPES:
+                err("%s (%s) instant scope is %r" % (where, name, scope))
+
+    for track, stack in stacks.items():
+        if stack:
+            err("track %r ends with %d unclosed span(s), innermost %r"
+                % (track, len(stack), stack[-1]))
+    if not errors and spans_closed == 0:
+        err("no completed spans (a run trace is never span-free)")
+    return errors
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    all_errors = []
+    for path in argv[1:]:
+        all_errors.extend(check(path))
+    for e in all_errors:
+        print(e, file=sys.stderr)
+    if not all_errors:
+        for path in argv[1:]:
+            print("%s: OK" % path)
+    return 1 if all_errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -41,7 +41,10 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
+    TaskTraceHook* hook = trace_hook_.load(std::memory_order_acquire);
+    if (hook != nullptr) hook->OnTaskBegin();
     task();
+    if (hook != nullptr) hook->OnTaskEnd();
   }
 }
 

@@ -1,6 +1,7 @@
 #ifndef TUPELO_COMMON_THREAD_POOL_H_
 #define TUPELO_COMMON_THREAD_POOL_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -22,6 +23,19 @@ namespace tupelo {
 //  - Submit never blocks and never runs the task inline; a pool of size 0
 //    is invalid (callers run sequentially instead of constructing one).
 //
+// Per-task execution observer, called on the worker thread immediately
+// around each task. The common layer cannot depend on obs/, so this is an
+// abstract seam; obs::PoolTaskTracer (obs/trace.h) is the implementation
+// that turns every pool task into a trace span on its worker's track.
+// Implementations must be thread-safe (all workers call concurrently)
+// and must not throw.
+class TaskTraceHook {
+ public:
+  virtual ~TaskTraceHook() = default;
+  virtual void OnTaskBegin() = 0;
+  virtual void OnTaskEnd() = 0;
+};
+
 // Exceptions must not escape a task: the search layer communicates
 // failure through Status/StopReason, and a throwing task would take the
 // worker (and the process) down. Tasks are trusted to comply.
@@ -39,6 +53,14 @@ class ThreadPool {
   // Enqueues `task` for execution on some worker. Thread-safe.
   void Submit(std::function<void()> task);
 
+  // Installs (or clears, with nullptr) the per-task observer. The hook
+  // must outlive the pool or be cleared first. Not synchronized against
+  // in-flight tasks: install before submitting work that must be
+  // observed, clear only when the pool is quiescent.
+  void set_trace_hook(TaskTraceHook* hook) {
+    trace_hook_.store(hook, std::memory_order_release);
+  }
+
  private:
   void WorkerLoop();
 
@@ -46,6 +68,7 @@ class ThreadPool {
   std::condition_variable cv_;
   std::deque<std::function<void()>> queue_;
   bool shutdown_ = false;
+  std::atomic<TaskTraceHook*> trace_hook_{nullptr};
   std::vector<std::thread> workers_;
 };
 

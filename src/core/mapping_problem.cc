@@ -280,6 +280,10 @@ std::vector<MappingProblem::SuccessorT> MappingProblem::Expand(
   // other searches running concurrently in the process.
   const Database::CowStats cow_before = Database::ThreadCowStats();
 
+  // The span covers real successor generation only; cache hits returned
+  // above stay span-free (they cost a lookup, not a generation).
+  obs::TraceSpan span(trace_, obs::TraceCategory::kExpand, "expand");
+
   std::vector<SuccessorT> successors;
   // Dedup on the full 128-bit fingerprint: distinct successors colliding
   // on a 64-bit key would silently drop a reachable state.
@@ -287,12 +291,13 @@ std::vector<MappingProblem::SuccessorT> MappingProblem::Expand(
   seen.insert(state_key);
 
   for (Op& op : CandidateOps(state)) {
-    Result<Database> next = ApplyOp(op, state, registry_, metrics_);
+    Result<Database> next = ApplyOp(op, state, registry_, metrics_, trace_);
     if (!next.ok()) continue;  // inapplicable in this state
     Fp128 key = next->Fingerprint128();
     if (!seen.insert(key).second) continue;  // duplicate successor / no-op
     successors.push_back(SuccessorT{std::move(op), std::move(next).value()});
   }
+  span.SetEndArg("successors", static_cast<int64_t>(successors.size()));
 
   if (cow_copies_ != nullptr) {
     const Database::CowStats cow_after = Database::ThreadCowStats();

@@ -18,6 +18,7 @@
 #include "heuristics/heuristic.h"
 #include "heuristics/set_based.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "relational/database.h"
 
 namespace tupelo {
@@ -97,6 +98,14 @@ class MappingProblem {
   // Successor-generation time accumulates in phase.successors.nanos.
   void set_metrics(obs::MetricRegistry* metrics);
 
+  // Attaches a trace session (nullable; default off; same convention as
+  // set_metrics). Expand emits one "expand" span per cache miss (with the
+  // successor count on the end event), heuristic evaluation one
+  // "heuristic" span per estimate-cache miss, and the session threads
+  // into ApplyOp for per-operator spans. Must outlive the problem's use.
+  void set_trace(obs::TraceSession* trace) { trace_ = trace; }
+  obs::TraceSession* trace() const { return trace_; }
+
   const Database& initial_state() const { return source_; }
   const Database& target() const { return target_; }
 
@@ -136,7 +145,10 @@ class MappingProblem {
     int estimate;
     {
       obs::ScopedTimer timer(heuristic_nanos_);
+      obs::TraceSpan span(trace_, obs::TraceCategory::kHeuristic,
+                          "heuristic");
       estimate = heuristic_->Estimate(state);
+      span.SetEndArg("h", estimate);
     }
     if (heuristic_evals_ != nullptr) heuristic_evals_->Increment();
     {
@@ -210,6 +222,7 @@ class MappingProblem {
 
   // Observability (all null when metrics are off).
   obs::MetricRegistry* metrics_ = nullptr;
+  obs::TraceSession* trace_ = nullptr;
   obs::Counter* heuristic_evals_ = nullptr;
   obs::Counter* heuristic_nanos_ = nullptr;
   obs::Counter* heuristic_cache_hits_ = nullptr;

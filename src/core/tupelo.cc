@@ -41,24 +41,37 @@ uint64_t RungSlice(uint64_t remaining, double share, bool last) {
 
 // Dispatches one rung's algorithm. Beam rungs go through the parallel
 // runner, which degrades to plain BeamSearch when `pool` is null. `seed`
-// (nullable) resumes the algorithm from a checkpointed core.
+// (nullable) resumes the algorithm from a checkpointed core. Each rung
+// shows up on the trace as a "rung.<algo>" driver span (literal names:
+// the session records only the name pointer).
 SearchOutcome<Op> RunRung(SearchAlgorithm algorithm,
                           const MappingProblem& problem, size_t beam_width,
                           ThreadPool* pool, const SearchLimits& limits,
                           obs::MetricRegistry* metrics,
-                          const SearchSeed<Database, Op>* seed = nullptr) {
+                          const SearchSeed<Database, Op>* seed = nullptr,
+                          obs::TraceSession* trace = nullptr) {
   switch (algorithm) {
-    case SearchAlgorithm::kIda:
-      return IdaStarSearch(problem, limits, nullptr, metrics, seed);
-    case SearchAlgorithm::kRbfs:
-      return RbfsSearch(problem, limits, nullptr, metrics, seed);
-    case SearchAlgorithm::kAStar:
-      return AStarSearch(problem, limits, nullptr, metrics, seed);
-    case SearchAlgorithm::kGreedy:
-      return GreedySearch(problem, limits, nullptr, metrics, seed);
-    case SearchAlgorithm::kBeam:
+    case SearchAlgorithm::kIda: {
+      obs::TraceSpan span(trace, obs::TraceCategory::kDriver, "rung.ida");
+      return IdaStarSearch(problem, limits, nullptr, metrics, seed, trace);
+    }
+    case SearchAlgorithm::kRbfs: {
+      obs::TraceSpan span(trace, obs::TraceCategory::kDriver, "rung.rbfs");
+      return RbfsSearch(problem, limits, nullptr, metrics, seed, trace);
+    }
+    case SearchAlgorithm::kAStar: {
+      obs::TraceSpan span(trace, obs::TraceCategory::kDriver, "rung.astar");
+      return AStarSearch(problem, limits, nullptr, metrics, seed, trace);
+    }
+    case SearchAlgorithm::kGreedy: {
+      obs::TraceSpan span(trace, obs::TraceCategory::kDriver, "rung.greedy");
+      return GreedySearch(problem, limits, nullptr, metrics, seed, trace);
+    }
+    case SearchAlgorithm::kBeam: {
+      obs::TraceSpan span(trace, obs::TraceCategory::kDriver, "rung.beam");
       return ParallelBeamSearch(problem, beam_width, pool, limits, nullptr,
-                                metrics, seed);
+                                metrics, seed, trace);
+    }
   }
   return {};
 }
@@ -74,8 +87,8 @@ class FileCheckpointSink : public CheckpointSink<Database, Op> {
   FileCheckpointSink(std::string path, uint64_t interval_states,
                      Fp128 source_fp, Fp128 target_fp, int ladder_size,
                      int64_t deadline_total, Clock::time_point search_start,
-                     obs::MetricRegistry* metrics, CancelToken* kill_token,
-                     uint64_t kill_after)
+                     obs::MetricRegistry* metrics, obs::TraceSession* trace,
+                     CancelToken* kill_token, uint64_t kill_after)
       : path_(std::move(path)),
         interval_(interval_states == 0 ? 1 : interval_states),
         source_fp_(source_fp),
@@ -84,6 +97,7 @@ class FileCheckpointSink : public CheckpointSink<Database, Op> {
         deadline_total_(deadline_total),
         search_start_(search_start),
         metrics_(metrics),
+        trace_(trace),
         kill_token_(kill_token),
         kill_after_(kill_after) {}
 
@@ -117,6 +131,9 @@ class FileCheckpointSink : public CheckpointSink<Database, Op> {
 
  private:
   void WriteSnapshot(const SearchSeed<Database, Op>& seed) {
+    obs::TraceSpan span(trace_, obs::TraceCategory::kCheckpoint,
+                        "checkpoint.write", "rung",
+                        static_cast<int64_t>(rung_index_));
     DiscoveryCheckpoint cp;
     cp.source_fp = source_fp_;
     cp.target_fp = target_fp_;
@@ -154,6 +171,7 @@ class FileCheckpointSink : public CheckpointSink<Database, Op> {
     // success, so the kill seam still fires at real checkpoint boundaries.
     if (AtomicWriteFile(path_, text).ok()) {
       ++writes_;
+      span.SetEndArg("bytes", static_cast<int64_t>(text.size()));
       if (metrics_ != nullptr) {
         metrics_->GetCounter("checkpoint.writes").Increment();
         metrics_->GetCounter("checkpoint.bytes").Increment(text.size());
@@ -173,6 +191,7 @@ class FileCheckpointSink : public CheckpointSink<Database, Op> {
   const int64_t deadline_total_;
   const Clock::time_point search_start_;
   obs::MetricRegistry* const metrics_;
+  obs::TraceSession* const trace_;
   CancelToken* const kill_token_;
   const uint64_t kill_after_;
 
@@ -237,7 +256,29 @@ Result<TupeloResult> Tupelo::Discover(const TupeloOptions& options) const {
     ladder.push_back(DegradationRung{options.algorithm, 1.0});
   }
 
+  if (!options.flight_recorder_path.empty() && options.trace == nullptr) {
+    return Status::InvalidArgument(
+        "TupeloOptions::flight_recorder_path requires a trace session");
+  }
+
   obs::MetricRegistry* metrics = options.metrics;
+  obs::TraceSession* trace = options.trace;
+  // Baselines for the trace.events_* metric mirror and the fault-fire
+  // dump trigger: the session may be shared across several Discover
+  // calls, so only this call's delta counts.
+  const uint64_t trace_recorded_before =
+      trace != nullptr ? trace->events_recorded() : 0;
+  const uint64_t trace_dropped_before =
+      trace != nullptr ? trace->events_dropped() : 0;
+  const uint64_t trace_faults_before =
+      trace != nullptr ? trace->fault_count() : 0;
+  // The whole-run driver span is emitted manually (not RAII) so the
+  // flight-recorder dump below can close it first; error returns leave an
+  // open B, which export-time reconciliation closes at the last event.
+  if (trace != nullptr) {
+    trace->EmitBegin(obs::TraceCategory::kDriver, "discover", "rungs",
+                     static_cast<int64_t>(ladder.size()));
+  }
   TupeloResult result;
   SearchOutcome<Op> found_outcome;
   Clock::time_point search_start = Clock::now();
@@ -264,6 +305,8 @@ Result<TupeloResult> Tupelo::Discover(const TupeloOptions& options) const {
   SearchSeed<Database, Op> resume_seed;
   bool have_resume_seed = false;
   if (options.resume) {
+    obs::TraceSpan resume_span(trace, obs::TraceCategory::kCheckpoint,
+                               "resume.load");
     Result<DiscoveryCheckpoint> loaded =
         LoadCheckpointFile(options.checkpoint_path);
     if (!loaded.ok() && loaded.status().code() == StatusCode::kNotFound) {
@@ -328,14 +371,19 @@ Result<TupeloResult> Tupelo::Discover(const TupeloOptions& options) const {
         options.checkpoint_path, options.checkpoint_interval_states,
         source_.Fingerprint128(), target_.Fingerprint128(),
         static_cast<int>(ladder.size()), deadline_total, search_start,
-        metrics, kill_token.get(), options.checkpoint_kill_after);
+        metrics, trace, kill_token.get(), options.checkpoint_kill_after);
   }
 
   // The parallel runtime: one pool per Discover call, joined before
-  // return. Beam rungs fan their levels out over it.
+  // return. Beam rungs fan their levels out over it. The task tracer is
+  // declared before the pool so it outlives the workers that call it.
+  obs::PoolTaskTracer pool_task_tracer(trace);
   const size_t threads = std::max<size_t>(1, options.threads);
   std::unique_ptr<ThreadPool> pool;
   if (threads > 1) pool = std::make_unique<ThreadPool>(threads);
+  if (pool != nullptr && trace != nullptr) {
+    pool->set_trace_hook(&pool_task_tracer);
+  }
   if (metrics != nullptr) {
     metrics->GetGauge("runtime.threads").Set(static_cast<int64_t>(threads));
   }
@@ -368,6 +416,7 @@ Result<TupeloResult> Tupelo::Discover(const TupeloOptions& options) const {
                         options.scale_k),
           registry_, correspondences_, options.successors));
       problems.back()->set_metrics(metrics);
+      problems.back()->set_trace(trace);
       tokens.push_back(std::make_unique<CancelToken>(options.limits.cancel));
     }
     std::vector<PortfolioRun> runs(ladder.size());
@@ -388,15 +437,18 @@ Result<TupeloResult> Tupelo::Discover(const TupeloOptions& options) const {
           Clock::time_point rung_start = Clock::now();
           SearchOutcome<Op> outcome =
               RunRung(ladder[i].algorithm, *problems[i], options.beam_width,
-                      pool.get(), rung_limits, metrics);
+                      pool.get(), rung_limits, metrics, nullptr, trace);
           runs[i].millis = MillisSince(rung_start);
           if (outcome.found) {
             // Verify here, in the rung thread: an unverifiable mapping
             // must not cancel a rung that could still produce a correct
             // one.
+            obs::TraceSpan verify_span(trace, obs::TraceCategory::kVerify,
+                                       "verify");
             Result<Database> replay =
                 MappingExpression(outcome.path).Apply(source_, registry_);
             runs[i].verified = replay.ok() && replay->Contains(target_);
+            verify_span.SetEndArg("ok", runs[i].verified ? 1 : 0);
           }
           runs[i].outcome = std::move(outcome);
           if (runs[i].verified) {
@@ -513,6 +565,7 @@ Result<TupeloResult> Tupelo::Discover(const TupeloOptions& options) const {
     MappingProblem problem(source_, target_, std::move(heuristic), registry_,
                            correspondences_, options.successors);
     problem.set_metrics(metrics);
+    problem.set_trace(trace);
 
     const bool resumed_rung = have_resume_seed && i == first_rung;
     if (sink != nullptr) {
@@ -526,7 +579,7 @@ Result<TupeloResult> Tupelo::Discover(const TupeloOptions& options) const {
     SearchOutcome<Op> outcome =
         RunRung(ladder[i].algorithm, problem, options.beam_width, pool.get(),
                 rung_limits, metrics,
-                resumed_rung ? &resume_seed : nullptr);
+                resumed_rung ? &resume_seed : nullptr, trace);
     double rung_millis = MillisSince(rung_start);
 
     result.rungs.push_back(RungAttempt{ladder[i].algorithm, outcome.stop,
@@ -595,10 +648,13 @@ Result<TupeloResult> Tupelo::Discover(const TupeloOptions& options) const {
     result.mapping = MappingExpression(std::move(found_outcome.path));
     if (options.simplify) {
       Clock::time_point simplify_start = Clock::now();
+      obs::TraceSpan simplify_span(trace, obs::TraceCategory::kDriver,
+                                   "simplify");
       result.mapping = Simplify(result.mapping);
       result.report.simplify_millis = MillisSince(simplify_start);
     }
     Clock::time_point verify_start = Clock::now();
+    obs::TraceSpan verify_span(trace, obs::TraceCategory::kVerify, "verify");
     Result<Database> replay = result.mapping.Apply(source_, registry_);
     if (!replay.ok()) {
       result.verified = false;
@@ -610,6 +666,7 @@ Result<TupeloResult> Tupelo::Discover(const TupeloOptions& options) const {
     } else {
       result.verified = true;
     }
+    verify_span.SetEndArg("ok", result.verified ? 1 : 0);
     result.report.verify_millis = MillisSince(verify_start);
   }
 
@@ -628,6 +685,31 @@ Result<TupeloResult> Tupelo::Discover(const TupeloOptions& options) const {
     options.metrics->GetCounter("phase.simplify.nanos")
         .Increment(
             static_cast<uint64_t>(result.report.simplify_millis * 1e6));
+  }
+
+  if (trace != nullptr) {
+    trace->EmitEnd(obs::TraceCategory::kDriver, "discover", "found",
+                   result.found ? 1 : 0, "rungs_run",
+                   static_cast<int64_t>(result.rungs.size()));
+    // Flight recorder: when the run ended badly — a resource/cancel stop
+    // (including the checkpoint-kill seam), a mapping that failed
+    // verification, or a traced fault-injection fire — dump the retained
+    // last events so a post-mortem can see what the run was doing.
+    if (!options.flight_recorder_path.empty()) {
+      const bool bad_stop =
+          !result.found && result.stop_reason != StopReason::kExhausted;
+      const bool unverified = result.found && !result.verified;
+      const bool faulted = trace->fault_count() > trace_faults_before;
+      if (bad_stop || unverified || faulted) {
+        trace->DumpFlightRecord(options.flight_recorder_path);
+      }
+    }
+    if (metrics != nullptr) {
+      metrics->GetCounter("trace.events_recorded")
+          .Increment(trace->events_recorded() - trace_recorded_before);
+      metrics->GetCounter("trace.events_dropped")
+          .Increment(trace->events_dropped() - trace_dropped_before);
+    }
   }
   return result;
 }

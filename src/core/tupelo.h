@@ -87,6 +87,22 @@ struct TupeloOptions {
   // instruments — see docs/OBSERVABILITY.md for the catalog. Must outlive
   // the call.
   obs::MetricRegistry* metrics = nullptr;
+  // Optional trace session (nullable; default off; same convention as
+  // metrics). When set, the run emits spans for the rung ladder, every
+  // search iteration/level, successor generation, heuristic evaluation,
+  // per-operator execution, pool tasks, verification, and checkpoint
+  // writes — export with TraceSession::WriteChromeJson and open in
+  // Perfetto. With metrics also set, trace.events_recorded/dropped
+  // counters mirror the session's delta for this call. Must outlive the
+  // call.
+  obs::TraceSession* trace = nullptr;
+  // Flight recorder (requires `trace`): when non-empty and the run ends
+  // badly — a resource/cancel stop (including the checkpoint-kill seam),
+  // a found-but-unverified mapping, or any traced fault-injection fire —
+  // the session's retained last events are dumped here in the binary
+  // flight-record format (obs/trace.h), capturing what the run was doing
+  // when it died. tools/trace_report reads the dump.
+  std::string flight_recorder_path;
 };
 
 // Wall-clock breakdown of one Discover call, always populated (phase

@@ -406,11 +406,35 @@ struct OpApplier {
   }
 };
 
+// Trace-event names must be stable pointers (the session records the
+// pointer, not a copy), so per-operator span names come from this literal
+// table rather than OpName's std::string.
+const char* OpTraceName(const Op& op) {
+  struct Namer {
+    const char* operator()(const DereferenceOp&) const {
+      return "op.dereference";
+    }
+    const char* operator()(const PromoteOp&) const { return "op.promote"; }
+    const char* operator()(const DemoteOp&) const { return "op.demote"; }
+    const char* operator()(const PartitionOp&) const { return "op.partition"; }
+    const char* operator()(const ProductOp&) const { return "op.product"; }
+    const char* operator()(const DropOp&) const { return "op.drop"; }
+    const char* operator()(const MergeOp&) const { return "op.merge"; }
+    const char* operator()(const RenameAttrOp&) const {
+      return "op.rename_att";
+    }
+    const char* operator()(const RenameRelOp&) const { return "op.rename_rel"; }
+    const char* operator()(const ApplyFunctionOp&) const { return "op.apply"; }
+  };
+  return std::visit(Namer{}, op);
+}
+
 }  // namespace
 
 Result<Database> ApplyOp(const Op& op, const Database& input,
                          const FunctionRegistry* registry,
-                         obs::MetricRegistry* metrics) {
+                         obs::MetricRegistry* metrics,
+                         obs::TraceSession* trace) {
   if (FaultInjector* injector = GetFaultInjector(); injector != nullptr) {
     Status injected;
     if (injector->ShouldFail(OpName(op), &injected)) {
@@ -419,19 +443,33 @@ Result<Database> ApplyOp(const Op& op, const Database& input,
         metrics->GetCounter("executor." + name + ".count").Increment();
         metrics->GetCounter("executor." + name + ".failures").Increment();
       }
+      if (trace != nullptr) {
+        // kFault instants bump the session's fault counter, which is one
+        // of the flight-recorder dump triggers.
+        trace->EmitInstant(obs::TraceCategory::kFault, "fault.injected",
+                           nullptr, 0, nullptr, 0);
+      }
       return injected;
     }
   }
-  if (metrics == nullptr) {
+  if (metrics == nullptr && trace == nullptr) {
     return std::visit(OpApplier{input, registry}, op);
   }
-  const std::string name = OpName(op);
-  metrics->GetCounter("executor." + name + ".count").Increment();
+  std::string name;
+  if (metrics != nullptr) {
+    name = OpName(op);
+    metrics->GetCounter("executor." + name + ".count").Increment();
+  }
   Result<Database> result = [&] {
-    obs::ScopedTimer timer(&metrics->GetCounter("executor." + name + ".nanos"));
+    obs::ScopedTimer timer(metrics != nullptr
+                               ? &metrics->GetCounter("executor." + name +
+                                                      ".nanos")
+                               : nullptr);
+    obs::TraceSpan span(trace, obs::TraceCategory::kExecutor,
+                        OpTraceName(op));
     return std::visit(OpApplier{input, registry}, op);
   }();
-  if (!result.ok()) {
+  if (!result.ok() && metrics != nullptr) {
     metrics->GetCounter("executor." + name + ".failures").Increment();
   }
   return result;

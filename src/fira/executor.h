@@ -10,6 +10,7 @@
 #include "fira/function_registry.h"
 #include "fira/operators.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "relational/database.h"
 
 namespace tupelo {
@@ -89,9 +90,16 @@ FaultInjector* GetFaultInjector();
 // instruments executor.<op>.{count,nanos,failures} (op in script-name
 // form: "promote", "demote", "partition", ...). A null registry skips
 // instrumentation entirely — no clock reads, no lookups.
+//
+// With a non-null `trace`, each call emits one "op.<name>" span in the
+// executor category (where chains of cheap adjacent operators — fusion
+// candidates — become visible on the timeline), and a fired fault
+// injection emits a "fault.injected" instant in the fault category,
+// which arms the flight-recorder dump trigger.
 Result<Database> ApplyOp(const Op& op, const Database& input,
                          const FunctionRegistry* registry = nullptr,
-                         obs::MetricRegistry* metrics = nullptr);
+                         obs::MetricRegistry* metrics = nullptr,
+                         obs::TraceSession* trace = nullptr);
 
 }  // namespace tupelo
 

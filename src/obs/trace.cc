@@ -1,0 +1,489 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+namespace tupelo::obs {
+
+namespace {
+
+// Keys the thread-local ring cache so a thread can tell "this session"
+// apart from a dead one reallocated at the same address. Never reused.
+std::atomic<uint64_t> g_next_session_id{1};
+
+struct TlsSlot {
+  uint64_t session_id = 0;
+  void* buffer = nullptr;
+};
+thread_local TlsSlot tls_slot;
+
+size_t RingCapacityFor(size_t buffer_kb, size_t record_size) {
+  size_t records = (std::max<size_t>(buffer_kb, 1) * 1024) / record_size;
+  size_t cap = 64;
+  while (cap * 2 <= records) cap *= 2;
+  return cap;
+}
+
+}  // namespace
+
+std::string_view TraceCategoryName(TraceCategory cat) {
+  switch (cat) {
+    case TraceCategory::kSearch:
+      return "search";
+    case TraceCategory::kExpand:
+      return "expand";
+    case TraceCategory::kHeuristic:
+      return "heuristic";
+    case TraceCategory::kExecutor:
+      return "executor";
+    case TraceCategory::kPool:
+      return "pool";
+    case TraceCategory::kDriver:
+      return "driver";
+    case TraceCategory::kVerify:
+      return "verify";
+    case TraceCategory::kCheckpoint:
+      return "checkpoint";
+    case TraceCategory::kFault:
+      return "fault";
+  }
+  return "unknown";
+}
+
+TraceSession::TraceSession(size_t buffer_kb)
+    : id_(g_next_session_id.fetch_add(1, std::memory_order_relaxed)),
+      capacity_(RingCapacityFor(buffer_kb, sizeof(Record))),
+      epoch_(std::chrono::steady_clock::now()) {}
+
+TraceSession::~TraceSession() = default;
+
+TraceSession::ThreadBuffer* TraceSession::RegisterThisThread() {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = by_thread_.try_emplace(std::this_thread::get_id());
+  if (inserted) {
+    auto buffer = std::make_unique<ThreadBuffer>();
+    buffer->tid = static_cast<uint32_t>(buffers_.size());
+    buffer->mask = capacity_ - 1;
+    buffer->ring = std::make_unique<Record[]>(capacity_);
+    it->second = buffer.get();
+    buffers_.push_back(std::move(buffer));
+  }
+  tls_slot.session_id = id_;
+  tls_slot.buffer = it->second;
+  return it->second;
+}
+
+void TraceSession::Emit(TracePhase phase, TraceCategory cat, const char* name,
+                        const char* k1, int64_t v1, const char* k2,
+                        int64_t v2) {
+  ThreadBuffer* buffer = tls_slot.session_id == id_
+                             ? static_cast<ThreadBuffer*>(tls_slot.buffer)
+                             : RegisterThisThread();
+  uint64_t ts = NowNs();
+  uint64_t head = buffer->head.load(std::memory_order_relaxed);
+  Record& r = buffer->ring[head & buffer->mask];
+  r.ts_ns = ts;
+  r.name = name;
+  r.k1 = k1;
+  r.k2 = k2;
+  r.v1 = v1;
+  r.v2 = v2;
+  r.cat = cat;
+  r.phase = phase;
+  buffer->head.store(head + 1, std::memory_order_release);
+}
+
+uint64_t TraceSession::events_recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t total = 0;
+  for (const auto& buffer : buffers_) {
+    total += buffer->head.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+uint64_t TraceSession::events_dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t dropped = 0;
+  for (const auto& buffer : buffers_) {
+    uint64_t head = buffer->head.load(std::memory_order_relaxed);
+    if (head > capacity_) dropped += head - capacity_;
+  }
+  return dropped;
+}
+
+size_t TraceSession::thread_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return buffers_.size();
+}
+
+std::vector<TraceExportEvent> TraceSession::Collect() const {
+  std::vector<TraceExportEvent> out;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& buffer : buffers_) {
+    uint64_t head = buffer->head.load(std::memory_order_acquire);
+    uint64_t n = std::min<uint64_t>(head, capacity_);
+    uint64_t first = head - n;
+    // B/E reconciliation: ring overwrite evicts oldest-first, so the
+    // retained window can open with E events whose B is gone (discarded
+    // here) and close with B events whose E was never emitted (closed at
+    // the window's last timestamp). RAII emission guarantees strict
+    // nesting per thread, so a depth stack is sufficient.
+    std::vector<const Record*> open_spans;
+    std::vector<TraceExportEvent> events;
+    events.reserve(n);
+    uint64_t last_ts = 0;
+    auto append = [&](const Record& r, TracePhase phase, uint64_t ts) {
+      TraceExportEvent e;
+      e.ts_ns = ts;
+      e.tid = buffer->tid;
+      e.phase = phase;
+      e.cat = r.cat;
+      e.name = r.name;
+      if (r.k1 != nullptr) e.args.emplace_back(r.k1, r.v1);
+      if (r.k2 != nullptr) e.args.emplace_back(r.k2, r.v2);
+      events.push_back(std::move(e));
+    };
+    for (uint64_t i = first; i < head; ++i) {
+      const Record& r = buffer->ring[i & buffer->mask];
+      last_ts = std::max(last_ts, r.ts_ns);
+      switch (r.phase) {
+        case TracePhase::kBegin:
+          open_spans.push_back(&r);
+          append(r, TracePhase::kBegin, r.ts_ns);
+          break;
+        case TracePhase::kEnd:
+          if (open_spans.empty()) break;  // orphan: its B was overwritten
+          open_spans.pop_back();
+          append(r, TracePhase::kEnd, r.ts_ns);
+          break;
+        case TracePhase::kInstant:
+          append(r, TracePhase::kInstant, r.ts_ns);
+          break;
+      }
+    }
+    // Close spans still open at collection time, innermost first.
+    while (!open_spans.empty()) {
+      const Record* b = open_spans.back();
+      open_spans.pop_back();
+      Record closer = *b;
+      closer.k1 = nullptr;
+      closer.k2 = nullptr;
+      append(closer, TracePhase::kEnd, last_ts);
+    }
+    out.insert(out.end(), std::make_move_iterator(events.begin()),
+               std::make_move_iterator(events.end()));
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const TraceExportEvent& a, const TraceExportEvent& b) {
+                     return a.ts_ns < b.ts_ns;
+                   });
+  return out;
+}
+
+JsonValue TraceSession::ToChromeJson() const {
+  std::vector<TraceExportEvent> events = Collect();
+  JsonValue root = JsonValue::Object();
+  root["displayTimeUnit"] = "ms";
+  JsonValue& list = root["traceEvents"];
+  list = JsonValue::Array();
+  size_t threads = thread_count();
+  {
+    JsonValue meta = JsonValue::Object();
+    meta["name"] = "process_name";
+    meta["ph"] = "M";
+    meta["pid"] = static_cast<int64_t>(1);
+    meta["tid"] = static_cast<int64_t>(0);
+    meta["args"]["name"] = "tupelo";
+    list.Append(std::move(meta));
+  }
+  for (size_t t = 0; t < threads; ++t) {
+    JsonValue meta = JsonValue::Object();
+    meta["name"] = "thread_name";
+    meta["ph"] = "M";
+    meta["pid"] = static_cast<int64_t>(1);
+    meta["tid"] = static_cast<int64_t>(t);
+    meta["args"]["name"] =
+        t == 0 ? std::string("main") : "worker-" + std::to_string(t);
+    list.Append(std::move(meta));
+  }
+  for (const TraceExportEvent& e : events) {
+    JsonValue ev = JsonValue::Object();
+    ev["name"] = e.name;
+    ev["cat"] = std::string(TraceCategoryName(e.cat));
+    switch (e.phase) {
+      case TracePhase::kBegin:
+        ev["ph"] = "B";
+        break;
+      case TracePhase::kEnd:
+        ev["ph"] = "E";
+        break;
+      case TracePhase::kInstant:
+        ev["ph"] = "i";
+        ev["s"] = "t";  // instant scope: thread
+        break;
+    }
+    // Chrome's ts unit is microseconds; keep nanosecond precision in the
+    // fraction so adjacent hot-path events stay ordered.
+    ev["ts"] = static_cast<double>(e.ts_ns) / 1000.0;
+    ev["pid"] = static_cast<int64_t>(1);
+    ev["tid"] = static_cast<int64_t>(e.tid);
+    if (!e.args.empty()) {
+      JsonValue& args = ev["args"];
+      for (const auto& [key, value] : e.args) args[key] = value;
+    }
+    list.Append(std::move(ev));
+  }
+  return root;
+}
+
+bool TraceSession::WriteChromeJson(const std::string& path) const {
+  std::string text = ToChromeJson().Dump(1);
+  text.push_back('\n');
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "trace: cannot open %s for writing\n", path.c_str());
+    return false;
+  }
+  size_t written = std::fwrite(text.data(), 1, text.size(), f);
+  bool ok = written == text.size() && std::fclose(f) == 0;
+  if (!ok) std::fprintf(stderr, "trace: short write to %s\n", path.c_str());
+  return ok;
+}
+
+// Flight-record binary layout (all integers little-endian, as written by
+// memcpy on the only platforms we target):
+//   u32 magic "TFR1"          u32 version (1)
+//   u32 thread_count          u32 string_count
+//   string_count × { u32 len, bytes }       (event/arg-key/category names)
+//   u64 event_count
+//   event_count × { u64 ts_ns, u32 tid, u32 name_idx, u32 cat_idx,
+//                   u8 phase ('B'/'E'/'i'), u8 nargs,
+//                   nargs × { u32 key_idx, i64 value } }
+namespace {
+
+constexpr uint32_t kFlightRecordMagic = 0x31524654;  // "TFR1"
+constexpr uint32_t kFlightRecordVersion = 1;
+
+void PutU32(std::string& out, uint32_t v) {
+  out.append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+void PutU64(std::string& out, uint64_t v) {
+  out.append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+void PutI64(std::string& out, int64_t v) {
+  out.append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view bytes) : bytes_(bytes) {}
+  bool U32(uint32_t* v) { return Copy(v, sizeof(*v)); }
+  bool U64(uint64_t* v) { return Copy(v, sizeof(*v)); }
+  bool I64(int64_t* v) { return Copy(v, sizeof(*v)); }
+  bool U8(uint8_t* v) { return Copy(v, sizeof(*v)); }
+  bool Bytes(std::string* out, size_t n) {
+    if (bytes_.size() - pos_ < n) return false;
+    out->assign(bytes_.data() + pos_, n);
+    pos_ += n;
+    return true;
+  }
+  size_t remaining() const { return bytes_.size() - pos_; }
+
+ private:
+  bool Copy(void* v, size_t n) {
+    if (bytes_.size() - pos_ < n) return false;
+    std::memcpy(v, bytes_.data() + pos_, n);
+    pos_ += n;
+    return true;
+  }
+  std::string_view bytes_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string TraceSession::SerializeFlightRecord() const {
+  std::vector<TraceExportEvent> events = Collect();
+  std::vector<std::string> strings;
+  std::map<std::string, uint32_t> index;
+  auto intern = [&](const std::string& s) {
+    auto [it, inserted] =
+        index.try_emplace(s, static_cast<uint32_t>(strings.size()));
+    if (inserted) strings.push_back(s);
+    return it->second;
+  };
+  // Intern everything first so the table precedes the events.
+  struct Packed {
+    uint64_t ts_ns;
+    uint32_t tid;
+    uint32_t name_idx;
+    uint32_t cat_idx;
+    uint8_t phase;
+    std::vector<std::pair<uint32_t, int64_t>> args;
+  };
+  std::vector<Packed> packed;
+  packed.reserve(events.size());
+  for (const TraceExportEvent& e : events) {
+    Packed p;
+    p.ts_ns = e.ts_ns;
+    p.tid = e.tid;
+    p.name_idx = intern(e.name);
+    p.cat_idx = intern(std::string(TraceCategoryName(e.cat)));
+    p.phase = e.phase == TracePhase::kBegin  ? 'B'
+              : e.phase == TracePhase::kEnd ? 'E'
+                                            : 'i';
+    for (const auto& [key, value] : e.args) {
+      p.args.emplace_back(intern(key), value);
+    }
+    packed.push_back(std::move(p));
+  }
+  std::string out;
+  PutU32(out, kFlightRecordMagic);
+  PutU32(out, kFlightRecordVersion);
+  PutU32(out, static_cast<uint32_t>(thread_count()));
+  PutU32(out, static_cast<uint32_t>(strings.size()));
+  for (const std::string& s : strings) {
+    PutU32(out, static_cast<uint32_t>(s.size()));
+    out.append(s);
+  }
+  PutU64(out, events.size());
+  for (const Packed& p : packed) {
+    PutU64(out, p.ts_ns);
+    PutU32(out, p.tid);
+    PutU32(out, p.name_idx);
+    PutU32(out, p.cat_idx);
+    out.push_back(static_cast<char>(p.phase));
+    out.push_back(static_cast<char>(p.args.size()));
+    for (const auto& [key_idx, value] : p.args) {
+      PutU32(out, key_idx);
+      PutI64(out, value);
+    }
+  }
+  return out;
+}
+
+bool TraceSession::DumpFlightRecord(const std::string& path) const {
+  std::string bytes = SerializeFlightRecord();
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "trace: cannot open %s for writing\n", path.c_str());
+    return false;
+  }
+  size_t written = std::fwrite(bytes.data(), 1, bytes.size(), f);
+  bool ok = written == bytes.size() && std::fclose(f) == 0;
+  if (!ok) std::fprintf(stderr, "trace: short write to %s\n", path.c_str());
+  return ok;
+}
+
+namespace {
+
+TraceCategory CategoryFromName(std::string_view name) {
+  for (TraceCategory cat :
+       {TraceCategory::kSearch, TraceCategory::kExpand,
+        TraceCategory::kHeuristic, TraceCategory::kExecutor,
+        TraceCategory::kPool, TraceCategory::kDriver, TraceCategory::kVerify,
+        TraceCategory::kCheckpoint, TraceCategory::kFault}) {
+    if (TraceCategoryName(cat) == name) return cat;
+  }
+  return TraceCategory::kSearch;
+}
+
+}  // namespace
+
+Result<FlightRecord> ParseFlightRecord(std::string_view bytes) {
+  ByteReader reader(bytes);
+  uint32_t magic = 0, version = 0, threads = 0, string_count = 0;
+  if (!reader.U32(&magic) || magic != kFlightRecordMagic) {
+    return Status::ParseError("flight record: bad magic");
+  }
+  if (!reader.U32(&version) || version != kFlightRecordVersion) {
+    return Status::ParseError("flight record: unsupported version");
+  }
+  if (!reader.U32(&threads) || !reader.U32(&string_count)) {
+    return Status::ParseError("flight record: truncated header");
+  }
+  std::vector<std::string> strings;
+  strings.reserve(string_count);
+  for (uint32_t i = 0; i < string_count; ++i) {
+    uint32_t len = 0;
+    std::string s;
+    if (!reader.U32(&len) || len > reader.remaining() ||
+        !reader.Bytes(&s, len)) {
+      return Status::ParseError("flight record: truncated string table");
+    }
+    strings.push_back(std::move(s));
+  }
+  auto string_at = [&](uint32_t idx) -> const std::string* {
+    return idx < strings.size() ? &strings[idx] : nullptr;
+  };
+  uint64_t event_count = 0;
+  if (!reader.U64(&event_count)) {
+    return Status::ParseError("flight record: truncated event count");
+  }
+  FlightRecord record;
+  record.thread_count = threads;
+  record.events.reserve(std::min<uint64_t>(event_count, 1u << 20));
+  for (uint64_t i = 0; i < event_count; ++i) {
+    TraceExportEvent e;
+    uint32_t name_idx = 0, cat_idx = 0;
+    uint8_t phase = 0, nargs = 0;
+    if (!reader.U64(&e.ts_ns) || !reader.U32(&e.tid) ||
+        !reader.U32(&name_idx) || !reader.U32(&cat_idx) ||
+        !reader.U8(&phase) || !reader.U8(&nargs)) {
+      return Status::ParseError("flight record: truncated event");
+    }
+    const std::string* name = string_at(name_idx);
+    const std::string* cat = string_at(cat_idx);
+    if (name == nullptr || cat == nullptr) {
+      return Status::ParseError("flight record: string index out of range");
+    }
+    e.name = *name;
+    e.cat = CategoryFromName(*cat);
+    switch (phase) {
+      case 'B':
+        e.phase = TracePhase::kBegin;
+        break;
+      case 'E':
+        e.phase = TracePhase::kEnd;
+        break;
+      case 'i':
+        e.phase = TracePhase::kInstant;
+        break;
+      default:
+        return Status::ParseError("flight record: unknown event phase");
+    }
+    for (uint8_t a = 0; a < nargs; ++a) {
+      uint32_t key_idx = 0;
+      int64_t value = 0;
+      if (!reader.U32(&key_idx) || !reader.I64(&value)) {
+        return Status::ParseError("flight record: truncated event args");
+      }
+      const std::string* key = string_at(key_idx);
+      if (key == nullptr) {
+        return Status::ParseError("flight record: string index out of range");
+      }
+      e.args.emplace_back(*key, value);
+    }
+    record.events.push_back(std::move(e));
+  }
+  return record;
+}
+
+Result<FlightRecord> LoadFlightRecord(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::NotFound("flight record: cannot open " + path);
+  }
+  std::string bytes;
+  char chunk[65536];
+  size_t n = 0;
+  while ((n = std::fread(chunk, 1, sizeof(chunk), f)) > 0) {
+    bytes.append(chunk, n);
+  }
+  std::fclose(f);
+  return ParseFlightRecord(bytes);
+}
+
+}  // namespace tupelo::obs

@@ -30,12 +30,16 @@ template <typename P>
 SearchOutcome<typename P::Action> AStarSearch(
     const P& problem, const SearchLimits& limits = SearchLimits(),
     SearchTracer* tracer = nullptr, obs::MetricRegistry* metrics = nullptr,
-    const SearchSeed<typename P::State, typename P::Action>* seed = nullptr) {
+    const SearchSeed<typename P::State, typename P::Action>* seed = nullptr,
+    obs::TraceSession* trace = nullptr) {
   using Action = typename P::Action;
   using State = typename P::State;
 
   SearchOutcome<Action> outcome;
   SearchInstrumentation instr(metrics);
+  SearchTraceEmitter emit(tracer, trace);
+  obs::TraceSpan search_span(trace, obs::TraceCategory::kSearch,
+                             "search.astar");
   auto* sink = ResolveCheckpointSink<State, Action>(limits);
 
   struct Node {
@@ -162,15 +166,13 @@ SearchOutcome<typename P::Action> AStarSearch(
       outcome.best_h = h;
       best_node = node;
     }
-    if (tracer != nullptr) {
-      tracer->Record(TraceEvent{TraceEventKind::kVisit, node->key.lo,
-                                static_cast<int>(node->g), entry.f});
+    if (emit.enabled()) {
+      emit.Visit(node->key.lo, static_cast<int>(node->g), entry.f);
     }
 
     if (problem.IsGoal(node->state)) {
-      if (tracer != nullptr) {
-        tracer->Record(TraceEvent{TraceEventKind::kGoal, node->key.lo,
-                                  static_cast<int>(node->g), entry.f});
+      if (emit.enabled()) {
+        emit.Goal(node->key.lo, static_cast<int>(node->g), entry.f);
       }
       outcome.found = true;
       outcome.stop = StopReason::kFound;

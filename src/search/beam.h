@@ -35,12 +35,16 @@ SearchOutcome<typename P::Action> BeamSearch(
     const P& problem, size_t beam_width,
     const SearchLimits& limits = SearchLimits(),
     SearchTracer* tracer = nullptr, obs::MetricRegistry* metrics = nullptr,
-    const SearchSeed<typename P::State, typename P::Action>* seed = nullptr) {
+    const SearchSeed<typename P::State, typename P::Action>* seed = nullptr,
+    obs::TraceSession* trace = nullptr) {
   using Action = typename P::Action;
   using State = typename P::State;
 
   SearchOutcome<Action> outcome;
   SearchInstrumentation instr(metrics);
+  SearchTraceEmitter emit(tracer, trace);
+  obs::TraceSpan search_span(trace, obs::TraceCategory::kSearch,
+                             "search.beam");
   if (beam_width == 0) return outcome;
   auto* sink = ResolveCheckpointSink<State, Action>(limits);
 
@@ -95,11 +99,14 @@ SearchOutcome<typename P::Action> BeamSearch(
       for (const Fp128& fp : seen) snap.closed.emplace_back(fp, 0);
       sink->OnSnapshot(std::move(snap));
     }
-    if (tracer != nullptr) {
-      int64_t best_h = frontier.front().h;
-      for (const Node& node : frontier) best_h = std::min(best_h, node.h);
-      tracer->Record(TraceEvent{TraceEventKind::kIteration, 0, depth, best_h});
+    int64_t level_best_h = frontier.front().h;
+    for (const Node& node : frontier) {
+      level_best_h = std::min(level_best_h, node.h);
     }
+    if (emit.enabled()) emit.Iteration(depth, level_best_h);
+    obs::TraceSpan level_span(trace, obs::TraceCategory::kSearch,
+                              "beam.level", "level", depth, "best_h",
+                              level_best_h);
 
     std::vector<Node> next_level;
     for (Node& node : frontier) {
@@ -117,17 +124,13 @@ SearchOutcome<typename P::Action> BeamSearch(
         outcome.best_h = static_cast<int>(node.h);
         outcome.best_path = node.path;
       }
-      if (tracer != nullptr) {
-        tracer->Record(TraceEvent{TraceEventKind::kVisit,
-                                  problem.StateKey(node.state), depth,
-                                  node.h});
+      if (emit.enabled()) {
+        emit.Visit(problem.StateKey(node.state), depth, node.h);
       }
 
       if (problem.IsGoal(node.state)) {
-        if (tracer != nullptr) {
-          tracer->Record(TraceEvent{TraceEventKind::kGoal,
-                                    problem.StateKey(node.state), depth,
-                                    node.h});
+        if (emit.enabled()) {
+          emit.Goal(problem.StateKey(node.state), depth, node.h);
         }
         outcome.found = true;
         outcome.stop = StopReason::kFound;
@@ -158,6 +161,8 @@ SearchOutcome<typename P::Action> BeamSearch(
 
     // Keep the beam_width best by h (stable within ties).
     if (next_level.size() > beam_width) {
+      emit.BeamDrop(depth,
+                    static_cast<int64_t>(next_level.size() - beam_width));
       std::stable_sort(next_level.begin(), next_level.end(),
                        [](const Node& a, const Node& b) { return a.h < b.h; });
       next_level.resize(beam_width);

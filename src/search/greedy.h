@@ -35,12 +35,16 @@ template <typename P>
 SearchOutcome<typename P::Action> GreedySearch(
     const P& problem, const SearchLimits& limits = SearchLimits(),
     SearchTracer* tracer = nullptr, obs::MetricRegistry* metrics = nullptr,
-    const SearchSeed<typename P::State, typename P::Action>* seed = nullptr) {
+    const SearchSeed<typename P::State, typename P::Action>* seed = nullptr,
+    obs::TraceSession* trace = nullptr) {
   using Action = typename P::Action;
   using State = typename P::State;
 
   SearchOutcome<Action> outcome;
   SearchInstrumentation instr(metrics);
+  SearchTraceEmitter emit(tracer, trace);
+  obs::TraceSpan search_span(trace, obs::TraceCategory::kSearch,
+                             "search.greedy");
   auto* sink = ResolveCheckpointSink<State, Action>(limits);
 
   struct Node {
@@ -145,17 +149,15 @@ SearchOutcome<typename P::Action> GreedySearch(
       outcome.best_h = static_cast<int>(entry.h);
       best_node = node;
     }
-    if (tracer != nullptr) {
-      tracer->Record(TraceEvent{TraceEventKind::kVisit,
-                                problem.StateKey(node->state),
-                                static_cast<int>(node->g), entry.h});
+    if (emit.enabled()) {
+      emit.Visit(problem.StateKey(node->state), static_cast<int>(node->g),
+                 entry.h);
     }
 
     if (problem.IsGoal(node->state)) {
-      if (tracer != nullptr) {
-        tracer->Record(TraceEvent{TraceEventKind::kGoal,
-                                  problem.StateKey(node->state),
-                                  static_cast<int>(node->g), entry.h});
+      if (emit.enabled()) {
+        emit.Goal(problem.StateKey(node->state), static_cast<int>(node->g),
+                  entry.h);
       }
       outcome.found = true;
       outcome.stop = StopReason::kFound;

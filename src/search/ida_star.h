@@ -34,19 +34,23 @@ template <typename P>
 SearchOutcome<typename P::Action> IdaStarSearch(
     const P& problem, const SearchLimits& limits = SearchLimits(),
     SearchTracer* tracer = nullptr, obs::MetricRegistry* metrics = nullptr,
-    const SearchSeed<typename P::State, typename P::Action>* seed = nullptr) {
+    const SearchSeed<typename P::State, typename P::Action>* seed = nullptr,
+    obs::TraceSession* trace = nullptr) {
   using Action = typename P::Action;
   using State = typename P::State;
 
   SearchOutcome<Action> outcome;
   SearchInstrumentation instr(metrics);
+  SearchTraceEmitter emit(tracer, trace);
+  obs::TraceSpan search_span(trace, obs::TraceCategory::kSearch,
+                             "search.ida");
   auto* sink = ResolveCheckpointSink<State, Action>(limits);
 
   struct Dfs {
     const P& problem;
     const SearchLimits& limits;
     SearchOutcome<Action>& out;
-    SearchTracer* tracer;
+    SearchTraceEmitter& emit;
     SearchInstrumentation& instr;
     BudgetGuard& guard;
     CheckpointSink<State, Action>* sink;
@@ -87,20 +91,16 @@ SearchOutcome<typename P::Action> IdaStarSearch(
         out.best_h = h;
         out.best_path = path_actions;
       }
-      if (tracer != nullptr) {
-        tracer->Record(TraceEvent{TraceEventKind::kVisit,
-                                  problem.StateKey(state),
-                                  static_cast<int>(g), f});
+      if (emit.enabled()) {
+        emit.Visit(problem.StateKey(state), static_cast<int>(g), f);
       }
       if (f > bound) {
         next_bound = std::min(next_bound, f);
         return Verdict::kNotFound;
       }
       if (problem.IsGoal(state)) {
-        if (tracer != nullptr) {
-          tracer->Record(TraceEvent{TraceEventKind::kGoal,
-                                    problem.StateKey(state),
-                                    static_cast<int>(g), f});
+        if (emit.enabled()) {
+          emit.Goal(problem.StateKey(state), static_cast<int>(g), f);
         }
         out.found = true;
         out.stop = StopReason::kFound;
@@ -131,7 +131,7 @@ SearchOutcome<typename P::Action> IdaStarSearch(
   };
 
   BudgetGuard guard(limits);
-  Dfs dfs{problem, limits, outcome, tracer,
+  Dfs dfs{problem, limits, outcome, emit,
           instr,   guard,  sink,    {},      {},
           kSearchInfinity, StopReason::kExhausted, false};
 
@@ -145,15 +145,19 @@ SearchOutcome<typename P::Action> IdaStarSearch(
   }
 
   while (true) {
-    if (tracer != nullptr) {
-      tracer->Record(TraceEvent{TraceEventKind::kIteration, 0, 0, bound});
-    }
+    if (emit.enabled()) emit.Iteration(0, bound);
     instr.OnIteration(bound);
+    obs::TraceSpan iter_span(trace, obs::TraceCategory::kSearch,
+                             "ida.iteration", "bound", bound);
     dfs.next_bound = kSearchInfinity;
     dfs.path_keys = {root_key};
     dfs.path_actions.clear();
+    uint64_t states_before = outcome.stats.states_examined;
     typename Dfs::Verdict v = dfs.Visit(root, 0, bound);
     ++outcome.stats.iterations;
+    iter_span.SetEndArg("states", static_cast<int64_t>(
+                                      outcome.stats.states_examined -
+                                      states_before));
     if (v == Dfs::Verdict::kFound) return outcome;
     if (dfs.aborted) {
       outcome.stop = dfs.abort_reason;

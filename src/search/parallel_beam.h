@@ -52,16 +52,22 @@ SearchOutcome<typename P::Action> ParallelBeamSearch(
     const P& problem, size_t beam_width, ThreadPool* pool,
     const SearchLimits& limits = SearchLimits(),
     SearchTracer* tracer = nullptr, obs::MetricRegistry* metrics = nullptr,
-    const SearchSeed<typename P::State, typename P::Action>* seed = nullptr) {
+    const SearchSeed<typename P::State, typename P::Action>* seed = nullptr,
+    obs::TraceSession* trace = nullptr) {
   using Action = typename P::Action;
   using State = typename P::State;
 
   if (pool == nullptr || pool->size() <= 1) {
-    return BeamSearch(problem, beam_width, limits, tracer, metrics, seed);
+    return BeamSearch(problem, beam_width, limits, tracer, metrics, seed,
+                      trace);
   }
 
   SearchOutcome<Action> outcome;
   SearchInstrumentation instr(metrics);
+  SearchTraceEmitter emit(tracer, trace);
+  obs::TraceSpan search_span(trace, obs::TraceCategory::kSearch,
+                             "search.parallel_beam", "workers",
+                             static_cast<int64_t>(pool->size()));
   if (beam_width == 0) return outcome;
   auto* sink = ResolveCheckpointSink<State, Action>(limits);
 
@@ -92,7 +98,11 @@ SearchOutcome<typename P::Action> ParallelBeamSearch(
     std::vector<int64_t> hs;
   };
 
-  auto prepare = [&problem](const Node& node, Prepared& slot) {
+  auto prepare = [&problem, trace](const Node& node, Prepared& slot) {
+    // Emitted on whichever thread runs the task, so Phase A work lands on
+    // the worker's own track in the trace.
+    obs::TraceSpan prep_span(trace, obs::TraceCategory::kSearch,
+                             "beam.prepare");
     if (problem.IsGoal(node.state)) {
       slot.is_goal = true;
       slot.ready = true;
@@ -153,28 +163,38 @@ SearchOutcome<typename P::Action> ParallelBeamSearch(
       for (const Fp128& fp : seen) snap.closed.emplace_back(fp, 0);
       sink->OnSnapshot(std::move(snap));
     }
-    if (tracer != nullptr) {
-      int64_t best_h = frontier.front().h;
-      for (const Node& node : frontier) best_h = std::min(best_h, node.h);
-      tracer->Record(TraceEvent{TraceEventKind::kIteration, 0, depth, best_h});
+    int64_t level_best_h = frontier.front().h;
+    for (const Node& node : frontier) {
+      level_best_h = std::min(level_best_h, node.h);
     }
+    if (emit.enabled()) emit.Iteration(depth, level_best_h);
     if (levels != nullptr) levels->Increment();
+    obs::TraceSpan level_span(trace, obs::TraceCategory::kSearch,
+                              "beam.level", "level", depth, "best_h",
+                              level_best_h);
 
     // Phase A: fan the frontier out across the pool.
     std::vector<Prepared> prepared(frontier.size());
-    wg.Add(frontier.size());
-    for (size_t i = 0; i < frontier.size(); ++i) {
-      pool->Submit([&frontier, &prepared, &prepare, &limits, &wg, i] {
-        if (limits.cancel == nullptr || !limits.cancel->cancelled()) {
-          prepare(frontier[i], prepared[i]);
-        }
-        wg.Done();
-      });
+    {
+      obs::TraceSpan fan_span(trace, obs::TraceCategory::kSearch,
+                              "beam.phase_a", "tasks",
+                              static_cast<int64_t>(frontier.size()));
+      wg.Add(frontier.size());
+      for (size_t i = 0; i < frontier.size(); ++i) {
+        pool->Submit([&frontier, &prepared, &prepare, &limits, &wg, i] {
+          if (limits.cancel == nullptr || !limits.cancel->cancelled()) {
+            prepare(frontier[i], prepared[i]);
+          }
+          wg.Done();
+        });
+      }
+      if (tasks != nullptr) tasks->Increment(frontier.size());
+      wg.Wait();
     }
-    if (tasks != nullptr) tasks->Increment(frontier.size());
-    wg.Wait();
 
     // Phase B: sequential merge in frontier order.
+    obs::TraceSpan merge_span(trace, obs::TraceCategory::kSearch,
+                              "beam.phase_b");
     std::vector<Node> next_level;
     for (size_t i = 0; i < frontier.size(); ++i) {
       Node& node = frontier[i];
@@ -190,20 +210,16 @@ SearchOutcome<typename P::Action> ParallelBeamSearch(
         outcome.best_h = static_cast<int>(node.h);
         outcome.best_path = node.path;
       }
-      if (tracer != nullptr) {
-        tracer->Record(TraceEvent{TraceEventKind::kVisit,
-                                  problem.StateKey(node.state), depth,
-                                  node.h});
+      if (emit.enabled()) {
+        emit.Visit(problem.StateKey(node.state), depth, node.h);
       }
 
       Prepared& prep = prepared[i];
       if (!prep.ready) prepare(node, prep);  // worker skipped on cancel
 
       if (prep.is_goal) {
-        if (tracer != nullptr) {
-          tracer->Record(TraceEvent{TraceEventKind::kGoal,
-                                    problem.StateKey(node.state), depth,
-                                    node.h});
+        if (emit.enabled()) {
+          emit.Goal(problem.StateKey(node.state), depth, node.h);
         }
         outcome.found = true;
         outcome.stop = StopReason::kFound;
@@ -231,6 +247,8 @@ SearchOutcome<typename P::Action> ParallelBeamSearch(
 
     // Keep the beam_width best by h (stable within ties).
     if (next_level.size() > beam_width) {
+      emit.BeamDrop(depth,
+                    static_cast<int64_t>(next_level.size() - beam_width));
       std::stable_sort(next_level.begin(), next_level.end(),
                        [](const Node& a, const Node& b) { return a.h < b.h; });
       next_level.resize(beam_width);

@@ -34,13 +34,17 @@ template <typename P>
 SearchOutcome<typename P::Action> RbfsSearch(
     const P& problem, const SearchLimits& limits = SearchLimits(),
     SearchTracer* tracer = nullptr, obs::MetricRegistry* metrics = nullptr,
-    const SearchSeed<typename P::State, typename P::Action>* seed = nullptr) {
+    const SearchSeed<typename P::State, typename P::Action>* seed = nullptr,
+    obs::TraceSession* trace = nullptr) {
   using Action = typename P::Action;
   using State = typename P::State;
   (void)seed;  // restart-from-root semantics; see header comment
 
   SearchOutcome<Action> outcome;
   SearchInstrumentation instr(metrics);
+  SearchTraceEmitter emit(tracer, trace);
+  obs::TraceSpan search_span(trace, obs::TraceCategory::kSearch,
+                             "search.rbfs");
   auto* sink = ResolveCheckpointSink<State, Action>(limits);
 
   struct Child {
@@ -55,7 +59,7 @@ SearchOutcome<typename P::Action> RbfsSearch(
     const P& problem;
     const SearchLimits& limits;
     SearchOutcome<Action>& out;
-    SearchTracer* tracer;
+    SearchTraceEmitter& emit;
     SearchInstrumentation& instr;
     BudgetGuard& guard;
     CheckpointSink<State, Action>* sink;
@@ -95,17 +99,13 @@ SearchOutcome<typename P::Action> RbfsSearch(
         out.best_h = h;
         out.best_path = path_actions;
       }
-      if (tracer != nullptr) {
-        tracer->Record(TraceEvent{TraceEventKind::kVisit,
-                                  problem.StateKey(state),
-                                  static_cast<int>(g), static_f});
+      if (emit.enabled()) {
+        emit.Visit(problem.StateKey(state), static_cast<int>(g), static_f);
       }
 
       if (problem.IsGoal(state)) {
-        if (tracer != nullptr) {
-          tracer->Record(TraceEvent{TraceEventKind::kGoal,
-                                    problem.StateKey(state),
-                                    static_cast<int>(g), static_f});
+        if (emit.enabled()) {
+          emit.Goal(problem.StateKey(state), static_cast<int>(g), static_f);
         }
         out.found = true;
         out.stop = StopReason::kFound;
@@ -169,7 +169,7 @@ SearchOutcome<typename P::Action> RbfsSearch(
   };
 
   BudgetGuard guard(limits);
-  Rec rec{problem, limits, outcome, tracer, instr, guard, sink,
+  Rec rec{problem, limits, outcome, emit, instr, guard, sink,
           {},      {},     StopReason::kExhausted, false};
   const State& root = problem.initial_state();
   rec.path_keys.insert(StateFingerprint(problem, root));

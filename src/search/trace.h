@@ -6,6 +6,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/trace.h"
+
 namespace tupelo {
 
 // Lightweight search observability: algorithms that accept a SearchTracer
@@ -14,6 +16,14 @@ namespace tupelo {
 // for debugging heuristics ("where did the f-bound jump?") and by tests
 // asserting algorithm invariants (bounds are non-decreasing, depths stay
 // within limits).
+//
+// Since the structured tracing layer (obs/trace.h) arrived, SearchTracer
+// is a thin adapter over the same event stream: algorithms emit through a
+// SearchTraceEmitter (below), which fans each event out to the bounded
+// SearchTracer vector (the PR 1-era callback API, kept for tests and
+// ToString debugging) and to the TraceSession (spans and instants on the
+// Perfetto timeline). There is one tracing path; the two sinks differ
+// only in retention and format.
 enum class TraceEventKind {
   kVisit,      // a state was examined; f = g + h at that state
   kGoal,       // the goal test succeeded at this state
@@ -80,6 +90,69 @@ class SearchTracer {
   size_t capacity_;
   std::vector<TraceEvent> events_;
   uint64_t dropped_ = 0;
+};
+
+// The single emission point for search-algorithm events. Both sinks are
+// nullable and independent: tests typically pass a SearchTracer, the
+// Tupelo driver passes the run's TraceSession, and a disabled run pays
+// two null checks per event.
+class SearchTraceEmitter {
+ public:
+  SearchTraceEmitter(SearchTracer* tracer, obs::TraceSession* trace)
+      : tracer_(tracer), trace_(trace) {}
+
+  bool enabled() const { return tracer_ != nullptr || trace_ != nullptr; }
+  obs::TraceSession* session() const { return trace_; }
+
+  // A state was examined; `value` is f (or h for greedy/beam).
+  void Visit(uint64_t state_key, int depth, int64_t value) {
+    if (tracer_ != nullptr) {
+      tracer_->Record(TraceEvent{TraceEventKind::kVisit, state_key, depth,
+                                 value});
+    }
+    if (trace_ != nullptr) {
+      trace_->EmitInstant(obs::TraceCategory::kSearch, "visit", "f", value,
+                          "g", depth);
+    }
+  }
+
+  void Goal(uint64_t state_key, int depth, int64_t value) {
+    if (tracer_ != nullptr) {
+      tracer_->Record(TraceEvent{TraceEventKind::kGoal, state_key, depth,
+                                 value});
+    }
+    if (trace_ != nullptr) {
+      trace_->EmitInstant(obs::TraceCategory::kSearch, "goal", "g", depth);
+    }
+  }
+
+  // IDA*: a new iteration began (value = the new f-bound, depth 0);
+  // beam: a new level began (depth = level, value = best h). The span
+  // structure (one span per iteration/level) is emitted separately by the
+  // algorithms via obs::TraceSpan; this records the legacy point event.
+  void Iteration(int depth, int64_t value) {
+    if (tracer_ != nullptr) {
+      tracer_->Record(TraceEvent{TraceEventKind::kIteration, 0, depth,
+                                 value});
+    }
+    if (trace_ != nullptr) {
+      trace_->EmitInstant(obs::TraceCategory::kSearch, "iteration", "value",
+                          value, "depth", depth);
+    }
+  }
+
+  // Beam only: `dropped` frontier candidates fell off the width cut at
+  // `level`. Session-only — the legacy event model has no drop kind.
+  void BeamDrop(int level, int64_t dropped) {
+    if (trace_ != nullptr && dropped > 0) {
+      trace_->EmitInstant(obs::TraceCategory::kSearch, "beam.dropped",
+                          "dropped", dropped, "level", level);
+    }
+  }
+
+ private:
+  SearchTracer* tracer_;
+  obs::TraceSession* trace_;
 };
 
 }  // namespace tupelo

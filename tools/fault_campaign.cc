@@ -23,8 +23,15 @@
 // Usage:
 //   fault_campaign [--trials=N] [--seed=S] [--quick] [--json=report.json]
 //
+// Every trial also records into a small per-trial TraceSession with the
+// flight recorder armed: a trial that is killed, stops for a bad reason,
+// or absorbs injected faults leaves a binary last-events dump
+// (fault_campaign_<seed>_<trial>.flight, next to the campaign JSON when
+// --json= is given), and the campaign immediately reloads each dump
+// through ParseFlightRecord — an unparseable dump is itself a violation.
+//
 // Exits non-zero if any invariant is violated; the --json report follows
-// the schema-5 bench layout (scripts/check_bench_json.py) with one run
+// the schema-6 bench layout (scripts/check_bench_json.py) with one run
 // per trial plus a "summary" panel.
 
 #include <chrono>
@@ -42,6 +49,7 @@
 #include "core/checkpoint.h"
 #include "core/tupelo.h"
 #include "fira/executor.h"
+#include "obs/trace.h"
 #include "workloads/synthetic.h"
 
 namespace tupelo {
@@ -108,6 +116,7 @@ struct Campaign {
   uint64_t kills = 0;
   uint64_t resumes = 0;
   uint64_t faults_injected = 0;
+  uint64_t flight_dumps = 0;
 
   void Violation(uint64_t trial, const std::string& what) {
     ++violations;
@@ -149,6 +158,14 @@ int main(int argc, char** argv) {
   bench::BenchReport report("fault_campaign", args);
   report.BeginPanel("campaign");
 
+  // Flight dumps land next to the campaign JSON (in the cwd when no
+  // --json= was given).
+  std::string flight_dir;
+  if (size_t slash = args.json_path.rfind('/');
+      !args.json_path.empty() && slash != std::string::npos) {
+    flight_dir = args.json_path.substr(0, slash + 1);
+  }
+
   for (uint64_t t = 0; t < campaign.trials; ++t) {
     Rng rng{args.seed + t * 0x9e3779b97f4a7c15ULL};
     const int family = static_cast<int>(t % 4);
@@ -164,6 +181,17 @@ int main(int argc, char** argv) {
     const std::string ckpt_path =
         "fault_campaign_" + std::to_string(args.seed) + "_" +
         std::to_string(t) + ".tck";
+
+    // Every trial records into its own small session with the flight
+    // recorder armed: kills, bad stops, and injected faults leave a
+    // last-events dump the campaign then self-checks.
+    const std::string flight_path =
+        flight_dir + "fault_campaign_" + std::to_string(args.seed) + "_" +
+        std::to_string(t) + ".flight";
+    std::remove(flight_path.c_str());
+    obs::TraceSession trace(64);
+    base.trace = &trace;
+    base.flight_recorder_path = flight_path;
 
     injector.Disarm();
     TrialRun final_run;
@@ -296,12 +324,32 @@ int main(int argc, char** argv) {
       std::remove(ckpt_path.c_str());
     }
 
+    // Flight-recorder self-check: any dump this trial left behind must
+    // reload cleanly through the binary parser — a corrupt dump is
+    // itself a violation.
+    bool dumped = false;
+    if (std::FILE* f = std::fopen(flight_path.c_str(), "rb"); f != nullptr) {
+      std::fclose(f);
+      dumped = true;
+      ++campaign.flight_dumps;
+      Result<obs::FlightRecord> record = obs::LoadFlightRecord(flight_path);
+      if (!record.ok()) {
+        campaign.Violation(t, "flight-record dump unparseable: " +
+                                  record.status().ToString());
+      } else if (record->events.empty()) {
+        campaign.Violation(t, "flight-record dump has no events");
+      }
+    }
+
     if (report.enabled() && final_run.ok) {
       obs::JsonValue run = bench::BenchReport::MakeRun(final_run.rr);
       run["trial"] = t;
       run["family"] = static_cast<uint64_t>(family);
       run["relations_n"] = static_cast<uint64_t>(sizes[which]);
       run["algorithm"] = std::string(SearchAlgorithmName(algo));
+      run["trace_events"] = trace.events_recorded();
+      run["trace_dropped"] = trace.events_dropped();
+      if (dumped) run["trace_path"] = flight_path;
       report.AddRun(std::move(run));
     }
   }
@@ -309,11 +357,12 @@ int main(int argc, char** argv) {
 
   std::printf(
       "fault campaign: %llu trials, %llu kills, %llu resumes, "
-      "%llu faults injected, %llu violations\n",
+      "%llu faults injected, %llu flight dumps, %llu violations\n",
       static_cast<unsigned long long>(campaign.trials),
       static_cast<unsigned long long>(campaign.kills),
       static_cast<unsigned long long>(campaign.resumes),
       static_cast<unsigned long long>(campaign.faults_injected),
+      static_cast<unsigned long long>(campaign.flight_dumps),
       static_cast<unsigned long long>(campaign.violations));
 
   if (report.enabled()) {
@@ -326,6 +375,7 @@ int main(int argc, char** argv) {
     run["kills"] = campaign.kills;
     run["resumes"] = campaign.resumes;
     run["faults_injected"] = campaign.faults_injected;
+    run["flight_dumps"] = campaign.flight_dumps;
     run["violations"] = campaign.violations;
     report.AddRun(std::move(run));
     if (!report.Write()) return 1;
