@@ -100,7 +100,7 @@ class BenchTrace {
   // for one measured run.
   void Apply(TupeloOptions& options);
 
-  // Adds the schema-6 per-run fields — "trace_path", "trace_events",
+  // Adds the schema-7 per-run fields — "trace_path", "trace_events",
   // "trace_dropped" (deltas since the previous AnnotateRun) — to a run
   // object built by BenchReport::MakeRun.
   void AnnotateRun(obs::JsonValue& run);
@@ -118,9 +118,9 @@ class BenchTrace {
 };
 
 // Accumulates a machine-readable run report and writes it to the --json
-// path on Write(). Layout (schema_version 6):
+// path on Write(). Layout (schema_version 7):
 //
-//   {"schema_version":5, "harness":..., "git_sha":..., "seed":...,
+//   {"schema_version":7, "harness":..., "git_sha":..., "seed":...,
 //    "quick":..., "budget":..., "threads":...,
 //    "panels":[{"name":..., "runs":[{...axis fields..., "found":...,
 //               "cutoff":..., "stop_reason":..., "verified":...,

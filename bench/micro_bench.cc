@@ -30,6 +30,7 @@
 #include "heuristics/levenshtein.h"
 #include "heuristics/term_vector.h"
 #include "relational/tnf.h"
+#include "search/search_types.h"
 #include "workloads/flights.h"
 #include "workloads/synthetic.h"
 
@@ -259,6 +260,41 @@ void BM_TraceEmit(benchmark::State& state) {
 }
 BENCHMARK(BM_TraceEmit);
 
+// One heartbeat stamp — what a supervised search adds at each amortized
+// BudgetGuard poll tick (every 16 Check calls) and what the thread pool
+// adds per task. Three relaxed atomic stores.
+void BM_HeartbeatTick(benchmark::State& state) {
+  HeartbeatSlot slot;
+  uint64_t i = 0;
+  for (auto _ : state) {
+    slot.Beat(++i, 64);
+    benchmark::DoNotOptimize(&slot);
+  }
+}
+BENCHMARK(BM_HeartbeatTick);
+
+// BM_ExpandUncached through the poison-state quarantine wrapper with a
+// (miss-only) quarantine armed: one fingerprint lookup against an empty
+// denylist plus the try/catch frame. Compare to BM_ExpandUncached to
+// bound the supervised-Expand overhead; with quarantine null the wrapper
+// is a plain forwarding call.
+void BM_SupervisedExpand(benchmark::State& state) {
+  SyntheticMatchingPair pair =
+      MakeSyntheticMatchingPair(static_cast<size_t>(state.range(0)));
+  SuccessorConfig config;
+  config.expand_cache_capacity = 0;
+  MappingProblem problem(
+      pair.source, pair.target,
+      MakeHeuristic(HeuristicKind::kH1, pair.target, SearchAlgorithm::kRbfs),
+      nullptr, {}, config);
+  StateQuarantine quarantine(1024);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        GuardedExpand(problem, pair.source, &quarantine));
+  }
+}
+BENCHMARK(BM_SupervisedExpand)->Arg(2)->Arg(4)->Arg(8);
+
 void BM_DiscoverSyntheticRbfsH1(benchmark::State& state) {
   SyntheticMatchingPair pair =
       MakeSyntheticMatchingPair(static_cast<size_t>(state.range(0)));
@@ -359,6 +395,21 @@ int RunJsonSuite(int argc, char** argv) {
                                  "i", 1);
     });
 
+    // Supervision overheads (schema 7): one heartbeat stamp, and the
+    // uncached expand through the quarantine wrapper (empty denylist —
+    // the steady state of a healthy run).
+    HeartbeatSlot slot;
+    uint64_t beat_i = 0;
+    double heartbeat_tick = NanosPer(iters, [&] {
+      slot.Beat(++beat_i, 64);
+      benchmark::DoNotOptimize(&slot);
+    });
+    StateQuarantine quarantine(1024);
+    double expand_supervised = NanosPer(expand_iters, [&] {
+      benchmark::DoNotOptimize(
+          GuardedExpand(uncached, pair.source, &quarantine));
+    });
+
     // One real discovery run so the report's metrics carry the live
     // state.*/expand.* counters alongside the substrate timings.
     TupeloOptions options;
@@ -397,6 +448,8 @@ int RunJsonSuite(int argc, char** argv) {
       run["expand_cached_ns"] = expand_cached;
       run["expand_traced_ns"] = expand_traced;
       run["trace_emit_ns"] = trace_emit;
+      run["heartbeat_tick_ns"] = heartbeat_tick;
+      run["expand_supervised_ns"] = expand_supervised;
       run["metrics"] = registry.ToJson();
       trace.AnnotateRun(run);
       report.AddRun(std::move(run));

@@ -58,6 +58,16 @@ int Usage() {
          "progress (atomic, checksummed)\n"
          "  [--resume]                with --checkpoint: restart from the "
          "snapshot's rung + frontier\n"
+         "  [--supervise]             self-healing watchdog: preempt hung "
+         "rungs, stage memory\n"
+         "                            degradation, quarantine poison "
+         "states\n"
+         "  [--stall-window-ms=N]     with --supervise: silence window "
+         "before preemption (default 500)\n"
+         "  [--supervisor-tick-ms=N]  with --supervise: watchdog sampling "
+         "period (default 20)\n"
+         "  [--rung-retries=N]        with --supervise: retries per "
+         "stalled rung (default 1)\n"
          "  [--apply]                 execute the mapping and print the "
          "result\n"
          "  [--simplify]              run the peephole optimizer on the "
@@ -135,6 +145,20 @@ int main(int argc, char** argv) {
       options.checkpoint_path = value_of("--checkpoint=");
     } else if (arg == "--resume") {
       options.resume = true;
+    } else if (arg == "--supervise") {
+      options.supervisor.enabled = true;
+    } else if (arg.starts_with("--stall-window-ms=")) {
+      options.supervisor.enabled = true;
+      options.supervisor.stall_window_millis =
+          std::stoll(value_of("--stall-window-ms="));
+    } else if (arg.starts_with("--supervisor-tick-ms=")) {
+      options.supervisor.enabled = true;
+      options.supervisor.tick_millis =
+          std::stoll(value_of("--supervisor-tick-ms="));
+    } else if (arg.starts_with("--rung-retries=")) {
+      options.supervisor.enabled = true;
+      options.supervisor.max_rung_retries =
+          std::stoi(value_of("--rung-retries="));
     } else if (arg == "--no-prune") {
       options.successors.prune = false;
     } else if (arg == "--apply") {
@@ -239,6 +263,15 @@ int main(int argc, char** argv) {
   if (!result.ok()) {
     std::cerr << "error: " << result.status() << "\n";
     return 1;
+  }
+  if (options.supervisor.enabled &&
+      (result->stall_preemptions > 0 || result->memory_reliefs > 0 ||
+       result->rung_retries > 0 || result->states_quarantined > 0)) {
+    std::cerr << "# supervisor: " << result->stall_preemptions
+              << " stall preemption(s), " << result->rung_retries
+              << " retry(ies), " << result->memory_reliefs
+              << " memory relief(s), " << result->states_quarantined
+              << " state(s) quarantined\n";
   }
   if (!result->found) {
     std::cerr << "no mapping found ("

@@ -3,7 +3,7 @@
 
 Usage: check_bench_json.py REPORT.json [REPORT2.json ...]
 
-Checks the schema documented in docs/OBSERVABILITY.md (schema_version 5):
+Checks the schema documented in docs/OBSERVABILITY.md (schema_version 7):
 required top-level fields with the right types, a non-empty panels list,
 and per-run presence of the standard measurement fields — including the
 resource-governance fields (stop_reason, verified, verify_error,
@@ -24,18 +24,23 @@ written by --trace= runs ("trace_path" string, "trace_events" /
 "trace_dropped" non-negative ints — the events this run added to its
 trace session and how many fell off the ring) and the trace.* counters
 (trace.events_recorded/events_dropped — validated like the substrate
-counters). Exits non-zero with a line per violation, so it works as a
-ctest command.
+counters). Schema_version 7 adds the self-healing runtime: the
+"stalled" stop reason (a watchdog-preempted hung rung), the
+supervisor.* counters, the optional per-run supervision fields
+("stall_preemptions", "memory_reliefs", "rung_retries",
+"states_quarantined" — non-negative ints wherever present), and the
+micro_bench heartbeat_tick_ns / expand_supervised_ns timings. Exits
+non-zero with a line per violation, so it works as a ctest command.
 """
 
 import json
 import sys
 
-SCHEMA_VERSION = 6
+SCHEMA_VERSION = 7
 
 STOP_REASONS = {
     "found", "exhausted", "states", "depth", "memory", "deadline",
-    "cancelled",
+    "cancelled", "stalled",
 }
 
 REQUIRED_TOP = {
@@ -79,6 +84,10 @@ MICRO_NS_FIELDS = (
     "expand_cached_ns",
     "expand_traced_ns",
     "trace_emit_ns",
+    # Schema 7: supervision-substrate timings (a heartbeat stamp, and
+    # Expand through the poison-state quarantine wrapper).
+    "heartbeat_tick_ns",
+    "expand_supervised_ns",
 )
 
 # Schema 3: counter namespaces for the copy-on-write state substrate and
@@ -87,7 +96,7 @@ MICRO_NS_FIELDS = (
 # metrics.
 SUBSTRATE_COUNTER_PREFIXES = ("state.cow", "state.relations", "expand.cache",
                               "beam.parallel", "runtime.", "checkpoint.",
-                              "trace.")
+                              "trace.", "supervisor.")
 
 # Schema 6: optional per-run tracing fields, present when the harness ran
 # with --trace=. Type-checked wherever they appear.
@@ -96,6 +105,16 @@ TRACE_RUN_FIELDS = {
     "trace_events": int,
     "trace_dropped": int,
 }
+
+# Schema 7: optional per-run supervision fields, present when the harness
+# ran with the self-healing supervisor enabled. Non-negative ints
+# wherever they appear.
+SUPERVISOR_RUN_FIELDS = (
+    "stall_preemptions",
+    "memory_reliefs",
+    "rung_retries",
+    "states_quarantined",
+)
 
 
 def check(path):
@@ -188,6 +207,15 @@ def check(path):
                         err("%s has negative %s" % (where, key))
                     elif want is str and not value:
                         err("%s has empty %s" % (where, key))
+                for key in SUPERVISOR_RUN_FIELDS:
+                    if key not in run:
+                        continue
+                    value = run[key]
+                    if not isinstance(value, int) or isinstance(value, bool):
+                        err("%s field %r has type %s"
+                            % (where, key, type(value).__name__))
+                    elif value < 0:
+                        err("%s has negative %s" % (where, key))
                 for key in MICRO_NS_FIELDS:
                     if key in run:
                         value = run[key]

@@ -326,16 +326,25 @@ Status SaveCheckpointFile(const DiscoveryCheckpoint& checkpoint,
 
 Status AtomicWriteFile(const std::string& path, std::string_view contents) {
   const std::string tmp = path + ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::trunc);
-    if (!out) return Status::InvalidArgument("cannot write file: " + tmp);
-    out.write(contents.data(),
-              static_cast<std::streamsize>(contents.size()));
-    out.flush();
-    if (!out) {
-      std::remove(tmp.c_str());
-      return Status::Internal("write failed for file: " + tmp);
-    }
+  std::ofstream out(tmp, std::ios::trunc);
+  if (!out) return Status::InvalidArgument("cannot write file: " + tmp);
+  out.write(contents.data(),
+            static_cast<std::streamsize>(contents.size()));
+  out.flush();
+  if (!out) {
+    // Short write (ENOSPC, I/O error): typed, and the torn tmp file is
+    // removed rather than left behind to shadow a later write.
+    out.close();
+    std::remove(tmp.c_str());
+    return Status::ResourceExhausted("short write for file: " + tmp);
+  }
+  // close() is where buffered data actually reaches the filesystem; an
+  // error here (ENOSPC at flush-on-close) would previously vanish in the
+  // destructor and leave a silently torn tmp file.
+  out.close();
+  if (out.fail()) {
+    std::remove(tmp.c_str());
+    return Status::ResourceExhausted("close failed for file: " + tmp);
   }
   if (std::rename(tmp.c_str(), path.c_str()) != 0) {
     std::remove(tmp.c_str());

@@ -72,6 +72,24 @@ void MappingProblem::set_metrics(obs::MetricRegistry* metrics) {
   relations_shared_ = &metrics->GetCounter("state.relations_shared");
 }
 
+void MappingProblem::TrimCaches() const {
+  {
+    std::lock_guard<std::mutex> lock(expand_mu_);
+    expand_cache_.clear();
+    expand_cache_index_.clear();
+    expand_cache_states_.store(0, std::memory_order_relaxed);
+  }
+  for (EstimateShard& shard : estimate_shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.cache.clear();
+  }
+  // Rare (supervisor-triggered), so the counter is looked up on demand
+  // instead of being resolved in set_metrics like the hot-path ones.
+  if (metrics_ != nullptr) {
+    metrics_->GetCounter("expand.cache_trims").Increment();
+  }
+}
+
 std::vector<Op> MappingProblem::CandidateOps(const Database& state) const {
   std::vector<Op> ops;
   const bool prune = config_.prune;

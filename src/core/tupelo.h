@@ -10,6 +10,7 @@
 #include "fira/function_registry.h"
 #include "heuristics/heuristic_factory.h"
 #include "relational/database.h"
+#include "runtime/supervisor.h"
 #include "search/search_types.h"
 
 namespace tupelo {
@@ -82,6 +83,19 @@ struct TupeloOptions {
   // (StopReason::kCancelled) right after the Nth successful checkpoint
   // write — a deterministic process death at a checkpoint boundary.
   uint64_t checkpoint_kill_after = 0;
+  // Self-healing supervision (runtime/supervisor.h). With
+  // supervisor.enabled, sequential-ladder runs start a watchdog thread:
+  // each rung heartbeats into it, a hung rung is preempted within
+  // supervisor.stall_window_millis (StopReason::kStalled) and retried
+  // with exponential backoff up to supervisor.max_rung_retries times
+  // before the ladder advances; memory pressure against
+  // limits.max_memory_nodes degrades in stages (trim the problem's
+  // caches, then halve the beam width, then preempt to the next rung)
+  // instead of tripping a hard kMemory; and every rung runs with a
+  // poison-state quarantine, so an exception escaping Expand/ApplyOp
+  // quarantines the offending state instead of aborting the run. Ignored
+  // by the concurrent portfolio.
+  runtime::SupervisorConfig supervisor;
   // Optional metric registry (nullable; default off). When set, the run
   // populates search.*, heuristic.*, executor.*, phase.* and governor.*
   // instruments — see docs/OBSERVABILITY.md for the catalog. Must outlive
@@ -166,6 +180,15 @@ struct TupeloResult {
   bool resumed = false;
   int resume_rungs_skipped = 0;
   uint64_t checkpoint_writes = 0;
+  // Supervision bookkeeping (all zero unless options.supervisor.enabled):
+  // hung rungs the watchdog preempted, soft memory-relief interventions
+  // (cache trims; width trims count here too), stall retries the ladder
+  // granted, and poison states quarantined during the run. Mirrored into
+  // the supervisor.* metrics.
+  uint64_t stall_preemptions = 0;
+  uint64_t memory_reliefs = 0;
+  uint64_t rung_retries = 0;
+  uint64_t states_quarantined = 0;
 };
 
 // TUPELO: example-driven discovery of data-mapping expressions.

@@ -183,7 +183,7 @@ SearchOutcome<typename P::Action> AStarSearch(
       return outcome;
     }
 
-    auto successors = problem.Expand(node->state);
+    auto successors = GuardedExpand(problem, node->state, limits.quarantine);
     outcome.stats.states_generated += successors.size();
     instr.OnExpand(successors.size());
     for (auto& succ : successors) {

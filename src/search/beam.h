@@ -141,7 +141,7 @@ SearchOutcome<typename P::Action> BeamSearch(
         return outcome;
       }
 
-      auto successors = problem.Expand(node.state);
+      auto successors = GuardedExpand(problem, node.state, limits.quarantine);
       outcome.stats.states_generated += successors.size();
       instr.OnExpand(successors.size());
       for (auto& succ : successors) {
@@ -159,13 +159,17 @@ SearchOutcome<typename P::Action> BeamSearch(
     }
     if (next_level.empty()) return outcome;  // beam ran dry
 
-    // Keep the beam_width best by h (stable within ties).
-    if (next_level.size() > beam_width) {
+    // Keep the beam_width best by h (stable within ties). The supervisor
+    // can narrow the effective width mid-run via width pressure (staged
+    // memory degradation); pressure-free this is the configured width.
+    const size_t level_width =
+        EffectiveBeamWidth(beam_width, limits.width_pressure);
+    if (next_level.size() > level_width) {
       emit.BeamDrop(depth,
-                    static_cast<int64_t>(next_level.size() - beam_width));
+                    static_cast<int64_t>(next_level.size() - level_width));
       std::stable_sort(next_level.begin(), next_level.end(),
                        [](const Node& a, const Node& b) { return a.h < b.h; });
-      next_level.resize(beam_width);
+      next_level.resize(level_width);
     }
     frontier = std::move(next_level);
   }

@@ -110,7 +110,7 @@ SearchOutcome<typename P::Action> IdaStarSearch(
         out.stats.solution_cost = static_cast<int>(g);
         return Verdict::kFound;
       }
-      auto successors = problem.Expand(state);
+      auto successors = GuardedExpand(problem, state, limits.quarantine);
       out.stats.states_generated += successors.size();
       instr.OnExpand(successors.size());
       for (auto& succ : successors) {

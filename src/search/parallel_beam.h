@@ -98,7 +98,8 @@ SearchOutcome<typename P::Action> ParallelBeamSearch(
     std::vector<int64_t> hs;
   };
 
-  auto prepare = [&problem, trace](const Node& node, Prepared& slot) {
+  auto prepare = [&problem, &limits, trace](const Node& node,
+                                            Prepared& slot) {
     // Emitted on whichever thread runs the task, so Phase A work lands on
     // the worker's own track in the trace.
     obs::TraceSpan prep_span(trace, obs::TraceCategory::kSearch,
@@ -108,7 +109,7 @@ SearchOutcome<typename P::Action> ParallelBeamSearch(
       slot.ready = true;
       return;
     }
-    slot.successors = problem.Expand(node.state);
+    slot.successors = GuardedExpand(problem, node.state, limits.quarantine);
     slot.keys.reserve(slot.successors.size());
     slot.hs.reserve(slot.successors.size());
     for (const auto& succ : slot.successors) {
@@ -183,7 +184,16 @@ SearchOutcome<typename P::Action> ParallelBeamSearch(
       for (size_t i = 0; i < frontier.size(); ++i) {
         pool->Submit([&frontier, &prepared, &prepare, &limits, &wg, i] {
           if (limits.cancel == nullptr || !limits.cancel->cancelled()) {
-            prepare(frontier[i], prepared[i]);
+            // wg.Done() must run even if prepare throws (possible only
+            // with no quarantine installed): a leaked Done would wedge
+            // the barrier forever. The slot is reset so the merge phase
+            // recomputes it inline — on the caller's thread, where the
+            // exception propagates to the caller instead of a worker.
+            try {
+              prepare(frontier[i], prepared[i]);
+            } catch (...) {
+              prepared[i] = Prepared{};
+            }
           }
           wg.Done();
         });
@@ -245,13 +255,16 @@ SearchOutcome<typename P::Action> ParallelBeamSearch(
     }
     if (next_level.empty()) return outcome;  // beam ran dry
 
-    // Keep the beam_width best by h (stable within ties).
-    if (next_level.size() > beam_width) {
+    // Keep the beam_width best by h (stable within ties), narrowed by the
+    // same supervisor width pressure as the sequential beam.
+    const size_t level_width =
+        EffectiveBeamWidth(beam_width, limits.width_pressure);
+    if (next_level.size() > level_width) {
       emit.BeamDrop(depth,
-                    static_cast<int64_t>(next_level.size() - beam_width));
+                    static_cast<int64_t>(next_level.size() - level_width));
       std::stable_sort(next_level.begin(), next_level.end(),
                        [](const Node& a, const Node& b) { return a.h < b.h; });
-      next_level.resize(beam_width);
+      next_level.resize(level_width);
     }
     frontier = std::move(next_level);
   }

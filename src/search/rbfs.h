@@ -116,7 +116,7 @@ SearchOutcome<typename P::Action> RbfsSearch(
         return {true, stored_f};
       }
 
-      auto successors = problem.Expand(state);
+      auto successors = GuardedExpand(problem, state, limits.quarantine);
       out.stats.states_generated += successors.size();
       instr.OnExpand(successors.size());
       std::vector<Child> children;

@@ -4,9 +4,13 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <deque>
 #include <limits>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <string_view>
+#include <unordered_set>
 #include <utility>
 #include <vector>
 
@@ -93,10 +97,11 @@ enum class StopReason {
   kMemory,     // SearchLimits::max_memory_nodes tripped
   kDeadline,   // SearchLimits::deadline_millis tripped
   kCancelled,  // CancelToken fired
+  kStalled,    // supervisor preempted a hung rung (no heartbeat progress)
 };
 
 // "found", "exhausted", "states", "depth", "memory", "deadline",
-// "cancelled" — stable names for reports and logs.
+// "cancelled", "stalled" — stable names for reports and logs.
 inline std::string_view StopReasonName(StopReason reason) {
   switch (reason) {
     case StopReason::kFound:
@@ -113,6 +118,8 @@ inline std::string_view StopReasonName(StopReason reason) {
       return "deadline";
     case StopReason::kCancelled:
       return "cancelled";
+    case StopReason::kStalled:
+      return "stalled";
   }
   return "unknown";
 }
@@ -134,22 +141,130 @@ inline bool IsResourceStop(StopReason reason) {
 // rung a private token parented on the caller's, so the winner can
 // cancel the losers without consuming the caller's token, while a
 // caller-side Cancel still stops every rung.
+//
+// The chain is held through shared, heap-allocated flag nodes: a child
+// keeps its parent's node alive, so cancelled() stays safe (and keeps
+// reporting the parent's last state) even after the parent CancelToken
+// object itself has been destroyed. Cancel() is still one relaxed atomic
+// store; cancelled() walks the (short) chain of relaxed loads.
 class CancelToken {
  public:
-  CancelToken() = default;
-  explicit CancelToken(const CancelToken* parent) : parent_(parent) {}
+  CancelToken() : node_(std::make_shared<Node>()) {}
+  explicit CancelToken(const CancelToken* parent)
+      : node_(std::make_shared<Node>()) {
+    if (parent != nullptr) node_->parent = parent->node_;
+  }
 
-  void Cancel() { cancelled_.store(true, std::memory_order_relaxed); }
-  void Reset() { cancelled_.store(false, std::memory_order_relaxed); }
+  void Cancel() { node_->flag.store(true, std::memory_order_relaxed); }
+  // Resets this token's own flag only; an already-fired parent still
+  // reports through.
+  void Reset() { node_->flag.store(false, std::memory_order_relaxed); }
   bool cancelled() const {
-    if (cancelled_.load(std::memory_order_relaxed)) return true;
-    return parent_ != nullptr && parent_->cancelled();
+    for (const Node* n = node_.get(); n != nullptr; n = n->parent.get()) {
+      if (n->flag.load(std::memory_order_relaxed)) return true;
+    }
+    return false;
   }
 
  private:
-  std::atomic<bool> cancelled_{false};
-  const CancelToken* parent_ = nullptr;  // not owned; may be null
+  struct Node {
+    std::atomic<bool> flag{false};
+    std::shared_ptr<const Node> parent;  // keeps the ancestor chain alive
+  };
+  std::shared_ptr<Node> node_;
 };
+
+// Liveness/progress beacon for the watchdog supervisor
+// (runtime/supervisor.h). A search stamps its slot from the BudgetGuard's
+// amortized poll tick (and the thread pool bumps `beats` per task), all
+// relaxed atomic stores — the hot path pays nothing it was not already
+// paying for governance. The supervisor thread reads the slot
+// periodically: `beats` unchanged and `states` flat across a stall window
+// means the rung is hung (a wedged Expand, an injected delay, a deadlock)
+// and it gets preempted. `memory_nodes` mirrors the algorithm's memory
+// proxy so the supervisor can stage memory degradation before the hard
+// limit trips.
+struct HeartbeatSlot {
+  std::atomic<uint64_t> beats{0};
+  std::atomic<uint64_t> states{0};
+  std::atomic<uint64_t> memory_nodes{0};
+
+  void Beat(uint64_t states_examined, uint64_t memory) {
+    beats.fetch_add(1, std::memory_order_relaxed);
+    states.store(states_examined, std::memory_order_relaxed);
+    memory_nodes.store(memory, std::memory_order_relaxed);
+  }
+};
+
+// Bounded denylist of poison-state fingerprints: states whose Expand threw
+// (a poisoned cache entry, an injected allocation failure, a buggy
+// operator). A quarantined state is never re-expanded — GuardedExpand
+// returns no successors for it, so the search routes around it and the
+// run continues instead of dying. FIFO-bounded so a pathological workload
+// cannot grow it without limit; `poisoned()` counts every quarantine
+// event (admissions), which keeps the telemetry monotonic even after
+// eviction.
+class StateQuarantine {
+ public:
+  explicit StateQuarantine(size_t capacity = 1024)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  bool Contains(const Fp128& fp) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return set_.find(fp) != set_.end();
+  }
+
+  // Returns true if the fingerprint was newly quarantined.
+  bool Add(const Fp128& fp) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!set_.insert(fp).second) return false;
+    fifo_.push_back(fp);
+    while (fifo_.size() > capacity_) {
+      set_.erase(fifo_.front());
+      fifo_.pop_front();
+    }
+    poisoned_ += 1;
+    return true;
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return set_.size();
+  }
+  uint64_t poisoned() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return poisoned_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  size_t capacity_;
+  std::unordered_set<Fp128, Fp128Hash> set_;
+  std::deque<Fp128> fifo_;
+  uint64_t poisoned_ = 0;
+};
+
+// The poison-state boundary every algorithm expands through. With no
+// quarantine installed this is a plain Expand call — no try block, no
+// fingerprint, zero overhead, and exceptions propagate exactly as before.
+// With one installed: a quarantined state yields no successors, and an
+// exception escaping Expand (ApplyOp included) quarantines the state's
+// fingerprint and yields no successors — the search treats it as a dead
+// end and keeps going.
+template <typename Problem, typename State>
+auto GuardedExpand(const Problem& problem, const State& state,
+                   StateQuarantine* quarantine)
+    -> decltype(problem.Expand(state)) {
+  if (quarantine == nullptr) return problem.Expand(state);
+  const Fp128 fp = StateFingerprint(problem, state);
+  if (quarantine->Contains(fp)) return {};
+  try {
+    return problem.Expand(state);
+  } catch (...) {
+    quarantine->Add(fp);
+    return {};
+  }
+}
 
 // Type-erased base for CheckpointSink<State, Action> so SearchLimits can
 // carry a sink without being templated. The algorithms downcast with
@@ -258,7 +373,32 @@ struct SearchLimits {
   // the problem's state/action types or it resolves to null and is
   // ignored. See SearchSeed for what each algorithm captures.
   CheckpointSinkBase* checkpoint_sink = nullptr;
+  // Liveness beacon for the watchdog supervisor (not owned, may be null).
+  // Stamped on the amortized poll tick with the current states/memory
+  // progress; see HeartbeatSlot.
+  HeartbeatSlot* heartbeat = nullptr;
+  // Poison-state denylist (not owned, may be null). When set, every
+  // expansion goes through GuardedExpand: quarantined states produce no
+  // successors and a throwing Expand quarantines instead of unwinding.
+  StateQuarantine* quarantine = nullptr;
+  // Supervisor-driven width pressure (not owned, may be null). Beam-family
+  // algorithms halve their effective beam width once per pressure level
+  // (never below 1) — the staged-degradation lever between cache trimming
+  // and a hard memory stop.
+  const std::atomic<uint32_t>* width_pressure = nullptr;
 };
+
+// The beam width after supervisor width pressure: halved once per
+// pressure level, floored at 1. Pressure-free (the default) is the
+// configured width untouched.
+inline size_t EffectiveBeamWidth(size_t beam_width,
+                                 const std::atomic<uint32_t>* pressure) {
+  if (pressure == nullptr) return beam_width;
+  const uint32_t level = pressure->load(std::memory_order_relaxed);
+  if (level >= 63) return 1;
+  const size_t width = beam_width >> level;
+  return width == 0 ? 1 : width;
+}
 
 // The concrete sink for a problem's state/action types, or null when no
 // sink is installed (or one of the wrong instantiation is). Resolved once
@@ -278,7 +418,8 @@ class BudgetGuard {
   explicit BudgetGuard(const SearchLimits& limits)
       : limits_(limits),
         poll_(limits.cancel != nullptr || limits.deadline_millis > 0 ||
-              limits.checkpoint_sink != nullptr) {
+              limits.checkpoint_sink != nullptr ||
+              limits.heartbeat != nullptr) {
     if (limits_.deadline_millis > 0) {
       deadline_ = std::chrono::steady_clock::now() +
                   std::chrono::milliseconds(limits_.deadline_millis);
@@ -302,6 +443,9 @@ class BudgetGuard {
     if (poll_ && ticks_left_-- == 0) {
       ticks_left_ = limits_.check_interval;
       checkpoint_due_ = limits_.checkpoint_sink != nullptr;
+      if (limits_.heartbeat != nullptr) {
+        limits_.heartbeat->Beat(states_examined, memory_nodes);
+      }
       if (limits_.cancel != nullptr && limits_.cancel->cancelled()) {
         return StopReason::kCancelled;
       }

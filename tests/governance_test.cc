@@ -6,6 +6,8 @@
 #include <algorithm>
 #include <chrono>
 #include <limits>
+#include <memory>
+#include <optional>
 #include <string>
 #include <thread>
 #include <utility>
@@ -374,6 +376,90 @@ TEST(GovernanceTest, NotFoundRunLeavesVerifyStatusOk) {
   EXPECT_FALSE(r.found);
   EXPECT_FALSE(r.verified);
   EXPECT_TRUE(r.verify_status.ok());  // nothing to verify is not an error
+}
+
+// ---------------------------------------------------------------------------
+// BudgetGuard / CancelToken edge cases
+// ---------------------------------------------------------------------------
+
+TEST(GovernanceTest, GuardTripsDeadlineAlreadyElapsedAtConstruction) {
+  // A 1 ms deadline that has expired before the first Check: the guard's
+  // first call always polls, so the very first state trips kDeadline
+  // instead of the search running a full check_interval blind.
+  SearchLimits limits;
+  limits.deadline_millis = 1;
+  BudgetGuard guard(limits);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  std::optional<StopReason> stop = guard.Check(0, 0, 0);
+  ASSERT_TRUE(stop.has_value());
+  EXPECT_EQ(*stop, StopReason::kDeadline);
+}
+
+TEST(GovernanceTest, GuardTripsPreCancelledTokenOnFirstCheck) {
+  SearchLimits limits;
+  CancelToken token;
+  token.Cancel();
+  limits.cancel = &token;
+  BudgetGuard guard(limits);
+  std::optional<StopReason> stop = guard.Check(0, 0, 0);
+  ASSERT_TRUE(stop.has_value());
+  EXPECT_EQ(*stop, StopReason::kCancelled);
+}
+
+TEST(GovernanceTest, GuardWithZeroStateBudgetTripsImmediately) {
+  SearchLimits limits;
+  limits.max_states = 0;
+  BudgetGuard guard(limits);
+  std::optional<StopReason> stop = guard.Check(0, 0, 0);
+  ASSERT_TRUE(stop.has_value());
+  EXPECT_EQ(*stop, StopReason::kStates);
+}
+
+TEST(GovernanceTest, ChildTokenSurvivesDestroyedCancelledParent) {
+  // A child must keep reporting a cancellation it inherited even after
+  // the parent object is gone: the shared cancellation nodes stay alive
+  // through the child's chain.
+  auto parent = std::make_unique<CancelToken>();
+  CancelToken child(parent.get());
+  parent->Cancel();
+  EXPECT_TRUE(child.cancelled());
+  parent.reset();
+  EXPECT_TRUE(child.cancelled());
+}
+
+TEST(GovernanceTest, ChildTokenSurvivesDestroyedUncancelledParent) {
+  auto parent = std::make_unique<CancelToken>();
+  CancelToken child(parent.get());
+  parent.reset();
+  EXPECT_FALSE(child.cancelled());
+  child.Cancel();
+  EXPECT_TRUE(child.cancelled());
+}
+
+TEST(GovernanceTest, DoubleCancelIsIdempotent) {
+  CancelToken token;
+  token.Cancel();
+  token.Cancel();
+  EXPECT_TRUE(token.cancelled());
+  token.Reset();
+  EXPECT_FALSE(token.cancelled());
+  token.Cancel();
+  EXPECT_TRUE(token.cancelled());
+}
+
+TEST(GovernanceTest, CopiedTokenSharesCancellationState) {
+  CancelToken token;
+  CancelToken copy = token;
+  token.Cancel();
+  EXPECT_TRUE(copy.cancelled());
+}
+
+TEST(GovernanceTest, ChildDoesNotPropagateCancelUpToParent) {
+  CancelToken parent;
+  CancelToken child(&parent);
+  child.Cancel();
+  EXPECT_TRUE(child.cancelled());
+  EXPECT_FALSE(parent.cancelled());
 }
 
 }  // namespace

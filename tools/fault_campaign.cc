@@ -20,8 +20,32 @@
 //      with faults cleared (invariants only; faults perturb the explored
 //      space, so equivalence with a clean baseline is not expected)
 //
+// Chaos families (the self-healing runtime of runtime/supervisor.h; all
+// run with the supervisor enabled and add its invariants — a supervised
+// trial must still end in a clean status, and a watchdog-recovered run
+// must reproduce the clean baseline where equivalence is well-defined):
+//   4  transient stall: a one-shot injected operator delay wedges the
+//      rung far past the stall window; the watchdog preempts
+//      (StopReason::kStalled), the retry runs fault-free and must match
+//      the unfaulted baseline's mapping/verification exactly
+//   5  poison states: operator faults that *throw* (runtime_error or
+//      bad_alloc); the quarantine absorbs them and the run must end
+//      cleanly (never crash, never a Discover-level error)
+//   6  memory pressure: a tiny max_memory_nodes bound under supervision;
+//      staged degradation (cache trims, width trims) and/or a clean
+//      memory stop — never a crash
+//   7  mixed chaos: throwing/delaying/status faults + a checkpoint-kill
+//      + supervision, then a fault-free resume; invariants only (clean
+//      statuses + checkpoint integrity)
+//
 // Usage:
 //   fault_campaign [--trials=N] [--seed=S] [--quick] [--json=report.json]
+//                  [--trial=N] [--list]
+//
+// --trial=N reruns exactly one trial (same seed derivation as the full
+// campaign, so a violation reported as "trial 137" replays with
+// --trial=137); --list prints the deterministic trial plan (family,
+// workload size, algorithm per trial) without running anything.
 //
 // Every trial also records into a small per-trial TraceSession with the
 // flight recorder armed: a trial that is killed, stops for a bad reason,
@@ -111,12 +135,17 @@ TrialRun RunOnce(const SyntheticMatchingPair& pair,
 }
 
 struct Campaign {
-  uint64_t trials = 120;
+  uint64_t trials = 160;
   uint64_t violations = 0;
   uint64_t kills = 0;
   uint64_t resumes = 0;
   uint64_t faults_injected = 0;
   uint64_t flight_dumps = 0;
+  // Self-healing interventions observed across the chaos families.
+  uint64_t stall_preemptions = 0;
+  uint64_t memory_reliefs = 0;
+  uint64_t rung_retries = 0;
+  uint64_t states_quarantined = 0;
 
   void Violation(uint64_t trial, const std::string& what) {
     ++violations;
@@ -130,6 +159,26 @@ constexpr SearchAlgorithm kAlgorithms[] = {
     SearchAlgorithm::kGreedy, SearchAlgorithm::kBeam,
 };
 
+constexpr int kFamilies = 8;
+constexpr const char* kFamilyNames[kFamilies] = {
+    "kill-resume",      "probabilistic-faults", "every-nth-faults",
+    "mixed-kill",       "stall",                "poison",
+    "memory-pressure",  "mixed-chaos",
+};
+
+// The supervision knobs the chaos families run under: a fast watchdog
+// (5 ms ticks, 50 ms stall window) so injected 200+ ms delays are
+// preempted promptly, with one backed-off retry.
+runtime::SupervisorConfig ChaosSupervision() {
+  runtime::SupervisorConfig config;
+  config.enabled = true;
+  config.tick_millis = 5;
+  config.stall_window_millis = 50;
+  config.max_rung_retries = 2;
+  config.retry_backoff_millis = 5;
+  return config;
+}
+
 }  // namespace
 }  // namespace tupelo
 
@@ -138,12 +187,23 @@ int main(int argc, char** argv) {
 
   bench::BenchArgs args = bench::ParseBenchArgs(argc, argv, 10000);
   Campaign campaign;
+  int64_t only_trial = -1;
+  bool list_only = false;
   for (int i = 1; i < argc; ++i) {
     std::string_view arg = argv[i];
     if (arg.rfind("--trials=", 0) == 0) {
       campaign.trials = std::strtoull(argv[i] + std::strlen("--trials="),
                                       nullptr, 10);
+    } else if (arg.rfind("--trial=", 0) == 0) {
+      only_trial = std::strtoll(argv[i] + std::strlen("--trial="),
+                                nullptr, 10);
+    } else if (arg == "--list") {
+      list_only = true;
     }
+  }
+  if (only_trial >= 0 &&
+      static_cast<uint64_t>(only_trial) >= campaign.trials) {
+    campaign.trials = static_cast<uint64_t>(only_trial) + 1;
   }
 
   std::vector<size_t> sizes = args.quick ? std::vector<size_t>{2, 4}
@@ -166,12 +226,24 @@ int main(int argc, char** argv) {
     flight_dir = args.json_path.substr(0, slash + 1);
   }
 
+  uint64_t trials_run = 0;
   for (uint64_t t = 0; t < campaign.trials; ++t) {
     Rng rng{args.seed + t * 0x9e3779b97f4a7c15ULL};
-    const int family = static_cast<int>(t % 4);
+    const int family = static_cast<int>(t % kFamilies);
     const size_t which = rng.Below(pairs.size());
     const SyntheticMatchingPair& pair = pairs[which];
     const SearchAlgorithm algo = kAlgorithms[rng.Below(5)];
+
+    if (list_only) {
+      std::printf("trial %4llu: family %d (%s), n=%llu, algo=%s\n",
+                  static_cast<unsigned long long>(t), family,
+                  kFamilyNames[family],
+                  static_cast<unsigned long long>(sizes[which]),
+                  std::string(SearchAlgorithmName(algo)).c_str());
+      continue;
+    }
+    if (only_trial >= 0 && t != static_cast<uint64_t>(only_trial)) continue;
+    ++trials_run;
 
     TupeloOptions base;
     base.algorithm = algo;
@@ -270,7 +342,7 @@ int main(int argc, char** argv) {
           !final_run.result.verify_status.ok()) {
         campaign.Violation(t, "verified=true with a failed verify_status");
       }
-    } else {
+    } else if (family == 3) {
       // Mixed: operator faults while checkpointing with a kill, then a
       // fault-free resume. Faults perturb the explored space, so only the
       // invariants are asserted: clean statuses and checkpoint integrity.
@@ -322,6 +394,151 @@ int main(int argc, char** argv) {
         final_run = std::move(interrupted);
       }
       std::remove(ckpt_path.c_str());
+    } else if (family == 4) {
+      // Transient stall: one injected operator delay (~4-7x the stall
+      // window) wedges the rung; the watchdog must preempt it and the
+      // fault-free retry must reproduce the clean baseline exactly.
+      TrialRun baseline = RunOnce(pair, base);
+      if (!baseline.ok) {
+        campaign.Violation(t, "stall baseline error: " + baseline.error);
+        continue;
+      }
+      TupeloOptions sup = base;
+      sup.supervisor = ChaosSupervision();
+      injector.ArmEveryNth("*", Status::Internal("chaos stall"),
+                           2 + rng.Below(4));
+      injector.SetKind(FaultInjector::Kind::kDelay,
+                       static_cast<int64_t>(200 + rng.Below(150)));
+      injector.SetMaxFires(1);
+      final_run = RunOnce(pair, sup);
+      campaign.faults_injected += injector.injected();
+      injector.Disarm();
+      if (!final_run.ok) {
+        campaign.Violation(t, "stall trial error: " + final_run.error);
+        continue;
+      }
+      campaign.stall_preemptions += final_run.result.stall_preemptions;
+      campaign.rung_retries += final_run.result.rung_retries;
+      if (final_run.result.found != baseline.result.found ||
+          final_run.result.verified != baseline.result.verified ||
+          final_run.result.mapping.ToScript() !=
+              baseline.result.mapping.ToScript()) {
+        campaign.Violation(
+            t, "stall-recovery equivalence failure (" +
+                   std::string(SearchAlgorithmName(algo)) + ", n=" +
+                   std::to_string(sizes[which]) + "): baseline " +
+                   std::string(StopReasonName(baseline.result.stop_reason)) +
+                   " vs recovered " +
+                   std::string(StopReasonName(final_run.result.stop_reason)));
+      }
+    } else if (family == 5) {
+      // Poison states: throwing operator faults under supervision. The
+      // quarantine must absorb every escaped exception; the run must end
+      // in a clean status whatever the outcome.
+      TupeloOptions sup = base;
+      sup.supervisor = ChaosSupervision();
+      Status fault = Status::Internal("chaos poison");
+      if (rng.Below(2) == 0) {
+        injector.ArmProbabilistic("*", std::move(fault),
+                                  0.05 + 0.25 * rng.Unit(), rng.Next());
+      } else {
+        injector.ArmEveryNth("*", std::move(fault), 2 + rng.Below(8));
+      }
+      injector.SetKind(rng.Below(2) == 0 ? FaultInjector::Kind::kThrow
+                                         : FaultInjector::Kind::kBadAlloc);
+      final_run = RunOnce(pair, sup);
+      campaign.faults_injected += injector.injected();
+      injector.Disarm();
+      if (!final_run.ok) {
+        campaign.Violation(t, "poison trial error: " + final_run.error);
+        continue;
+      }
+      campaign.states_quarantined += final_run.result.states_quarantined;
+      if (final_run.result.found && final_run.result.verified &&
+          !final_run.result.verify_status.ok()) {
+        campaign.Violation(t, "verified=true with a failed verify_status");
+      }
+    } else if (family == 6) {
+      // Memory pressure: a tiny node bound under supervision. Staged
+      // degradation (cache trims, width trims) and/or a clean memory
+      // stop are all acceptable; a crash or error status is not.
+      TupeloOptions sup = base;
+      sup.supervisor = ChaosSupervision();
+      sup.supervisor.tick_millis = 2;
+      sup.limits.max_memory_nodes = 24 + rng.Below(64);
+      final_run = RunOnce(pair, sup);
+      if (!final_run.ok) {
+        campaign.Violation(t, "memory trial error: " + final_run.error);
+        continue;
+      }
+      campaign.memory_reliefs += final_run.result.memory_reliefs;
+      if (final_run.result.found && final_run.result.verified &&
+          !final_run.result.verify_status.ok()) {
+        campaign.Violation(t, "verified=true with a failed verify_status");
+      }
+    } else {
+      // Mixed chaos: a random fault kind (throwing, delaying, or status)
+      // while checkpointing with a kill under supervision, then a
+      // fault-free supervised resume. Invariants only: clean statuses
+      // and checkpoint integrity.
+      TupeloOptions sup = base;
+      sup.supervisor = ChaosSupervision();
+      Status fault = Status::Internal("chaos mixed");
+      switch (rng.Below(3)) {
+        case 0:
+          injector.ArmProbabilistic("*", std::move(fault),
+                                    0.05 + 0.2 * rng.Unit(), rng.Next());
+          injector.SetKind(FaultInjector::Kind::kThrow);
+          break;
+        case 1:
+          injector.ArmEveryNth("*", std::move(fault), 2 + rng.Below(6));
+          break;
+        default:
+          injector.ArmEveryNth("*", std::move(fault), 2 + rng.Below(4));
+          injector.SetKind(FaultInjector::Kind::kDelay,
+                           static_cast<int64_t>(120 + rng.Below(120)));
+          injector.SetMaxFires(1);
+          break;
+      }
+      TupeloOptions inter = sup;
+      inter.checkpoint_path = ckpt_path;
+      inter.checkpoint_interval_states = 1 + rng.Below(32);
+      inter.checkpoint_kill_after = 1 + rng.Below(3);
+      TrialRun interrupted = RunOnce(pair, inter);
+      campaign.faults_injected += injector.injected();
+      injector.Disarm();
+      if (!interrupted.ok) {
+        campaign.Violation(t, "chaos interrupted run error: " +
+                                  interrupted.error);
+        std::remove(ckpt_path.c_str());
+        continue;
+      }
+      campaign.stall_preemptions += interrupted.result.stall_preemptions;
+      campaign.rung_retries += interrupted.result.rung_retries;
+      campaign.states_quarantined += interrupted.result.states_quarantined;
+      Result<DiscoveryCheckpoint> reloaded = LoadCheckpointFile(ckpt_path);
+      if (!reloaded.ok()) {
+        campaign.Violation(t, "checkpoint integrity failure: " +
+                                  reloaded.status().ToString());
+        std::remove(ckpt_path.c_str());
+        continue;
+      }
+      if (interrupted.result.stop_reason == StopReason::kCancelled) {
+        ++campaign.kills;
+        TupeloOptions res = inter;
+        res.checkpoint_kill_after = 0;
+        res.resume = true;
+        final_run = RunOnce(pair, res);
+        if (!final_run.ok) {
+          campaign.Violation(t, "chaos resume error: " + final_run.error);
+          std::remove(ckpt_path.c_str());
+          continue;
+        }
+        ++campaign.resumes;
+      } else {
+        final_run = std::move(interrupted);
+      }
+      std::remove(ckpt_path.c_str());
     }
 
     // Flight-recorder self-check: any dump this trial left behind must
@@ -349,20 +566,32 @@ int main(int argc, char** argv) {
       run["algorithm"] = std::string(SearchAlgorithmName(algo));
       run["trace_events"] = trace.events_recorded();
       run["trace_dropped"] = trace.events_dropped();
+      run["stall_preemptions"] = final_run.result.stall_preemptions;
+      run["memory_reliefs"] = final_run.result.memory_reliefs;
+      run["rung_retries"] = final_run.result.rung_retries;
+      run["states_quarantined"] = final_run.result.states_quarantined;
       if (dumped) run["trace_path"] = flight_path;
       report.AddRun(std::move(run));
     }
   }
   SetFaultInjector(nullptr);
 
+  if (list_only) return 0;
+
   std::printf(
       "fault campaign: %llu trials, %llu kills, %llu resumes, "
-      "%llu faults injected, %llu flight dumps, %llu violations\n",
-      static_cast<unsigned long long>(campaign.trials),
+      "%llu faults injected, %llu flight dumps, %llu stall preemptions, "
+      "%llu rung retries, %llu memory reliefs, %llu states quarantined, "
+      "%llu violations\n",
+      static_cast<unsigned long long>(trials_run),
       static_cast<unsigned long long>(campaign.kills),
       static_cast<unsigned long long>(campaign.resumes),
       static_cast<unsigned long long>(campaign.faults_injected),
       static_cast<unsigned long long>(campaign.flight_dumps),
+      static_cast<unsigned long long>(campaign.stall_preemptions),
+      static_cast<unsigned long long>(campaign.rung_retries),
+      static_cast<unsigned long long>(campaign.memory_reliefs),
+      static_cast<unsigned long long>(campaign.states_quarantined),
       static_cast<unsigned long long>(campaign.violations));
 
   if (report.enabled()) {
@@ -371,11 +600,15 @@ int main(int argc, char** argv) {
     summary.found = false;
     summary.stop_reason = campaign.violations == 0 ? "exhausted" : "cancelled";
     obs::JsonValue run = bench::BenchReport::MakeRun(summary);
-    run["trials"] = campaign.trials;
+    run["trials"] = trials_run;
     run["kills"] = campaign.kills;
     run["resumes"] = campaign.resumes;
     run["faults_injected"] = campaign.faults_injected;
     run["flight_dumps"] = campaign.flight_dumps;
+    run["stall_preemptions"] = campaign.stall_preemptions;
+    run["memory_reliefs"] = campaign.memory_reliefs;
+    run["rung_retries"] = campaign.rung_retries;
+    run["states_quarantined"] = campaign.states_quarantined;
     run["violations"] = campaign.violations;
     report.AddRun(std::move(run));
     if (!report.Write()) return 1;
