@@ -4,8 +4,11 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <string>
 #include <string_view>
 #include <utility>
+
+#include "common/simd/dispatch.h"
 
 namespace tupelo::bench {
 
@@ -158,13 +161,14 @@ BenchReport::BenchReport(std::string harness, const BenchArgs& args)
     : enabled_(!args.json_path.empty()), path_(args.json_path) {
   if (!enabled_) return;
   root_ = obs::JsonValue::Object();
-  root_["schema_version"] = 7;
+  root_["schema_version"] = 8;
   root_["harness"] = std::move(harness);
   root_["git_sha"] = GitSha();
   root_["seed"] = args.seed;
   root_["quick"] = args.quick;
   root_["budget"] = args.budget;
   root_["threads"] = args.threads;
+  root_["simd_dispatch"] = std::string(simd::LevelName(simd::ActiveLevel()));
   root_["panels"] = obs::JsonValue::Array();
 }
 

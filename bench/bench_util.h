@@ -118,9 +118,9 @@ class BenchTrace {
 };
 
 // Accumulates a machine-readable run report and writes it to the --json
-// path on Write(). Layout (schema_version 7):
+// path on Write(). Layout (schema_version 8):
 //
-//   {"schema_version":7, "harness":..., "git_sha":..., "seed":...,
+//   {"schema_version":8, "harness":..., "git_sha":..., "seed":...,
 //    "quick":..., "budget":..., "threads":...,
 //    "panels":[{"name":..., "runs":[{...axis fields..., "found":...,
 //               "cutoff":..., "stop_reason":..., "verified":...,
@@ -148,6 +148,17 @@ class BenchTrace {
 // "trace_dropped" (this run's recorded/dropped event deltas; see
 // BenchTrace::AnnotateRun), and run metrics may carry the trace.*
 // counters (trace.events_recorded/events_dropped).
+//
+// Schema 7 additions: run metrics may carry the supervision instruments
+// and micro_bench runs the heartbeat_tick_ns/expand_supervised_ns
+// timings.
+//
+// Schema 8 additions: a root "simd_dispatch" field (the runtime kernel
+// tier the harness ran with — "scalar", "sse42", or "avx2"; see
+// common/simd/dispatch.h), micro_bench runs carry the kernel timings
+// edit_short_ns/edit_long_ns/term_hash_ns/term_merge_ns/
+// estimate_batch_ns, and run metrics may carry the state.tnf_* counters
+// and heuristic.levenshtein.tnf_hits/tnf_misses.
 //
 // All methods are no-ops when constructed with an empty json_path, so
 // harnesses call them unconditionally.

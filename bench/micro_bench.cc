@@ -23,6 +23,9 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "common/hash.h"
+#include "common/simd/dispatch.h"
+#include "common/simd/edit_distance.h"
 #include "core/mapping_problem.h"
 #include "core/tupelo.h"
 #include "fira/executor.h"
@@ -188,15 +191,81 @@ BENCHMARK(BM_HeuristicEval)
     ->Arg(static_cast<int>(HeuristicKind::kEuclidean))
     ->Arg(static_cast<int>(HeuristicKind::kCosine));
 
-void BM_Levenshtein(benchmark::State& state) {
-  std::string a(static_cast<size_t>(state.range(0)), 'a');
+// Strings of length n differing every 3rd character — roughly the shape
+// of two TNF encodings of sibling states.
+std::pair<std::string, std::string> EditPair(size_t n) {
+  std::string a(n, 'a');
   std::string b = a;
   for (size_t i = 0; i < b.size(); i += 3) b[i] = 'b';
+  return {std::move(a), std::move(b)};
+}
+
+void BM_Levenshtein(benchmark::State& state) {
+  auto [a, b] = EditPair(static_cast<size_t>(state.range(0)));
   for (auto _ : state) {
     benchmark::DoNotOptimize(LevenshteinDistance(a, b));
   }
 }
-BENCHMARK(BM_Levenshtein)->Arg(32)->Arg(256)->Arg(1024);
+BENCHMARK(BM_Levenshtein)->Arg(32)->Arg(256)->Arg(1024)->Arg(4096);
+
+// The pinned-fallback path (TUPELO_SIMD=scalar), for the dispatched-vs-
+// scalar speedup factor without rerunning under the env var.
+void BM_LevenshteinScalar(benchmark::State& state) {
+  auto [a, b] = EditPair(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(simd::EditDistanceScalar(a, b));
+  }
+}
+BENCHMARK(BM_LevenshteinScalar)->Arg(32)->Arg(256)->Arg(1024)->Arg(4096);
+
+// Asymmetric pair: a short pattern against a long text, the blocked-DP
+// pattern-side-selection case (range(0) = pattern, range(1) = text).
+void BM_LevenshteinAsym(benchmark::State& state) {
+  auto [a, b] = EditPair(static_cast<size_t>(state.range(1)));
+  a.resize(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(LevenshteinDistance(a, b));
+  }
+}
+BENCHMARK(BM_LevenshteinAsym)->Args({64, 1024})->Args({128, 4096});
+
+// Full distance kit over two term vectors of ~3n nonzero coordinates:
+// one DotMerge, one MinSumMerge, and the cached-sum identity forms.
+void BM_TermVectorMerge(benchmark::State& state) {
+  SyntheticMatchingPair pair =
+      MakeSyntheticMatchingPair(static_cast<size_t>(state.range(0)));
+  TermVector x = TermVector::FromDatabase(pair.source);
+  TermVector y = TermVector::FromDatabase(pair.target);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(TermVector::EuclideanDistance(x, y));
+    benchmark::DoNotOptimize(TermVector::JaccardSimilarity(x, y));
+  }
+}
+BENCHMARK(BM_TermVectorMerge)->Arg(4)->Arg(16)->Arg(32);
+
+// One EstimateCostBatch round over a frontier's worth of successor
+// states, miss path (caches trimmed each iteration): what a beam level
+// pays per expansion with the levenshtein heuristic.
+void BM_EstimateBatch(benchmark::State& state) {
+  SyntheticMatchingPair pair =
+      MakeSyntheticMatchingPair(static_cast<size_t>(state.range(0)));
+  MappingProblem problem(pair.source, pair.target,
+                         MakeHeuristic(HeuristicKind::kLevenshtein,
+                                       pair.target, SearchAlgorithm::kRbfs));
+  std::vector<MappingProblem::SuccessorT> successors =
+      problem.Expand(pair.source);
+  std::vector<const Database*> states;
+  for (const auto& succ : successors) states.push_back(&succ.state);
+  std::vector<int> out(states.size());
+  for (auto _ : state) {
+    problem.TrimCaches();
+    problem.EstimateCostBatch(states, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(states.size()));
+}
+BENCHMARK(BM_EstimateBatch)->Arg(2)->Arg(4)->Arg(8);
 
 // With the default config this measures the transposition-cache hit path
 // (the first iteration populates it); BM_ExpandUncached disables the
@@ -338,6 +407,44 @@ int RunJsonSuite(int argc, char** argv) {
   const int iters = args.quick ? 2000 : 20000;
   const int expand_iters = args.quick ? 50 : 200;
 
+  // SIMD kernel timings (schema 8), size-independent — measured once and
+  // stamped on every run so per-run rows stay self-contained. The active
+  // dispatch tier lands in the report's simd_dispatch root field.
+  const auto [edit_short_a, edit_short_b] = EditPair(64);
+  const auto [edit_long_a, edit_long_b] = EditPair(1024);
+  double edit_short = NanosPer(iters, [&, &a = edit_short_a,
+                                       &b = edit_short_b] {
+    benchmark::DoNotOptimize(LevenshteinDistance(a, b));
+  });
+  double edit_long = NanosPer(iters / 10 + 1, [&, &a = edit_long_a,
+                                               &b = edit_long_b] {
+    benchmark::DoNotOptimize(LevenshteinDistance(a, b));
+  });
+  const std::string hash_input(64, 'k');
+  double term_hash = NanosPer(iters, [&] {
+    benchmark::DoNotOptimize(HashBytes64(hash_input, 0));
+  });
+  SyntheticMatchingPair merge_pair = MakeSyntheticMatchingPair(16);
+  TermVector merge_x = TermVector::FromDatabase(merge_pair.source);
+  TermVector merge_y = TermVector::FromDatabase(merge_pair.target);
+  double term_merge = NanosPer(iters, [&] {
+    benchmark::DoNotOptimize(TermVector::EuclideanDistance(merge_x, merge_y));
+  });
+  MappingProblem batch_problem(
+      merge_pair.source, merge_pair.target,
+      MakeHeuristic(HeuristicKind::kLevenshtein, merge_pair.target,
+                    SearchAlgorithm::kRbfs));
+  std::vector<MappingProblem::SuccessorT> batch_succ =
+      batch_problem.Expand(merge_pair.source);
+  std::vector<const Database*> batch_states;
+  for (const auto& succ : batch_succ) batch_states.push_back(&succ.state);
+  std::vector<int> batch_out(batch_states.size());
+  double estimate_batch = NanosPer(expand_iters, [&] {
+    batch_problem.TrimCaches();
+    batch_problem.EstimateCostBatch(batch_states, batch_out);
+    benchmark::DoNotOptimize(batch_out.data());
+  });
+
   for (size_t n : sizes) {
     SyntheticMatchingPair pair = MakeSyntheticMatchingPair(n);
 
@@ -450,6 +557,11 @@ int RunJsonSuite(int argc, char** argv) {
       run["trace_emit_ns"] = trace_emit;
       run["heartbeat_tick_ns"] = heartbeat_tick;
       run["expand_supervised_ns"] = expand_supervised;
+      run["edit_short_ns"] = edit_short;
+      run["edit_long_ns"] = edit_long;
+      run["term_hash_ns"] = term_hash;
+      run["term_merge_ns"] = term_merge;
+      run["estimate_batch_ns"] = estimate_batch;
       run["metrics"] = registry.ToJson();
       trace.AnnotateRun(run);
       report.AddRun(std::move(run));

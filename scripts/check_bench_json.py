@@ -3,7 +3,7 @@
 
 Usage: check_bench_json.py REPORT.json [REPORT2.json ...]
 
-Checks the schema documented in docs/OBSERVABILITY.md (schema_version 7):
+Checks the schema documented in docs/OBSERVABILITY.md (schema_version 8):
 required top-level fields with the right types, a non-empty panels list,
 and per-run presence of the standard measurement fields — including the
 resource-governance fields (stop_reason, verified, verify_error,
@@ -29,14 +29,20 @@ counters). Schema_version 7 adds the self-healing runtime: the
 supervisor.* counters, the optional per-run supervision fields
 ("stall_preemptions", "memory_reliefs", "rung_retries",
 "states_quarantined" — non-negative ints wherever present), and the
-micro_bench heartbeat_tick_ns / expand_supervised_ns timings. Exits
-non-zero with a line per violation, so it works as a ctest command.
+micro_bench heartbeat_tick_ns / expand_supervised_ns timings.
+Schema_version 8 adds the SIMD kernel layer: a root "simd_dispatch"
+field (the runtime kernel tier — "scalar", "sse42", or "avx2"), the
+micro_bench kernel timings (edit_short_ns, edit_long_ns, term_hash_ns,
+term_merge_ns, estimate_batch_ns), and the TNF-encoding counters
+(state.tnf_bytes/encodes, heuristic.levenshtein.tnf_hits/misses —
+validated like the substrate counters). Exits non-zero with a line per
+violation, so it works as a ctest command.
 """
 
 import json
 import sys
 
-SCHEMA_VERSION = 7
+SCHEMA_VERSION = 8
 
 STOP_REASONS = {
     "found", "exhausted", "states", "depth", "memory", "deadline",
@@ -51,8 +57,11 @@ REQUIRED_TOP = {
     "quick": bool,
     "budget": int,
     "threads": int,
+    "simd_dispatch": str,
     "panels": list,
 }
+
+SIMD_DISPATCH_LEVELS = {"scalar", "sse42", "avx2"}
 
 REQUIRED_RUN = {
     "found": bool,
@@ -88,15 +97,23 @@ MICRO_NS_FIELDS = (
     # Expand through the poison-state quarantine wrapper).
     "heartbeat_tick_ns",
     "expand_supervised_ns",
+    # Schema 8: SIMD kernel timings (dispatched edit distance short/long,
+    # bulk term-key hashing, term-vector merge, batched estimation).
+    "edit_short_ns",
+    "edit_long_ns",
+    "term_hash_ns",
+    "term_merge_ns",
+    "estimate_batch_ns",
 )
 
 # Schema 3: counter namespaces for the copy-on-write state substrate and
 # the Expand transposition cache. Schema 4 adds the parallel-runtime
 # counters; schema 6 the tracing counters. Validated wherever a run has
 # metrics.
-SUBSTRATE_COUNTER_PREFIXES = ("state.cow", "state.relations", "expand.cache",
-                              "beam.parallel", "runtime.", "checkpoint.",
-                              "trace.", "supervisor.")
+SUBSTRATE_COUNTER_PREFIXES = ("state.cow", "state.relations", "state.tnf",
+                              "expand.cache", "beam.parallel", "runtime.",
+                              "checkpoint.", "trace.", "supervisor.",
+                              "heuristic.levenshtein.tnf")
 
 # Schema 6: optional per-run tracing fields, present when the harness ran
 # with --trace=. Type-checked wherever they appear.
@@ -148,6 +165,10 @@ def check(path):
     if isinstance(threads, int) and not isinstance(threads, bool):
         if threads < 1:
             err("threads is %d, want >= 1" % threads)
+    dispatch = doc.get("simd_dispatch")
+    if isinstance(dispatch, str) and dispatch not in SIMD_DISPATCH_LEVELS:
+        err("simd_dispatch is %r, want one of %s"
+            % (dispatch, sorted(SIMD_DISPATCH_LEVELS)))
     sha = doc.get("git_sha", "")
     if isinstance(sha, str) and sha != "unknown" and (
         len(sha) != 40 or not all(c in "0123456789abcdef" for c in sha)

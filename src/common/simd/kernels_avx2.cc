@@ -1,0 +1,112 @@
+// AVX2 kernel bodies. This is the only translation unit compiled with
+// -mavx2 (see src/CMakeLists.txt); everything here runs only after the
+// dispatcher has verified AVX2 support at runtime. Each kernel computes
+// exactly the same function as its scalar twin in hash_kernels.cc /
+// term_merge.cc / edit_distance.cc — the differential suite in
+// tests/simd_test.cc holds them to bit-for-bit agreement.
+
+#include "common/simd/simd_internal.h"
+
+#if defined(TUPELO_SIMD_HAVE_AVX2_TU)
+
+#include <immintrin.h>
+
+namespace tupelo::simd::internal {
+namespace {
+
+// Low 64 bits of a 64x64 multiply per lane, from 32x32->64 pieces:
+// lo64(a*b) = lo(a)*lo(b) + ((lo(a)*hi(b) + hi(a)*lo(b)) << 32).
+inline __m256i MulLo64(__m256i a, __m256i b) {
+  __m256i a_hi = _mm256_srli_epi64(a, 32);
+  __m256i b_hi = _mm256_srli_epi64(b, 32);
+  __m256i ll = _mm256_mul_epu32(a, b);
+  __m256i lh = _mm256_mul_epu32(a, b_hi);
+  __m256i hl = _mm256_mul_epu32(a_hi, b);
+  __m256i cross = _mm256_slli_epi64(_mm256_add_epi64(lh, hl), 32);
+  return _mm256_add_epi64(ll, cross);
+}
+
+}  // namespace
+
+size_t CommonPrefixAvx2(const char* a, const char* b, size_t n) {
+  size_t i = 0;
+  while (i + 32 <= n) {
+    __m256i va = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    __m256i vb = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    unsigned eq = static_cast<unsigned>(
+        _mm256_movemask_epi8(_mm256_cmpeq_epi8(va, vb)));
+    if (eq != 0xffffffffu) {
+      return i + static_cast<size_t>(__builtin_ctz(~eq));
+    }
+    i += 32;
+  }
+  while (i < n && a[i] == b[i]) ++i;
+  return i;
+}
+
+void HashBlocksAvx2(const unsigned char* data, size_t blocks, uint64_t s[4]) {
+  constexpr uint64_t kPrime = 0x100000001b3ULL;
+  __m256i acc = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(s));
+  __m256i prime = _mm256_set1_epi64x(static_cast<long long>(kPrime));
+  for (size_t b = 0; b < blocks; ++b) {
+    __m256i w =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(data + 32 * b));
+    acc = MulLo64(_mm256_xor_si256(acc, w), prime);
+  }
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(s), acc);
+}
+
+double SumAvx2(const double* c, size_t n) {
+  __m256d acc = _mm256_setzero_pd();
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    acc = _mm256_add_pd(acc, _mm256_loadu_pd(c + i));
+  }
+  alignas(32) double lanes[4];
+  _mm256_store_pd(lanes, acc);
+  double sum = (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
+  for (; i < n; ++i) sum += c[i];
+  return sum;
+}
+
+double SumSquaresAvx2(const double* c, size_t n) {
+  __m256d acc = _mm256_setzero_pd();
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    __m256d v = _mm256_loadu_pd(c + i);
+    acc = _mm256_add_pd(acc, _mm256_mul_pd(v, v));
+  }
+  alignas(32) double lanes[4];
+  _mm256_store_pd(lanes, acc);
+  double sum = (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
+  for (; i < n; ++i) sum += c[i] * c[i];
+  return sum;
+}
+
+size_t LowerBoundAvx2(const uint64_t* keys, size_t n, uint64_t key) {
+  // _mm256_cmpgt_epi64 is signed; flipping the sign bit maps unsigned
+  // order onto signed order.
+  const __m256i bias = _mm256_set1_epi64x(
+      static_cast<long long>(0x8000000000000000ULL));
+  const __m256i needle = _mm256_xor_si256(
+      _mm256_set1_epi64x(static_cast<long long>(key)), bias);
+  size_t i = 0;
+  while (i + 4 <= n) {
+    __m256i v = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(keys + i));
+    // lane mask: keys[i+lane] < key  <=>  needle > biased key
+    __m256i lt = _mm256_cmpgt_epi64(needle, _mm256_xor_si256(v, bias));
+    unsigned mask = static_cast<unsigned>(
+        _mm256_movemask_pd(_mm256_castsi256_pd(lt)));
+    if (mask != 0xfu) {
+      return i + static_cast<size_t>(__builtin_ctz(~mask & 0xfu));
+    }
+    i += 4;
+  }
+  while (i < n && keys[i] < key) ++i;
+  return i;
+}
+
+}  // namespace tupelo::simd::internal
+
+#endif  // TUPELO_SIMD_HAVE_AVX2_TU

@@ -1,0 +1,42 @@
+#ifndef TUPELO_COMMON_SIMD_SIMD_INTERNAL_H_
+#define TUPELO_COMMON_SIMD_SIMD_INTERNAL_H_
+
+#include <cstddef>
+#include <cstdint>
+
+// AVX2 kernel bodies, compiled in their own translation unit
+// (kernels_avx2.cc, built with -mavx2) so the rest of the library stays
+// runnable on baseline x86-64. Callers must check ActiveLevel() >=
+// Level::kAvx2 before entering — these execute AVX2 instructions
+// unconditionally. On non-x86 builds the symbols do not exist and the
+// call sites are compiled out behind the same architecture guard.
+
+#if defined(__x86_64__) || defined(_M_X64)
+#define TUPELO_SIMD_HAVE_AVX2_TU 1
+
+namespace tupelo::simd::internal {
+
+// Length of the common prefix of a[0..n) and b[0..n), 32 bytes per step.
+size_t CommonPrefixAvx2(const char* a, const char* b, size_t n);
+
+// One 4-stripe hash step per 32-byte block: s[i] = (s[i] ^ w[i]) * kPrime
+// for the i-th little-endian u64 of each block. Must match the scalar
+// stripe step in hash_kernels.cc exactly.
+void HashBlocksAvx2(const unsigned char* data, size_t blocks, uint64_t s[4]);
+
+// Σ c[i] and Σ c[i]² over integer-valued doubles. Lane sums stay exact
+// (every partial sum is an integer below 2^53), so the result equals the
+// scalar left-to-right loop bit-for-bit.
+double SumAvx2(const double* c, size_t n);
+double SumSquaresAvx2(const double* c, size_t n);
+
+// Index of the first element of sorted keys[0..n) that is >= key
+// (unsigned order), scanning 4 keys per step. Equivalent to a linear
+// scan; used by the merge kernels to skip runs of unmatched keys.
+size_t LowerBoundAvx2(const uint64_t* keys, size_t n, uint64_t key);
+
+}  // namespace tupelo::simd::internal
+
+#endif  // x86-64
+
+#endif  // TUPELO_COMMON_SIMD_SIMD_INTERNAL_H_

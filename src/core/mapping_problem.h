@@ -7,6 +7,7 @@
 #include <list>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -17,6 +18,7 @@
 #include "fira/operators.h"
 #include "heuristics/heuristic.h"
 #include "heuristics/set_based.h"
+#include "heuristics/term_vector.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "relational/database.h"
@@ -147,7 +149,9 @@ class MappingProblem {
       obs::ScopedTimer timer(heuristic_nanos_);
       obs::TraceSpan span(trace_, obs::TraceCategory::kHeuristic,
                           "heuristic");
+      const TnfEncodeStats tnf_before = ThreadTnfEncodeStats();
       estimate = heuristic_->Estimate(state);
+      RecordTnfDelta(tnf_before);
       span.SetEndArg("h", estimate);
     }
     if (heuristic_evals_ != nullptr) heuristic_evals_->Increment();
@@ -157,6 +161,18 @@ class MappingProblem {
     }
     return estimate;
   }
+
+  // Batched EstimateCost: out[i] = EstimateCost(*states[i]), with one
+  // pass of shard probes, one heuristic call over the distinct misses
+  // (Heuristic::EstimateBatch, outside every shard lock), and one pass
+  // of inserts. Counter semantics mirror the sequential path exactly:
+  // each distinct uncached state counts one eval, and cached states —
+  // including repeats within the batch, which sequential calls would
+  // have found in the cache — count as cache hits. Values are the same
+  // as N sequential calls (the heuristic is deterministic), so routing a
+  // frontier through here cannot change a search outcome.
+  void EstimateCostBatch(std::span<const Database* const> states,
+                         std::span<int> out) const;
 
   uint64_t StateKey(const Database& state) const {
     return state.Fingerprint();
@@ -206,6 +222,16 @@ class MappingProblem {
     return static_cast<size_t>(key.hi) & (kEstimateShards - 1);
   }
 
+  // Folds the thread-local TNF encoding activity since `before` into the
+  // state.tnf_* counters (no-op when metrics are off). Valid because the
+  // heuristic runs on the calling thread.
+  void RecordTnfDelta(const TnfEncodeStats& before) const {
+    if (tnf_bytes_ == nullptr) return;
+    const TnfEncodeStats after = ThreadTnfEncodeStats();
+    tnf_bytes_->Increment(after.bytes - before.bytes);
+    tnf_encodes_->Increment(after.encodes - before.encodes);
+  }
+
   Database source_;
   Database target_;
   SymbolSets target_symbols_;
@@ -239,6 +265,8 @@ class MappingProblem {
   obs::Counter* expand_cache_evictions_ = nullptr;
   obs::Counter* cow_copies_ = nullptr;
   obs::Counter* relations_shared_ = nullptr;
+  obs::Counter* tnf_bytes_ = nullptr;
+  obs::Counter* tnf_encodes_ = nullptr;
 };
 
 }  // namespace tupelo

@@ -1,32 +1,11 @@
 #include "heuristics/levenshtein.h"
 
-#include <algorithm>
-#include <numeric>
-#include <vector>
+#include "common/simd/edit_distance.h"
 
 namespace tupelo {
 
 size_t LevenshteinDistance(std::string_view a, std::string_view b) {
-  // Keep the shorter string in the DP row.
-  if (a.size() < b.size()) std::swap(a, b);
-  if (b.empty()) return a.size();
-
-  std::vector<size_t> row(b.size() + 1);
-  std::iota(row.begin(), row.end(), size_t{0});
-
-  for (size_t i = 1; i <= a.size(); ++i) {
-    size_t diagonal = row[0];  // row[j-1] of the previous row
-    row[0] = i;
-    for (size_t j = 1; j <= b.size(); ++j) {
-      size_t up = row[j];
-      size_t substitute = diagonal + (a[i - 1] == b[j - 1] ? 0 : 1);
-      row[j] = std::min({up + 1,          // delete from a
-                         row[j - 1] + 1,  // insert into a
-                         substitute});
-      diagonal = up;
-    }
-  }
-  return row[b.size()];
+  return simd::EditDistance(a, b);
 }
 
 }  // namespace tupelo

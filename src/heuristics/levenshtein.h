@@ -6,8 +6,11 @@
 
 namespace tupelo {
 
-// Classic Levenshtein edit distance (single-character insert, delete,
-// substitute), O(|a|·|b|) time, O(min(|a|,|b|)) space.
+// Levenshtein edit distance (single-character insert, delete,
+// substitute). Thin wrapper over the dispatched kernel in
+// common/simd/edit_distance.h: Myers bit-parallel DP above
+// Level::kScalar, the classic O(|a|·|b|) row DP at it. The distance is
+// an integer, so every dispatch tier returns the same value.
 size_t LevenshteinDistance(std::string_view a, std::string_view b);
 
 }  // namespace tupelo

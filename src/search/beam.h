@@ -144,17 +144,29 @@ SearchOutcome<typename P::Action> BeamSearch(
       auto successors = GuardedExpand(problem, node.state, limits.quarantine);
       outcome.stats.states_generated += successors.size();
       instr.OnExpand(successors.size());
-      for (auto& succ : successors) {
-        Fp128 key = StateFingerprint(problem, succ.state);
+      // Dedup first, then estimate the survivors in one batch — same
+      // states estimated as the old per-successor loop, one heuristic
+      // round-trip per expansion.
+      std::vector<size_t> fresh;
+      std::vector<const State*> fresh_states;
+      fresh.reserve(successors.size());
+      fresh_states.reserve(successors.size());
+      for (size_t si = 0; si < successors.size(); ++si) {
+        Fp128 key = StateFingerprint(problem, successors[si].state);
         if (!seen.insert(key).second) {
           instr.OnDuplicateHit();
           continue;
         }
+        fresh.push_back(si);
+        fresh_states.push_back(&successors[si].state);
+      }
+      const std::vector<int> hs = EstimateCosts(problem, fresh_states);
+      for (size_t k = 0; k < fresh.size(); ++k) {
+        auto& succ = successors[fresh[k]];
         std::vector<Action> path = node.path;
         path.push_back(std::move(succ.action));
-        int64_t h = problem.EstimateCost(succ.state);
         next_level.push_back(
-            Node{std::move(succ.state), std::move(path), h});
+            Node{std::move(succ.state), std::move(path), hs[k]});
       }
     }
     if (next_level.empty()) return outcome;  // beam ran dry

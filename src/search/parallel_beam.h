@@ -111,11 +111,16 @@ SearchOutcome<typename P::Action> ParallelBeamSearch(
     }
     slot.successors = GuardedExpand(problem, node.state, limits.quarantine);
     slot.keys.reserve(slot.successors.size());
-    slot.hs.reserve(slot.successors.size());
+    std::vector<const State*> succ_states;
+    succ_states.reserve(slot.successors.size());
     for (const auto& succ : slot.successors) {
       slot.keys.push_back(StateFingerprint(problem, succ.state));
-      slot.hs.push_back(problem.EstimateCost(succ.state));
+      succ_states.push_back(&succ.state);
     }
+    // One batched heuristic round-trip per expansion; identical values
+    // to the old per-successor EstimateCost loop (see EstimateCosts).
+    const std::vector<int> hs = EstimateCosts(problem, succ_states);
+    slot.hs.assign(hs.begin(), hs.end());
     slot.ready = true;
   };
 

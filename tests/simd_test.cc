@@ -1,0 +1,383 @@
+// Differential tests for the common/simd kernel layer: every dispatched
+// kernel must agree bit-for-bit with the pinned scalar reference at every
+// CPU tier the host supports (see common/simd/dispatch.h for why that is
+// achievable, not just hoped for). The suites flip ForceLevelForTesting
+// between runs; on a pre-AVX2 host the higher tiers clamp to the detected
+// one and the comparisons degenerate to scalar-vs-scalar, which keeps the
+// test meaningful everywhere without ever being wrong.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/simd/dispatch.h"
+#include "common/simd/edit_distance.h"
+#include "common/simd/term_merge.h"
+#include "core/mapping_problem.h"
+#include "core/tupelo.h"
+#include "heuristics/term_vector.h"
+#include "heuristics/vector_heuristics.h"
+#include "relational/database.h"
+#include "relational/tnf.h"
+#include "workloads/synthetic.h"
+
+namespace tupelo {
+namespace {
+
+using simd::Level;
+
+// Every tier the host can actually run (clamped levels dedup away).
+std::vector<Level> HostLevels() {
+  std::vector<Level> levels = {Level::kScalar};
+  for (Level l : {Level::kSse42, Level::kAvx2}) {
+    if (simd::ForceLevelForTesting(l) == l && l != levels.back()) {
+      levels.push_back(l);
+    }
+  }
+  return levels;
+}
+
+// Restores the dispatch level resolved from the environment when a test
+// body returns, so forced levels cannot leak across suites.
+class LevelGuard {
+ public:
+  LevelGuard() : saved_(simd::ActiveLevel()) {}
+  ~LevelGuard() { simd::ForceLevelForTesting(saved_); }
+
+ private:
+  Level saved_;
+};
+
+// Deterministic splitmix64 stream; no std::random_device, so failures
+// reproduce from the seed in the test body.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed) {}
+  uint64_t Next() {
+    state_ += 0x9e3779b97f4a7c15ULL;
+    return Mix64(state_);
+  }
+  // In [0, bound).
+  size_t Below(size_t bound) { return bound == 0 ? 0 : Next() % bound; }
+
+ private:
+  uint64_t state_;
+};
+
+// Strings drawn from the alphabet TNF encodings actually contain:
+// letters, digits, the '\x1f'/'\x1e' separators of the old triple keys,
+// and the multi-byte UTF-8 "⊥" null marker.
+std::string RandomTnfish(Rng& rng, size_t len) {
+  static constexpr std::string_view kAtoms[] = {
+      "a", "b", "z", "R", "7", "\x1f", "\x1e", "⊥", "é",
+  };
+  std::string s;
+  s.reserve(len + 2);
+  while (s.size() < len) {
+    s += kAtoms[rng.Below(std::size(kAtoms))];
+  }
+  s.resize(len);
+  return s;
+}
+
+std::vector<std::pair<std::string, std::string>> AdversarialPairs() {
+  std::vector<std::pair<std::string, std::string>> pairs = {
+      {"", ""},
+      {"", "abc"},
+      {"abc", ""},
+      {"abc", "abc"},
+      {"kitten", "sitting"},
+      {"\x1f\x1e", "\x1e\x1f"},
+      {"a\x1f b\x1e c", "a\x1e b\x1f c"},
+      {"⊥⊥⊥", "⊥x⊥"},
+      {"ab⊥cd", "abcd"},
+      // Exactly one word, and one-past-one-word (the Myers64/blocked
+      // boundary).
+      {std::string(64, 'a'), std::string(64, 'b')},
+      {std::string(65, 'a'), std::string(64, 'a') + "b"},
+      // Shared prefix/suffix around a differing core (trimming path).
+      {std::string(100, 'p') + "xyz" + std::string(100, 's'),
+       std::string(100, 'p') + "xq" + std::string(100, 's')},
+  };
+  Rng rng(0x5eed5eed5eedULL);
+  const size_t lengths[] = {1, 2, 7, 63, 64, 65, 127, 128, 200,
+                            513, 1024, 4096};
+  for (size_t la : lengths) {
+    // Symmetric-ish pair plus a strongly asymmetric one (short pattern,
+    // long text — the pattern-side-selection case).
+    pairs.emplace_back(RandomTnfish(rng, la),
+                       RandomTnfish(rng, la + rng.Below(5)));
+    pairs.emplace_back(RandomTnfish(rng, rng.Below(32)),
+                       RandomTnfish(rng, la));
+  }
+  return pairs;
+}
+
+TEST(SimdDispatchTest, LevelNamesRoundTrip) {
+  for (Level l : {Level::kScalar, Level::kSse42, Level::kAvx2}) {
+    EXPECT_EQ(simd::ParseLevelName(simd::LevelName(l)), l);
+  }
+  EXPECT_FALSE(simd::ParseLevelName("avx512").has_value());
+  EXPECT_FALSE(simd::ParseLevelName("").has_value());
+}
+
+TEST(SimdDispatchTest, ForceClampsToDetected) {
+  LevelGuard guard;
+  const Level detected = simd::DetectedLevel();
+  const Level installed = simd::ForceLevelForTesting(Level::kAvx2);
+  EXPECT_LE(static_cast<int>(installed), static_cast<int>(detected));
+  EXPECT_EQ(simd::ActiveLevel(), installed);
+  EXPECT_EQ(simd::ForceLevelForTesting(Level::kScalar), Level::kScalar);
+}
+
+TEST(SimdEditDistanceTest, MatchesScalarOnAdversarialPairs) {
+  LevelGuard guard;
+  const auto pairs = AdversarialPairs();
+  for (Level level : HostLevels()) {
+    simd::ForceLevelForTesting(level);
+    for (const auto& [a, b] : pairs) {
+      const size_t expected = simd::EditDistanceScalar(a, b);
+      EXPECT_EQ(simd::EditDistance(a, b), expected)
+          << "level=" << simd::LevelName(level) << " |a|=" << a.size()
+          << " |b|=" << b.size();
+      EXPECT_EQ(simd::EditDistance(b, a), expected)
+          << "level=" << simd::LevelName(level) << " (swapped)";
+    }
+  }
+}
+
+TEST(SimdEditDistanceTest, PreparedPatternMatchesScalar) {
+  LevelGuard guard;
+  const auto pairs = AdversarialPairs();
+  for (Level level : HostLevels()) {
+    simd::ForceLevelForTesting(level);
+    for (const auto& [a, b] : pairs) {
+      simd::PreparedPattern prepared(a);
+      EXPECT_EQ(prepared.Distance(b), simd::EditDistanceScalar(a, b))
+          << "level=" << simd::LevelName(level) << " |a|=" << a.size()
+          << " |b|=" << b.size();
+    }
+  }
+}
+
+TEST(SimdHashTest, AllLevelsAgree) {
+  LevelGuard guard;
+  Rng rng(0xa5a5ULL ^ 0x9021);
+  std::vector<std::string> inputs = {"", "a", "\x1e", "⊥"};
+  for (size_t len : {7u, 8u, 31u, 32u, 33u, 64u, 100u, 1000u}) {
+    inputs.push_back(RandomTnfish(rng, len));
+  }
+  for (const std::string& input : inputs) {
+    simd::ForceLevelForTesting(Level::kScalar);
+    const uint64_t expected = HashBytes64(input, 42);
+    const uint64_t chained = HashBytes64(input, expected);
+    for (Level level : HostLevels()) {
+      simd::ForceLevelForTesting(level);
+      EXPECT_EQ(HashBytes64(input, 42), expected)
+          << "level=" << simd::LevelName(level) << " len=" << input.size();
+      EXPECT_EQ(HashBytes64(input, expected), chained);
+    }
+  }
+  // Distinct seeds give distinct lanes; length is part of the hash.
+  EXPECT_NE(HashBytes64("abc", 1), HashBytes64("abc", 2));
+  EXPECT_NE(HashBytes64("", 1), HashBytes64(std::string(1, '\0'), 1));
+}
+
+TEST(SimdTermMergeTest, KernelsMatchScalarReference) {
+  LevelGuard guard;
+  Rng rng(77);
+  // Sorted unique key arrays with partial overlap, integer counts.
+  std::vector<uint64_t> xk, yk;
+  std::vector<double> xc, yc;
+  uint64_t key = 0;
+  for (int i = 0; i < 300; ++i) {
+    key += 1 + rng.Below(3);
+    const bool in_x = rng.Below(3) != 0;
+    const bool in_y = !in_x || rng.Below(2) != 0;
+    if (in_x) {
+      xk.push_back(key);
+      xc.push_back(static_cast<double>(1 + rng.Below(9)));
+    }
+    if (in_y) {
+      yk.push_back(key);
+      yc.push_back(static_cast<double>(1 + rng.Below(9)));
+    }
+  }
+  simd::ForceLevelForTesting(Level::kScalar);
+  const double sum = simd::CountSum(xc.data(), xc.size());
+  const double sum_sq = simd::CountSumSquares(xc.data(), xc.size());
+  const double dot = simd::DotMerge(xk.data(), xc.data(), xk.size(),
+                                    yk.data(), yc.data(), yk.size());
+  const double min_sum = simd::MinSumMerge(xk.data(), xc.data(), xk.size(),
+                                           yk.data(), yc.data(), yk.size());
+  for (Level level : HostLevels()) {
+    simd::ForceLevelForTesting(level);
+    EXPECT_EQ(simd::CountSum(xc.data(), xc.size()), sum);
+    EXPECT_EQ(simd::CountSumSquares(xc.data(), xc.size()), sum_sq);
+    EXPECT_EQ(simd::DotMerge(xk.data(), xc.data(), xk.size(), yk.data(),
+                             yc.data(), yk.size()),
+              dot);
+    EXPECT_EQ(simd::MinSumMerge(xk.data(), xc.data(), xk.size(), yk.data(),
+                                yc.data(), yk.size()),
+              min_sum);
+    for (uint64_t probe : {uint64_t{0}, xk.front(), xk.back(),
+                           xk[xk.size() / 2] + 1, key + 100}) {
+      size_t i = 0;
+      while (i < xk.size() && xk[i] < probe) ++i;
+      EXPECT_EQ(simd::LowerBoundKey(xk.data(), xk.size(), probe), i)
+          << "level=" << simd::LevelName(level) << " probe=" << probe;
+    }
+  }
+}
+
+TEST(SimdTermVectorTest, DistancesBitIdenticalAcrossLevels) {
+  LevelGuard guard;
+  SyntheticMatchingPair pair = MakeSyntheticMatchingPair(6);
+  simd::ForceLevelForTesting(Level::kScalar);
+  const TermVector sx = TermVector::FromDatabase(pair.source);
+  const TermVector sy = TermVector::FromDatabase(pair.target);
+  const double euclid = TermVector::EuclideanDistance(sx, sy);
+  const double norm_euclid = TermVector::NormalizedEuclideanDistance(sx, sy);
+  const double cosine = TermVector::CosineSimilarity(sx, sy);
+  const double jaccard = TermVector::JaccardSimilarity(sx, sy);
+  for (Level level : HostLevels()) {
+    simd::ForceLevelForTesting(level);
+    const TermVector x = TermVector::FromDatabase(pair.source);
+    const TermVector y = TermVector::FromDatabase(pair.target);
+    ASSERT_EQ(x.keys(), sx.keys()) << simd::LevelName(level);
+    ASSERT_EQ(x.counts(), sx.counts()) << simd::LevelName(level);
+    EXPECT_EQ(TermVector::EuclideanDistance(x, y), euclid);
+    EXPECT_EQ(TermVector::NormalizedEuclideanDistance(x, y), norm_euclid);
+    EXPECT_EQ(TermVector::CosineSimilarity(x, y), cosine);
+    EXPECT_EQ(TermVector::JaccardSimilarity(x, y), jaccard);
+  }
+}
+
+// End-to-end parity: a discovery run with the levenshtein heuristic (the
+// heaviest kernel consumer — TNF encoding, prepared-pattern Myers,
+// batched estimation through the beam) must produce the same outcome on
+// the pinned scalar path and the dispatched one.
+TEST(SimdSearchParityTest, BeamDiscoveryOutcomeBitIdentical) {
+  LevelGuard guard;
+  SyntheticMatchingPair pair = MakeSyntheticMatchingPair(4);
+  TupeloOptions options;
+  options.algorithm = SearchAlgorithm::kBeam;
+  options.heuristic = HeuristicKind::kLevenshtein;
+  options.limits.max_states = 20000;
+
+  auto run = [&] { return DiscoverMapping(pair.source, pair.target, options); };
+
+  simd::ForceLevelForTesting(Level::kScalar);
+  Result<TupeloResult> scalar = run();
+  ASSERT_TRUE(scalar.ok()) << scalar.status().message();
+
+  for (Level level : HostLevels()) {
+    simd::ForceLevelForTesting(level);
+    Result<TupeloResult> dispatched = run();
+    ASSERT_TRUE(dispatched.ok()) << dispatched.status().message();
+    EXPECT_EQ(dispatched->found, scalar->found) << simd::LevelName(level);
+    EXPECT_EQ(dispatched->stop_reason, scalar->stop_reason);
+    EXPECT_EQ(dispatched->stats.states_examined,
+              scalar->stats.states_examined);
+    EXPECT_EQ(dispatched->stats.states_generated,
+              scalar->stats.states_generated);
+    EXPECT_EQ(dispatched->stats.solution_cost, scalar->stats.solution_cost);
+    EXPECT_EQ(dispatched->mapping.ToScript(), scalar->mapping.ToScript());
+    EXPECT_EQ(dispatched->partial_h, scalar->partial_h);
+  }
+}
+
+// Satellite coverage: the per-state TNF memo inside LevenshteinHeuristic.
+// Two estimates of the same state must encode once (one miss, one hit);
+// a different state is a fresh miss.
+TEST(LevenshteinMemoTest, TnfEncodingIsMemoizedPerState) {
+  SyntheticMatchingPair pair = MakeSyntheticMatchingPair(3);
+  LevenshteinHeuristic heuristic(pair.target, 32.0);
+  EXPECT_EQ(heuristic.tnf_cache_hits(), 0u);
+  EXPECT_EQ(heuristic.tnf_cache_misses(), 0u);
+
+  const int first = heuristic.Estimate(pair.source);
+  EXPECT_EQ(heuristic.tnf_cache_misses(), 1u);
+  EXPECT_EQ(heuristic.tnf_cache_hits(), 0u);
+
+  EXPECT_EQ(heuristic.Estimate(pair.source), first);
+  EXPECT_EQ(heuristic.tnf_cache_misses(), 1u);
+  EXPECT_EQ(heuristic.tnf_cache_hits(), 1u);
+
+  (void)heuristic.Estimate(pair.target);
+  EXPECT_EQ(heuristic.tnf_cache_misses(), 2u);
+  EXPECT_EQ(heuristic.tnf_cache_hits(), 1u);
+}
+
+// The batch estimator must return exactly what per-state EstimateCost
+// returns, including for duplicate pointers within one batch.
+TEST(EstimateBatchTest, MatchesSequentialEstimates) {
+  SyntheticMatchingPair pair = MakeSyntheticMatchingPair(3);
+  MappingProblem problem(
+      pair.source, pair.target,
+      std::make_unique<LevenshteinHeuristic>(pair.target, 32.0));
+
+  const auto successors = problem.Expand(pair.source);
+  ASSERT_GT(successors.size(), 1u);
+  std::vector<const Database*> states;
+  states.push_back(&pair.source);
+  for (const auto& s : successors) states.push_back(&s.state);
+  states.push_back(&pair.source);  // intra-batch duplicate
+
+  std::vector<int> expected(states.size());
+  for (size_t i = 0; i < states.size(); ++i) {
+    expected[i] = problem.EstimateCost(*states[i]);
+  }
+
+  problem.TrimCaches();
+  std::vector<int> batched(states.size());
+  problem.EstimateCostBatch(std::span<const Database* const>(states),
+                            std::span<int>(batched));
+  EXPECT_EQ(batched, expected);
+
+  // A second batch over warm caches must be pure lookups with the same
+  // answers.
+  std::vector<int> warm(states.size());
+  problem.EstimateCostBatch(std::span<const Database* const>(states),
+                            std::span<int>(warm));
+  EXPECT_EQ(warm, expected);
+}
+
+// TSan section: the kernels and the once-resolved dispatch state hammered
+// from several threads at once. All reads after the first resolution are
+// relaxed atomic loads; the workers recompute known answers so any torn
+// dispatch would also surface as a value mismatch.
+TEST(SimdConcurrencyTest, ConcurrentKernelsAreRaceFree) {
+  LevelGuard guard;
+  simd::ForceLevelForTesting(simd::DetectedLevel());
+  Rng seed_rng(11);
+  const std::string a = RandomTnfish(seed_rng, 700);
+  const std::string b = RandomTnfish(seed_rng, 650);
+  const size_t expected_dist = simd::EditDistanceScalar(a, b);
+  const uint64_t expected_hash = HashBytes64(a, 9);
+  const simd::PreparedPattern prepared(a);
+
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 4; ++t) {
+    workers.emplace_back([&, t] {
+      for (int i = 0; i < 50; ++i) {
+        ASSERT_EQ(simd::EditDistance(a, b), expected_dist);
+        ASSERT_EQ(prepared.Distance(b), expected_dist);
+        ASSERT_EQ(HashBytes64(a, 9), expected_hash);
+        ASSERT_EQ(simd::ActiveLevel(), simd::DetectedLevel());
+        (void)t;
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+}
+
+}  // namespace
+}  // namespace tupelo
