@@ -118,7 +118,7 @@ class BenchTrace {
 };
 
 // Accumulates a machine-readable run report and writes it to the --json
-// path on Write(). Layout (schema_version 8):
+// path on Write(). Layout (schema_version 9):
 //
 //   {"schema_version":8, "harness":..., "git_sha":..., "seed":...,
 //    "quick":..., "budget":..., "threads":...,
@@ -159,6 +159,12 @@ class BenchTrace {
 // edit_short_ns/edit_long_ns/term_hash_ns/term_merge_ns/
 // estimate_batch_ns, and run metrics may carry the state.tnf_* counters
 // and heuristic.levenshtein.tnf_hits/tnf_misses.
+//
+// Schema 9 additions: the compiled executor (fira/compile.h). Runs may
+// carry an "executor" field ("interpreter" or "compiled"); bench_apply
+// runs carry "case"/"tuples"/"apply_ns" (plus "speedup" and the
+// fused_ops/interpreted_ops/segments plan shape on compiled runs), and
+// run metrics may carry the executor.fused.* counters.
 //
 // All methods are no-ops when constructed with an empty json_path, so
 // harnesses call them unconditionally.

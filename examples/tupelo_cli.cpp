@@ -8,7 +8,7 @@
 //       [--k=<scale>] [--max-states=N]
 //       [--trace=file.json] [--trace-buffer-kb=N] [--flight-recorder]
 //       [--checkpoint=file.tck] [--resume]
-//       [--apply] [--simplify] [--check] [--conform]
+//       [--apply] [--compiled] [--simplify] [--check] [--conform]
 //       [--save=mapping.tmap] [--name=<id>]
 //       [--corr=function:in1+in2:out ...]
 //   tupelo_cli --validate <mapping.tmap>
@@ -29,6 +29,7 @@
 #include "core/mapping_repository.h"
 #include "core/postprocess.h"
 #include "core/tupelo.h"
+#include "fira/compile.h"
 #include "fira/type_check.h"
 #include "fira/builtin_functions.h"
 #include "obs/trace.h"
@@ -70,6 +71,9 @@ int Usage() {
          "stalled rung (default 1)\n"
          "  [--apply]                 execute the mapping and print the "
          "result\n"
+         "  [--compiled]              use the fused compiled executor for "
+         "discovery\n"
+         "                            successors and for --apply\n"
          "  [--simplify]              run the peephole optimizer on the "
          "result\n"
          "  [--check]                 statically type-check the result "
@@ -94,6 +98,7 @@ int main(int argc, char** argv) {
   options.algorithm = tupelo::SearchAlgorithm::kRbfs;
   options.heuristic = tupelo::HeuristicKind::kH1;
   bool apply = false;
+  bool compiled = false;
   bool check = false;
   bool conform = false;
   bool validate = false;
@@ -161,6 +166,9 @@ int main(int argc, char** argv) {
           std::stoi(value_of("--rung-retries="));
     } else if (arg == "--no-prune") {
       options.successors.prune = false;
+    } else if (arg == "--compiled") {
+      compiled = true;
+      options.successors.compiled_expand = true;
     } else if (arg == "--apply") {
       apply = true;
     } else if (arg == "--simplify") {
@@ -319,7 +327,10 @@ int main(int argc, char** argv) {
 
   if (apply) {
     tupelo::Result<tupelo::Database> mapped =
-        result->mapping.Apply(*source, &registry);
+        compiled
+            ? tupelo::CompiledExecutor(result->mapping)
+                  .Apply(*source, &registry)
+            : result->mapping.Apply(*source, &registry);
     if (!mapped.ok()) {
       std::cerr << "execution error: " << mapped.status() << "\n";
       return 1;

@@ -3,7 +3,7 @@
 
 Usage: check_bench_json.py REPORT.json [REPORT2.json ...]
 
-Checks the schema documented in docs/OBSERVABILITY.md (schema_version 8):
+Checks the schema documented in docs/OBSERVABILITY.md (schema_version 9):
 required top-level fields with the right types, a non-empty panels list,
 and per-run presence of the standard measurement fields — including the
 resource-governance fields (stop_reason, verified, verify_error,
@@ -35,14 +35,21 @@ field (the runtime kernel tier — "scalar", "sse42", or "avx2"), the
 micro_bench kernel timings (edit_short_ns, edit_long_ns, term_hash_ns,
 term_merge_ns, estimate_batch_ns), and the TNF-encoding counters
 (state.tnf_bytes/encodes, heuristic.levenshtein.tnf_hits/misses —
-validated like the substrate counters). Exits non-zero with a line per
-violation, so it works as a ctest command.
+validated like the substrate counters). Schema_version 9 adds the
+compiled executor: an optional per-run "executor" field ("interpreter"
+or "compiled" — which execution backend produced the run), the
+bench_apply harness fields ("case", "tuples", "apply_ns" required in
+every run of the "apply" harness, optional "speedup" on compiled runs
+plus "fused_ops"/"interpreted_ops"/"segments" plan-shape counts), and
+the executor.fused.* counters (validated like the substrate counters).
+Exits non-zero with a line per violation, so it works as a ctest
+command.
 """
 
 import json
 import sys
 
-SCHEMA_VERSION = 8
+SCHEMA_VERSION = 9
 
 STOP_REASONS = {
     "found", "exhausted", "states", "depth", "memory", "deadline",
@@ -113,7 +120,26 @@ MICRO_NS_FIELDS = (
 SUBSTRATE_COUNTER_PREFIXES = ("state.cow", "state.relations", "state.tnf",
                               "expand.cache", "beam.parallel", "runtime.",
                               "checkpoint.", "trace.", "supervisor.",
-                              "heuristic.levenshtein.tnf")
+                              "heuristic.levenshtein.tnf",
+                              "executor.fused")
+
+# Schema 9: which execution backend produced a run. Optional everywhere,
+# required (with the apply fields below) in the "apply" harness.
+EXECUTOR_KINDS = {"interpreter", "compiled"}
+
+# Schema 9: per-run fields of the bench_apply harness. "case" names the
+# expression shape, "tuples" the instance size, "apply_ns" the measured
+# wall time of one apply. Required in every "apply" run; type-checked
+# wherever they appear.
+APPLY_RUN_FIELDS = {
+    "case": str,
+    "tuples": int,
+    "apply_ns": (int, float),
+}
+
+# Schema 9: optional non-negative numeric/int extras on apply runs.
+APPLY_OPTIONAL_NUMBERS = ("speedup",)
+APPLY_OPTIONAL_COUNTS = ("fused_ops", "interpreted_ops", "segments")
 
 # Schema 6: optional per-run tracing fields, present when the harness ran
 # with --trace=. Type-checked wherever they appear.
@@ -237,6 +263,42 @@ def check(path):
                             % (where, key, type(value).__name__))
                     elif value < 0:
                         err("%s has negative %s" % (where, key))
+                executor = run.get("executor")
+                if executor is not None and executor not in EXECUTOR_KINDS:
+                    err("%s has unknown executor %r, want one of %s"
+                        % (where, executor, sorted(EXECUTOR_KINDS)))
+                is_apply = doc.get("harness") == "apply"
+                if is_apply and executor is None:
+                    err("%s missing field 'executor'" % where)
+                for key, want in APPLY_RUN_FIELDS.items():
+                    if key not in run:
+                        if is_apply:
+                            err("%s missing apply field %r" % (where, key))
+                        continue
+                    value = run[key]
+                    if not isinstance(value, want) or isinstance(value, bool):
+                        err("%s field %r has type %s"
+                            % (where, key, type(value).__name__))
+                    elif key == "case" and not value:
+                        err("%s has empty case" % where)
+                    elif key != "case" and value <= 0:
+                        err("%s has non-positive %s" % (where, key))
+                for key in APPLY_OPTIONAL_NUMBERS:
+                    if key in run:
+                        value = run[key]
+                        if not isinstance(value, (int, float)) or isinstance(
+                            value, bool
+                        ) or value <= 0:
+                            err("%s field %r is %r, want a positive number"
+                                % (where, key, value))
+                for key in APPLY_OPTIONAL_COUNTS:
+                    if key in run:
+                        value = run[key]
+                        if not isinstance(value, int) or isinstance(
+                            value, bool
+                        ) or value < 0:
+                            err("%s field %r is %r, want a non-negative int"
+                                % (where, key, value))
                 for key in MICRO_NS_FIELDS:
                     if key in run:
                         value = run[key]

@@ -1,0 +1,109 @@
+#ifndef TUPELO_FIRA_IR_H_
+#define TUPELO_FIRA_IR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "fira/function_registry.h"
+#include "fira/operators.h"
+#include "relational/relation.h"
+
+namespace tupelo {
+
+// The loop IR behind CompiledExecutor (fira/compile.h).
+//
+// Compilation happens in two stages, because operator *semantics* are
+// fixed at compile time but *schemas* are only known once an instance is
+// supplied:
+//
+//  1. Lowering (static, per expression): the operator pipeline is
+//     partitioned into segments. A fused segment is a maximal run of
+//     tuple-local operators — rename_att, drop, dereference, λ,
+//     rename_rel — threaded through one relation (a × may open the run:
+//     its nested loop is the segment's source). Everything else (↑ ↓ ℘ µ,
+//     whose output shape depends on the data) falls back to the scalar
+//     interpreter, one op per segment.
+//
+//  2. Binding (dynamic, per instance): a fused segment is specialized
+//     against the concrete input schema into one flat loop — a slot
+//     layout, a list of row instructions, and a final projection — that
+//     emits output tuples directly, materializing no intermediate
+//     relation or database.
+//
+// Slot model: slots 0..base_width-1 hold the source tuple's values (for a
+// product source, the left tuple's columns then the right's); row
+// instruction j appends slot base_width + j. Renames only rewire the
+// name→slot map used by later instructions; drops only remove slots from
+// the final projection. Neither touches tuple data, which is why a whole
+// rename∘drop chain costs one pass.
+
+// One appended column, evaluated per source tuple.
+struct RowInstr {
+  enum class Kind {
+    // out = t[t[pointer]]: read the pointer slot, resolve its atom
+    // against the names visible at this stage, emit that slot's value
+    // (⊥ when the pointer is ⊥ or unresolvable).
+    kDereference,
+    // out = fn(t[inputs...]): ⊥ when any input is ⊥ or the function
+    // rejects the tuple (λ is the identity on tuples of inappropriate
+    // schema).
+    kApply,
+  };
+
+  Kind kind = Kind::kDereference;
+
+  // kDereference: the slot holding the pointer value, and the visible
+  // (name, slot) scope at this pipeline stage, sorted by name for binary
+  // search. Captured per instruction because renames/drops/appends
+  // before this stage change what a pointer atom can resolve to.
+  uint32_t pointer = 0;
+  std::vector<std::pair<std::string, uint32_t>> scope;
+
+  // kApply: the bound function and its input slots.
+  const ComplexFunction* fn = nullptr;
+  std::vector<uint32_t> inputs;
+};
+
+// A fused segment bound against a concrete instance: ready to run as one
+// loop. Relation pointers borrow from the input database and are only
+// valid for the duration of the execute call.
+struct BoundLoop {
+  const Relation* left = nullptr;   // always set
+  const Relation* right = nullptr;  // set for a product source
+  uint32_t base_width = 0;          // left arity (+ right arity)
+
+  std::vector<RowInstr> instrs;     // instr j writes slot base_width + j
+
+  std::vector<uint32_t> projection;  // output columns, as slots, in order
+  std::string out_name;              // relation name after rename_rel runs
+  std::vector<std::string> out_attrs;
+
+  // Single-relation source: the input-side name to displace (differs from
+  // out_name after a rename_rel). Empty for a product source, whose
+  // operands stay in place.
+  std::string source_name;
+};
+
+// A compiled expression: the op pipeline partitioned into segments.
+// `first_step` is the 0-based index of the segment's first op within the
+// original expression — error wrapping ("step N (script): ...") must
+// report the same positions the interpreter would.
+struct PlanSegment {
+  enum class Kind { kFused, kInterpret };
+  Kind kind = Kind::kInterpret;
+  size_t first_step = 0;
+  std::vector<Op> ops;
+};
+
+struct CompiledPlan {
+  std::vector<PlanSegment> segments;
+  size_t fused_ops = 0;        // ops inside kFused segments
+  size_t interpreted_ops = 0;  // ops executed by the scalar fallback
+};
+
+}  // namespace tupelo
+
+#endif  // TUPELO_FIRA_IR_H_

@@ -85,6 +85,9 @@ class Relation {
   // Appends a tuple; fails unless its arity matches the schema.
   Status AddTuple(Tuple tuple);
 
+  // Pre-allocates tuple storage for bulk builders (compiled apply loops).
+  void ReserveTuples(size_t n) { tuples_.reserve(n); }
+
   // Convenience for tests/fixtures: appends a tuple of non-null atoms.
   Status AddRow(const std::vector<std::string>& atoms);
 

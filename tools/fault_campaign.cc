@@ -38,6 +38,17 @@
 //      + supervision, then a fault-free resume; invariants only (clean
 //      statuses + checkpoint integrity)
 //
+// Compiled-executor families (the fused CompiledExecutor of
+// fira/compile.h driving Expand via SuccessorConfig::compiled_expand;
+// the backend switch is outcome-identical by contract, so every
+// invariant above must hold unchanged under it):
+//   8  compiled kill-and-resume: family 0's crash-equivalence with
+//      compiled_expand on for the baseline, the killed run, and the
+//      resume
+//   9  compiled poison: family 5's throwing-fault quarantine with
+//      compiled_expand on — the injector seam sits below the fused
+//      loops, so thrown faults must still be absorbed cleanly
+//
 // Usage:
 //   fault_campaign [--trials=N] [--seed=S] [--quick] [--json=report.json]
 //                  [--trial=N] [--list]
@@ -159,11 +170,12 @@ constexpr SearchAlgorithm kAlgorithms[] = {
     SearchAlgorithm::kGreedy, SearchAlgorithm::kBeam,
 };
 
-constexpr int kFamilies = 8;
+constexpr int kFamilies = 10;
 constexpr const char* kFamilyNames[kFamilies] = {
     "kill-resume",      "probabilistic-faults", "every-nth-faults",
     "mixed-kill",       "stall",                "poison",
-    "memory-pressure",  "mixed-chaos",
+    "memory-pressure",  "mixed-chaos",          "compiled-kill-resume",
+    "compiled-poison",
 };
 
 // The supervision knobs the chaos families run under: a fast watchdog
@@ -268,7 +280,13 @@ int main(int argc, char** argv) {
     injector.Disarm();
     TrialRun final_run;
 
-    if (family == 0) {
+    // Families 8/9 rerun the kill-resume and poison bodies with the fused
+    // CompiledExecutor driving Expand; the backend is outcome-identical by
+    // contract, so the trial logic is shared verbatim with families 0/5.
+    const int behavior = family == 8 ? 0 : family == 9 ? 5 : family;
+    if (family >= 8) base.successors.compiled_expand = true;
+
+    if (behavior == 0) {
       // Crash-equivalence: baseline, then kill at a checkpoint boundary,
       // then resume; the resumed run must match the baseline exactly.
       TrialRun baseline = RunOnce(pair, base);
@@ -318,14 +336,14 @@ int main(int argc, char** argv) {
                    std::string(StopReasonName(final_run.result.stop_reason)));
       }
       std::remove(ckpt_path.c_str());
-    } else if (family == 1 || family == 2) {
+    } else if (behavior == 1 || behavior == 2) {
       // Operator faults only: discovery must degrade to a clean outcome
       // (found with possibly-failed verification, or a conclusive /
       // budget stop) — never crash, never a Discover-level error.
       Status fault = rng.Below(2) == 0
                          ? Status::Internal("campaign fault")
                          : Status::ResourceExhausted("campaign fault");
-      if (family == 1) {
+      if (behavior == 1) {
         injector.ArmProbabilistic("*", std::move(fault),
                                   0.05 + 0.3 * rng.Unit(), rng.Next());
       } else {
@@ -342,7 +360,7 @@ int main(int argc, char** argv) {
           !final_run.result.verify_status.ok()) {
         campaign.Violation(t, "verified=true with a failed verify_status");
       }
-    } else if (family == 3) {
+    } else if (behavior == 3) {
       // Mixed: operator faults while checkpointing with a kill, then a
       // fault-free resume. Faults perturb the explored space, so only the
       // invariants are asserted: clean statuses and checkpoint integrity.
@@ -394,7 +412,7 @@ int main(int argc, char** argv) {
         final_run = std::move(interrupted);
       }
       std::remove(ckpt_path.c_str());
-    } else if (family == 4) {
+    } else if (behavior == 4) {
       // Transient stall: one injected operator delay (~4-7x the stall
       // window) wedges the rung; the watchdog must preempt it and the
       // fault-free retry must reproduce the clean baseline exactly.
@@ -431,7 +449,7 @@ int main(int argc, char** argv) {
                    " vs recovered " +
                    std::string(StopReasonName(final_run.result.stop_reason)));
       }
-    } else if (family == 5) {
+    } else if (behavior == 5) {
       // Poison states: throwing operator faults under supervision. The
       // quarantine must absorb every escaped exception; the run must end
       // in a clean status whatever the outcome.
@@ -458,7 +476,7 @@ int main(int argc, char** argv) {
           !final_run.result.verify_status.ok()) {
         campaign.Violation(t, "verified=true with a failed verify_status");
       }
-    } else if (family == 6) {
+    } else if (behavior == 6) {
       // Memory pressure: a tiny node bound under supervision. Staged
       // degradation (cache trims, width trims) and/or a clean memory
       // stop are all acceptable; a crash or error status is not.
