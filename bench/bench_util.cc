@@ -161,7 +161,7 @@ BenchReport::BenchReport(std::string harness, const BenchArgs& args)
     : enabled_(!args.json_path.empty()), path_(args.json_path) {
   if (!enabled_) return;
   root_ = obs::JsonValue::Object();
-  root_["schema_version"] = 9;
+  root_["schema_version"] = 10;
   root_["harness"] = std::move(harness);
   root_["git_sha"] = GitSha();
   root_["seed"] = args.seed;

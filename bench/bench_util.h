@@ -118,9 +118,9 @@ class BenchTrace {
 };
 
 // Accumulates a machine-readable run report and writes it to the --json
-// path on Write(). Layout (schema_version 9):
+// path on Write(). Layout (schema_version 10):
 //
-//   {"schema_version":8, "harness":..., "git_sha":..., "seed":...,
+//   {"schema_version":10, "harness":..., "git_sha":..., "seed":...,
 //    "quick":..., "budget":..., "threads":...,
 //    "panels":[{"name":..., "runs":[{...axis fields..., "found":...,
 //               "cutoff":..., "stop_reason":..., "verified":...,

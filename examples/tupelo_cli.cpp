@@ -17,7 +17,25 @@
 //   relation Staff (Name, Office) {
 //     (Ada, B12)
 //   }
+//
+// Exit codes (scriptable: each unsuccessful StopReason gets its own):
+//    0  mapping found and verified
+//    1  error (bad input file, I/O failure, Discover-level error)
+//    2  usage
+//    3  search space exhausted, no mapping exists
+//    4  wall-clock deadline tripped
+//    5  memory bound tripped
+//    6  cancelled (SIGINT/SIGTERM, after a clean drain)
+//    7  stalled (watchdog preempted a hung rung, retries spent)
+//    8  state budget tripped
+//    9  depth bound tripped
+//   10  mapping found but failed replay verification
+//
+// SIGINT/SIGTERM cancel the root CancelToken: the running search stops
+// at its next poll tick (its last --checkpoint snapshot already on
+// disk), the trace and flight recorder flush, and the process exits 6.
 
+#include <csignal>
 #include <cstdint>
 #include <iostream>
 #include <memory>
@@ -37,13 +55,43 @@
 
 namespace {
 
+// Root cancellation for the whole CLI run, flipped from the signal
+// handler. CancelToken::Cancel is one relaxed atomic store, so it is
+// async-signal-safe.
+tupelo::CancelToken g_cancel;
+
+void HandleSignal(int) { g_cancel.Cancel(); }
+
+// The documented per-StopReason exit codes for an unsuccessful (or
+// unverified) discovery.
+int ExitCodeFor(const tupelo::TupeloResult& result) {
+  if (result.found) return result.verified ? 0 : 10;
+  switch (result.stop_reason) {
+    case tupelo::StopReason::kDeadline:
+      return 4;
+    case tupelo::StopReason::kMemory:
+      return 5;
+    case tupelo::StopReason::kCancelled:
+      return 6;
+    case tupelo::StopReason::kStalled:
+      return 7;
+    case tupelo::StopReason::kStates:
+      return 8;
+    case tupelo::StopReason::kDepth:
+      return 9;
+    default:
+      return 3;  // exhausted: the space holds no mapping
+  }
+}
+
 int Usage() {
   std::cerr
       << "usage: tupelo_cli <source.tdb> <target.tdb>\n"
          "  [--algo=ida|rbfs|astar|greedy|beam]\n"
          "  [--heuristic=h0|h1|h2|h3|levenshtein|euclid|euclid_norm|cosine|"
          "jaccard|pairs]\n"
-         "  [--k=<scale>] [--max-states=N] [--max-depth=N] [--no-prune]\n"
+         "  [--k=<scale>] [--max-states=N] [--max-depth=N] "
+         "[--deadline-ms=N] [--no-prune]\n"
          "  [--beam-width=N]          frontier width for --algo=beam\n"
          "  [--threads=N]             worker threads (beam levels expand in "
          "parallel)\n"
@@ -86,7 +134,10 @@ int Usage() {
          "provenance\n"
          "  [--name=<id>]             name used when saving\n"
          "or: tupelo_cli --validate <mapping.tmap>   re-validate a stored "
-         "mapping\n";
+         "mapping\n"
+         "exit codes: 0 found+verified, 1 error, 2 usage, 3 exhausted,\n"
+         "  4 deadline, 5 memory, 6 cancelled (SIGINT/SIGTERM), 7 stalled,\n"
+         "  8 state budget, 9 depth bound, 10 found but unverified\n";
   return 2;
 }
 
@@ -130,6 +181,8 @@ int main(int argc, char** argv) {
       options.scale_k = std::stod(value_of("--k="));
     } else if (arg.starts_with("--max-states=")) {
       options.limits.max_states = std::stoull(value_of("--max-states="));
+    } else if (arg.starts_with("--deadline-ms=")) {
+      options.limits.deadline_millis = std::stoll(value_of("--deadline-ms="));
     } else if (arg.starts_with("--max-depth=")) {
       options.limits.max_depth = std::stoi(value_of("--max-depth="));
     } else if (arg.starts_with("--beam-width=")) {
@@ -261,6 +314,13 @@ int main(int argc, char** argv) {
     system.AddCorrespondence(std::move(c));
   }
 
+  // Ctrl-C / SIGTERM cancel the search cooperatively: Discover returns
+  // StopReason::kCancelled, the trace/flight-recorder flush below still
+  // runs, and the process exits 6 instead of dying mid-write.
+  options.limits.cancel = &g_cancel;
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+
   tupelo::Result<tupelo::TupeloResult> result = system.Discover(options);
   if (trace != nullptr) {
     if (!trace->WriteChromeJson(trace_path)) return 1;
@@ -282,12 +342,10 @@ int main(int argc, char** argv) {
               << " state(s) quarantined\n";
   }
   if (!result->found) {
-    std::cerr << "no mapping found ("
-              << (result->budget_exhausted ? "budget exhausted"
-                                           : "space exhausted")
-              << ", " << result->stats.states_examined
-              << " states examined)\n";
-    return 1;
+    std::cerr << "no mapping found (stop reason: "
+              << tupelo::StopReasonName(result->stop_reason) << ", "
+              << result->stats.states_examined << " states examined)\n";
+    return ExitCodeFor(*result);
   }
 
   std::cout << "# discovered with " << result->stats.states_examined
@@ -346,5 +404,5 @@ int main(int argc, char** argv) {
     }
     std::cout << "\n# mapped source instance:\n" << tupelo::WriteTdb(*mapped);
   }
-  return 0;
+  return ExitCodeFor(*result);
 }

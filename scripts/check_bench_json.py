@@ -42,6 +42,13 @@ bench_apply harness fields ("case", "tuples", "apply_ns" required in
 every run of the "apply" harness, optional "speedup" on compiled runs
 plus "fused_ops"/"interpreted_ops"/"segments" plan-shape counts), and
 the executor.fused.* counters (validated like the substrate counters).
+Schema_version 10 adds the discovery service: the "error" stop reason
+(a served job whose Discover call failed outright), the serve.*
+counters, and the serve_loadgen "serve" harness — its "jobs" panel
+runs must carry "job_id" / "accepted" / "latency_millis" /
+"queue_millis", and its "summary" panel runs the throughput and
+overload aggregates (jobs_submitted/accepted/shed/completed/resumed,
+jobs_per_sec, p50/p99_millis, shed_rate, max_queue_depth, violations).
 Exits non-zero with a line per violation, so it works as a ctest
 command.
 """
@@ -49,11 +56,11 @@ command.
 import json
 import sys
 
-SCHEMA_VERSION = 9
+SCHEMA_VERSION = 10
 
 STOP_REASONS = {
     "found", "exhausted", "states", "depth", "memory", "deadline",
-    "cancelled", "stalled",
+    "cancelled", "stalled", "error",
 }
 
 REQUIRED_TOP = {
@@ -121,7 +128,7 @@ SUBSTRATE_COUNTER_PREFIXES = ("state.cow", "state.relations", "state.tnf",
                               "expand.cache", "beam.parallel", "runtime.",
                               "checkpoint.", "trace.", "supervisor.",
                               "heuristic.levenshtein.tnf",
-                              "executor.fused")
+                              "executor.fused", "serve.")
 
 # Schema 9: which execution backend produced a run. Optional everywhere,
 # required (with the apply fields below) in the "apply" harness.
@@ -140,6 +147,25 @@ APPLY_RUN_FIELDS = {
 # Schema 9: optional non-negative numeric/int extras on apply runs.
 APPLY_OPTIONAL_NUMBERS = ("speedup",)
 APPLY_OPTIONAL_COUNTS = ("fused_ops", "interpreted_ops", "segments")
+
+# Schema 10: per-run fields of the serve_loadgen harness, by panel.
+# "jobs" runs describe one submitted job (accepted or shed); "summary"
+# runs carry the whole-campaign aggregates the overload and
+# crash-durability acceptance gates read.
+SERVE_JOBS_RUN_FIELDS = {
+    "job_id": str,
+    "accepted": bool,
+    "latency_millis": (int, float),
+    "queue_millis": (int, float),
+}
+
+SERVE_SUMMARY_COUNTS = (
+    "jobs_submitted", "jobs_accepted", "jobs_shed", "jobs_completed",
+    "jobs_resumed", "max_queue_depth", "violations",
+)
+SERVE_SUMMARY_NUMBERS = (
+    "jobs_per_sec", "p50_millis", "p99_millis", "shed_rate",
+)
 
 # Schema 6: optional per-run tracing fields, present when the harness ran
 # with --trace=. Type-checked wherever they appear.
@@ -311,6 +337,41 @@ def check(path):
                             err("%s has negative %s" % (where, key))
                     elif doc.get("harness") == "micro":
                         err("%s missing micro field %r" % (where, key))
+                if doc.get("harness") == "serve":
+                    if panel.get("name") == "jobs":
+                        for key, want in SERVE_JOBS_RUN_FIELDS.items():
+                            if key not in run:
+                                err("%s missing serve field %r"
+                                    % (where, key))
+                                continue
+                            value = run[key]
+                            if not isinstance(value, want) or (
+                                want is not bool and isinstance(value, bool)
+                            ):
+                                err("%s field %r has type %s"
+                                    % (where, key, type(value).__name__))
+                            elif want is str and not value:
+                                err("%s has empty %s" % (where, key))
+                            elif want != bool and not isinstance(
+                                value, (str, bool)
+                            ) and value < 0:
+                                err("%s has negative %s" % (where, key))
+                    elif panel.get("name") == "summary":
+                        for key in SERVE_SUMMARY_COUNTS:
+                            value = run.get(key)
+                            if not isinstance(value, int) or isinstance(
+                                value, bool
+                            ) or value < 0:
+                                err("%s serve field %r is %r, want a "
+                                    "non-negative int" % (where, key, value))
+                        for key in SERVE_SUMMARY_NUMBERS:
+                            value = run.get(key)
+                            if not isinstance(value, (int, float)) or (
+                                isinstance(value, bool)
+                            ) or value < 0:
+                                err("%s serve field %r is %r, want a "
+                                    "non-negative number"
+                                    % (where, key, value))
                 metrics = run.get("metrics")
                 if metrics is not None:
                     if not isinstance(metrics, dict):

@@ -1,5 +1,8 @@
 #include "core/checkpoint.h"
 
+#include <dirent.h>
+#include <sys/stat.h>
+
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
@@ -351,6 +354,32 @@ Status AtomicWriteFile(const std::string& path, std::string_view contents) {
     return Status::Internal("rename failed: " + tmp + " -> " + path);
   }
   return Status::OK();
+}
+
+bool RemoveStaleCheckpointTmp(const std::string& path) {
+  const std::string tmp = path + ".tmp";
+  return std::remove(tmp.c_str()) == 0;
+}
+
+int SweepStaleTmpFiles(const std::string& dir) {
+  DIR* d = opendir(dir.c_str());
+  if (d == nullptr) return 0;
+  int removed = 0;
+  while (struct dirent* entry = readdir(d)) {
+    const std::string name = entry->d_name;
+    constexpr std::string_view kSuffix = ".tmp";
+    if (name.size() <= kSuffix.size() ||
+        name.compare(name.size() - kSuffix.size(), kSuffix.size(),
+                     kSuffix) != 0) {
+      continue;
+    }
+    const std::string full = dir + "/" + name;
+    struct stat st;
+    if (stat(full.c_str(), &st) != 0 || !S_ISREG(st.st_mode)) continue;
+    if (std::remove(full.c_str()) == 0) ++removed;
+  }
+  closedir(d);
+  return removed;
 }
 
 }  // namespace tupelo

@@ -108,6 +108,19 @@ Status SaveCheckpointFile(const DiscoveryCheckpoint& checkpoint,
 // either the previous complete contents or the new complete contents.
 Status AtomicWriteFile(const std::string& path, std::string_view contents);
 
+// Hygiene for AtomicWriteFile's crash window: a process killed between
+// writing `<path>.tmp` and renaming it leaves the temporary behind. The
+// temporary is never valid input — loads read only the final path — so
+// callers sweep it before writing to `path` again. Returns true when a
+// stale temporary existed and was removed.
+bool RemoveStaleCheckpointTmp(const std::string& path);
+
+// Directory-level sweep of the same crash window, for journal directories
+// holding many checkpoints (the server's job journal): removes every
+// regular file under `dir` whose name ends in ".tmp". Returns the number
+// removed; a missing or unreadable directory sweeps nothing.
+int SweepStaleTmpFiles(const std::string& dir);
+
 }  // namespace tupelo
 
 #endif  // TUPELO_CORE_CHECKPOINT_H_

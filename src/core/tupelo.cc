@@ -107,7 +107,9 @@ class FileCheckpointSink : public CheckpointSink<Database, Op> {
                      Fp128 source_fp, Fp128 target_fp, int ladder_size,
                      int64_t deadline_total, Clock::time_point search_start,
                      obs::MetricRegistry* metrics, obs::TraceSession* trace,
-                     CancelToken* kill_token, uint64_t kill_after)
+                     CancelToken* kill_token, uint64_t kill_after,
+                     const std::function<void(const DiscoverProgress&)>*
+                         on_progress = nullptr)
       : path_(std::move(path)),
         interval_(interval_states == 0 ? 1 : interval_states),
         source_fp_(source_fp),
@@ -118,7 +120,8 @@ class FileCheckpointSink : public CheckpointSink<Database, Op> {
         metrics_(metrics),
         trace_(trace),
         kill_token_(kill_token),
-        kill_after_(kill_after) {}
+        kill_after_(kill_after),
+        on_progress_(on_progress) {}
 
   // Repoints the sink at the rung about to run. `states_budget_left` is
   // the whole-run state budget before this rung starts. Unless the rung is
@@ -200,6 +203,17 @@ class FileCheckpointSink : public CheckpointSink<Database, Op> {
         metrics_->GetCounter("checkpoint.writes").Increment();
         metrics_->GetCounter("checkpoint.bytes").Increment(text.size());
       }
+      // Progress rides the checkpoint cadence: a sample is only reported
+      // once it is durable, so a streamed partial mapping is always one a
+      // crash-restarted run would also recover.
+      if (on_progress_ != nullptr && *on_progress_) {
+        DiscoverProgress progress;
+        progress.rung_index = rung_index_;
+        progress.states_examined = seed.states_examined;
+        progress.best_path = &seed.best_path;
+        progress.best_h = seed.best_h;
+        (*on_progress_)(progress);
+      }
       if (kill_after_ > 0 && writes_ >= kill_after_ &&
           kill_token_ != nullptr) {
         kill_token_->Cancel();
@@ -228,6 +242,7 @@ class FileCheckpointSink : public CheckpointSink<Database, Op> {
   obs::TraceSession* const trace_;
   CancelToken* const kill_token_;
   const uint64_t kill_after_;
+  const std::function<void(const DiscoverProgress&)>* const on_progress_;
 
   int rung_index_ = 0;
   std::string algorithm_;
@@ -400,12 +415,17 @@ Result<TupeloResult> Tupelo::Discover(const TupeloOptions& options) const {
   std::unique_ptr<CancelToken> kill_token;
   std::unique_ptr<FileCheckpointSink> sink;
   if (checkpointing) {
+    // Hygiene: a crash between AtomicWriteFile's write and rename leaves
+    // `<path>.tmp` behind. It is never valid input (loads read only the
+    // final path), so sweep it before the first write of this run.
+    RemoveStaleCheckpointTmp(options.checkpoint_path);
     kill_token = std::make_unique<CancelToken>(options.limits.cancel);
     sink = std::make_unique<FileCheckpointSink>(
         options.checkpoint_path, options.checkpoint_interval_states,
         source_.Fingerprint128(), target_.Fingerprint128(),
         static_cast<int>(ladder.size()), deadline_total, search_start,
-        metrics, trace, kill_token.get(), options.checkpoint_kill_after);
+        metrics, trace, kill_token.get(), options.checkpoint_kill_after,
+        &options.on_progress);
   }
 
   // Self-healing supervision (sequential ladder only: portfolio rungs own
@@ -430,14 +450,20 @@ Result<TupeloResult> Tupelo::Discover(const TupeloOptions& options) const {
   // return. Beam rungs fan their levels out over it. The task tracer is
   // declared before the pool so it outlives the workers that call it.
   obs::PoolTaskTracer pool_task_tracer(trace);
-  const size_t threads = std::max<size_t>(1, options.threads);
-  std::unique_ptr<ThreadPool> pool;
-  if (threads > 1) pool = std::make_unique<ThreadPool>(threads);
-  if (pool != nullptr && trace != nullptr) {
-    pool->set_trace_hook(&pool_task_tracer);
-  }
-  if (pool != nullptr && supervised) {
-    pool->set_task_heartbeat(&heartbeat.beats);
+  size_t threads = std::max<size_t>(1, options.threads);
+  std::unique_ptr<ThreadPool> owned_pool;
+  ThreadPool* pool = options.pool;
+  if (pool != nullptr) {
+    // Shared pool: beam rungs fan out over the caller's pool. Its trace
+    // hook and task heartbeat belong to the owner — a per-call install
+    // would race with sibling Discover calls sharing the same pool — so
+    // supervised stall detection relies on the search thread's beats.
+    threads = std::max<size_t>(1, pool->size());
+  } else if (threads > 1) {
+    owned_pool = std::make_unique<ThreadPool>(threads);
+    pool = owned_pool.get();
+    if (trace != nullptr) pool->set_trace_hook(&pool_task_tracer);
+    if (supervised) pool->set_task_heartbeat(&heartbeat.beats);
   }
   if (metrics != nullptr) {
     metrics->GetGauge("runtime.threads").Set(static_cast<int64_t>(threads));
@@ -492,7 +518,7 @@ Result<TupeloResult> Tupelo::Discover(const TupeloOptions& options) const {
           Clock::time_point rung_start = Clock::now();
           SearchOutcome<Op> outcome =
               RunRung(ladder[i].algorithm, *problems[i], options.beam_width,
-                      pool.get(), rung_limits, metrics, nullptr, trace);
+                      pool, rung_limits, metrics, nullptr, trace);
           runs[i].millis = MillisSince(rung_start);
           if (outcome.found) {
             // Verify here, in the rung thread: an unverifiable mapping
@@ -664,7 +690,7 @@ Result<TupeloResult> Tupelo::Discover(const TupeloOptions& options) const {
       Clock::time_point rung_start = Clock::now();
       outcome =
           RunRung(ladder[i].algorithm, problem, options.beam_width,
-                  pool.get(), attempt_limits, metrics,
+                  pool, attempt_limits, metrics,
                   resumed_rung ? &resume_seed : nullptr, trace);
       double rung_millis = MillisSince(rung_start);
 

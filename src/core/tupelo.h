@@ -1,6 +1,7 @@
 #ifndef TUPELO_CORE_TUPELO_H_
 #define TUPELO_CORE_TUPELO_H_
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -14,6 +15,22 @@
 #include "search/search_types.h"
 
 namespace tupelo {
+
+class ThreadPool;
+
+// Anytime-progress sample reported while a checkpointing run searches.
+// Delivered from inside the search thread at checkpoint boundaries (see
+// TupeloOptions::on_progress); handlers must be fast and thread-safe with
+// respect to their own state — the search blocks until they return.
+struct DiscoverProgress {
+  int rung_index = 0;
+  uint64_t states_examined = 0;
+  // Best partial mapping so far: the operator path reaching the
+  // heuristically closest state, and that state's remaining heuristic
+  // distance (-1 before anything was examined).
+  const std::vector<Op>* best_path = nullptr;
+  int best_h = -1;
+};
 
 // One rung of the graceful-degradation ladder: which algorithm to try and
 // how much of the *remaining* deadline/state budget it may consume before
@@ -54,6 +71,15 @@ struct TupeloOptions {
   // ParallelBeamSearch over it (bit-identical results to threads == 1;
   // see search/parallel_beam.h). 0 is treated as 1.
   size_t threads = 1;
+  // Externally owned ThreadPool shared across Discover calls (nullable;
+  // must outlive the call). When set it overrides `threads`: beam rungs
+  // fan out over this pool and Discover does not create one of its own.
+  // Because the pool is shared — the multi-tenant server runs every
+  // tenant's jobs over one pool — Discover leaves its trace hook and task
+  // heartbeat alone; pool-level instrumentation belongs to the pool's
+  // owner, and supervised stall detection falls back to the search
+  // thread's own heartbeats.
+  ThreadPool* pool = nullptr;
   // Run the ladder as a concurrent portfolio instead of a fallback
   // sequence: every rung starts at once on its own thread with the full
   // budget, the first rung whose mapping verifies wins, and the rest are
@@ -79,6 +105,13 @@ struct TupeloOptions {
   // format version, or a checkpoint from a different workload is a typed
   // error. Requires checkpoint_path.
   bool resume = false;
+  // Anytime-progress stream (requires checkpoint_path: progress samples
+  // ride the checkpoint cadence, so every sample is also durable). Called
+  // from the search thread right after each successful checkpoint write —
+  // rung entries and every ~checkpoint_interval_states examined states —
+  // with the best partial mapping so far. The serving layer uses this to
+  // stream improving partial mappings to clients while a job runs.
+  std::function<void(const DiscoverProgress&)> on_progress;
   // Test seam for crash simulation: when > 0, the run cancels itself
   // (StopReason::kCancelled) right after the Nth successful checkpoint
   // write — a deterministic process death at a checkpoint boundary.

@@ -1,0 +1,63 @@
+#ifndef TUPELO_SERVE_CLIENT_H_
+#define TUPELO_SERVE_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "serve/job_manager.h"
+
+namespace tupelo::serve {
+
+// What a submit attempt came back as, shed hint included.
+struct SubmitReply {
+  bool accepted = false;
+  std::string job_id;
+  size_t queue_depth = 0;
+  int64_t retry_after_millis = 0;
+};
+
+// Blocking client for the framed-JSON protocol: one TCP connection, one
+// outstanding request at a time (the protocol is strict request/response).
+// Used by serve_loadgen, the governance tests, and the service-level
+// chaos families. Not thread-safe; one Client per thread.
+class Client {
+ public:
+  Client() = default;
+  ~Client() { Close(); }
+  Client(Client&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Client& operator=(Client&& other) noexcept;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  static Result<Client> Connect(const std::string& host, uint16_t port);
+
+  bool connected() const { return fd_ >= 0; }
+  // Abandons the connection without a goodbye — the disconnect fault mode
+  // (server-side cancel_on_disconnect fires for this session's jobs).
+  void Close();
+
+  Result<SubmitReply> Submit(const JobSpec& spec);
+  Result<JobStatus> GetStatus(const std::string& job_id);
+  // Long-poll one update: returns when the job's version exceeds
+  // `after_version`, the job finishes, or the server-side timeout lapses.
+  Result<JobStatus> Stream(const std::string& job_id, uint64_t after_version,
+                           int64_t timeout_millis);
+  // Convenience: stream until terminal or `deadline_millis` of total
+  // client-side waiting. DeadlineExceeded if still running.
+  Result<JobStatus> AwaitTerminal(const std::string& job_id,
+                                  int64_t deadline_millis);
+  Result<bool> Cancel(const std::string& job_id);
+  Result<obs::JsonValue> Metrics();
+  Status Ping();
+  Status RequestShutdown();
+
+ private:
+  Result<obs::JsonValue> RoundTrip(const obs::JsonValue& request);
+
+  int fd_ = -1;
+};
+
+}  // namespace tupelo::serve
+
+#endif  // TUPELO_SERVE_CLIENT_H_

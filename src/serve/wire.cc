@@ -1,0 +1,163 @@
+#include "serve/wire.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace tupelo::serve {
+namespace {
+
+// write(2) until done, retrying EINTR. The peer closing mid-write shows
+// up as EPIPE (SIGPIPE is suppressed per-call via MSG_NOSIGNAL).
+Status WriteAll(int fd, const char* data, size_t len) {
+  size_t off = 0;
+  while (off < len) {
+    ssize_t n = ::send(fd, data + off, len - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(std::string("socket write failed: ") +
+                              std::strerror(errno));
+    }
+    off += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+// read(2) until `len` bytes, retrying EINTR. Returns the bytes actually
+// read, so the caller can tell clean EOF (0) from a torn frame.
+Result<size_t> ReadUpTo(int fd, char* data, size_t len) {
+  size_t off = 0;
+  while (off < len) {
+    ssize_t n = ::read(fd, data + off, len - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(std::string("socket read failed: ") +
+                              std::strerror(errno));
+    }
+    if (n == 0) break;  // EOF
+    off += static_cast<size_t>(n);
+  }
+  return off;
+}
+
+}  // namespace
+
+Status WriteFrame(int fd, const obs::JsonValue& message) {
+  const std::string payload = message.Dump();
+  if (payload.size() > kMaxFrameBytes) {
+    return Status::InvalidArgument("frame exceeds kMaxFrameBytes");
+  }
+  const uint32_t n = static_cast<uint32_t>(payload.size());
+  char header[4] = {static_cast<char>((n >> 24) & 0xff),
+                    static_cast<char>((n >> 16) & 0xff),
+                    static_cast<char>((n >> 8) & 0xff),
+                    static_cast<char>(n & 0xff)};
+  TUPELO_RETURN_IF_ERROR(WriteAll(fd, header, sizeof(header)));
+  return WriteAll(fd, payload.data(), payload.size());
+}
+
+Result<obs::JsonValue> ReadFrame(int fd) {
+  char header[4];
+  TUPELO_ASSIGN_OR_RETURN(size_t got, ReadUpTo(fd, header, sizeof(header)));
+  if (got == 0) return Status::NotFound("connection closed");
+  if (got < sizeof(header)) {
+    return Status::ParseError("torn frame header (EOF mid-frame)");
+  }
+  const uint32_t n = (static_cast<uint32_t>(static_cast<unsigned char>(header[0])) << 24) |
+                     (static_cast<uint32_t>(static_cast<unsigned char>(header[1])) << 16) |
+                     (static_cast<uint32_t>(static_cast<unsigned char>(header[2])) << 8) |
+                     static_cast<uint32_t>(static_cast<unsigned char>(header[3]));
+  if (n > kMaxFrameBytes) {
+    return Status::InvalidArgument("frame length exceeds kMaxFrameBytes");
+  }
+  std::string payload(n, '\0');
+  if (n > 0) {
+    TUPELO_ASSIGN_OR_RETURN(size_t body, ReadUpTo(fd, payload.data(), n));
+    if (body < n) return Status::ParseError("torn frame body (EOF mid-frame)");
+  }
+  return obs::JsonValue::Parse(payload);
+}
+
+Result<int> ListenOn(uint16_t port, int backlog) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Internal(std::string("socket() failed: ") +
+                            std::strerror(errno));
+  }
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status s = Status::Internal(std::string("bind() failed: ") +
+                                std::strerror(errno));
+    ::close(fd);
+    return s;
+  }
+  if (::listen(fd, backlog) != 0) {
+    Status s = Status::Internal(std::string("listen() failed: ") +
+                                std::strerror(errno));
+    ::close(fd);
+    return s;
+  }
+  return fd;
+}
+
+Result<uint16_t> BoundPort(int listen_fd) {
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    return Status::Internal(std::string("getsockname() failed: ") +
+                            std::strerror(errno));
+  }
+  return static_cast<uint16_t>(ntohs(addr.sin_port));
+}
+
+Result<int> AcceptOn(int listen_fd) {
+  for (;;) {
+    int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd >= 0) {
+      int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      return fd;
+    }
+    if (errno == EINTR) continue;
+    return Status::Internal(std::string("accept() failed: ") +
+                            std::strerror(errno));
+  }
+}
+
+Result<int> ConnectTo(const std::string& host, uint16_t port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Internal(std::string("socket() failed: ") +
+                            std::strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("unparseable IPv4 address: " + host);
+  }
+  for (;;) {
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0) {
+      int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      return fd;
+    }
+    if (errno == EINTR) continue;
+    Status s = Status::Internal(std::string("connect() failed: ") +
+                                std::strerror(errno));
+    ::close(fd);
+    return s;
+  }
+}
+
+}  // namespace tupelo::serve

@@ -1,0 +1,42 @@
+#ifndef TUPELO_SERVE_WIRE_H_
+#define TUPELO_SERVE_WIRE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "obs/json_writer.h"
+
+namespace tupelo::serve {
+
+// The wire format: every message — request or response — is one frame, a
+// 4-byte big-endian unsigned payload length followed by that many bytes
+// of compact UTF-8 JSON (obs::JsonValue::Dump). Framing survives partial
+// reads/writes and makes message boundaries explicit, so a slow or
+// malicious client can never desynchronize the stream; a frame longer
+// than kMaxFrameBytes is rejected before any payload is read.
+//
+// See docs/SERVING.md for the request/response catalog.
+inline constexpr uint32_t kMaxFrameBytes = 64u << 20;
+
+// Blocking send of one frame. Handles short writes and EINTR; any socket
+// error is surfaced as a typed Status (the connection is then dead).
+Status WriteFrame(int fd, const obs::JsonValue& message);
+
+// Blocking receive of one frame. A clean EOF before the first header byte
+// returns NotFound ("connection closed") — the normal end of a client
+// conversation; EOF mid-frame, an oversized length, or malformed JSON is
+// a ParseError/InvalidArgument.
+Result<obs::JsonValue> ReadFrame(int fd);
+
+// TCP plumbing shared by the server, the client library, the load
+// generator and the chaos campaign. All return typed errors; fds are
+// plain POSIX descriptors the caller must close().
+Result<int> ListenOn(uint16_t port, int backlog);   // 0 = ephemeral port
+Result<uint16_t> BoundPort(int listen_fd);
+Result<int> AcceptOn(int listen_fd);                // blocking accept
+Result<int> ConnectTo(const std::string& host, uint16_t port);
+
+}  // namespace tupelo::serve
+
+#endif  // TUPELO_SERVE_WIRE_H_

@@ -49,6 +49,22 @@
 //      compiled_expand on — the injector seam sits below the fused
 //      loops, so thrown faults must still be absorbed cleanly
 //
+// Service-level families (the discovery service of serve/job_manager.h;
+// in-process JobManager trials — the full-process kill -9 variant runs
+// in serve_loadgen and the serve_smoke ctest):
+//   10 serve-crash: submit a batch of jobs (some unsatisfiable so they
+//      run their whole deadline), preempt the manager mid-flight, then
+//      recover a fresh manager on the same journal directory. Graceful
+//      preemption and kill -9 share one recovery path (in-flight jobs
+//      keep a `.job` with no `.done`), so this asserts the crash
+//      contract: every accepted job reaches a terminal state after the
+//      restart, none with a Discover-level error
+//   11 serve-overload: a one-worker manager with a tiny admission queue
+//      under a submit burst. Sheds must be typed (accepted=false with a
+//      positive Retry-After hint), the queue must stay bounded, and
+//      every accepted job must still reach a terminal state — never
+//      accepted-then-dropped
+//
 // Usage:
 //   fault_campaign [--trials=N] [--seed=S] [--quick] [--json=report.json]
 //                  [--trial=N] [--list]
@@ -69,6 +85,9 @@
 // the schema-6 bench layout (scripts/check_bench_json.py) with one run
 // per trial plus a "summary" panel.
 
+#include <unistd.h>
+
+#include <cctype>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
@@ -76,6 +95,7 @@
 #include <cstring>
 #include <string>
 #include <string_view>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -85,6 +105,8 @@
 #include "core/tupelo.h"
 #include "fira/executor.h"
 #include "obs/trace.h"
+#include "relational/io.h"
+#include "serve/job_manager.h"
 #include "workloads/synthetic.h"
 
 namespace tupelo {
@@ -170,13 +192,36 @@ constexpr SearchAlgorithm kAlgorithms[] = {
     SearchAlgorithm::kGreedy, SearchAlgorithm::kBeam,
 };
 
-constexpr int kFamilies = 10;
+constexpr int kFamilies = 12;
 constexpr const char* kFamilyNames[kFamilies] = {
     "kill-resume",      "probabilistic-faults", "every-nth-faults",
     "mixed-kill",       "stall",                "poison",
     "memory-pressure",  "mixed-chaos",          "compiled-kill-resume",
-    "compiled-poison",
+    "compiled-poison",  "serve-crash",          "serve-overload",
 };
+
+// Perturbs every tuple value (a1 → z1, ...) so no mapping exists: the
+// served search burns its whole deadline, which is what puts jobs
+// in-flight when the preemption lands.
+std::string PerturbValues(const std::string& tdb) {
+  std::string out;
+  out.reserve(tdb.size());
+  for (size_t i = 0; i < tdb.size(); ++i) {
+    out.push_back(tdb[i] == 'a' && i + 1 < tdb.size() &&
+                          std::isdigit(static_cast<unsigned char>(tdb[i + 1]))
+                      ? 'z'
+                      : tdb[i]);
+  }
+  return out;
+}
+
+// Removes one job's journal triple; RemoveServeJournal then drops the
+// directory itself once every trial job is gone.
+void RemoveJobJournal(const std::string& dir, const std::string& id) {
+  std::remove((dir + "/" + id + ".job").c_str());
+  std::remove((dir + "/" + id + ".tck").c_str());
+  std::remove((dir + "/" + id + ".done").c_str());
+}
 
 // The supervision knobs the chaos families run under: a fast watchdog
 // (5 ms ticks, 50 ms stall window) so injected 200+ ms delays are
@@ -284,7 +329,7 @@ int main(int argc, char** argv) {
     // CompiledExecutor driving Expand; the backend is outcome-identical by
     // contract, so the trial logic is shared verbatim with families 0/5.
     const int behavior = family == 8 ? 0 : family == 9 ? 5 : family;
-    if (family >= 8) base.successors.compiled_expand = true;
+    if (family == 8 || family == 9) base.successors.compiled_expand = true;
 
     if (behavior == 0) {
       // Crash-equivalence: baseline, then kill at a checkpoint boundary,
@@ -494,7 +539,7 @@ int main(int argc, char** argv) {
           !final_run.result.verify_status.ok()) {
         campaign.Violation(t, "verified=true with a failed verify_status");
       }
-    } else {
+    } else if (behavior == 7) {
       // Mixed chaos: a random fault kind (throwing, delaying, or status)
       // while checkpointing with a kill under supervision, then a
       // fault-free supervised resume. Invariants only: clean statuses
@@ -557,6 +602,165 @@ int main(int argc, char** argv) {
         final_run = std::move(interrupted);
       }
       std::remove(ckpt_path.c_str());
+    }
+
+    if (behavior == 10) {
+      // serve-crash: preempt a live JobManager mid-flight, recover a
+      // fresh one on the same journal, and require every accepted job to
+      // reach a clean terminal state. Preemption leaves in-flight jobs
+      // un-terminal on disk, which is exactly the kill -9 state.
+      const std::string jdir = "fault_campaign_serve_" +
+                               std::to_string(args.seed) + "_" +
+                               std::to_string(t);
+      serve::JobManagerConfig jc;
+      jc.journal_dir = jdir;
+      jc.workers = 2;
+      jc.default_deadline_millis = 1000;
+      jc.max_deadline_millis = 2000;
+      jc.checkpoint_interval_states = 16;
+      jc.trace = &trace;
+      std::vector<std::string> ids;
+      bool setup_ok = true;
+      {
+        serve::JobManager manager(jc);
+        Status started = manager.Start();
+        if (!started.ok()) {
+          campaign.Violation(t, "serve start error: " + started.ToString());
+          continue;
+        }
+        for (int j = 0; j < 4; ++j) {
+          const SyntheticMatchingPair& p = pairs[rng.Below(pairs.size())];
+          serve::JobSpec spec;
+          spec.tenant = "trial-" + std::to_string(t);
+          spec.source_tdb = WriteTdb(p.source);
+          spec.target_tdb = WriteTdb(p.target);
+          if (j % 2 == 1) {
+            spec.target_tdb = PerturbValues(spec.target_tdb);
+            spec.deadline_millis = 300 + static_cast<int64_t>(rng.Below(300));
+          }
+          Result<serve::SubmitOutcome> outcome = manager.Submit(std::move(spec));
+          if (!outcome.ok() || !outcome->accepted) {
+            campaign.Violation(t, "serve submit rejected: " +
+                                      (outcome.ok()
+                                           ? "shed with empty queue"
+                                           : outcome.status().ToString()));
+            setup_ok = false;
+            break;
+          }
+          ids.push_back(outcome->job_id);
+        }
+        // Let the workers pick jobs up, then preempt mid-flight.
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(20 + rng.Below(80)));
+        manager.Shutdown();
+        ++campaign.kills;
+      }
+      if (setup_ok) {
+        serve::JobManager recovered(jc);
+        Status restarted = recovered.Start();
+        if (!restarted.ok()) {
+          campaign.Violation(t,
+                             "serve recovery error: " + restarted.ToString());
+        } else {
+          uint64_t states_total = 0;
+          for (const std::string& id : ids) {
+            Result<serve::JobStatus> status = recovered.WaitTerminal(id, 8000);
+            if (!status.ok() ||
+                status->state != serve::JobState::kDone) {
+              campaign.Violation(
+                  t, "serve job " + id + " lost across restart: " +
+                         (status.ok() ? "still " +
+                                            std::string(JobStateName(
+                                                status->state))
+                                      : status.status().ToString()));
+              continue;
+            }
+            if (status->stop_reason == "error") {
+              campaign.Violation(t, "serve job " + id + " errored: " +
+                                        status->partial_script);
+            }
+            if (status->resumed) ++campaign.resumes;
+            states_total += status->states_examined;
+            final_run.rr.millis += status->total_millis;
+          }
+          final_run.ok = true;
+          final_run.rr.states = states_total;
+          final_run.rr.stop_reason = "exhausted";
+          recovered.Shutdown();
+        }
+      }
+      for (const std::string& id : ids) RemoveJobJournal(jdir, id);
+      ::rmdir(jdir.c_str());
+    }
+
+    if (behavior == 11) {
+      // serve-overload: a one-worker manager with a two-deep admission
+      // queue under a burst of deadline-long jobs. Sheds must be typed
+      // with a positive Retry-After; accepted jobs must all finish.
+      const std::string jdir = "fault_campaign_serve_" +
+                               std::to_string(args.seed) + "_" +
+                               std::to_string(t);
+      serve::JobManagerConfig jc;
+      jc.journal_dir = jdir;
+      jc.workers = 1;
+      jc.queue_limit = 2;
+      jc.default_deadline_millis = 200;
+      jc.max_deadline_millis = 400;
+      jc.checkpoint_interval_states = 64;
+      jc.trace = &trace;
+      serve::JobManager manager(jc);
+      Status started = manager.Start();
+      if (!started.ok()) {
+        campaign.Violation(t, "serve start error: " + started.ToString());
+        continue;
+      }
+      std::vector<std::string> ids;
+      size_t sheds = 0;
+      for (int j = 0; j < 6; ++j) {
+        const SyntheticMatchingPair& p = pairs[rng.Below(pairs.size())];
+        serve::JobSpec spec;
+        spec.tenant = "trial-" + std::to_string(t);
+        spec.source_tdb = WriteTdb(p.source);
+        spec.target_tdb = PerturbValues(WriteTdb(p.target));
+        spec.deadline_millis = 200;
+        Result<serve::SubmitOutcome> outcome = manager.Submit(std::move(spec));
+        if (!outcome.ok()) {
+          campaign.Violation(t,
+                             "serve submit error: " + outcome.status().ToString());
+          continue;
+        }
+        if (outcome->queue_depth > jc.queue_limit) {
+          campaign.Violation(
+              t, "serve queue depth " + std::to_string(outcome->queue_depth) +
+                     " exceeds limit " + std::to_string(jc.queue_limit));
+        }
+        if (outcome->accepted) {
+          ids.push_back(outcome->job_id);
+        } else {
+          ++sheds;
+          if (outcome->retry_after_millis <= 0) {
+            campaign.Violation(t, "serve shed without a Retry-After hint");
+          }
+        }
+      }
+      uint64_t states_total = 0;
+      for (const std::string& id : ids) {
+        Result<serve::JobStatus> status = manager.WaitTerminal(id, 8000);
+        if (!status.ok() || status->state != serve::JobState::kDone) {
+          campaign.Violation(t, "serve accepted job " + id +
+                                    " never reached a terminal state");
+          continue;
+        }
+        states_total += status->states_examined;
+        final_run.rr.millis += status->total_millis;
+      }
+      manager.Shutdown();
+      campaign.faults_injected += sheds;
+      final_run.ok = true;
+      final_run.rr.states = states_total;
+      final_run.rr.stop_reason = "exhausted";
+      for (const std::string& id : ids) RemoveJobJournal(jdir, id);
+      ::rmdir(jdir.c_str());
     }
 
     // Flight-recorder self-check: any dump this trial left behind must

@@ -1,0 +1,128 @@
+// tupelo_serve — the discovery-as-a-service daemon.
+//
+// Usage:
+//   tupelo_serve --journal-dir=DIR [--port=N] [--workers=N]
+//                [--queue-limit=N] [--pool-threads=N] [--fair-states=N]
+//                [--default-deadline-ms=N] [--max-deadline-ms=N]
+//                [--checkpoint-interval=N] [--checkpoint-keep=N]
+//                [--retries=N] [--trace=trace.json]
+//
+// Binds 127.0.0.1:<port> (0 = ephemeral) and prints "listening <port>" on
+// stdout once ready — scripts scrape that line. Speaks the framed-JSON
+// protocol documented in docs/SERVING.md. On boot it recovers the journal
+// directory: stale `*.tmp` files are swept, finished jobs become servable
+// terminal records, and unfinished jobs re-enter the queue with resume —
+// so kill -9 mid-campaign loses no accepted work.
+//
+// SIGINT/SIGTERM trigger graceful shutdown: stop accepting, cancel the
+// root CancelToken (running searches stop at their next budget poll,
+// their last checkpoint already durable), join all threads, flush the
+// trace, exit 0. A job preempted this way resumes on the next boot.
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "serve/server.h"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void HandleSignal(int) { g_stop = 1; }
+
+uint64_t FlagU64(const char* arg, const char* name, uint64_t fallback) {
+  size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) == 0) {
+    return std::strtoull(arg + len, nullptr, 10);
+  }
+  return fallback;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace tupelo;
+
+  serve::ServerConfig config;
+  config.jobs.journal_dir = "serve_journal";
+  std::string trace_path;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--journal-dir=", 14) == 0) {
+      config.jobs.journal_dir = arg + 14;
+    } else if (std::strncmp(arg, "--trace=", 8) == 0) {
+      trace_path = arg + 8;
+    } else if (std::strcmp(arg, "--help") == 0) {
+      std::fprintf(stderr,
+                   "usage: tupelo_serve --journal-dir=DIR [--port=N] "
+                   "[--workers=N] [--queue-limit=N] [--pool-threads=N] "
+                   "[--fair-states=N] [--default-deadline-ms=N] "
+                   "[--max-deadline-ms=N] [--checkpoint-interval=N] "
+                   "[--checkpoint-keep=N] [--retries=N] [--trace=PATH]\n");
+      return 2;
+    } else {
+      config.port = static_cast<uint16_t>(
+          FlagU64(arg, "--port=", config.port));
+      config.jobs.workers =
+          static_cast<size_t>(FlagU64(arg, "--workers=", config.jobs.workers));
+      config.jobs.queue_limit = static_cast<size_t>(
+          FlagU64(arg, "--queue-limit=", config.jobs.queue_limit));
+      config.jobs.pool_threads = static_cast<size_t>(
+          FlagU64(arg, "--pool-threads=", config.jobs.pool_threads));
+      config.jobs.fair_states_per_job =
+          FlagU64(arg, "--fair-states=", config.jobs.fair_states_per_job);
+      config.jobs.default_deadline_millis = static_cast<int64_t>(FlagU64(
+          arg, "--default-deadline-ms=",
+          static_cast<uint64_t>(config.jobs.default_deadline_millis)));
+      config.jobs.max_deadline_millis = static_cast<int64_t>(
+          FlagU64(arg, "--max-deadline-ms=",
+                  static_cast<uint64_t>(config.jobs.max_deadline_millis)));
+      config.jobs.checkpoint_interval_states = FlagU64(
+          arg, "--checkpoint-interval=", config.jobs.checkpoint_interval_states);
+      config.jobs.checkpoint_keep = static_cast<size_t>(
+          FlagU64(arg, "--checkpoint-keep=", config.jobs.checkpoint_keep));
+      config.jobs.max_job_retries = static_cast<int>(FlagU64(
+          arg, "--retries=", static_cast<uint64_t>(config.jobs.max_job_retries)));
+    }
+  }
+
+  obs::MetricRegistry metrics;
+  config.jobs.metrics = &metrics;
+  std::unique_ptr<obs::TraceSession> trace;
+  if (!trace_path.empty()) {
+    trace = std::make_unique<obs::TraceSession>();
+    config.jobs.trace = trace.get();
+  }
+
+  serve::Server server(std::move(config));
+  Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "tupelo_serve: %s\n", started.ToString().c_str());
+    return 1;
+  }
+  std::printf("listening %u\n", static_cast<unsigned>(server.port()));
+  std::fflush(stdout);
+
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  std::signal(SIGPIPE, SIG_IGN);
+
+  while (g_stop == 0 && !server.stop_requested()) {
+    struct timespec ts = {0, 20 * 1000 * 1000};
+    nanosleep(&ts, nullptr);
+  }
+  server.Shutdown();
+
+  if (trace != nullptr && !trace->WriteChromeJson(trace_path)) {
+    std::fprintf(stderr, "tupelo_serve: cannot write trace to %s\n",
+                 trace_path.c_str());
+  }
+  std::printf("shutdown clean (recovered=%llu)\n",
+              static_cast<unsigned long long>(server.jobs().jobs_recovered()));
+  return 0;
+}
